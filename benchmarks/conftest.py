@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Benchmarks print the regenerated paper tables/figures; run with ``-s`` to
+see them::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Grid size defaults to 64 (fast); set ``REPRO_MG_N=128`` for the paper's
+full problem size (slower wall-clock, same shapes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def mg_grid_size() -> int:
+    return int(os.environ.get("REPRO_MG_N", "64"))
+
+
+@pytest.fixture(scope="session")
+def grid_n() -> int:
+    return mg_grid_size()

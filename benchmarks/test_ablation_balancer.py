@@ -1,0 +1,71 @@
+"""ABL-3: the load-balancing motivation, measured.
+
+The paper motivates process migration with "load balancing ... and
+achieving high performance via utilizing unused network resources". This
+ablation quantifies it on the reproduction's own machinery: kernel MG
+with one rank trapped on a 10x slower machine, run with and without the
+automatic load balancer (which uses the migration protocol to move the
+straggler to an idle fast host).
+"""
+
+from __future__ import annotations
+
+from repro.apps.mg import make_mg_program, num_levels_dist
+from repro.core import Application, LoadBalancer
+from repro.vm import VirtualMachine
+
+_cache: dict[str, object] = {}
+
+
+def _run(balanced: bool, n=32, nranks=4):
+    key = f"{balanced}:{n}"
+    if key in _cache:
+        return _cache[key]
+    vm = VirtualMachine()
+    vm.add_host("slow", cpu_speed=0.1)
+    for i in range(1, nranks):
+        vm.add_host(f"u{i}")
+    vm.add_host("sched")
+    vm.add_host("idle-fast")
+    results: dict = {}
+    prog = make_mg_program(n, iterations=8,
+                           levels=num_levels_dist(n, n // nranks),
+                           results=results)
+    app = Application(vm, prog,
+                      placement=["slow"] + [f"u{i}" for i in range(1, nranks)],
+                      scheduler_host="sched")
+    app.start()
+    balancer = None
+    if balanced:
+        balancer = LoadBalancer(app, interval=0.4, cooldown=2.0,
+                                threshold=0.6).attach()
+    app.run()
+    out = (vm.kernel.now, app, balancer, vm)
+    _cache[key] = out
+    return out
+
+
+def test_abl3_balancer_speedup(benchmark, grid_n):
+    t_bal, app, balancer, vm = benchmark.pedantic(
+        _run, args=(True,), rounds=1, iterations=1)
+    t_unbal, _, _, vm0 = _run(False)
+    speedup = t_unbal / t_bal
+    print(f"\nABL-3  automatic load balancing on MG "
+          f"(1 rank on a 10x slower host):")
+    print(f"       unbalanced {t_unbal:.2f}s, balanced {t_bal:.2f}s "
+          f"-> speedup {speedup:.2f}x")
+    assert balancer.decisions, "the balancer must detect the straggler"
+    assert balancer.decisions[0].rank == 0
+    assert speedup > 1.2
+    assert vm.dropped_messages() == []
+
+
+def test_abl3_migration_was_automatic(benchmark):
+    _, app, balancer, vm = benchmark.pedantic(
+        _run, args=(True,), rounds=1, iterations=1)
+    completed = [m for m in app.migrations if m.completed]
+    assert len(completed) >= 1
+    assert completed[0].new_vmid.host == "idle-fast"
+    # decision came from the balancer, not a user migrate_at
+    auto = vm.trace.filter(kind="auto_migrate")
+    assert len(auto) == len(balancer.decisions) >= 1

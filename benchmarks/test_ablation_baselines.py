@@ -1,0 +1,93 @@
+"""ABL-1: SNOW vs the §7 related-work migration mechanisms.
+
+Regenerates the paper's qualitative comparison (Section 7) as a measured
+table on a common ring workload:
+
+* SNOW coordinates only the processes *directly connected* to the
+  migrating process and blocks (almost) nothing;
+* CoCheck coordinates every process and blocks all communication for the
+  checkpoint + restart;
+* ChaRM/Dynamite-style broadcasting touches every process and delays
+  senders through the delayed-message buffer;
+* MPVM-style forwarding is cheap to coordinate but taxes every subsequent
+  message with a forwarding hop and leaves a residual dependency on the
+  source host.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    run_broadcast_migration,
+    run_cocheck_migration,
+    run_forwarding_migration,
+    run_snow_migration,
+)
+from repro.util.text import format_table
+
+_N = 8
+_ITER = 30
+_cache: dict[str, object] = {}
+
+
+def _all():
+    if not _cache:
+        kw = dict(nprocs=_N, iterations=_ITER, migrate_at=0.02)
+        _cache["snow"] = run_snow_migration(**kw)
+        _cache["cocheck"] = run_cocheck_migration(**kw)
+        _cache["broadcast"] = run_broadcast_migration(**kw)
+        _cache["forwarding"] = run_forwarding_migration(**kw)
+    return _cache
+
+
+def test_abl1_comparison_table(benchmark):
+    ms = benchmark.pedantic(_all, rounds=1, iterations=1)
+    print()
+    print(f"ABL-1  migration mechanism comparison "
+          f"(ring of {_N} processes, {_ITER} rounds) — paper §7")
+    print(format_table(
+        ("mechanism", "N", "ctl msgs", "coordinated", "blocked(s)",
+         "residual", "forwarded"),
+        [ms[k].row() for k in ("snow", "cocheck", "broadcast",
+                               "forwarding")]))
+    for m in ms.values():
+        assert m.messages_lost == 0
+
+
+def test_abl1_snow_coordination_scope(benchmark):
+    ms = benchmark.pedantic(_all, rounds=1, iterations=1)
+    snow, cocheck, bcast = ms["snow"], ms["cocheck"], ms["broadcast"]
+    # SNOW coordinates only the ring neighbours, not the whole computation
+    assert snow.processes_coordinated == 2
+    assert cocheck.processes_coordinated == _N
+    assert bcast.processes_coordinated == _N
+    # and uses far fewer control messages than CoCheck
+    assert snow.control_messages < cocheck.control_messages
+
+
+def test_abl1_snow_blocking(benchmark):
+    ms = benchmark.pedantic(_all, rounds=1, iterations=1)
+    snow, cocheck, bcast = ms["snow"], ms["cocheck"], ms["broadcast"]
+    # the §7 claim: SNOW "transfers the communication state without
+    # rolling back and without blocking communication"
+    assert snow.blocked_time_total < 0.05 * cocheck.blocked_time_total
+    assert snow.blocked_time_total < 0.05 * bcast.blocked_time_total
+
+
+def test_abl1_forwarding_tax_and_residual(benchmark):
+    ms = benchmark.pedantic(_all, rounds=1, iterations=1)
+    fwd, snow = ms["forwarding"], ms["snow"]
+    assert fwd.residual_dependency and not snow.residual_dependency
+    assert fwd.forwarded_messages > 0
+    assert snow.forwarded_messages == 0
+
+
+def test_abl1_forwarding_host_leave_loses_messages(benchmark):
+    """The residual-dependency failure: the old host resigns."""
+    m = benchmark.pedantic(
+        run_forwarding_migration,
+        kwargs=dict(nprocs=6, iterations=25, migrate_at=0.01,
+                    old_host_leaves=True),
+        rounds=1, iterations=1)
+    print(f"\nABL-1  forwarding with old host leaving: "
+          f"{m.extra['lost_after_leave']} messages would be lost")
+    assert m.extra["lost_after_leave"] > 0

@@ -1,0 +1,73 @@
+"""ABL-2: coordination cost scaling — O(degree) vs O(N).
+
+The paper's scalability claim (Sections 1, 3, 7): "During a migration,
+the protocols coordinate only those processes directly connected to the
+migrating process" and location updates happen on demand, with no
+broadcast. So SNOW's migration control traffic must stay flat as the
+computation grows (ring degree is constant), while CoCheck's and the
+broadcast scheme's grow linearly in N.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    run_broadcast_migration,
+    run_cocheck_migration,
+    run_snow_migration,
+)
+from repro.util.text import format_table
+
+_SIZES = (4, 8, 12, 16)
+_cache: dict[str, dict[int, object]] = {}
+
+
+def _sweep():
+    if not _cache:
+        for n in _SIZES:
+            kw = dict(nprocs=n, iterations=24, migrate_at=0.02)
+            _cache.setdefault("snow", {})[n] = run_snow_migration(**kw)
+            _cache.setdefault("cocheck", {})[n] = run_cocheck_migration(**kw)
+            _cache.setdefault("broadcast", {})[n] = \
+                run_broadcast_migration(**kw)
+    return _cache
+
+
+def test_abl2_scaling_table(benchmark):
+    ms = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = []
+    for n in _SIZES:
+        rows.append((n,
+                     ms["snow"][n].control_messages,
+                     ms["cocheck"][n].control_messages,
+                     ms["broadcast"][n].control_messages,
+                     ms["snow"][n].processes_coordinated,
+                     ms["cocheck"][n].processes_coordinated))
+    print()
+    print("ABL-2  migration control messages vs computation size")
+    print(format_table(
+        ("N", "snow ctl", "cocheck ctl", "broadcast ctl",
+         "snow coord", "cocheck coord"), rows))
+
+
+def test_abl2_snow_flat_others_linear(benchmark):
+    ms = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lo, hi = _SIZES[0], _SIZES[-1]
+    growth = hi / lo  # 4x
+    snow_growth = ms["snow"][hi].control_messages / \
+        ms["snow"][lo].control_messages
+    cocheck_growth = ms["cocheck"][hi].control_messages / \
+        ms["cocheck"][lo].control_messages
+    bcast_growth = ms["broadcast"][hi].control_messages / \
+        ms["broadcast"][lo].control_messages
+    print(f"\nABL-2  control growth (N x{growth:.0f}): "
+          f"snow x{snow_growth:.2f}, cocheck x{cocheck_growth:.2f}, "
+          f"broadcast x{bcast_growth:.2f}")
+    # SNOW: ring degree fixed at 2 → flat (allow small jitter from
+    # redirects); the others track N
+    assert snow_growth < 1.8
+    assert cocheck_growth > 0.8 * growth
+    assert bcast_growth > 0.8 * growth
+    # coordinated processes: degree vs N at every size
+    for n in _SIZES:
+        assert ms["snow"][n].processes_coordinated == 2
+        assert ms["cocheck"][n].processes_coordinated == n

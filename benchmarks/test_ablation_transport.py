@@ -1,0 +1,75 @@
+"""ABL-4: direct (connection-oriented) vs indirect (daemon-routed) transport.
+
+The paper's protocols are built on PVM's *direct* communication mode and
+the paper notes they "can be implemented on top of existing
+connection-oriented communication protocols". PVM's other mode — indirect,
+routing every message through the daemons — is what MPVM's forwarding
+relies on (§7). This ablation quantifies the transport choice on a
+request/reply workload and shows the trade-off honestly: indirect wins a
+cold one-way burst (no connection setup, pipelined hops) but pays daemon
+hops on every round trip forever, while direct amortizes one
+establishment and then talks at wire latency.
+"""
+
+from __future__ import annotations
+
+from repro import Application, VirtualMachine
+from repro.util.text import format_table
+
+_cache: dict[str, dict] = {}
+
+
+def _run(transport: str, rounds: int = 120, nbytes: int = 2048) -> dict:
+    key = f"{transport}:{rounds}"
+    if key in _cache:
+        return _cache[key]
+
+    def pingpong(api, state):
+        peer = 1 - api.rank
+        payload = b"x" * nbytes
+        for i in range(rounds):
+            if api.rank == 0:
+                api.send(peer, payload, tag=i, nbytes=nbytes)
+                api.recv(src=peer, tag=i)
+            else:
+                api.recv(src=peer, tag=i)
+                api.send(peer, payload, tag=i, nbytes=nbytes)
+
+    vm = VirtualMachine()
+    for h in ("h0", "h1", "h2"):
+        vm.add_host(h)
+    app = Application(vm, pingpong, placement=["h0", "h1"],
+                      scheduler_host="h2", migratable=False,
+                      transport=transport)
+    app.run()
+    out = {
+        "makespan": vm.kernel.now,
+        "rtt": vm.kernel.now / rounds,
+        "frames": vm.network.frames_sent,
+        "channels": len(vm.channels),
+    }
+    vm.shutdown()
+    _cache[key] = out
+    return out
+
+
+def test_abl4_transport_comparison(benchmark):
+    direct, indirect = benchmark.pedantic(
+        lambda: (_run("direct"), _run("indirect")), rounds=1, iterations=1)
+    print()
+    print("ABL-4  transport ablation (120 x 2 KiB request/reply)")
+    print(format_table(
+        ("transport", "makespan(s)", "RTT(us)", "net frames", "channels"),
+        [("direct", f"{direct['makespan']:.4f}",
+          f"{direct['rtt'] * 1e6:.0f}", direct["frames"],
+          direct["channels"]),
+         ("indirect", f"{indirect['makespan']:.4f}",
+          f"{indirect['rtt'] * 1e6:.0f}", indirect["frames"],
+          indirect["channels"])]))
+    # direct mode wins steady-state round trips...
+    assert indirect["makespan"] > 1.2 * direct["makespan"]
+    # ...and indirect never opens a connection but burns far more frames
+    assert indirect["channels"] == 0
+    # each indirect message crosses the network twice (process->daemon,
+    # daemon->daemon) vs once on an established channel
+    assert indirect["frames"] > 1.8 * direct["frames"]

@@ -1,0 +1,81 @@
+"""TAB-1: regenerate the paper's Table 1 (kernel MG timing).
+
+Paper (Sun Ultra 5 cluster, 128^3 grid, 8 processes):
+
+    Total          original  modified  migration
+    Execution        16.130    16.379     18.833
+    Communication     4.051     4.205      6.647
+
+We run the same three configurations on the simulated cluster. Absolute
+numbers depend on the simulated grid size and cost calibration; the
+*shape* assertions encode what the paper's table shows:
+
+* the migration-enabled code adds only a small overhead (paper: +1.5%
+  execution, +3.8% communication);
+* one migration costs a few seconds of turnaround on top of that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_mg_homogeneous
+from repro.util.text import format_table
+
+_cache: dict[str, object] = {}
+
+
+def _run(mode: str, n: int):
+    key = f"{mode}:{n}"
+    if key not in _cache:
+        _cache[key] = run_mg_homogeneous(mode=mode, n=n)
+    return _cache[key]
+
+
+@pytest.mark.parametrize("mode", ["original", "modified", "migration"])
+def test_tab1_mode(benchmark, grid_n, mode):
+    result = benchmark.pedantic(
+        _run, args=(mode, grid_n), rounds=1, iterations=1)
+    assert result.execution > 0
+    assert result.communication > 0
+    assert result.vm.dropped_messages() == []
+    if mode == "migration":
+        assert result.breakdown is not None
+        assert result.breakdown.migrate > 0
+
+
+def test_tab1_shape(benchmark, grid_n):
+    orig, mod, mig = benchmark.pedantic(
+        lambda: (_run("original", grid_n), _run("modified", grid_n),
+                 _run("migration", grid_n)),
+        rounds=1, iterations=1)
+
+    rows = [
+        ("Execution", f"{orig.execution:.3f}", f"{mod.execution:.3f}",
+         f"{mig.execution:.3f}"),
+        ("Communication", f"{orig.communication:.3f}",
+         f"{mod.communication:.3f}", f"{mig.communication:.3f}"),
+        ("Messages", orig.total_messages, mod.total_messages,
+         mig.total_messages),
+        ("MBytes", f"{orig.total_bytes / 1e6:.1f}",
+         f"{mod.total_bytes / 1e6:.1f}", f"{mig.total_bytes / 1e6:.1f}"),
+    ]
+    print()
+    print(f"TAB-1  kernel MG timing (n={grid_n}, 8 processes) — "
+          "paper Table 1")
+    print(format_table(("Total", "original", "modified", "migration"), rows))
+    b = mig.breakdown
+    print(f"migration cost: {b}")
+
+    # modified ≈ original plus a small protocol overhead
+    assert mod.execution >= orig.execution
+    assert mod.communication >= orig.communication
+    assert mod.execution <= orig.execution * 1.10, \
+        "migration-enabled overhead should stay within ~10%"
+    # a migration costs extra turnaround time
+    assert mig.execution > mod.execution
+    # and that extra is in the same regime as the migration cost itself
+    extra = mig.execution - mod.execution
+    assert extra >= 0.5 * b.migrate
+    # both codes move the same application data
+    assert orig.total_messages == mod.total_messages

@@ -1,0 +1,93 @@
+"""TAB-2: regenerate the paper's Table 2 (heterogeneous migration cost).
+
+Paper (7 Ultra 5s + 1 DEC 5000/120 on 10 Mbit/s Ethernet; the DEC process
+migrates to an idle Ultra 5; ~7.5 MB of state):
+
+    Operations   Time
+    Coordinate   0.125
+    Collect      5.209
+    Tx           8.591
+    Restore      0.696
+    Migrate     14.621
+
+Shape assertions:
+
+* Collect and Tx dominate (slow source CPU, 10 Mbit/s uplink);
+* Restore is much cheaper than Collect (fast destination) — the paper
+  calls this "unparallel performance ... the result of different powers of
+  the two machines";
+* Coordinate is a small fraction of the total;
+* the V-cycles after the migration run significantly faster than the
+  ones before (the process moved to a much better machine).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_mg_heterogeneous, run_mg_homogeneous
+from repro.util.text import format_table
+
+_cache: dict[str, object] = {}
+
+
+def _hetero(n):
+    if "h" not in _cache:
+        _cache["h"] = run_mg_heterogeneous(n=n)
+    return _cache["h"]
+
+
+def test_tab2_breakdown(benchmark, grid_n):
+    res = benchmark.pedantic(_hetero, args=(grid_n,), rounds=1, iterations=1)
+    b = res.breakdown
+    print()
+    print(f"TAB-2  heterogeneous migration breakdown (n={grid_n}) — "
+          "paper Table 2")
+    print(b.table())
+    print(f"state transferred: {b.state_bytes / 1e6:.2f} MB, "
+          f"messages captured+forwarded during coordination: "
+          f"{b.captured_messages}")
+
+    assert res.vm.dropped_messages() == []
+    # collect and tx dominate the migration cost
+    assert b.collect > b.restore * 3, \
+        "collecting on the slow machine must dwarf restoring on the fast one"
+    assert b.tx > b.restore, "10 Mbit/s transfer must exceed restore time"
+    assert b.coordinate < 0.2 * b.migrate
+    # the paper's Migrate row is the sum of the four operations
+    assert abs(b.migrate - (b.coordinate + b.collect + b.tx + b.restore)) \
+        < 1e-9
+
+
+def test_tab2_post_migration_speedup(benchmark, grid_n):
+    res = benchmark.pedantic(_hetero, args=(grid_n,), rounds=1, iterations=1)
+    # V-cycle completion events of rank 0 (before and after migration)
+    before = []
+    after = []
+    for actor in ("p0", "p0.m1"):
+        evs = res.vm.trace.filter(kind="app_vcycle_done", actor=actor)
+        for ev in evs:
+            (before if actor == "p0" else after).append(ev.time)
+    assert len(before) >= 2 and len(after) >= 1
+    pre_cycle = before[1] - before[0]
+    cycle_starts = before + after
+    post_cycle = after[-1] - after[-2] if len(after) >= 2 else None
+    print(f"\nTAB-2  V-cycle duration before migration: {pre_cycle:.3f}s")
+    if post_cycle is not None:
+        print(f"       V-cycle duration after  migration: {post_cycle:.3f}s")
+        # "The last two iterations are significantly faster ... moved to a
+        # much better computer and networking environment"
+        assert post_cycle < pre_cycle / 2
+
+
+def test_tab2_hetero_vs_homog_collect(benchmark, grid_n):
+    """Collect on the DEC takes ~1/dec_speed times the Ultra 5 collect."""
+    def runs():
+        h = _hetero(grid_n)
+        if "homog" not in _cache:
+            _cache["homog"] = run_mg_homogeneous(mode="migration", n=grid_n)
+        return h, _cache["homog"]
+
+    hetero, homog = benchmark.pedantic(runs, rounds=1, iterations=1)
+    ratio = hetero.breakdown.collect / homog.breakdown.collect
+    print(f"\nTAB-2  collect slow/fast ratio: {ratio:.1f} "
+          "(paper: 5.209/0.73 = 7.1)")
+    assert 3 < ratio < 12

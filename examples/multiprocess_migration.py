@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Real process migration between OS processes.
+
+The other examples run on the deterministic simulator; this one migrates
+an actual running OS process: two ranks ping-pong over TCP sockets, and
+mid-run rank 1 is moved into a brand-new process. Its state crosses the
+process boundary through the machine-independent codec — here encoded
+big-endian ("SPARC") and decoded little-endian ("MIPS") to exercise the
+heterogeneity path for real.
+
+Run:  python examples/multiprocess_migration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.codec import MIPS32, SPARC32
+from repro.runtime import MPCluster
+
+
+def program(api, state):
+    rounds = 150
+    i = state.get("i", 0)
+    pids = state.setdefault("pids", [])
+    if api.pid not in pids:
+        pids.append(api.pid)
+    while i < rounds:
+        if api.rank == 0:
+            api.send(1, ("ping", i), tag=i)
+            assert api.recv(src=1, tag=i).body == ("pong", i)
+        else:
+            assert api.recv(src=0, tag=i).body == ("ping", i)
+            api.send(0, ("pong", i), tag=i)
+        i += 1
+        state["i"] = i
+        api.compute(0.002)
+        api.poll_migration(state)
+    return {"rounds": i, "pids": pids, "incarnation": api.incarnation}
+
+
+def main() -> None:
+    print("starting 2 worker processes (TCP on localhost)...")
+    cluster = MPCluster(program, nranks=2, arch=SPARC32, dest_arch=MIPS32)
+    try:
+        cluster.start()
+        time.sleep(0.2)
+        print("migrating rank 1 into a new OS process "
+              "(state encoded big-endian, decoded little-endian)...")
+        cluster.migrate(1)
+        results = cluster.join(timeout=60)
+    finally:
+        cluster.terminate()
+
+    for rank in sorted(results):
+        r = results[rank]
+        print(f"rank {rank}: {r['rounds']} rounds, OS pids {r['pids']}"
+              + (f"  <- migrated ({len(r['pids']) - 1}x)"
+                 if len(r["pids"]) > 1 else ""))
+    assert results[1]["pids"][0] != results[1]["pids"][-1]
+    print("\nevery message delivered in order across the live migration.")
+
+
+if __name__ == "__main__":
+    main()

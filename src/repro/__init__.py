@@ -1,0 +1,48 @@
+"""repro — reproduction of "Communication State Transfer for the Mobility
+of Concurrent Heterogeneous Computing" (Chanchio & Sun, ICPP 2001).
+
+Quick start::
+
+    from repro import Application, VirtualMachine
+
+    def program(api, state):
+        i = state.get("i", 0)          # resumes here after a migration
+        while i < 10:
+            if api.rank == 0:
+                api.send(1, f"ping {i}")
+                api.recv(src=1)
+            else:
+                api.recv(src=0)
+                api.send(0, f"pong {i}")
+            i += 1
+            state["i"] = i
+            api.poll_migration(state)  # a migration poll point
+
+    vm = VirtualMachine()
+    for h in ("a", "b", "c"):
+        vm.add_host(h)
+    app = Application(vm, program, placement=["a", "b"], scheduler_host="c")
+    app.start()
+    app.migrate_at(0.5, rank=0, dest_host="c")
+    app.run()
+"""
+
+from repro.core import ANY, Application, MigrationEndpoint, PLTable, SnowAPI
+from repro.sim import Kernel, Network, Trace
+from repro.vm import VirtualMachine, VmId
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "Application",
+    "Kernel",
+    "MigrationEndpoint",
+    "Network",
+    "PLTable",
+    "SnowAPI",
+    "Trace",
+    "VirtualMachine",
+    "VmId",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Trace analysis: migration timing breakdowns and space-time diagrams."""
+
+from repro.analysis.metrics import (
+    MigrationBreakdown,
+    app_progress_events,
+    makespan,
+    migration_breakdown,
+)
+from repro.analysis.persist import dumps_trace, load_trace, loads_trace, save_trace
+from repro.analysis.report import RunReport, run_report
+from repro.analysis.spacetime import MessageFlight, message_flights, render_spacetime
+from repro.analysis.svg import render_spacetime_svg, save_spacetime_svg
+from repro.analysis.traffic import LinkTraffic, TrafficReport, traffic_report
+
+__all__ = [
+    "LinkTraffic",
+    "MessageFlight",
+    "RunReport",
+    "TrafficReport",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "run_report",
+    "save_trace",
+    "traffic_report",
+    "MigrationBreakdown",
+    "app_progress_events",
+    "makespan",
+    "message_flights",
+    "migration_breakdown",
+    "render_spacetime",
+    "render_spacetime_svg",
+    "save_spacetime_svg",
+]

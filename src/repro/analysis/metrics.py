@@ -1,0 +1,121 @@
+"""Timing extraction from simulation traces.
+
+Turns the protocol's trace events into the quantities the paper reports:
+the migration cost breakdown of Tables 1-2 (coordinate / collect / tx /
+restore) and application-level execution and communication times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import Trace
+from repro.util.errors import ReproError
+from repro.util.text import format_seconds, format_table
+
+__all__ = ["MigrationBreakdown", "migration_breakdown", "makespan",
+           "app_progress_events"]
+
+
+@dataclass(frozen=True)
+class MigrationBreakdown:
+    """The paper's Table 2 rows, in seconds of virtual time."""
+
+    coordinate: float
+    collect: float
+    tx: float
+    restore: float
+    #: messages captured into the received-message-list during the drain
+    captured_messages: int
+    state_bytes: int
+    t_start: float
+    t_commit: float
+
+    @property
+    def migrate(self) -> float:
+        """Total migration cost (the paper sums the four phases)."""
+        return self.coordinate + self.collect + self.tx + self.restore
+
+    @property
+    def wall(self) -> float:
+        """migration_start → migration_commit elapsed time."""
+        return self.t_commit - self.t_start
+
+    def table(self) -> str:
+        rows = [
+            ("Coordinate", f"{self.coordinate:.3f}"),
+            ("Collect", f"{self.collect:.3f}"),
+            ("Tx", f"{self.tx:.3f}"),
+            ("Restore", f"{self.restore:.3f}"),
+            ("Migrate", f"{self.migrate:.3f}"),
+        ]
+        return format_table(("Operations", "Time"), rows)
+
+    def __str__(self) -> str:
+        return (f"coordinate={format_seconds(self.coordinate)} "
+                f"collect={format_seconds(self.collect)} "
+                f"tx={format_seconds(self.tx)} "
+                f"restore={format_seconds(self.restore)} "
+                f"migrate={format_seconds(self.migrate)}")
+
+
+def migration_breakdown(trace: Trace, source: str, dest: str
+                        ) -> MigrationBreakdown:
+    """Extract one migration's phase timings.
+
+    Parameters
+    ----------
+    trace:
+        The run's trace.
+    source:
+        Actor name of the migrating process (e.g. ``"p0"``).
+    dest:
+        Actor name of the initialized process (e.g. ``"p0.m1"``).
+    """
+    start = _required(trace, "migration_start", source)
+    coord = _required(trace, "coordinate_done", source)
+    collect = _required(trace, "collect_done", source)
+    received = _required(trace, "state_received", dest)
+    restore = _required(trace, "restore_done", dest)
+    commit = _required(trace, "migration_commit", dest)
+    captured = len(trace.filter(kind="captured_in_transit", actor=source))
+    return MigrationBreakdown(
+        coordinate=float(coord.detail["seconds"]),
+        collect=float(collect.detail["seconds"]),
+        tx=received.time - collect.time,
+        restore=float(restore.detail["seconds"]),
+        captured_messages=captured,
+        state_bytes=int(received.detail["nbytes"]),
+        t_start=start.time,
+        t_commit=commit.time,
+    )
+
+
+def _required(trace: Trace, kind: str, actor: str):
+    evs = trace.filter(kind=kind, actor=actor)
+    if not evs:
+        raise ReproError(f"trace has no {kind!r} event for actor {actor!r}")
+    return evs[-1]
+
+
+def makespan(trace: Trace, actors: list[str]) -> float:
+    """Completion time of the computation: last exit among *actors*."""
+    end = 0.0
+    for ev in trace.filter(kind="process_exited"):
+        if ev.actor in actors:
+            end = max(end, ev.time)
+    return end
+
+
+def app_progress_events(trace: Trace, t0: float, t1: float,
+                        exclude: tuple[str, ...] = ()) -> list:
+    """Application-level events in a window, excluding given actors.
+
+    Used for the Figure 11 "area B" check: non-migrating processes proceed
+    with their exchanges while the migration runs.
+    """
+    out = []
+    for ev in trace.filter(t0=t0, t1=t1):
+        if ev.kind.startswith("app_") and ev.actor not in exclude:
+            out.append(ev)
+    return out

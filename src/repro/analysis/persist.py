@@ -1,0 +1,93 @@
+"""Trace persistence: save runs to disk, reload them for offline analysis.
+
+The XPVM workflow the paper describes is interactive; ours is file-based:
+run an experiment, :func:`save_trace` the event log (JSON-lines — one
+event per line, streamable and diffable), then regenerate diagrams or
+breakdowns later with :func:`load_trace` without re-running the
+simulation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.sim.trace import Trace, TraceEvent
+from repro.util.errors import ReproError
+
+__all__ = ["save_trace", "load_trace", "dumps_trace", "loads_trace"]
+
+_HEADER = {"format": "repro-trace", "version": 1}
+
+
+def _event_to_json(ev: TraceEvent) -> dict:
+    return {"t": ev.time, "a": ev.actor, "k": ev.kind, "d": ev.detail}
+
+
+def _event_from_json(obj: dict) -> TraceEvent:
+    try:
+        return TraceEvent(time=float(obj["t"]), actor=obj["a"],
+                          kind=obj["k"], detail=dict(obj.get("d") or {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed trace line: {obj!r}") from exc
+
+
+def _write(trace: Trace, fh: IO[str]) -> int:
+    fh.write(json.dumps(_HEADER) + "\n")
+    n = 0
+    for ev in trace:
+        try:
+            line = json.dumps(_event_to_json(ev))
+        except TypeError:
+            # non-JSON detail values (rare: raw objects in app events)
+            safe = {k: repr(v) for k, v in ev.detail.items()}
+            line = json.dumps({"t": ev.time, "a": ev.actor, "k": ev.kind,
+                               "d": safe})
+        fh.write(line + "\n")
+        n += 1
+    return n
+
+
+def _read(fh: IO[str]) -> Trace:
+    header_line = fh.readline()
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise ReproError("not a repro trace file (bad header)") from exc
+    if header.get("format") != "repro-trace":
+        raise ReproError(f"not a repro trace file: {header!r}")
+    if header.get("version") != 1:
+        raise ReproError(f"unsupported trace version {header.get('version')}")
+    trace = Trace()
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        trace.events.append(_event_from_json(json.loads(line)))
+    return trace
+
+
+def save_trace(trace: Trace, path: str | Path) -> int:
+    """Write *trace* as JSON-lines; returns the number of events saved."""
+    with open(path, "w", encoding="utf-8") as fh:
+        return _write(trace, fh)
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace saved by :func:`save_trace`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read(fh)
+
+
+def dumps_trace(trace: Trace) -> str:
+    """In-memory variant of :func:`save_trace`."""
+    buf = io.StringIO()
+    _write(trace, buf)
+    return buf.getvalue()
+
+
+def loads_trace(text: str) -> Trace:
+    """In-memory variant of :func:`load_trace`."""
+    return _read(io.StringIO(text))

@@ -1,0 +1,140 @@
+"""ASCII space-time diagrams (the reproduction's XPVM).
+
+Renders a trace as one timeline row per process, like the paper's Figures
+10-13: sends, receives, the migration window on the migrating process, and
+the initialization window on the new process. Message flight is listed
+below the grid (drawing diagonal arrows in ASCII across many rows hurts
+more than it helps); the grid itself shows at a glance which processes
+keep making progress while one migrates — the paper's areas A-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import Trace
+from repro.util.text import format_seconds, format_size
+
+__all__ = ["render_spacetime", "message_flights", "MessageFlight"]
+
+# cell symbols, later entries override earlier ones
+_IDLE = "."
+_SEND = "s"
+_RECV = "r"
+_BOTH = "x"
+_MIGR = "M"
+_INIT = "I"
+
+
+@dataclass(frozen=True)
+class MessageFlight:
+    """One application message: who sent it when, who received it when."""
+
+    src: str
+    dst: str
+    t_send: float
+    t_recv: float
+    nbytes: int
+    tag: int
+
+
+def message_flights(trace: Trace) -> list[MessageFlight]:
+    """Pair snow_send events with the snow_recv that consumed them.
+
+    Matching mirrors the protocol: per (src rank, dst rank, tag) FIFO.
+    """
+    recvs = trace.filter(kind="snow_recv")
+    sends = trace.filter(kind="snow_send")
+    # map rank -> actor name at each point is implicit in actor names: the
+    # recv event carries the *send* timestamp, so pair on that.
+    by_key: dict[tuple, list] = {}
+    for ev in sends:
+        key = (ev.actor, ev.detail["dest"], ev.detail["tag"])
+        by_key.setdefault(key, []).append(ev)
+    flights = []
+    for ev in recvs:
+        # the receiving actor knows the sender's rank and the send time
+        t_send = ev.detail.get("sent_at", 0.0)
+        flights.append(MessageFlight(
+            src=f"p{ev.detail['src']}", dst=ev.actor, t_send=t_send,
+            t_recv=ev.time, nbytes=ev.detail["nbytes"],
+            tag=ev.detail["tag"]))
+    flights.sort(key=lambda f: f.t_send)
+    return flights
+
+
+def render_spacetime(trace: Trace, actors: list[str] | None = None,
+                     t0: float | None = None, t1: float | None = None,
+                     width: int = 96, max_flights: int = 12) -> str:
+    """Render the trace window as an ASCII space-time diagram."""
+    if actors is None:
+        actors = [a for a in trace.actors()
+                  if a.startswith("p") or a == "scheduler"]
+    events = [ev for ev in trace if ev.actor in actors]
+    if not events:
+        return "(no events)"
+    lo = min(ev.time for ev in events) if t0 is None else t0
+    hi = max(ev.time for ev in events) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1e-9
+    scale = (width - 1) / (hi - lo)
+
+    def col(t: float) -> int:
+        return max(0, min(width - 1, int((t - lo) * scale)))
+
+    rows = {a: [_IDLE] * width for a in actors}
+
+    def mark(actor: str, t: float, sym: str) -> None:
+        if not (lo <= t <= hi):
+            return
+        c = col(t)
+        cur = rows[actor][c]
+        if sym in (_SEND, _RECV):
+            if cur == _MIGR or cur == _INIT:
+                return
+            if cur in (_SEND, _RECV) and cur != sym:
+                rows[actor][c] = _BOTH
+            elif cur == _IDLE:
+                rows[actor][c] = sym
+        else:
+            rows[actor][c] = sym
+
+    # migration / initialization windows first (sends/recvs overlay nothing)
+    for a in actors:
+        start = trace.filter(kind="migration_start", actor=a)
+        done = trace.filter(kind="migration_source_done", actor=a)
+        for s, d in zip(start, done):
+            for c in range(col(s.time), col(d.time) + 1):
+                rows[a][c] = _MIGR
+        istart = trace.filter(kind="init_start", actor=a)
+        idone = trace.filter(kind="restore_done", actor=a)
+        for s, d in zip(istart, idone):
+            for c in range(col(s.time), col(d.time) + 1):
+                rows[a][c] = _INIT
+    for ev in events:
+        if ev.kind == "snow_send":
+            mark(ev.actor, ev.time, _SEND)
+        elif ev.kind == "snow_recv":
+            mark(ev.actor, ev.time, _RECV)
+
+    name_w = max(len(a) for a in actors)
+    lines = [
+        f"space-time diagram  [{format_seconds(lo)} .. {format_seconds(hi)}]"
+        f"  ({width} cols, {(hi - lo) / width:.2e} s/col)",
+        f"legend: s=send r=recv x=both M=migrating I=initializing {_IDLE}=idle",
+        "",
+    ]
+    for a in actors:
+        lines.append(f"{a.rjust(name_w)} |{''.join(rows[a])}|")
+    flights = [f for f in message_flights(trace)
+               if lo <= f.t_send <= hi or lo <= f.t_recv <= hi]
+    if flights:
+        lines.append("")
+        lines.append(f"message flights (first {max_flights} of {len(flights)}):")
+        for f in flights[:max_flights]:
+            lines.append(
+                f"  {f.src:>4} -> {f.dst:<6} tag={f.tag:<4} "
+                f"{format_size(f.nbytes):>9}  "
+                f"sent {format_seconds(f.t_send)}, "
+                f"recv {format_seconds(f.t_recv)}")
+    return "\n".join(lines)

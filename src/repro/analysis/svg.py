@@ -1,0 +1,154 @@
+"""SVG space-time diagrams — the graphical XPVM view.
+
+The ASCII renderer (:mod:`repro.analysis.spacetime`) is for terminals;
+this one produces the actual Figure 10-13 look: one horizontal timeline
+per process, diagonal lines for message flights (send time at the source
+row to receive time at the destination row), shaded bands for the
+migration and initialization windows, and tick marks for sends/receives.
+
+Pure-string SVG generation — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.analysis.spacetime import message_flights
+from repro.sim.trace import Trace
+
+__all__ = ["render_spacetime_svg", "save_spacetime_svg"]
+
+# layout constants (pixels)
+_ROW_H = 34
+_MARGIN_L = 90
+_MARGIN_R = 20
+_MARGIN_T = 46
+_MARGIN_B = 30
+_TICK = 5
+
+# palette
+_C_TIMELINE = "#4a4a4a"
+_C_SEND = "#1f77b4"
+_C_RECV = "#2ca02c"
+_C_FLIGHT = "#9ecae1"
+_C_MIGRATE = "#d62728"
+_C_INIT = "#ff9896"
+_C_TEXT = "#222222"
+_C_GRID = "#dddddd"
+
+
+def render_spacetime_svg(trace: Trace, actors: list[str] | None = None,
+                         t0: float | None = None, t1: float | None = None,
+                         width: int = 900,
+                         max_flights: int = 400) -> str:
+    """Render the trace window as an SVG document string."""
+    if actors is None:
+        actors = [a for a in trace.actors() if a.startswith("p")]
+    events = [ev for ev in trace if ev.actor in actors]
+    if not events:
+        return ('<svg xmlns="http://www.w3.org/2000/svg" width="200" '
+                'height="40"><text x="8" y="24">(no events)</text></svg>')
+    lo = min(ev.time for ev in events) if t0 is None else t0
+    hi = max(ev.time for ev in events) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1e-9
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    height = _MARGIN_T + _ROW_H * len(actors) + _MARGIN_B
+    rows = {a: _MARGIN_T + _ROW_H * i + _ROW_H // 2
+            for i, a in enumerate(actors)}
+
+    def x(t: float) -> float:
+        frac = (t - lo) / (hi - lo)
+        return _MARGIN_L + max(0.0, min(1.0, frac)) * plot_w
+
+    out: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{_MARGIN_L}" y="18" fill="{_C_TEXT}" font-size="13">'
+        f'space-time diagram  [{lo:.3f}s .. {hi:.3f}s]</text>',
+    ]
+
+    # time grid: five vertical rules
+    for i in range(6):
+        t = lo + (hi - lo) * i / 5
+        gx = x(t)
+        out.append(f'<line x1="{gx:.1f}" y1="{_MARGIN_T - 8}" '
+                   f'x2="{gx:.1f}" y2="{height - _MARGIN_B}" '
+                   f'stroke="{_C_GRID}"/>')
+        out.append(f'<text x="{gx:.1f}" y="{height - 10}" fill="{_C_TEXT}" '
+                   f'text-anchor="middle">{t:.3f}</text>')
+
+    # migration / initialization bands first (under everything else)
+    for a in actors:
+        y = rows[a]
+        for s, d in zip(trace.filter(kind="migration_start", actor=a),
+                        trace.filter(kind="migration_source_done", actor=a)):
+            out.append(
+                f'<rect x="{x(s.time):.1f}" y="{y - 11}" '
+                f'width="{max(2.0, x(d.time) - x(s.time)):.1f}" height="22" '
+                f'fill="{_C_MIGRATE}" fill-opacity="0.35">'
+                f'<title>{escape(a)} migrating '
+                f'{s.time:.4f}-{d.time:.4f}s</title></rect>')
+        for s, d in zip(trace.filter(kind="init_start", actor=a),
+                        trace.filter(kind="restore_done", actor=a)):
+            out.append(
+                f'<rect x="{x(s.time):.1f}" y="{y - 11}" '
+                f'width="{max(2.0, x(d.time) - x(s.time)):.1f}" height="22" '
+                f'fill="{_C_INIT}" fill-opacity="0.45">'
+                f'<title>{escape(a)} initializing '
+                f'{s.time:.4f}-{d.time:.4f}s</title></rect>')
+
+    # message flights: diagonal lines like XPVM's
+    flights = [f for f in message_flights(trace)
+               if f.dst in rows and f.src in rows
+               and lo <= f.t_send and f.t_recv <= hi]
+    for f in flights[:max_flights]:
+        out.append(
+            f'<line x1="{x(f.t_send):.1f}" y1="{rows[f.src]}" '
+            f'x2="{x(f.t_recv):.1f}" y2="{rows[f.dst]}" '
+            f'stroke="{_C_FLIGHT}" stroke-width="1">'
+            f'<title>{escape(f.src)} → {escape(f.dst)} tag={f.tag} '
+            f'{f.nbytes}B sent {f.t_send:.4f}s recv {f.t_recv:.4f}s'
+            f'</title></line>')
+
+    # timelines, labels, send/recv ticks
+    for a in actors:
+        y = rows[a]
+        out.append(f'<line x1="{_MARGIN_L}" y1="{y}" '
+                   f'x2="{width - _MARGIN_R}" y2="{y}" '
+                   f'stroke="{_C_TIMELINE}" stroke-width="1.2"/>')
+        out.append(f'<text x="{_MARGIN_L - 8}" y="{y + 4}" '
+                   f'fill="{_C_TEXT}" text-anchor="end">{escape(a)}</text>')
+    for ev in events:
+        if ev.kind == "snow_send":
+            ex, y = x(ev.time), rows[ev.actor]
+            out.append(f'<line x1="{ex:.1f}" y1="{y - _TICK}" '
+                       f'x2="{ex:.1f}" y2="{y + _TICK}" '
+                       f'stroke="{_C_SEND}" stroke-width="1.5"/>')
+        elif ev.kind == "snow_recv":
+            ex, y = x(ev.time), rows[ev.actor]
+            out.append(f'<circle cx="{ex:.1f}" cy="{y}" r="2.2" '
+                       f'fill="{_C_RECV}"/>')
+
+    # legend
+    lx = _MARGIN_L
+    ly = 32
+    out.append(f'<text x="{lx}" y="{ly}" fill="{_C_SEND}">| send</text>')
+    out.append(f'<text x="{lx + 60}" y="{ly}" fill="{_C_RECV}">● recv</text>')
+    out.append(f'<text x="{lx + 120}" y="{ly}" fill="{_C_MIGRATE}">'
+               f'▮ migrating</text>')
+    out.append(f'<text x="{lx + 210}" y="{ly}" fill="{_C_INIT}">'
+               f'▮ initializing</text>')
+    out.append(f'<text x="{lx + 310}" y="{ly}" fill="{_C_FLIGHT}">'
+               f'╲ message flight</text>')
+    out.append("</svg>")
+    return "\n".join(out)
+
+
+def save_spacetime_svg(trace: Trace, path, **kwargs) -> str:
+    """Render and write to *path*; returns the path back."""
+    svg = render_spacetime_svg(trace, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)
+    return str(path)

@@ -1,0 +1,18 @@
+"""Migration-enabled applications: the kernel MG case study plus the
+additional communication patterns of the paper's future-work plan."""
+
+from repro.apps.patterns import (
+    make_alltoall_program,
+    make_master_worker_program,
+    make_pingpong_program,
+    make_pipeline_program,
+    make_stencil2d_program,
+)
+
+__all__ = [
+    "make_alltoall_program",
+    "make_master_worker_program",
+    "make_pingpong_program",
+    "make_pipeline_program",
+    "make_stencil2d_program",
+]

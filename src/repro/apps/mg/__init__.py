@@ -1,0 +1,40 @@
+"""The NAS-style parallel kernel MG benchmark (the paper's case study)."""
+
+from repro.apps.mg.operators import (
+    A_COEFF,
+    P_COEFF,
+    S_COEFF,
+    apply_27,
+    prolong,
+    residual,
+    restrict,
+    smooth,
+    stencil_flops,
+)
+from repro.apps.mg.serial import (
+    make_rhs,
+    num_levels,
+    residual_norm,
+    solve_serial,
+    vcycle_serial,
+)
+from repro.apps.mg.spmd import make_mg_program, num_levels_dist
+
+__all__ = [
+    "A_COEFF",
+    "P_COEFF",
+    "S_COEFF",
+    "apply_27",
+    "make_mg_program",
+    "make_rhs",
+    "num_levels",
+    "num_levels_dist",
+    "prolong",
+    "residual",
+    "residual_norm",
+    "restrict",
+    "smooth",
+    "solve_serial",
+    "stencil_flops",
+    "vcycle_serial",
+]

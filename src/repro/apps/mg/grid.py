@@ -1,0 +1,59 @@
+"""Ghosted slab grids for the distributed MG solver.
+
+Each rank owns a slab of ``nz`` consecutive z-planes of the full periodic
+``n**3`` grid (block partitioning along the first axis, as the kernel MG
+program assigns ``16 x 128 x 128`` to each of 8 processes). The x/y ghost
+shells wrap periodically *within* the slab (each rank owns full x/y
+extent); the z ghost planes come from the left/right ring neighbours (or
+periodic wrap when a single rank owns everything).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ghosted", "fill_xy_ghosts", "fill_z_ghosts_local",
+           "boundary_planes", "set_z_ghosts"]
+
+
+def ghosted(interior: np.ndarray) -> np.ndarray:
+    """Allocate a ghosted copy of an interior slab (ghosts zeroed)."""
+    nz, ny, nx = interior.shape
+    g = np.zeros((nz + 2, ny + 2, nx + 2), dtype=interior.dtype)
+    g[1:-1, 1:-1, 1:-1] = interior
+    return g
+
+
+def fill_xy_ghosts(g: np.ndarray) -> None:
+    """Fill the periodic x/y ghost shells from the slab's own data.
+
+    Must run *after* the z ghost planes are installed so edge/corner ghost
+    cells (needed by the 27-point stencils) are consistent.
+    """
+    # periodic wrap in y
+    g[:, 0, :] = g[:, -2, :]
+    g[:, -1, :] = g[:, 1, :]
+    # periodic wrap in x
+    g[:, :, 0] = g[:, :, -2]
+    g[:, :, -1] = g[:, :, 1]
+
+
+def fill_z_ghosts_local(g: np.ndarray) -> None:
+    """Single-rank case: z ghosts wrap periodically within the slab."""
+    g[0, :, :] = g[-2, :, :]
+    g[-1, :, :] = g[1, :, :]
+
+
+def boundary_planes(interior: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The slab's first and last interior planes (what neighbours need)."""
+    return interior[0].copy(), interior[-1].copy()
+
+
+def set_z_ghosts(g: np.ndarray, below: np.ndarray, above: np.ndarray) -> None:
+    """Install neighbour planes as z ghosts of a ghosted slab.
+
+    ``below`` is the last plane of the left (lower-z) neighbour; ``above``
+    the first plane of the right (higher-z) neighbour.
+    """
+    g[0, 1:-1, 1:-1] = below
+    g[-1, 1:-1, 1:-1] = above

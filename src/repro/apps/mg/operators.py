@@ -1,0 +1,124 @@
+"""Multigrid operators of the NAS parallel kernel MG.
+
+The kernel MG benchmark applies V-cycles of four 27-point stencil
+operators to solve a discrete Poisson problem ``A u = v`` on a periodic
+3-D grid (paper Section 6; Bailey et al., "The NAS Parallel Benchmarks").
+Each operator is a 27-point stencil whose weight depends only on the
+*offset class* — how many of the three offsets are non-zero:
+
+====  ==========  =======================
+class offsets     meaning
+====  ==========  =======================
+0     (0,0,0)     centre
+1     faces (6)   one non-zero component
+2     edges (12)  two non-zero components
+3     corners (8) three non-zero
+====  ==========  =======================
+
+All functions operate on *ghosted* arrays: shape ``(nz+2, ny+2, nx+2)``
+with a one-cell shell whose content the caller supplies (periodic wrap
+locally in x/y, neighbour exchange in z for the distributed solver).
+Returned arrays are interior-only.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+__all__ = [
+    "A_COEFF", "S_COEFF", "P_COEFF",
+    "apply_27", "residual", "smooth", "restrict", "prolong",
+    "stencil_flops",
+]
+
+#: The Poisson operator A of NAS MG.
+A_COEFF = (-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0)
+#: The smoother S (NAS MG's psinv approximate inverse).
+S_COEFF = (-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0)
+#: Full-weighting restriction P.
+P_COEFF = (1.0 / 2.0, 1.0 / 4.0, 1.0 / 8.0, 1.0 / 16.0)
+
+
+def _interior_shape(g: np.ndarray) -> tuple[int, int, int]:
+    nz, ny, nx = g.shape
+    return nz - 2, ny - 2, nx - 2
+
+
+def apply_27(g: np.ndarray, coeff: tuple[float, float, float, float]
+             ) -> np.ndarray:
+    """Apply a 27-point class-weighted stencil to a ghosted array."""
+    nz, ny, nx = _interior_shape(g)
+    out = np.zeros((nz, ny, nx), dtype=g.dtype)
+    for dz, dy, dx in product((-1, 0, 1), repeat=3):
+        w = coeff[abs(dz) + abs(dy) + abs(dx)]
+        if w == 0.0:
+            continue
+        out += w * g[1 + dz:1 + dz + nz, 1 + dy:1 + dy + ny,
+                     1 + dx:1 + dx + nx]
+    return out
+
+
+def residual(u_g: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """``r = v - A u`` with ghosted *u_g* and interior *v*."""
+    return v - apply_27(u_g, A_COEFF)
+
+
+def smooth(r_g: np.ndarray) -> np.ndarray:
+    """One application of the approximate inverse: ``z = S r``."""
+    return apply_27(r_g, S_COEFF)
+
+
+def restrict(r_g: np.ndarray) -> np.ndarray:
+    """Full-weighting restriction of a ghosted fine grid to the coarse one.
+
+    Coarse interior point ``c`` sits at fine interior index ``2c``; its
+    value is the P-weighted sum over the fine point's 27 neighbours. All
+    interior dimensions must be even.
+    """
+    nzf, nyf, nxf = _interior_shape(r_g)
+    if nzf % 2 or nyf % 2 or nxf % 2:
+        raise ValueError(f"fine interior {_interior_shape(r_g)} must be even")
+    nzc, nyc, nxc = nzf // 2, nyf // 2, nxf // 2
+    out = np.zeros((nzc, nyc, nxc), dtype=r_g.dtype)
+    for dz, dy, dx in product((-1, 0, 1), repeat=3):
+        w = P_COEFF[abs(dz) + abs(dy) + abs(dx)]
+        if w == 0.0:
+            continue
+        out += w * r_g[1 + dz:1 + dz + nzf:2, 1 + dy:1 + dy + nyf:2,
+                       1 + dx:1 + dx + nxf:2]
+    return out
+
+
+def prolong(z_g: np.ndarray, fine_shape: tuple[int, int, int]) -> np.ndarray:
+    """Trilinear prolongation of a ghosted coarse grid to the fine interior.
+
+    Fine point ``2c + p`` (parity ``p`` per axis) interpolates the
+    ``2**sum(p)`` coarse points around it with weight ``2**-sum(p)``.
+    """
+    nzf, nyf, nxf = fine_shape
+    nzc, nyc, nxc = nzf // 2, nyf // 2, nxf // 2
+    if (nzc + 2, nyc + 2, nxc + 2) != z_g.shape:
+        raise ValueError(
+            f"coarse ghosted shape {z_g.shape} does not match fine "
+            f"{fine_shape}")
+    out = np.zeros(fine_shape, dtype=z_g.dtype)
+    for pz, py, px in product((0, 1), repeat=3):
+        acc = np.zeros((nzc, nyc, nxc), dtype=z_g.dtype)
+        for oz in range(pz + 1):
+            for oy in range(py + 1):
+                for ox in range(px + 1):
+                    acc += z_g[1 + oz:1 + oz + nzc, 1 + oy:1 + oy + nyc,
+                               1 + ox:1 + ox + nxc]
+        out[pz::2, py::2, px::2] = acc * (0.5 ** (pz + py + px))
+    return out
+
+
+def stencil_flops(npoints: int) -> int:
+    """Floating-point operations of one 27-point stencil application.
+
+    Used to charge virtual CPU time: roughly one multiply-add per
+    non-zero-weight neighbour (NAS counts ~54 flops/point for A).
+    """
+    return 54 * npoints

@@ -1,0 +1,210 @@
+"""Distributed, migration-enabled kernel MG (the paper's case study).
+
+SPMD program: each rank owns a z-slab of the periodic grid, exchanges
+boundary planes with its ring neighbours before every stencil application
+(the paper's "every MG process transmits data to its left and right
+neighbors... the communication is a ring topology"), and executes V-cycles
+of the operators in :mod:`repro.apps.mg.operators`. Message sizes shrink
+with each multigrid level — the 34848 / 9248 / 2592 / 800-byte cascade the
+paper observes in its space-time diagrams.
+
+The program is migration-enabled: its memory state is the dict
+``{"u", "v", "iter", "rnorms", "hosts"}`` and it polls for migration after
+every V-cycle iteration (the paper migrates rank 0 after two of four
+iterations inside ``kernelMG``).
+
+Note on buffer semantics: sends are zero-copy in the simulator, so
+boundary planes are explicitly copied at send time (the usual "do not
+reuse the send buffer" rule).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.apps.mg.grid import (
+    fill_xy_ghosts,
+    fill_z_ghosts_local,
+    ghosted,
+    set_z_ghosts,
+)
+from repro.apps.mg.operators import (
+    A_COEFF,
+    apply_27,
+    prolong,
+    restrict,
+    smooth,
+    stencil_flops,
+)
+from repro.apps.mg.serial import make_rhs
+from repro.core.api import Program, SnowAPI
+
+__all__ = ["make_mg_program", "num_levels_dist", "TAG_UP", "TAG_DOWN",
+           "TAG_REDUCE"]
+
+#: tag of planes travelling towards higher ranks (my top plane)
+TAG_UP = 101
+#: tag of planes travelling towards lower ranks (my bottom plane)
+TAG_DOWN = 102
+#: tag of ring-allreduce partial sums
+TAG_REDUCE = 103
+
+#: reference-machine floating point rate (a late-90s workstation)
+DEFAULT_FLOP_RATE = 1.0e8
+
+
+def num_levels_dist(n: int, nz: int, min_size: int = 4) -> int:
+    """V-cycle depth for slab-partitioned grids.
+
+    Limited both by the global grid (coarsest ``min_size``) and by the
+    slab thickness (a slab must stay at least one plane thick, and every
+    *fine* level's slab must be even to restrict).
+    """
+    levels = 1
+    size, thick = n, nz
+    while (size % 2 == 0 and size // 2 >= min_size
+           and thick % 2 == 0 and thick // 2 >= 1):
+        size //= 2
+        thick //= 2
+        levels += 1
+    return levels
+
+
+def _halo(api: SnowAPI, interior: np.ndarray) -> np.ndarray:
+    """Ghosted copy of a slab with z ghosts from the ring neighbours."""
+    g = ghosted(interior)
+    if api.size == 1:
+        fill_z_ghosts_local(g)
+    else:
+        me, P = api.rank, api.size
+        right = (me + 1) % P
+        left = (me - 1) % P
+        api.send(right, interior[-1].copy(), tag=TAG_UP)
+        api.send(left, interior[0].copy(), tag=TAG_DOWN)
+        below = api.recv(src=left, tag=TAG_UP).body
+        above = api.recv(src=right, tag=TAG_DOWN).body
+        set_z_ghosts(g, below, above)
+    fill_xy_ghosts(g)
+    return g
+
+
+def _ring_allreduce_sum(api: SnowAPI, value: float) -> float:
+    """Sum a scalar across all ranks using only point-to-point messages."""
+    P = api.size
+    if P == 1:
+        return value
+    me = api.rank
+    right = (me + 1) % P
+    left = (me - 1) % P
+    acc = value
+    api.send(right, value, tag=TAG_REDUCE)
+    for hop in range(P - 1):
+        got = api.recv(src=left, tag=TAG_REDUCE).body
+        acc += got
+        if hop < P - 2:
+            api.send(right, got, tag=TAG_REDUCE)
+    return acc
+
+
+def _vcycle_dist(api: SnowAPI, u: np.ndarray, v: np.ndarray, levels: int,
+                 charge: Callable[[int], None]) -> np.ndarray:
+    """One distributed V-cycle; returns the corrected ``u``."""
+    # descend: fine residual, then restrict level by level
+    g = _halo(api, u)
+    charge(u.size)
+    r_stack = [v - apply_27(g, A_COEFF)]
+    for _ in range(levels - 1):
+        g = _halo(api, r_stack[-1])
+        charge(r_stack[-1].size // 4)
+        r_stack.append(restrict(g))
+    # coarsest-level approximate solve
+    g = _halo(api, r_stack[-1])
+    charge(r_stack[-1].size)
+    z = smooth(g)
+    # ascend: prolong, correct, smooth
+    for lvl in range(levels - 2, -1, -1):
+        g = _halo(api, z)
+        charge(r_stack[lvl].size // 4)
+        z = prolong(g, r_stack[lvl].shape)
+        g = _halo(api, z)
+        charge(z.size)
+        rl = r_stack[lvl] - apply_27(g, A_COEFF)
+        g = _halo(api, rl)
+        charge(rl.size)
+        z = z + smooth(g)
+    return u + z
+
+
+def _residual_norm_dist(api: SnowAPI, u: np.ndarray, v: np.ndarray,
+                        charge: Callable[[int], None]) -> float:
+    g = _halo(api, u)
+    charge(u.size)
+    r = v - apply_27(g, A_COEFF)
+    local = float(np.sum(r * r))
+    return float(np.sqrt(_ring_allreduce_sum(api, local)))
+
+
+def make_mg_program(n: int, iterations: int = 4, seed: int = 7,
+                    flop_rate: float = DEFAULT_FLOP_RATE,
+                    levels: int | None = None,
+                    results: dict[int, dict[str, Any]] | None = None
+                    ) -> Program:
+    """Build a migration-enabled kernel MG program.
+
+    Parameters
+    ----------
+    n:
+        Global grid edge (the paper uses 128; tests use 16-64).
+    iterations:
+        Number of V-cycles (the paper runs 4).
+    flop_rate:
+        Reference-machine flop/s used to convert stencil work into
+        virtual compute time.
+    levels:
+        V-cycle depth override (defaults to :func:`num_levels_dist`).
+    results:
+        Optional dict the final incarnation of each rank fills with its
+        slab of the solution, residual-norm history and hosts visited.
+    """
+
+    def program(api: SnowAPI, state: dict) -> None:
+        me, P = api.rank, api.size
+        if n % P:
+            raise ValueError(f"grid {n} not divisible by {P} ranks")
+        nz = n // P
+        lv = levels if levels is not None else num_levels_dist(n, nz)
+
+        if "u" not in state:
+            v_full = make_rhs(n, seed)
+            state["v"] = np.ascontiguousarray(v_full[me * nz:(me + 1) * nz])
+            state["u"] = np.zeros((nz, n, n))
+            state["iter"] = 0
+            state["rnorms"] = []
+            state["hosts"] = [api.host]
+        elif api.host not in state["hosts"]:
+            state["hosts"].append(api.host)
+
+        def charge(npoints: int) -> None:
+            api.compute(stencil_flops(npoints) / flop_rate)
+
+        while state["iter"] < iterations:
+            api.log("vcycle_start", iter=state["iter"])
+            state["u"] = _vcycle_dist(api, state["u"], state["v"], lv, charge)
+            state["rnorms"].append(
+                _residual_norm_dist(api, state["u"], state["v"], charge))
+            state["iter"] += 1
+            api.log("vcycle_done", iter=state["iter"],
+                    rnorm=state["rnorms"][-1])
+            # poll point: the paper migrates here, after two iterations
+            api.poll_migration(state)
+
+        if results is not None:
+            results[me] = {
+                "u": state["u"],
+                "rnorms": list(state["rnorms"]),
+                "hosts": list(state["hosts"]),
+            }
+
+    return program

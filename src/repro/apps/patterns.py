@@ -1,0 +1,235 @@
+"""Migration-enabled programs with different communication characteristics.
+
+The paper's future work plans "more case studies on a number of parallel
+applications with different communication characteristics". These
+programs cover the classic patterns beyond MG's ring/neighbour exchange:
+
+* :func:`make_pingpong_program` — latency-bound request/reply pairs;
+* :func:`make_stencil2d_program` — 2-D halo exchange on a process grid
+  (four neighbours instead of MG's two);
+* :func:`make_master_worker_program` — a task farm: rank 0 scatters work
+  and gathers results (star topology, high fan-in);
+* :func:`make_alltoall_program` — dense personalized all-to-all rounds
+  (every rank talks to every rank — the worst case for migration
+  coordination, every connection must be drained).
+
+Each is migration-enabled: state lives in the ``state`` dict, and
+``poll_migration`` runs at iteration boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.api import Program, SnowAPI
+from repro.util.rng import RngStream
+
+__all__ = [
+    "make_pingpong_program",
+    "make_stencil2d_program",
+    "make_master_worker_program",
+    "make_alltoall_program",
+    "make_pipeline_program",
+]
+
+
+def make_pingpong_program(rounds: int = 50, nbytes: int = 1024,
+                          results: dict | None = None) -> Program:
+    """Two-process ping-pong; records per-round round-trip times."""
+
+    def program(api: SnowAPI, state: dict) -> None:
+        if api.size != 2:
+            raise ValueError("ping-pong needs exactly 2 ranks")
+        i = state.get("i", 0)
+        rtts = state.setdefault("rtts", [])
+        payload = b"x" * nbytes
+        while i < rounds:
+            if api.rank == 0:
+                t0 = api.now
+                api.send(1, payload, tag=i, nbytes=nbytes)
+                api.recv(src=1, tag=i)
+                rtts.append(api.now - t0)
+            else:
+                api.recv(src=0, tag=i)
+                api.send(0, payload, tag=i, nbytes=nbytes)
+            i += 1
+            state["i"] = i
+            api.poll_migration(state)
+        if results is not None and api.rank == 0:
+            results["rtts"] = list(rtts)
+
+    return program
+
+
+def make_stencil2d_program(n: int = 64, px: int = 2, py: int = 2,
+                           iterations: int = 10, results: dict | None = None
+                           ) -> Program:
+    """Jacobi sweeps on an ``n x n`` grid over a ``px x py`` process grid.
+
+    Each rank owns an ``(n/py) x (n/px)`` tile and exchanges halo rows and
+    columns with up to four neighbours each iteration (periodic domain).
+    """
+
+    def program(api: SnowAPI, state: dict) -> None:
+        if api.size != px * py:
+            raise ValueError(f"need {px * py} ranks")
+        me = api.rank
+        ry, rx = divmod(me, px)
+        tile_h, tile_w = n // py, n // px
+
+        def nbr(dy, dx):
+            return ((ry + dy) % py) * px + ((rx + dx) % px)
+
+        up, down = nbr(-1, 0), nbr(1, 0)
+        left, right = nbr(0, -1), nbr(0, 1)
+
+        if "u" not in state:
+            rng = RngStream(11, f"stencil-{me}")
+            state["u"] = rng.numpy.random((tile_h, tile_w))
+            state["iter"] = 0
+
+        while state["iter"] < iterations:
+            u = state["u"]
+            # halo exchange (tags: 1=row up, 2=row down, 3=col left, 4=right)
+            api.send(up, u[0].copy(), tag=1)
+            api.send(down, u[-1].copy(), tag=2)
+            api.send(left, u[:, 0].copy(), tag=3)
+            api.send(right, u[:, -1].copy(), tag=4)
+            # receive in a fixed order; with periodic wrapping the sender
+            # of my "from above" halo is my up neighbour's send tag 2
+            below = api.recv(src=down, tag=1).body   # down's top row
+            above = api.recv(src=up, tag=2).body     # up's bottom row
+            rcol = api.recv(src=right, tag=3).body   # right's left col
+            lcol = api.recv(src=left, tag=4).body    # left's right col
+            g = np.zeros((tile_h + 2, tile_w + 2))
+            g[1:-1, 1:-1] = u
+            g[0, 1:-1] = above
+            g[-1, 1:-1] = below
+            g[1:-1, 0] = lcol
+            g[1:-1, -1] = rcol
+            # corners via nearest edge (adequate for the 5-point update)
+            state["u"] = 0.25 * (g[:-2, 1:-1] + g[2:, 1:-1]
+                                 + g[1:-1, :-2] + g[1:-1, 2:])
+            state["iter"] += 1
+            api.compute(tile_h * tile_w * 5 / 1e8)
+            api.poll_migration(state)
+
+        if results is not None:
+            results[me] = state["u"]
+
+    return program
+
+
+def make_master_worker_program(ntasks: int = 40, task_cost: float = 0.005,
+                               results: dict | None = None) -> Program:
+    """Task farm: rank 0 hands out tasks, workers return squared values.
+
+    Star topology: the master is connected to every worker — migrating the
+    master exercises maximal coordination degree.
+    """
+    TASK, RESULT, STOP = 10, 11, 12
+
+    def program(api: SnowAPI, state: dict) -> None:
+        me, nworkers = api.rank, api.size - 1
+        if me == 0:
+            next_task = state.get("next_task", 0)
+            done = state.setdefault("done", [])
+            outstanding = state.get("outstanding", 0)
+            # initial fill
+            while next_task < min(ntasks, nworkers) and \
+                    state.get("seeded", 0) < nworkers:
+                w = state.get("seeded", 0) + 1
+                api.send(w, next_task, tag=TASK)
+                next_task += 1
+                outstanding += 1
+                state.update(next_task=next_task, outstanding=outstanding,
+                             seeded=w)
+            while len(done) < ntasks:
+                msg = api.recv(tag=RESULT)
+                done.append(msg.body)
+                outstanding -= 1
+                if next_task < ntasks:
+                    api.send(msg.src, next_task, tag=TASK)
+                    next_task += 1
+                    outstanding += 1
+                state.update(next_task=next_task, outstanding=outstanding)
+                api.poll_migration(state)
+            for w in range(1, api.size):
+                api.send(w, None, tag=STOP)
+            if results is not None:
+                results["done"] = sorted(done)
+        else:
+            while True:
+                msg = api.recv(src=0)
+                if msg.tag == STOP:
+                    break
+                api.compute(task_cost)
+                api.send(0, (msg.body, msg.body ** 2), tag=RESULT)
+                api.poll_migration(state)
+
+    return program
+
+
+def make_pipeline_program(nitems: int = 30, stage_cost: float = 0.003,
+                          results: dict | None = None) -> Program:
+    """A software pipeline (wavefront): items flow rank 0 → 1 → ... → P-1.
+
+    Strictly one-directional traffic with deep in-flight buffering — the
+    opposite stress from the ring's balanced exchange: a mid-pipeline
+    migration must capture a whole window of in-transit items.
+    Each stage adds its rank to the item's trace.
+    """
+
+    def program(api: SnowAPI, state: dict) -> None:
+        me, P = api.rank, api.size
+        i = state.get("i", 0)
+        out = state.setdefault("out", [])
+        while i < nitems:
+            if me == 0:
+                item = [0]
+            else:
+                item = api.recv(src=me - 1, tag=7).body
+                item = list(item) + [me]
+            api.compute(stage_cost)
+            if me < P - 1:
+                api.send(me + 1, item, tag=7)
+            else:
+                out.append(item)
+            i += 1
+            state["i"] = i
+            api.poll_migration(state)
+        if results is not None and me == P - 1:
+            results["out"] = list(out)
+
+    return program
+
+
+def make_alltoall_program(rounds: int = 5, nbytes: int = 512,
+                          results: dict | None = None) -> Program:
+    """Dense personalized all-to-all: every rank sends to every other rank
+    each round, then receives from everyone."""
+
+    def program(api: SnowAPI, state: dict) -> None:
+        me, P = api.rank, api.size
+        r = state.get("r", 0)
+        sums = state.setdefault("sums", [])
+        while r < rounds:
+            for other in range(P):
+                if other != me:
+                    api.send(other, ("a2a", me, r), tag=r, nbytes=nbytes)
+            got = []
+            for other in range(P):
+                if other != me:
+                    got.append(api.recv(src=other, tag=r).body)
+            assert all(g == ("a2a", g[1], r) for g in got)
+            sums.append(sum(g[1] for g in got))
+            r += 1
+            state["r"] = r
+            api.compute(0.002)
+            api.poll_migration(state)
+        if results is not None:
+            results[me] = list(sums)
+
+    return program

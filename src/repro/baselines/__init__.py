@@ -1,0 +1,38 @@
+"""Related-work migration mechanisms (paper §7) as measurable baselines.
+
+Each ``run_*_migration`` executes the common ring workload
+(:mod:`repro.baselines.workload`) with one migration of rank 0 under a
+different mechanism and returns comparable :class:`BaselineMetrics`:
+
+* :func:`run_snow_migration` — the paper's protocol (O(degree)
+  coordination, no blocking, no forwarding, no residual dependency);
+* :func:`run_cocheck_migration` — coordinated checkpointing (O(N)
+  coordination + markers, global blocking);
+* :func:`run_broadcast_migration` — ChaRM/Dynamite location broadcast
+  (O(N) control, sender-side delayed buffers);
+* :func:`run_forwarding_migration` — MPVM/tmPVM message forwarding
+  (cheap coordination, per-message forwarding tax, residual dependency —
+  with an optional host-leaves failure demonstration).
+"""
+
+from repro.baselines.broadcast import run_broadcast_migration
+from repro.baselines.chandy_lamport import GlobalSnapshot, Marker, SnapshotRecorder
+from repro.baselines.cocheck import run_cocheck_migration
+from repro.baselines.common import BaselineMetrics, RawPeer, ring_neighbours
+from repro.baselines.forwarding import run_forwarding_migration
+from repro.baselines.snow import run_snow_migration
+from repro.baselines.workload import RingHarness
+
+__all__ = [
+    "BaselineMetrics",
+    "GlobalSnapshot",
+    "Marker",
+    "RawPeer",
+    "RingHarness",
+    "SnapshotRecorder",
+    "ring_neighbours",
+    "run_broadcast_migration",
+    "run_cocheck_migration",
+    "run_forwarding_migration",
+    "run_snow_migration",
+]

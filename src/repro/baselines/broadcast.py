@@ -1,0 +1,147 @@
+"""ChaRM/Dynamite-style migration: location broadcast + blocked senders.
+
+Paper §7: "Dynamite broadcasts new location information of the migrating
+process to every host in the virtual machine, while ChaRM broadcasts the
+new location to every other process in a distributed application. Both
+systems broadcast the information before the migration starts. ChaRM also
+broadcasts a signal message again before the migration finishes", and
+senders "store messages in a delayed message buffer if the receiver is
+migrating", retransmitting after the manager's notification.
+
+Measured costs: 2N broadcast control messages, N processes coordinated,
+and the buffering delay experienced by senders whose messages to the
+migrating rank sat in the delayed buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import BaselineMetrics
+from repro.baselines.workload import APP_TAG, RingHarness
+from repro.vm.messages import ControlEnvelope
+
+__all__ = ["run_broadcast_migration"]
+
+
+@dataclass(frozen=True)
+class _MigrationStarting:
+    rank: int
+    new_host: str
+
+
+@dataclass(frozen=True)
+class _MigrationDone:
+    rank: int
+
+
+def run_broadcast_migration(nprocs: int = 8, iterations: int = 30,
+                            migrate_at: float | None = None, pace: float = 0.002,
+                            state_bytes: int = 500_000) -> BaselineMetrics:
+    """Ring workload; rank 0 migrates under the broadcast mechanism."""
+    if migrate_at is None:
+        # land the migration ~40% into the expected run
+        migrate_at = 0.4 * iterations * (pace + 0.002)
+    h = RingHarness(nprocs, iterations, pace=pace)
+    metrics = BaselineMetrics("broadcast", nprocs)
+    migrating_rank = 0
+
+    # Patch the workers' sends: while the migration is announced and not
+    # done, messages addressed to the migrating rank go to the delayed
+    # buffer instead of the wire.
+    def on_iteration(worker: RingHarness.Worker) -> None:
+        peer = worker.peer
+        for env in peer.take_control():
+            msg = env.msg
+            if isinstance(msg, _MigrationStarting):
+                worker.scratch["holding"] = True
+                metrics.processes_coordinated += 1
+                _install_holding_send(worker)
+                if worker.rank == migrating_rank:
+                    # the migrating process itself is frozen for the move
+                    _pause_until_done(worker)
+            elif isinstance(msg, _MigrationDone):
+                worker.scratch["holding"] = False
+                # retransmit the delayed messages, preserving order
+                delayed = worker.scratch.pop("delayed", [])
+                for (dest, body, tag, nbytes, held_at) in delayed:
+                    worker.scratch["real_send"](dest, body, tag=tag,
+                                                nbytes=nbytes)
+                    metrics.blocked_time_total += \
+                        worker.ctx.kernel.now - held_at
+                    metrics.extra["retransmitted"] = \
+                        metrics.extra.get("retransmitted", 0) + 1
+            else:
+                peer.pending_control.append(env)
+
+    def _pause_until_done(worker: RingHarness.Worker) -> None:
+        ctx = worker.ctx
+        t0 = ctx.kernel.now
+        while True:
+            item = ctx.next_message()
+            if isinstance(item, ControlEnvelope):
+                if isinstance(item.msg, _MigrationDone):
+                    worker.scratch["holding"] = False
+                    break
+                worker.peer.pending_control.append(item)
+                continue
+            worker.peer._buffer.append(item.payload)
+        metrics.blocked_time_total += ctx.kernel.now - t0
+
+    def _install_holding_send(worker: RingHarness.Worker) -> None:
+        if "real_send" in worker.scratch:
+            return
+        peer = worker.peer
+        real_send = peer.send
+        worker.scratch["real_send"] = real_send
+
+        def holding_send(dest, body, tag=0, nbytes=64):
+            if worker.scratch.get("holding") and dest == migrating_rank \
+                    and worker.rank != migrating_rank:
+                worker.scratch.setdefault("delayed", []).append(
+                    (dest, body, tag, nbytes, worker.ctx.kernel.now))
+                return
+            real_send(dest, body, tag=tag, nbytes=nbytes)
+
+        peer.send = holding_send  # type: ignore[method-assign]
+
+    def on_finish(worker: RingHarness.Worker) -> None:
+        # a sender must not exit with messages still in its delayed
+        # buffer: wait for the migration-done broadcast and flush
+        while worker.scratch.get("delayed"):
+            item = worker.ctx.next_message()
+            if isinstance(item, ControlEnvelope):
+                worker.peer.pending_control.append(item)
+                on_iteration(worker)
+            else:
+                worker.peer._buffer.append(item.payload)
+
+    h.hooks.on_iteration = on_iteration
+    h.hooks.on_finish = on_finish
+
+    def coordinator(ctx) -> None:
+        ctx.kernel.sleep(migrate_at)
+        t0 = ctx.kernel.now
+        # broadcast #1: new location, before the migration starts
+        for r in range(nprocs):
+            h.control_to_worker(ctx, r, _MigrationStarting(migrating_rank,
+                                                           "x0"))
+            metrics.control_messages += 1
+        # the move itself: collect, transfer, restore
+        ctx.burn(state_bytes * 95e-9)
+        ctx.kernel.sleep(h.vm.network.transfer_time("h0", "x0", state_bytes))
+        ctx.burn(state_bytes * 90e-9)
+        # broadcast #2: migration finished, flush delayed buffers
+        for r in range(nprocs):
+            h.control_to_worker(ctx, r, _MigrationDone(migrating_rank))
+            metrics.control_messages += 1
+        metrics.migration_time = ctx.kernel.now - t0
+
+    h.start()
+    h.spawn_coordinator(coordinator)
+    h.run()
+    h.verify_streams()
+    metrics.residual_dependency = False
+    metrics.messages_lost = len(h.vm.dropped_messages())
+    h.vm.shutdown()
+    return metrics

@@ -1,0 +1,158 @@
+"""CoCheck-style migration: coordinated checkpointing (paper §7).
+
+CoCheck reuses a fault-tolerance mechanism for migration: to move one
+process, *every* process takes a globally consistent checkpoint
+(Chandy-Lamport flush), application communication blocks while the
+checkpoint and the restart are in progress, and the computation resumes
+from the stored state on the new machine.
+
+The two §7 criticisms this reproduction measures:
+
+* **coordination of all processes** directly or indirectly connected to
+  the migrating process — the whole computation: O(N) control broadcasts
+  plus one marker per directed channel;
+* **blocking of communication** among all of them for the duration.
+
+A process learns of the checkpoint either from the coordinator's
+out-of-band broadcast (at its next control check) or from an in-band
+marker (while blocked in a receive) — the marker-triggered path is exactly
+Chandy-Lamport's "record on first marker" rule and is what keeps the
+mechanism deadlock-free.
+
+Simplification (documented in DESIGN.md): the migrating process is not
+literally killed and re-executed — the state collect / transfer / restore
+costs are charged and communication blocks exactly as the mechanism
+requires, which is what the ablation compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.chandy_lamport import GlobalSnapshot, Marker, SnapshotRecorder
+from repro.baselines.common import BaselineMetrics
+from repro.baselines.workload import RingHarness
+from repro.vm.messages import ControlEnvelope
+
+__all__ = ["run_cocheck_migration"]
+
+#: per-byte CPU cost of writing / restoring a checkpoint
+_CKPT_SAVE = 50e-9
+_CKPT_RESTORE = 90e-9
+
+
+@dataclass(frozen=True)
+class _Checkpoint:
+    checkpoint_id: int
+
+
+@dataclass(frozen=True)
+class _Ack:
+    rank: int
+
+
+@dataclass(frozen=True)
+class _Resume:
+    new_host: str
+
+
+def run_cocheck_migration(nprocs: int = 8, iterations: int = 30,
+                          migrate_at: float | None = None, pace: float = 0.002,
+                          state_bytes: int = 500_000) -> BaselineMetrics:
+    """Run the ring workload with one CoCheck-style migration of rank 0."""
+    if migrate_at is None:
+        # land the migration ~40% into the expected run
+        migrate_at = 0.4 * iterations * (pace + 0.002)
+    h = RingHarness(nprocs, iterations, pace=pace)
+    metrics = BaselineMetrics("cocheck", nprocs)
+    snapshot = GlobalSnapshot(snapshot_id=1)
+    coord = {}
+
+    def ensure_checkpoint(worker: RingHarness.Worker,
+                          trigger: Marker | None = None) -> None:
+        rec: SnapshotRecorder | None = worker.scratch.get("rec")
+        if rec is not None:
+            if trigger is not None:
+                rec.on_marker(trigger)
+            return
+        ctx = worker.ctx
+        t0 = ctx.kernel.now
+        rec = SnapshotRecorder(
+            worker.peer, lambda: len(worker.received), snapshot)
+        worker.scratch["rec"] = rec
+        rec.start()
+        if trigger is not None:
+            rec.on_marker(trigger)
+        # flush every channel; application data pulled meanwhile is kept
+        # for the application
+        while not rec.done:
+            m = worker.peer.recv()
+            if isinstance(m.body, Marker):
+                rec.on_marker(m.body)
+            else:
+                rec.on_message(m)
+                worker.peer._buffer.append(m)
+        # every process writes its checkpoint
+        ctx.burn(state_bytes * _CKPT_SAVE)
+        ctx.route_control(coord["vmid"], _Ack(worker.rank))
+        metrics.control_messages += 1
+        # communication blocks until the coordinator resumes the system
+        while True:
+            item = ctx.next_message()
+            if isinstance(item, ControlEnvelope):
+                if isinstance(item.msg, _Resume):
+                    break
+                worker.peer.pending_control.append(item)
+                continue
+            worker.peer._buffer.append(item.payload)
+        metrics.blocked_time_total += ctx.kernel.now - t0
+
+    def on_iteration(worker: RingHarness.Worker) -> None:
+        for env in worker.peer.take_control():
+            if isinstance(env.msg, _Checkpoint):
+                ensure_checkpoint(worker)
+            else:
+                worker.peer.pending_control.append(env)
+
+    def on_inband(worker: RingHarness.Worker, m) -> bool:
+        if isinstance(m.body, Marker):
+            ensure_checkpoint(worker, trigger=m.body)
+            return True
+        return False
+
+    h.hooks.on_iteration = on_iteration
+    h.hooks.on_inband = on_inband
+
+    def coordinator(ctx) -> None:
+        coord["vmid"] = ctx.vmid
+        ctx.kernel.sleep(migrate_at)
+        t0 = ctx.kernel.now
+        for r in range(nprocs):
+            h.control_to_worker(ctx, r, _Checkpoint(1))
+            metrics.control_messages += 1
+        acked = 0
+        while acked < nprocs:
+            item = ctx.next_message()
+            if isinstance(item, ControlEnvelope) and \
+                    isinstance(item.msg, _Ack):
+                acked += 1
+        # restart the migrating process from its checkpoint on the new
+        # host: transfer the stored state, then restore it
+        ctx.kernel.sleep(h.vm.network.transfer_time("h0", "x0", state_bytes))
+        ctx.burn(state_bytes * _CKPT_RESTORE)
+        for r in range(nprocs):
+            h.control_to_worker(ctx, r, _Resume("x0"))
+            metrics.control_messages += 1
+        metrics.migration_time = ctx.kernel.now - t0
+
+    h.start()
+    h.spawn_coordinator(coordinator)
+    h.run()
+    h.verify_streams()
+    metrics.processes_coordinated = nprocs
+    metrics.control_messages += snapshot.markers_sent
+    metrics.residual_dependency = False
+    metrics.messages_lost = len(h.vm.dropped_messages())
+    metrics.extra["markers"] = snapshot.markers_sent
+    h.vm.shutdown()
+    return metrics

@@ -1,0 +1,141 @@
+"""Shared substrate for the related-work baseline systems (paper §7).
+
+The baselines (CoCheck-style coordinated checkpointing, ChaRM-style
+location broadcast, MPVM-style message forwarding) are compared against
+SNOW on a common workload: a ring of ``n`` processes streaming paced,
+sequence-numbered messages to their right neighbour while rank 0 migrates.
+
+They run on the *same* virtual machine substrate as the SNOW protocol —
+real channels, daemons and signals — but with their own (simpler, and in
+the ways §7 describes, worse) migration coordination. :class:`RawPeer`
+gives them plain send/recv over pre-wired ring channels without any of
+SNOW's migration machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.messages import DataMessage
+from repro.sim.kernel import TIMEOUT
+from repro.util.errors import ProtocolError
+from repro.vm.channel import Channel
+from repro.vm.ids import Rank, VmId
+from repro.vm.messages import ControlEnvelope, Envelope
+from repro.vm.process import ProcessContext
+from repro.vm.virtual_machine import VirtualMachine
+
+__all__ = ["BaselineMetrics", "RawPeer", "build_ring_vm", "ring_neighbours"]
+
+
+@dataclass
+class BaselineMetrics:
+    """What the ablation benches compare across migration mechanisms."""
+
+    name: str
+    nprocs: int
+    #: migration-related control messages (signals, markers, broadcasts,
+    #: forwarder traffic) — NOT application data
+    control_messages: int = 0
+    #: processes that had to participate in the migration
+    processes_coordinated: int = 0
+    #: total time application processes spent blocked/buffering because of
+    #: the migration mechanism (beyond their normal waits)
+    blocked_time_total: float = 0.0
+    #: the source (or home) host must stay alive after migration
+    residual_dependency: bool = False
+    #: messages that took an extra forwarding hop
+    forwarded_messages: int = 0
+    #: wall (virtual) time from migration request to resumed execution
+    migration_time: float = 0.0
+    messages_lost: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> tuple:
+        return (self.name, self.nprocs, self.control_messages,
+                self.processes_coordinated,
+                f"{self.blocked_time_total:.4f}",
+                "yes" if self.residual_dependency else "no",
+                self.forwarded_messages)
+
+
+def ring_neighbours(rank: Rank, n: int) -> tuple[Rank, Rank]:
+    """(left, right) neighbours on the ring."""
+    return ((rank - 1) % n, (rank + 1) % n)
+
+
+def build_ring_vm(nprocs: int, extra_hosts: int = 2) -> VirtualMachine:
+    """A homogeneous cluster with one host per process plus spares."""
+    vm = VirtualMachine()
+    for i in range(nprocs):
+        vm.add_host(f"h{i}")
+    for i in range(extra_hosts):
+        vm.add_host(f"x{i}")
+    return vm
+
+
+class RawPeer:
+    """Plain buffered send/recv over explicitly wired channels.
+
+    No connection establishment, no migration awareness: exactly the
+    substrate a baseline mechanism must extend to survive a migration.
+    """
+
+    def __init__(self, ctx: ProcessContext, rank: Rank):
+        self.ctx = ctx
+        self.rank = rank
+        ctx.rank = rank
+        #: rank -> channel, wired by the experiment harness
+        self.channels: dict[Rank, Channel] = {}
+        self._buffer: list[DataMessage] = []
+        #: control envelopes that recv() set aside (handled by callers)
+        self.pending_control: list[ControlEnvelope] = []
+
+    def wire(self, rank: Rank, chan: Channel) -> None:
+        self.channels[rank] = chan
+
+    def send(self, dest: Rank, body: Any, tag: int = 0,
+             nbytes: int = 64) -> None:
+        chan = self.channels.get(dest)
+        if chan is None:
+            raise ProtocolError(f"rank {self.rank} has no channel to {dest}")
+        msg = DataMessage(src=self.rank, tag=tag, body=body, nbytes=nbytes,
+                          sent_at=self.ctx.kernel.now)
+        chan.send(self.ctx, msg, nbytes)
+
+    def try_recv(self, src: Rank | None = None, tag: int | None = None,
+                 timeout: float | None = None) -> DataMessage | None:
+        """Receive the next matching data message; control is set aside."""
+        for i, m in enumerate(self._buffer):
+            if m.matches(src, tag):
+                return self._buffer.pop(i)
+        while True:
+            item = self.ctx.next_message(timeout=timeout)
+            if item is TIMEOUT:
+                return None
+            if isinstance(item, ControlEnvelope):
+                self.pending_control.append(item)
+                continue
+            if isinstance(item, Envelope):
+                payload = item.payload
+                if isinstance(payload, DataMessage):
+                    if payload.matches(src, tag):
+                        return payload
+                    self._buffer.append(payload)
+                    continue
+                # non-data channel payloads are the baseline's own control
+                self.pending_control.append(item)
+                continue
+            raise ProtocolError(f"unexpected mailbox item {item!r}")
+
+    def recv(self, src: Rank | None = None, tag: int | None = None
+             ) -> DataMessage:
+        msg = self.try_recv(src, tag)
+        assert msg is not None
+        return msg
+
+    def take_control(self) -> list:
+        out = self.pending_control
+        self.pending_control = []
+        return out

@@ -1,0 +1,114 @@
+"""MPVM/tmPVM-style migration: message forwarding, residual dependency.
+
+Paper §7: systems "like Mach and tmPVM ... rely on message forwarding
+after the migration finishes. In MPVM ... messages are routed through the
+source computer", so "message forwarding can degrade communication
+performance. In addition, dependencies between the migrating process and
+source or original computers further make these systems unsuitable for
+virtual machine environments where computers can join and leave
+dynamically."
+
+The mechanism measured here: rank 0 moves (state transfer only — peers
+are told nothing), and every subsequent message addressed to rank 0
+arrives at the *old* host, pays the old-host forwarding hop to the new
+host, and counts as a forwarded message. Optionally the old host resigns
+after the migration, demonstrating the message loss the residual
+dependency risks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.common import BaselineMetrics
+from repro.baselines.workload import RingHarness
+from repro.vm.messages import ControlEnvelope
+
+__all__ = ["run_forwarding_migration"]
+
+
+@dataclass(frozen=True)
+class _MigrateNow:
+    new_host: str
+
+
+def run_forwarding_migration(nprocs: int = 8, iterations: int = 30,
+                             migrate_at: float | None = None, pace: float = 0.002,
+                             state_bytes: int = 500_000,
+                             old_host_leaves: bool = False
+                             ) -> BaselineMetrics:
+    """Ring workload; rank 0 migrates under the forwarding mechanism.
+
+    With ``old_host_leaves=True`` the source host resigns mid-run; every
+    message still being routed through it is lost — the residual
+    dependency failure mode.
+    """
+    if migrate_at is None:
+        # land the migration ~40% into the expected run
+        migrate_at = 0.4 * iterations * (pace + 0.002)
+    h = RingHarness(nprocs, iterations, pace=pace)
+    metrics = BaselineMetrics("forwarding", nprocs)
+    migrating_rank = 0
+    lost_after_leave = {"count": 0}
+
+    def on_iteration(worker: RingHarness.Worker) -> None:
+        for env in worker.peer.take_control():
+            if isinstance(env.msg, _MigrateNow) and \
+                    worker.rank == migrating_rank:
+                _do_move(worker, env.msg.new_host)
+            else:
+                worker.peer.pending_control.append(env)
+
+    def _do_move(worker: RingHarness.Worker, new_host: str) -> None:
+        ctx = worker.ctx
+        t0 = ctx.kernel.now
+        # collect, ship and restore the state; nobody else is told anything
+        ctx.burn(state_bytes * 95e-9)
+        ctx.kernel.sleep(h.vm.network.transfer_time(
+            worker.ctx.host, new_host, state_bytes))
+        ctx.burn(state_bytes * 90e-9)
+        worker.scratch["moved_to"] = new_host
+        worker.scratch["old_host"] = worker.ctx.host
+        metrics.migration_time = ctx.kernel.now - t0
+        metrics.control_messages += 1  # the migrate instruction itself
+
+        # From now on, every message to this rank is addressed to the old
+        # host and forwarded: charge the extra hop on delivery.
+        real_recv_token = worker.recv_token
+
+        def forwarding_recv_token():
+            msg = real_recv_token()
+            if old_host_leaves and worker.scratch.get("old_gone"):
+                # with the forwarder dead this message would never have
+                # arrived; account it as lost and receive the next one
+                lost_after_leave["count"] += 1
+            hop = h.vm.network.transfer_time(
+                worker.scratch["old_host"], new_host, msg.nbytes)
+            ctx.kernel.sleep(hop)  # the forwarding hop
+            metrics.forwarded_messages += 1
+            metrics.blocked_time_total += hop
+            return msg
+
+        worker.recv_token = forwarding_recv_token  # type: ignore
+
+    def coordinator(ctx) -> None:
+        ctx.kernel.sleep(migrate_at)
+        h.control_to_worker(ctx, migrating_rank, _MigrateNow("x0"))
+        metrics.control_messages += 1
+        if old_host_leaves:
+            ctx.kernel.sleep(0.05)
+            w = h.workers[migrating_rank]
+            w.scratch["old_gone"] = True
+
+    h.hooks.on_iteration = on_iteration
+    h.start()
+    h.spawn_coordinator(coordinator)
+    h.run()
+    h.verify_streams()
+    metrics.processes_coordinated = 1
+    metrics.residual_dependency = True
+    metrics.messages_lost = len(h.vm.dropped_messages()) + \
+        lost_after_leave["count"]
+    metrics.extra["lost_after_leave"] = lost_after_leave["count"]
+    h.vm.shutdown()
+    return metrics

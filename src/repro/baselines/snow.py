@@ -1,0 +1,103 @@
+"""SNOW metrics on the baseline workload, for the §7 comparison.
+
+Runs the same ring workload as the baselines, but under the full paper
+protocol with a real migration, and extracts the comparable metrics from
+the trace:
+
+* control messages = disconnection signals + peer_migrating +
+  end_of_message + the five scheduler RPC legs + 2 per scheduler consult
+  + rejected connection requests;
+* processes coordinated = the migrating process's *connected peers* (its
+  ring degree — NOT all N);
+* blocked time = peers' time inside migration-induced coordination.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import BaselineMetrics
+from repro.core.launch import Application
+from repro.vm.virtual_machine import VirtualMachine
+
+__all__ = ["run_snow_migration"]
+
+
+def run_snow_migration(nprocs: int = 8, iterations: int = 30,
+                       migrate_at: float | None = None, pace: float = 0.002,
+                       token_bytes: int = 2048) -> BaselineMetrics:
+    """Ring workload under the SNOW protocol with one migration of rank 0."""
+    if migrate_at is None:
+        # land the migration ~40% into the expected run
+        migrate_at = 0.4 * iterations * (pace + 0.002)
+    vm = VirtualMachine()
+    for i in range(nprocs):
+        vm.add_host(f"h{i}")
+    vm.add_host("x0")
+    vm.add_host("x1")
+    received: dict[int, list] = {}
+
+    def program(api, state):
+        right = (api.rank + 1) % api.size
+        left = (api.rank - 1) % api.size
+        i = state.get("i", 0)
+        got = state.setdefault("got", [])
+        while i < iterations:
+            api.send(right, ("tok", api.rank, i), tag=1, nbytes=token_bytes)
+            got.append(api.recv(src=left, tag=1).body)
+            i += 1
+            state["i"] = i
+            if pace:
+                api.compute(pace)
+            api.poll_migration(state)
+        received[api.rank] = got
+
+    app = Application(vm, program, placement=[f"h{i}" for i in range(nprocs)],
+                      scheduler_host="x1")
+    app.start()
+    app.migrate_at(migrate_at, rank=0, dest_host="x0")
+    app.run()
+
+    # verify the streams like the baselines do
+    for r in range(nprocs):
+        left = (r - 1) % nprocs
+        assert received[r] == [("tok", left, i) for i in range(iterations)], \
+            f"rank {r} stream corrupted"
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+
+    trace = vm.trace
+    rec = app.migrations[0]
+    t0, t1 = rec.t_start, rec.t_committed
+    metrics = BaselineMetrics("snow", nprocs)
+
+    coordinated = trace.filter(kind="peer_coordinated", actor="p0")
+    drains = trace.filter(kind="drain_peer_done", actor="p0")
+    signals = trace.filter(kind="signal_sent", actor="p0", t0=t0, t1=t1)
+    consults = trace.filter(kind="scheduler_consult", t0=t0, t1=t1, dest=0)
+    rejected = trace.filter(kind="conn_req_rejected", t0=t0, t1=t1)
+    metrics.processes_coordinated = len(coordinated)
+    metrics.control_messages = (
+        len(signals)                # disconnection signals
+        + len(coordinated)          # peer_migrating messages
+        + len(drains)               # end_of_message replies
+        + 5                         # migration_start/new_process/
+                                    # restore_complete/pl_snapshot/commit
+        + 2 * len(consults)         # lookup request + reply
+        + len(rejected))            # conn_nacks from the migrating process
+    metrics.migration_time = rec.t_restored - rec.t_start
+
+    # peers' blocked time: from receiving the disconnection signal to
+    # finishing their coordination (usually a few network round-trips)
+    blocked = 0.0
+    for ev in trace.filter(kind="peer_coordination_done"):
+        sig = [s for s in trace.filter(kind="signal_arrived",
+                                       actor=ev.actor, signal="SIG_DISCONNECT")
+               if s.time <= ev.time]
+        if sig:
+            blocked += ev.time - sig[-1].time
+    metrics.blocked_time_total = blocked
+    metrics.residual_dependency = False
+    metrics.forwarded_messages = 0
+    metrics.messages_lost = len(vm.dropped_messages())
+    metrics.extra["captured_in_transit"] = len(
+        trace.filter(kind="captured_in_transit"))
+    vm.shutdown()
+    return metrics

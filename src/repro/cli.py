@@ -1,0 +1,205 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro mg                   # Table 1 (homogeneous MG)
+    python -m repro mg --hetero          # Table 2 + Figure 13
+    python -m repro mg --spacetime       # Figures 10-12 diagram
+    python -m repro compare              # Section 7 baseline comparison
+    python -m repro balance              # automatic load balancing demo
+    python -m repro theorems             # quick ordering/no-loss check
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.util.text import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Communication State Transfer for the "
+                    "Mobility of Concurrent Heterogeneous Computing' "
+                    "(Chanchio & Sun, ICPP 2001)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    mg = sub.add_parser("mg", help="kernel MG experiments (Tables 1-2, "
+                                   "Figures 10-13)")
+    mg.add_argument("--n", type=int, default=64,
+                    help="grid edge (paper: 128)")
+    mg.add_argument("--hetero", action="store_true",
+                    help="heterogeneous testbed (Table 2 / Figure 13)")
+    mg.add_argument("--spacetime", action="store_true",
+                    help="render the space-time diagram")
+    mg.add_argument("--save-trace", metavar="PATH", default=None,
+                    help="save the run's event trace as JSON-lines for "
+                         "offline analysis")
+    mg.add_argument("--svg", metavar="PATH", default=None,
+                    help="write the space-time diagram as an SVG file "
+                         "(the graphical XPVM view of Figures 10-13)")
+
+    cmp_p = sub.add_parser("compare", help="Section 7 baseline comparison")
+    cmp_p.add_argument("--nprocs", type=int, default=8)
+    cmp_p.add_argument("--iterations", type=int, default=30)
+
+    bal = sub.add_parser("balance", help="automatic load balancing demo")
+    bal.add_argument("--n", type=int, default=32)
+
+    sub.add_parser("theorems", help="quick no-loss/ordering check with a "
+                                    "migrating receiver")
+    return p
+
+
+def _cmd_mg(args: argparse.Namespace) -> int:
+    from repro.analysis import render_spacetime
+    from repro.experiments import run_mg_heterogeneous, run_mg_homogeneous
+
+    if args.hetero:
+        res = run_mg_heterogeneous(n=args.n)
+        b = res.breakdown
+        print("heterogeneous migration breakdown (cf. Table 2):")
+        print(b.table())
+        print(f"captured+forwarded in-transit messages: "
+              f"{b.captured_messages}")
+    else:
+        runs = {m: run_mg_homogeneous(mode=m, n=args.n)
+                for m in ("original", "modified", "migration")}
+        print("kernel MG timing in seconds (cf. Table 1):")
+        print(format_table(
+            ("Total", "original", "modified", "migration"),
+            [("Execution",) + tuple(f"{runs[m].execution:.3f}"
+                                    for m in runs),
+             ("Communication",) + tuple(f"{runs[m].communication:.3f}"
+                                        for m in runs)]))
+        res = runs["migration"]
+        print(f"migration: {res.breakdown}")
+    if args.spacetime:
+        b = res.breakdown
+        pad = 2.0 * (b.t_commit - b.t_start)
+        actors = [f"p{i}" for i in range(res.nranks)] + ["p0.m1"]
+        print()
+        print(render_spacetime(res.vm.trace, actors=actors,
+                               t0=max(0.0, b.t_start - pad),
+                               t1=b.t_commit + pad, width=100))
+    if args.save_trace:
+        from repro.analysis import save_trace
+        n = save_trace(res.vm.trace, args.save_trace)
+        print(f"saved {n} trace events to {args.save_trace}")
+    if args.svg:
+        from repro.analysis import save_spacetime_svg
+        b = res.breakdown
+        pad = 2.0 * (b.t_commit - b.t_start)
+        actors = [f"p{i}" for i in range(res.nranks)] + ["p0.m1"]
+        save_spacetime_svg(res.vm.trace, args.svg, actors=actors,
+                           t0=max(0.0, b.t_start - pad),
+                           t1=b.t_commit + pad)
+        print(f"wrote space-time diagram to {args.svg}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines import (
+        run_broadcast_migration,
+        run_cocheck_migration,
+        run_forwarding_migration,
+        run_snow_migration,
+    )
+    kw = dict(nprocs=args.nprocs, iterations=args.iterations)
+    metrics = [run_snow_migration(**kw), run_cocheck_migration(**kw),
+               run_broadcast_migration(**kw),
+               run_forwarding_migration(**kw)]
+    print(format_table(
+        ("mechanism", "N", "ctl msgs", "coordinated", "blocked(s)",
+         "residual", "forwarded"),
+        [m.row() for m in metrics]))
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from repro.apps.mg import make_mg_program, num_levels_dist
+    from repro.core import Application, LoadBalancer
+    from repro.vm import VirtualMachine
+
+    def run(balanced):
+        vm = VirtualMachine()
+        vm.add_host("slow", cpu_speed=0.1)
+        for i in range(1, 4):
+            vm.add_host(f"u{i}")
+        vm.add_host("sched")
+        vm.add_host("idle-fast")
+        prog = make_mg_program(args.n, iterations=8,
+                               levels=num_levels_dist(args.n, args.n // 4))
+        app = Application(vm, prog,
+                          placement=["slow", "u1", "u2", "u3"],
+                          scheduler_host="sched")
+        app.start()
+        bal = LoadBalancer(app, interval=0.4, cooldown=2.0,
+                           threshold=0.6).attach() if balanced else None
+        app.run()
+        t = vm.kernel.now
+        vm.shutdown()
+        return t, bal
+
+    t0, _ = run(False)
+    t1, bal = run(True)
+    print(f"unbalanced: {t0:.2f}s   balanced: {t1:.2f}s   "
+          f"speedup {t0 / t1:.2f}x")
+    for d in bal.decisions:
+        print(f"  t={d.time:.2f}s moved rank {d.rank} -> {d.dest_host}")
+    return 0
+
+
+def _cmd_theorems(_: argparse.Namespace) -> int:
+    from repro import Application, VirtualMachine
+
+    vm = VirtualMachine()
+    for h in ("h0", "h1", "h2", "h3"):
+        vm.add_host(h)
+    got = []
+
+    def program(api, state):
+        count = 40
+        if api.rank == 0:
+            i = state.get("i", 0)
+            while i < count:
+                api.send(1, i)
+                i += 1
+                state["i"] = i
+                api.compute(0.002)
+                api.poll_migration(state)
+        else:
+            i = state.get("i", 0)
+            while i < count:
+                got.append(api.recv(src=0).body)
+                i += 1
+                state["i"] = i
+                api.compute(0.003)
+                api.poll_migration(state)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.03, rank=1, dest_host="h3")
+    app.run()
+    ok = got == list(range(40)) and not vm.dropped_messages()
+    print(f"receiver migrated mid-stream: "
+          f"{len(got)}/40 messages, in order: {got == sorted(got)}, "
+          f"dropped: {len(vm.dropped_messages())}")
+    print("PASS" if ok else "FAIL")
+    vm.shutdown()
+    return 0 if ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "mg": _cmd_mg,
+        "compare": _cmd_compare,
+        "balance": _cmd_balance,
+        "theorems": _cmd_theorems,
+    }[args.command](args)

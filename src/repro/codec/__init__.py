@@ -1,0 +1,26 @@
+"""Machine-independent state representation (the SNOW memory-graph codec).
+
+:func:`encode` / :func:`decode` turn a Python object graph into a
+self-describing byte stream and back, across simulated architectures that
+differ in endianness and word size. Shared references and cycles are
+preserved.
+"""
+
+from repro.codec.arch import ARM64, MIPS32, NATIVE, SPARC32, X86_64, Architecture
+from repro.codec.memgraph import decode, encode, encoded_size, peek_arch
+from repro.codec.xdr import Reader, Writer
+
+__all__ = [
+    "ARM64",
+    "Architecture",
+    "MIPS32",
+    "NATIVE",
+    "Reader",
+    "SPARC32",
+    "Writer",
+    "X86_64",
+    "decode",
+    "encode",
+    "encoded_size",
+    "peek_arch",
+]

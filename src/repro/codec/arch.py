@@ -1,0 +1,51 @@
+"""Simulated machine architectures.
+
+The paper migrates processes between SPARC/Solaris and MIPS/Ultrix
+machines; what the *communication state transfer* layer needs from
+"architecture" is exactly what shows up in the encoded byte stream: byte
+order and native word width. An :class:`Architecture` captures those, and
+the codec writes them into every encoded blob so any machine can decode
+any other machine's state (the stream is self-describing — the essence of
+the SNOW machine-independent representation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import CodecError
+
+__all__ = ["Architecture", "SPARC32", "MIPS32", "X86_64", "ARM64", "NATIVE"]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """Byte-level personality of a host."""
+
+    name: str
+    endian: str  # "big" | "little"
+    word_bits: int  # 32 | 64
+
+    def __post_init__(self) -> None:
+        if self.endian not in ("big", "little"):
+            raise CodecError(f"bad endianness {self.endian!r}")
+        if self.word_bits not in (32, 64):
+            raise CodecError(f"bad word size {self.word_bits}")
+
+    @property
+    def struct_order(self) -> str:
+        """The :mod:`struct` / numpy byte-order character."""
+        return ">" if self.endian == "big" else "<"
+
+
+#: The paper's Sun Ultra 5 (UltraSPARC, Solaris 2.6).
+SPARC32 = Architecture("sparc32", "big", 32)
+#: The paper's DEC 5000/120 (MIPS R3000, Ultrix) — little-endian MIPS.
+MIPS32 = Architecture("mips32", "little", 32)
+#: A modern commodity host.
+X86_64 = Architecture("x86_64", "little", 64)
+#: A modern big.LITTLE-ish 64-bit host (little-endian in practice).
+ARM64 = Architecture("arm64", "little", 64)
+
+#: Architecture used when none is specified.
+NATIVE = X86_64

@@ -1,0 +1,368 @@
+"""Memory-graph encoder: machine-independent process memory state.
+
+The SNOW system models the data structures of a process as a graph and
+transforms the graph and its contents into machine-independent information
+(paper Section 1, their reference [11]). This module is that component for
+Python-level state:
+
+* the object graph is traversed once; every *identity-bearing* object
+  (list, dict, set, bytearray, numpy array) becomes a numbered graph node,
+  so **shared references and cycles survive the round trip** exactly;
+* values are written through the XDR-like :class:`Writer` in the *source*
+  architecture's byte order; the header records that architecture, so the
+  destination converts — encode on a big-endian 32-bit machine, decode on
+  a little-endian 64-bit one, and the state is bit-identical in meaning;
+* supported leaf types: ``None``, ``bool``, ``int`` (arbitrary precision),
+  ``float``, ``complex``, ``str``, ``bytes``; containers: ``list``,
+  ``tuple``, ``dict``, ``set``, ``frozenset``, ``bytearray``; plus numpy
+  ``ndarray`` (any shape, numeric/bool dtypes) and numpy scalars.
+
+This is what the migration protocol ships as "execution and memory state":
+the application's declared state dict goes through :func:`encode` on the
+source host and :func:`decode` on the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.codec.arch import NATIVE, Architecture
+from repro.codec.xdr import Reader, Writer
+from repro.util.errors import CodecError
+
+__all__ = ["encode", "decode", "encoded_size", "peek_arch"]
+
+_MAGIC = b"SNOWMEM1"
+
+# value tags
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_COMPLEX = 5
+_T_STR = 6
+_T_BYTES = 7
+_T_TUPLE = 8
+_T_FROZENSET = 9
+_T_REF = 10  # reference to a numbered graph node
+_T_NPSCALAR = 11
+
+# node kinds (identity-bearing objects)
+_N_LIST = 0
+_N_DICT = 1
+_N_SET = 2
+_N_BYTEARRAY = 3
+_N_NDARRAY = 4
+
+_NODE_TYPES = (list, dict, set, bytearray, np.ndarray)
+
+# dtype kinds the ndarray path accepts (byte-order handled explicitly)
+_OK_DTYPE_KINDS = frozenset("biufc")
+
+
+class _Encoder:
+    def __init__(self, arch: Architecture):
+        self.arch = arch
+        self.ids: dict[int, int] = {}  # id(obj) -> node number
+        self.nodes: list[Any] = []  # node number -> object
+        # Hold references so ids stay valid during encoding even if the
+        # caller's graph contains temporaries.
+        self._pins: list[Any] = []
+
+    def node_id(self, obj: Any) -> int:
+        """Get or assign the graph-node number for an identity object."""
+        key = id(obj)
+        nid = self.ids.get(key)
+        if nid is None:
+            nid = len(self.nodes)
+            self.ids[key] = nid
+            self.nodes.append(obj)
+            self._pins.append(obj)
+        return nid
+
+    def write_value(self, w: Writer, obj: Any) -> None:
+        """Write one value: a leaf inline, an identity object as a REF."""
+        if obj is None:
+            w.u8(_T_NONE)
+        elif obj is True:
+            w.u8(_T_TRUE)
+        elif obj is False:
+            w.u8(_T_FALSE)
+        elif isinstance(obj, _NODE_TYPES):
+            w.u8(_T_REF)
+            w.varint(self.node_id(obj))
+        elif isinstance(obj, (np.bool_, np.integer, np.floating, np.complexfloating)):
+            w.u8(_T_NPSCALAR)
+            self._write_dtype(w, obj.dtype)
+            # np.array(...) rather than .astype(): numpy scalars ignore byte
+            # order in astype, a 0-dim array honours it.
+            if obj.dtype.kind in "iufc" and obj.dtype.itemsize > 1:
+                payload = np.array(
+                    obj, dtype=obj.dtype.newbyteorder(self.arch.struct_order))
+            else:
+                payload = np.array(obj)
+            w.raw(payload.tobytes())
+        elif isinstance(obj, int):
+            w.u8(_T_INT)
+            w.bigint(obj)
+        elif isinstance(obj, float):
+            w.u8(_T_FLOAT)
+            w.f64(obj)
+        elif isinstance(obj, complex):
+            w.u8(_T_COMPLEX)
+            w.f64(obj.real)
+            w.f64(obj.imag)
+        elif isinstance(obj, str):
+            w.u8(_T_STR)
+            w.string(obj)
+        elif isinstance(obj, bytes):
+            w.u8(_T_BYTES)
+            w.raw(obj)
+        elif isinstance(obj, tuple):
+            w.u8(_T_TUPLE)
+            w.varint(len(obj))
+            for item in obj:
+                self.write_value(w, item)
+        elif isinstance(obj, frozenset):
+            w.u8(_T_FROZENSET)
+            items = _canonical_set_order(obj)
+            w.varint(len(items))
+            for item in items:
+                self.write_value(w, item)
+        else:
+            raise CodecError(
+                f"cannot encode object of type {type(obj).__name__}; "
+                "declare migratable state using plain containers, scalars "
+                "and numpy arrays")
+
+    def _write_dtype(self, w: Writer, dtype: np.dtype) -> None:
+        if dtype.kind not in _OK_DTYPE_KINDS:
+            raise CodecError(f"unsupported ndarray dtype {dtype}")
+        w.string(dtype.kind)
+        w.varint(dtype.itemsize)
+
+    def write_node(self, w: Writer, obj: Any) -> None:
+        """Write one graph node's kind and contents."""
+        if isinstance(obj, list):
+            w.u8(_N_LIST)
+            w.varint(len(obj))
+            for item in obj:
+                self.write_value(w, item)
+        elif isinstance(obj, dict):
+            w.u8(_N_DICT)
+            w.varint(len(obj))
+            for k, v in obj.items():
+                self.write_value(w, k)
+                self.write_value(w, v)
+        elif isinstance(obj, set):
+            w.u8(_N_SET)
+            items = _canonical_set_order(obj)
+            w.varint(len(items))
+            for item in items:
+                self.write_value(w, item)
+        elif isinstance(obj, bytearray):
+            w.u8(_N_BYTEARRAY)
+            w.raw(bytes(obj))
+        elif isinstance(obj, np.ndarray):
+            w.u8(_N_NDARRAY)
+            self._write_dtype(w, obj.dtype)
+            w.varint(obj.ndim)
+            for dim in obj.shape:
+                w.varint(dim)
+            # Re-order the payload into the *source architecture's* byte
+            # order — the self-describing part of heterogeneity support.
+            if obj.dtype.kind in "iufc" and obj.dtype.itemsize > 1:
+                payload = np.ascontiguousarray(
+                    obj, dtype=obj.dtype.newbyteorder(self.arch.struct_order))
+            else:
+                payload = np.ascontiguousarray(obj)
+            w.raw(payload.tobytes())
+        else:  # pragma: no cover - guarded by _NODE_TYPES
+            raise CodecError(f"not a node type: {type(obj).__name__}")
+
+
+def _canonical_set_order(items) -> list:
+    """Deterministic set serialization order (stable across runs)."""
+    try:
+        return sorted(items, key=lambda x: (str(type(x).__name__), repr(x)))
+    except Exception as exc:  # pragma: no cover - exotic unsortable members
+        raise CodecError(f"cannot canonicalize set: {exc}") from exc
+
+
+def encode(obj: Any, arch: Architecture = NATIVE) -> bytes:
+    """Encode *obj* into the machine-independent memory-graph format.
+
+    The root value is written first; graph nodes are appended as they are
+    discovered (node ids are allocated before descending into children, so
+    cycles terminate).
+    """
+    enc = _Encoder(arch)
+    root = Writer(arch)
+    enc.write_value(root, obj)
+    # Node payloads: written in discovery order; new nodes may be appended
+    # while we write (children of children), so iterate by index.
+    bodies: list[bytes] = []
+    i = 0
+    while i < len(enc.nodes):
+        w = Writer(arch)
+        enc.write_node(w, enc.nodes[i])
+        bodies.append(w.getvalue())
+        i += 1
+
+    head = Writer(arch)
+    head._parts.append(_MAGIC)
+    head.string(arch.name)
+    head.u8(0 if arch.endian == "little" else 1)
+    head.u8(arch.word_bits)
+    head.varint(len(bodies))
+    for body in bodies:
+        head.raw(body)
+    head.raw(root.getvalue())
+    return head.getvalue()
+
+
+def peek_arch(data: bytes) -> Architecture:
+    """Read the architecture that produced an encoded blob."""
+    if data[:8] != _MAGIC:
+        raise CodecError("bad magic: not a SNOW memory-graph blob")
+    # The header fields after the magic are endian-free (varint/u8/utf8).
+    r = Reader(data[8:], NATIVE)
+    name = r.string()
+    endian = "little" if r.u8() == 0 else "big"
+    word_bits = r.u8()
+    return Architecture(name, endian, word_bits)
+
+
+class _Decoder:
+    def __init__(self, node_blobs: list[bytes], arch: Architecture):
+        self.arch = arch
+        self.blobs = node_blobs
+        self.shells: list[Any] = [None] * len(node_blobs)
+        self.filled = [False] * len(node_blobs)
+        self._make_shells()
+        for i in range(len(node_blobs)):
+            self._fill(i)
+
+    def _make_shells(self) -> None:
+        """First pass: create empty containers so cycles can be wired."""
+        for i, blob in enumerate(self.blobs):
+            kind = blob[0]
+            if kind == _N_LIST:
+                self.shells[i] = []
+            elif kind == _N_DICT:
+                self.shells[i] = {}
+            elif kind == _N_SET:
+                self.shells[i] = set()
+            elif kind == _N_BYTEARRAY:
+                self.shells[i] = bytearray()
+            elif kind == _N_NDARRAY:
+                self.shells[i] = None  # arrays filled on demand (no cycles)
+            else:
+                raise CodecError(f"bad node kind {kind}")
+
+    def read_value(self, r: Reader) -> Any:
+        tag = r.u8()
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return r.bigint()
+        if tag == _T_FLOAT:
+            return r.f64()
+        if tag == _T_COMPLEX:
+            return complex(r.f64(), r.f64())
+        if tag == _T_STR:
+            return r.string()
+        if tag == _T_BYTES:
+            return r.raw()
+        if tag == _T_TUPLE:
+            n = r.varint()
+            return tuple(self.read_value(r) for _ in range(n))
+        if tag == _T_FROZENSET:
+            n = r.varint()
+            return frozenset(self.read_value(r) for _ in range(n))
+        if tag == _T_NPSCALAR:
+            dtype = self._read_dtype(r)
+            raw = r.raw()
+            return np.frombuffer(raw, dtype=dtype)[0]
+        if tag == _T_REF:
+            nid = r.varint()
+            self._fill(nid)
+            return self.shells[nid]
+        raise CodecError(f"bad value tag {tag}")
+
+    def _read_dtype(self, r: Reader) -> np.dtype:
+        kind = r.string()
+        itemsize = r.varint()
+        base = np.dtype(f"{kind}{itemsize}")
+        if kind in "iufc" and itemsize > 1:
+            return base.newbyteorder(self.arch.struct_order)
+        return base
+
+    def _fill(self, nid: int) -> None:
+        if self.filled[nid]:
+            return
+        self.filled[nid] = True
+        r = Reader(self.blobs[nid], self.arch)
+        kind = r.u8()
+        shell = self.shells[nid]
+        if kind == _N_LIST:
+            n = r.varint()
+            for _ in range(n):
+                shell.append(self.read_value(r))
+        elif kind == _N_DICT:
+            n = r.varint()
+            for _ in range(n):
+                k = self.read_value(r)
+                v = self.read_value(r)
+                shell[k] = v
+        elif kind == _N_SET:
+            n = r.varint()
+            for _ in range(n):
+                shell.add(self.read_value(r))
+        elif kind == _N_BYTEARRAY:
+            shell.extend(r.raw())
+        elif kind == _N_NDARRAY:
+            dtype = self._read_dtype(r)
+            ndim = r.varint()
+            shape = tuple(r.varint() for _ in range(ndim))
+            raw = r.raw()
+            arr = np.frombuffer(raw, dtype=dtype).reshape(shape)
+            # convert to the *native* byte order of the decoding machine;
+            # astype (not ascontiguousarray) keeps 0-dim shapes intact
+            self.shells[nid] = arr.astype(dtype.newbyteorder("="))
+        else:  # pragma: no cover
+            raise CodecError(f"bad node kind {kind}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode a blob produced by :func:`encode` (on any architecture)."""
+    src_arch = peek_arch(data)
+    r = Reader(data[8:], src_arch)
+    r.string()  # arch name (already peeked)
+    r.u8()
+    r.u8()
+    nblobs = r.varint()
+    blobs = [r.raw() for _ in range(nblobs)]
+    root_blob = r.raw()
+    dec = _Decoder(blobs, src_arch)
+    root_reader = Reader(root_blob, src_arch)
+    value = dec.read_value(root_reader)
+    if not root_reader.exhausted:
+        raise CodecError("trailing bytes after root value")
+    return value
+
+
+def encoded_size(obj: Any, arch: Architecture = NATIVE) -> int:
+    """Size in bytes of the machine-independent encoding of *obj*.
+
+    Used by the protocol layer to charge realistic wire and CPU costs for
+    application payloads and state transfers.
+    """
+    return len(encode(obj, arch))

@@ -1,0 +1,149 @@
+"""Low-level self-describing binary writer/reader (XDR-like).
+
+These are the primitive field encoders the memory-graph codec
+(:mod:`repro.codec.memgraph`) is built on. Unlike :mod:`pickle`, the format
+is explicit about byte order: a :class:`Writer` produces bytes in its
+*architecture's* endianness, and a :class:`Reader` is told which
+architecture produced the stream and converts on the fly — this is where
+heterogeneous encode-on-MIPS / decode-on-SPARC actually happens at the
+byte level.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.codec.arch import Architecture
+from repro.util.errors import CodecError
+
+__all__ = ["Writer", "Reader"]
+
+
+class Writer:
+    """Appends primitive fields to a byte buffer in *arch* byte order."""
+
+    def __init__(self, arch: Architecture):
+        self.arch = arch
+        self._parts: list[bytes] = []
+        self._order = arch.struct_order
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+    # -- fixed-width fields ---------------------------------------------------
+    def u8(self, v: int) -> None:
+        if not 0 <= v <= 0xFF:
+            raise CodecError(f"u8 out of range: {v}")
+        self._parts.append(bytes([v]))
+
+    def u32(self, v: int) -> None:
+        if not 0 <= v <= 0xFFFFFFFF:
+            raise CodecError(f"u32 out of range: {v}")
+        self._parts.append(struct.pack(self._order + "I", v))
+
+    def u64(self, v: int) -> None:
+        if not 0 <= v < 1 << 64:
+            raise CodecError(f"u64 out of range: {v}")
+        self._parts.append(struct.pack(self._order + "Q", v))
+
+    def f64(self, v: float) -> None:
+        self._parts.append(struct.pack(self._order + "d", v))
+
+    # -- variable-width fields ---------------------------------------------
+    def varint(self, v: int) -> None:
+        """Unsigned LEB128 (endian-free by construction)."""
+        if v < 0:
+            raise CodecError(f"varint must be non-negative: {v}")
+        while True:
+            byte = v & 0x7F
+            v >>= 7
+            if v:
+                self._parts.append(bytes([byte | 0x80]))
+            else:
+                self._parts.append(bytes([byte]))
+                return
+
+    def bigint(self, v: int) -> None:
+        """Arbitrary-precision signed integer: sign byte + magnitude."""
+        sign = 0 if v >= 0 else 1
+        mag = abs(v)
+        raw = mag.to_bytes((mag.bit_length() + 7) // 8 or 1, self.arch.endian)
+        self.u8(sign)
+        self.varint(len(raw))
+        self._parts.append(raw)
+
+    def raw(self, data: bytes) -> None:
+        self.varint(len(data))
+        self._parts.append(bytes(data))
+
+    def string(self, s: str) -> None:
+        self.raw(s.encode("utf-8"))
+
+
+class Reader:
+    """Consumes fields from a buffer produced by a :class:`Writer`.
+
+    ``arch`` must be the architecture that *wrote* the stream (the
+    memory-graph header records it).
+    """
+
+    def __init__(self, data: bytes, arch: Architecture):
+        self.data = data
+        self.arch = arch
+        self._order = arch.struct_order
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise CodecError(
+                f"truncated stream: need {n} bytes at offset {self.pos}, "
+                f"have {len(self.data) - self.pos}")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.data)
+
+    # -- fixed-width fields -------------------------------------------------
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack(self._order + "I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(self._order + "Q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack(self._order + "d", self._take(8))[0]
+
+    # -- variable-width fields ------------------------------------------------
+    def varint(self) -> int:
+        shift = 0
+        out = 0
+        while True:
+            b = self.u8()
+            out |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return out
+            shift += 7
+            if shift > 70:
+                raise CodecError("varint too long")
+
+    def bigint(self) -> int:
+        sign = self.u8()
+        n = self.varint()
+        mag = int.from_bytes(self._take(n), self.arch.endian)
+        return -mag if sign else mag
+
+    def raw(self) -> bytes:
+        n = self.varint()
+        return self._take(n)
+
+    def string(self) -> str:
+        return self.raw().decode("utf-8")

@@ -1,0 +1,52 @@
+"""The paper's contribution: migration-supported data communication and
+process migration protocols.
+
+Layering (bottom-up): :mod:`repro.core.messages` (wire types),
+:mod:`repro.core.pltable` / :mod:`repro.core.recvlist` (protocol state),
+:mod:`repro.core.endpoint` (send/connect/recv, Figs. 2-4),
+:mod:`repro.core.migration` (migrate/initialize, Figs. 5-7),
+:mod:`repro.core.scheduler` (location service + coordination),
+:mod:`repro.core.api` / :mod:`repro.core.launch` (user-facing surface).
+"""
+
+from repro.core.api import Program, SnowAPI
+from repro.core.autopoll import make_migratable, migratable
+from repro.core.balancer import BalancerDecision, LoadBalancer
+from repro.core.checkpointing import CheckpointStore, checkpoint_state, restore_state
+from repro.core.endpoint import (
+    INITIALIZING,
+    MIGRATING,
+    NORMAL,
+    EndpointStats,
+    MigrationEndpoint,
+)
+from repro.core.launch import Application
+from repro.core.messages import ANY, DataMessage
+from repro.core.pltable import PLTable
+from repro.core.recvlist import ReceivedMessageList
+from repro.core.scheduler import MigrationRecord, SchedulerState, scheduler_main
+
+__all__ = [
+    "ANY",
+    "Application",
+    "BalancerDecision",
+    "CheckpointStore",
+    "checkpoint_state",
+    "restore_state",
+    "DataMessage",
+    "LoadBalancer",
+    "make_migratable",
+    "migratable",
+    "EndpointStats",
+    "INITIALIZING",
+    "MIGRATING",
+    "MigrationEndpoint",
+    "MigrationRecord",
+    "NORMAL",
+    "PLTable",
+    "Program",
+    "ReceivedMessageList",
+    "SchedulerState",
+    "SnowAPI",
+    "scheduler_main",
+]

@@ -1,0 +1,117 @@
+"""User-facing programming interface for migration-enabled programs.
+
+A *migration-enabled program* is a callable ``program(api, state)``:
+
+* ``api`` is a :class:`SnowAPI` — the replacement for ``pvm_send`` /
+  ``pvm_recv`` plus the poll-point migration macro;
+* ``state`` is the program's declared memory state, a dict of plain
+  containers / scalars / numpy arrays. At a fresh start it is ``{}``; after
+  a migration it is the restored state, and the program must resume from
+  it (the analogue of SNOW's compiler-annotated resume points — in Python
+  the program keeps its loop indices and arrays in ``state``).
+
+Programs call :meth:`SnowAPI.poll_migration` at their poll points; if a
+migration request has been intercepted the call never returns on this host
+and the program is re-entered on the destination with the restored state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.endpoint import MigrationEndpoint
+from repro.core.messages import ANY, DataMessage
+
+__all__ = ["SnowAPI", "Program"]
+
+#: Type of a migration-enabled program.
+Program = Callable[["SnowAPI", dict], None]
+
+
+class SnowAPI:
+    """What a migration-enabled application process sees.
+
+    Thin facade over :class:`MigrationEndpoint` — mirrors the prototype's
+    ``snow_send`` / ``snow_recv`` library interface (paper Section 5.2).
+    """
+
+    def __init__(self, endpoint: MigrationEndpoint, nranks: int,
+                 checkpoint_store=None):
+        self._ep = endpoint
+        self.nranks = nranks
+        self._checkpoint_store = checkpoint_store
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's application-level rank."""
+        return self._ep.rank
+
+    @property
+    def size(self) -> int:
+        """Number of application processes in the computation."""
+        return self.nranks
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._ep.kernel.now
+
+    @property
+    def host(self) -> str:
+        """Name of the workstation this process currently runs on."""
+        return self._ep.ctx.host
+
+    # -- communication ---------------------------------------------------------
+    def send(self, dest: int, body: Any, tag: int = 0,
+             nbytes: int | None = None) -> None:
+        """Blocking buffered-mode send to *dest* (``snow_send``)."""
+        self._ep.snow_send(dest, body, tag=tag, nbytes=nbytes)
+
+    def recv(self, src: int | None = ANY, tag: int | None = ANY
+             ) -> DataMessage:
+        """Blocking receive (``snow_recv``); wildcards via ``None``."""
+        return self._ep.snow_recv(src=src, tag=tag)
+
+    def recv_body(self, src: int | None = ANY, tag: int | None = ANY) -> Any:
+        """Receive and return just the message body."""
+        return self._ep.snow_recv(src=src, tag=tag).body
+
+    # -- computation & migration ------------------------------------------------
+    def compute(self, reference_seconds: float) -> None:
+        """A computation event of the given reference-machine cost."""
+        self._ep.ctx.compute(reference_seconds)
+
+    def poll_migration(self, state: dict) -> None:
+        """Poll-point macro: migrate here if a request was intercepted."""
+        self._ep.poll_migration(state)
+
+    def checkpoint(self, state: dict, version: int) -> int:
+        """Save *state* as this rank's checkpoint *version*.
+
+        Call at iteration boundaries (the same quiescent points as
+        ``poll_migration``). Charges the machine-independent collection
+        cost; returns the blob size. Requires the application to have
+        been launched with a ``checkpoint_store``.
+        """
+        if self._checkpoint_store is None:
+            raise RuntimeError(
+                "application launched without a checkpoint_store")
+        from repro.core.checkpointing import checkpoint_state
+        costs = self._ep.vm.costs
+        nbytes = checkpoint_state(self._checkpoint_store, self.rank,
+                                  version, state, self._ep.arch)
+        self._ep.ctx.burn(costs.state_fixed
+                          + nbytes * costs.state_collect_per_byte)
+        self._ep.vm.trace_record(self._ep.ctx.name, "checkpoint_saved",
+                                 version=version, nbytes=nbytes)
+        return nbytes
+
+    def log(self, kind: str, **detail: Any) -> None:
+        """Record an application-level trace event."""
+        self._ep.vm.trace_record(self._ep.ctx.name, f"app_{kind}", **detail)
+
+    # -- introspection (tests, benchmarks) -----------------------------------
+    @property
+    def endpoint(self) -> MigrationEndpoint:
+        return self._ep

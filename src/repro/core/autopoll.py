@@ -1,0 +1,91 @@
+"""Semi-automatic migration enabling (the HPCM compilation-system analogue).
+
+The paper's future work plans "a compilation system to support
+semi-automatic process migration": SNOW's compiler selects poll points
+and inserts the migration macros into the source. The Python analogue:
+the programmer writes a *step function* over an explicit state dict, and
+:func:`make_migratable` assembles the migration-enabled program —
+initializing the state on a fresh start and polling for migration at
+every step boundary, so the programmer never touches ``poll_migration``.
+
+Example::
+
+    def init(api):
+        return {"i": 0, "acc": 0}
+
+    def step(api, state):           # one unit of resumable work
+        state["acc"] += api.recv(src=0).body
+        state["i"] += 1
+        return state["i"] < 100     # False = done
+
+    program = make_migratable(step, init)
+    Application(vm, program, ...)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.api import Program, SnowAPI
+
+__all__ = ["make_migratable", "migratable"]
+
+#: marks a state dict as initialized by the wrapper
+_INIT_KEY = "__autopoll_initialized__"
+
+StepFn = Callable[[SnowAPI, dict], bool]
+InitFn = Callable[[SnowAPI], dict]
+
+
+def make_migratable(step: StepFn, init: InitFn | None = None,
+                    finish: Callable[[SnowAPI, dict], Any] | None = None
+                    ) -> Program:
+    """Build a migration-enabled program from a step function.
+
+    Parameters
+    ----------
+    step:
+        ``step(api, state) -> bool`` performs one resumable unit of work
+        and returns ``True`` while more work remains. A migration poll
+        point runs after every step (the "compiler-inserted macro").
+    init:
+        ``init(api) -> dict`` produces the initial state on a fresh start
+        (not called again after a migration).
+    finish:
+        Optional completion hook, ``finish(api, state)``.
+    """
+
+    def program(api: SnowAPI, state: dict) -> None:
+        if not state.get(_INIT_KEY):
+            if init is not None:
+                fresh = init(api)
+                if not isinstance(fresh, dict):
+                    raise TypeError(
+                        f"init must return a dict, got "
+                        f"{type(fresh).__name__}")
+                state.update(fresh)
+            state[_INIT_KEY] = True
+        while step(api, state):
+            api.poll_migration(state)
+        if finish is not None:
+            finish(api, state)
+
+    program.__name__ = f"migratable({getattr(step, '__name__', 'step')})"
+    return program
+
+
+def migratable(init: InitFn | None = None,
+               finish: Callable[[SnowAPI, dict], Any] | None = None
+               ) -> Callable[[StepFn], Program]:
+    """Decorator form of :func:`make_migratable`::
+
+        @migratable(init=lambda api: {"i": 0})
+        def program(api, state):
+            ...
+            return state["i"] < 100
+    """
+
+    def wrap(step: StepFn) -> Program:
+        return make_migratable(step, init=init, finish=finish)
+
+    return wrap

@@ -1,0 +1,123 @@
+"""Application-level checkpoint/restart (the fault-tolerance motivation).
+
+The paper lists fault tolerance among the motivations for state-transfer
+machinery, and §7 discusses checkpoint-based systems at length. This
+module provides the classic *application-level* variant for SPMD codes on
+top of the reproduction's machine-independent codec:
+
+* each rank calls :meth:`SnowAPI-style checkpoint <CheckpointStore>`
+  at an **iteration boundary** — the same places the migration poll
+  points live. For loop-synchronous programs these boundaries are
+  message-quiescent by construction (every message sent in an iteration
+  is received in it), so the set of per-rank checkpoints with a common
+  version number is globally consistent *without* any runtime
+  coordination;
+* after a crash (or intentionally — "users can crash a process
+  intentionally and restart ... on a new machine", §1), the computation
+  restarts from the latest version every rank completed, on any hosts,
+  any architectures: blobs are self-describing.
+
+What this deliberately does **not** do is checkpoint mid-iteration with
+messages in flight — capturing channel state at arbitrary points is the
+coordinated-checkpointing territory of CoCheck (see
+:mod:`repro.baselines.cocheck` for that mechanism and its costs).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.codec import NATIVE, Architecture, decode, encode
+from repro.util.errors import ReproError
+from repro.vm.ids import Rank
+
+__all__ = ["CheckpointStore", "checkpoint_state", "restore_state"]
+
+
+class CheckpointStore:
+    """Versioned per-rank checkpoint blobs, in memory or on disk.
+
+    Disk layout (when *directory* is given): one file per checkpoint,
+    ``ckpt-r<rank>-v<version>.bin``, containing the codec blob.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self._dir = Path(directory) if directory is not None else None
+        if self._dir is not None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+        self._mem: dict[tuple[Rank, int], bytes] = {}
+
+    # -- raw blob access -------------------------------------------------
+    def save_blob(self, rank: Rank, version: int, blob: bytes) -> None:
+        if self._dir is None:
+            self._mem[(rank, version)] = blob
+        else:
+            (self._dir / f"ckpt-r{rank}-v{version}.bin").write_bytes(blob)
+
+    def load_blob(self, rank: Rank, version: int) -> bytes:
+        if self._dir is None:
+            try:
+                return self._mem[(rank, version)]
+            except KeyError:
+                raise ReproError(
+                    f"no checkpoint for rank {rank} version {version}"
+                ) from None
+        path = self._dir / f"ckpt-r{rank}-v{version}.bin"
+        if not path.exists():
+            raise ReproError(f"no checkpoint file {path}")
+        return path.read_bytes()
+
+    # -- catalogue ----------------------------------------------------------
+    def versions(self, rank: Rank) -> list[int]:
+        if self._dir is None:
+            return sorted(v for r, v in self._mem if r == rank)
+        prefix = f"ckpt-r{rank}-v"
+        out = []
+        for p in self._dir.glob(f"{prefix}*.bin"):
+            tail = p.name[len(prefix):-4]
+            if tail.isdigit():
+                out.append(int(tail))
+        return sorted(out)
+
+    def ranks(self) -> list[Rank]:
+        if self._dir is None:
+            return sorted({r for r, _ in self._mem})
+        out = set()
+        for p in self._dir.glob("ckpt-r*-v*.bin"):
+            head = p.name[len("ckpt-r"):].split("-v", 1)[0]
+            if head.isdigit():
+                out.add(int(head))
+        return sorted(out)
+
+    def latest_common_version(self, nranks: int) -> int | None:
+        """Largest version every one of ``nranks`` ranks has stored.
+
+        This is the recovery line: a crash may interrupt version *k* with
+        only some ranks saved, in which case everyone restarts from
+        *k - 1*.
+        """
+        common: set[int] | None = None
+        for rank in range(nranks):
+            versions = set(self.versions(rank))
+            common = versions if common is None else (common & versions)
+            if not common:
+                return None
+        return max(common) if common else None
+
+
+def checkpoint_state(store: CheckpointStore, rank: Rank, version: int,
+                     state: dict, arch: Architecture = NATIVE) -> int:
+    """Encode and store one rank's state; returns the blob size."""
+    blob = encode(state, arch)
+    store.save_blob(rank, version, blob)
+    return len(blob)
+
+
+def restore_state(store: CheckpointStore, rank: Rank, version: int) -> dict:
+    """Load and decode one rank's state at *version*."""
+    state = decode(store.load_blob(rank, version))
+    if not isinstance(state, dict):
+        raise ReproError(
+            f"checkpoint r{rank} v{version} is {type(state).__name__}, "
+            "expected dict")
+    return state

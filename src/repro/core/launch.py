@@ -1,0 +1,241 @@
+"""Application launcher: wires programs, endpoints, scheduler and hosts.
+
+:class:`Application` is the reproduction's equivalent of starting a SNOW
+computation: it spawns the scheduler, places one migration-enabled process
+per rank on its host, distributes the initial PL table, and provides the
+user-side migration request (:meth:`migrate_at` — the paper's "user sends
+a request to the scheduler").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.codec import NATIVE, Architecture
+from repro.core.api import Program, SnowAPI
+from repro.core.endpoint import MigrationEndpoint
+from repro.core.messages import MigrateRequest
+from repro.core.migration import run_initialization
+from repro.core.pltable import PLTable
+from repro.core.scheduler import (
+    STATUS_RUNNING,
+    SchedulerState,
+    scheduler_main,
+)
+from repro.util.errors import ProtocolError
+from repro.vm.ids import Rank, VmId
+from repro.vm.messages import ControlEnvelope
+from repro.vm.virtual_machine import VirtualMachine
+
+__all__ = ["Application"]
+
+
+class Application:
+    """A distributed computation of ``nranks`` migration-enabled processes.
+
+    Parameters
+    ----------
+    vm:
+        The virtual machine (hosts must already be added).
+    program:
+        The migration-enabled program, ``program(api, state)``.
+    placement:
+        Host of each rank: ``placement[r]`` is rank *r*'s initial host.
+    scheduler_host:
+        Where the scheduler runs.
+    architectures:
+        Optional host → :class:`Architecture` mapping for heterogeneous
+        state encoding; hosts default to :data:`NATIVE`.
+    migratable:
+        ``False`` runs the "original code" configuration of Table 1: same
+        message flow, no migration-layer overheads, migration disabled.
+    """
+
+    def __init__(self, vm: VirtualMachine, program: Program,
+                 placement: list[str], scheduler_host: str,
+                 architectures: dict[str, Architecture] | None = None,
+                 migratable: bool = True, name: str = "app",
+                 checkpoint_store=None, restore_version: int | None = None,
+                 transport: str = "direct"):
+        self.vm = vm
+        self.program = program
+        #: "direct" (connection-oriented) or "indirect" (daemon-routed)
+        self.transport = transport
+        if transport == "indirect" and migratable:
+            raise ProtocolError(
+                "indirect transport does not support migration; pass "
+                "migratable=False (this is the point of the ablation)")
+        #: optional CheckpointStore for api.checkpoint()
+        self.checkpoint_store = checkpoint_store
+        #: restart every rank from this checkpoint version instead of {}
+        self.restore_version = restore_version
+        if restore_version is not None and checkpoint_store is None:
+            raise ProtocolError(
+                "restore_version requires a checkpoint_store")
+        self.placement = list(placement)
+        self.nranks = len(placement)
+        self.scheduler_host = scheduler_host
+        self.architectures = dict(architectures or {})
+        self.migratable = migratable
+        self.name = name
+        #: current endpoint of each rank (replaced after a migration)
+        self.endpoints: dict[Rank, MigrationEndpoint] = {}
+        #: every endpoint ever created, including pre-migration incarnations
+        self.all_endpoints: list[MigrationEndpoint] = []
+        #: per-rank incarnation counter (process names p0, p0.m1, ...)
+        self._incarnation: dict[Rank, int] = {}
+        self.scheduler_state: SchedulerState | None = None
+        self._scheduler_ctx = None
+        self._started = False
+
+    # -- setup ------------------------------------------------------------
+    def arch_for(self, host: str) -> Architecture:
+        return self.architectures.get(host, NATIVE)
+
+    def start(self) -> "Application":
+        """Spawn the scheduler and all rank processes (at virtual t=0)."""
+        if self._started:
+            raise ProtocolError("application already started")
+        self._started = True
+        vm = self.vm
+
+        master_pl = PLTable()
+        self.scheduler_state = SchedulerState(
+            pl=master_pl, spawn_initialized=self._spawn_initialized)
+        self._scheduler_ctx = vm.spawn(
+            self.scheduler_host, scheduler_main, self.scheduler_state,
+            name="scheduler", daemon=True)
+
+        # Spawn every rank first so the PL table is complete before any
+        # process body runs (all spawns happen before kernel.run()).
+        ctxs = []
+        for rank, host in enumerate(self.placement):
+            ctx = vm.spawn(host, self._rank_main, rank, name=f"p{rank}",
+                           rank=rank)
+            master_pl.update(rank, ctx.vmid)
+            self.scheduler_state.status[rank] = STATUS_RUNNING
+            ctxs.append(ctx)
+        return self
+
+    def _rank_main(self, ctx, rank: Rank) -> None:
+        endpoint = MigrationEndpoint(
+            ctx, rank, self._scheduler_ctx.vmid,
+            self.scheduler_state.pl.copy(),
+            arch=self.arch_for(ctx.host),
+            migration_enabled=self.migratable,
+            transport=self.transport)
+        self.endpoints[rank] = endpoint
+        self.all_endpoints.append(endpoint)
+        api = SnowAPI(endpoint, self.nranks,
+                      checkpoint_store=self.checkpoint_store)
+        if self.restore_version is not None:
+            from repro.core.checkpointing import restore_state
+            state = restore_state(self.checkpoint_store, rank,
+                                  self.restore_version)
+            ctx.burn(self.vm.costs.state_fixed)
+            self.vm.trace_record(ctx.name, "checkpoint_restored",
+                                 version=self.restore_version)
+        else:
+            state = {}
+        self.program(api, state)
+        endpoint.shutdown()
+
+    def _spawn_initialized(self, rank: Rank, dest_host: str) -> VmId:
+        """Process initialization on the destination (scheduler callback)."""
+        inc = self._incarnation.get(rank, 0) + 1
+        self._incarnation[rank] = inc
+        ctx = self.vm.spawn(dest_host, self._init_main, rank,
+                            name=f"p{rank}.m{inc}", rank=rank)
+        return ctx.vmid
+
+    def _init_main(self, ctx, rank: Rank) -> None:
+        endpoint = MigrationEndpoint(
+            ctx, rank, self._scheduler_ctx.vmid, PLTable(),
+            arch=self.arch_for(ctx.host),
+            migration_enabled=True, initializing=True)
+        self.endpoints[rank] = endpoint
+        self.all_endpoints.append(endpoint)
+        state = run_initialization(endpoint)
+        api = SnowAPI(endpoint, self.nranks,
+                      checkpoint_store=self.checkpoint_store)
+        self.program(api, state)
+        endpoint.shutdown()
+
+    # -- user operations ---------------------------------------------------
+    def migrate_at(self, when: float, rank: Rank, dest_host: str) -> None:
+        """Schedule a user migration request at virtual time *when*.
+
+        Models the out-of-band user → scheduler request of Section 2.2.
+        """
+        if not self.migratable:
+            raise ProtocolError(
+                "cannot migrate an application launched with migratable=False")
+
+        def inject() -> None:
+            self._scheduler_ctx.mailbox.put(ControlEnvelope(
+                src_vmid=VmId("user", 0),
+                msg=MigrateRequest(rank=rank, dest_host=dest_host)))
+
+        if not self._started:
+            raise ProtocolError("start() the application first")
+        self.vm.kernel.call_at(when, inject)
+
+    def migrate_after_event(self, kind: str, rank: Rank, dest_host: str,
+                            poll_interval: float = 1e-3,
+                            actor: str | None = None,
+                            **detail_match) -> None:
+        """Request a migration as soon as a matching trace event appears.
+
+        Robust way to hit a specific application phase (e.g. "after two
+        V-cycles"): trigger on the phase-boundary trace event; the signal
+        is then pending at the next poll point. The trace is scanned
+        incrementally, so polling stays cheap.
+        """
+        if not self._started:
+            raise ProtocolError("start() the application first")
+        trace = self.vm.trace
+        scan_pos = [0]
+
+        def matched() -> bool:
+            events = trace.events
+            for i in range(scan_pos[0], len(events)):
+                ev = events[i]
+                if ev.kind == kind \
+                        and (actor is None or ev.actor == actor) \
+                        and all(ev.detail.get(k) == v
+                                for k, v in detail_match.items()):
+                    return True
+            scan_pos[0] = len(events)
+            return False
+
+        def check() -> None:
+            if matched():
+                self._scheduler_ctx.mailbox.put(ControlEnvelope(
+                    src_vmid=VmId("user", 0),
+                    msg=MigrateRequest(rank=rank, dest_host=dest_host)))
+            else:
+                self.vm.kernel.call_later(poll_interval, check)
+
+        self.vm.kernel.call_later(0.0, check)
+
+    def run(self, **kwargs: Any) -> "Application":
+        """Start (if needed) and drive the computation to completion."""
+        if not self._started:
+            self.start()
+        self.vm.run(**kwargs)
+        return self
+
+    # -- results ------------------------------------------------------------
+    @property
+    def migrations(self):
+        return self.scheduler_state.migrations if self.scheduler_state else []
+
+    def total_comm_time(self) -> float:
+        """Time spent in snow_send/snow_recv, summed over all incarnations."""
+        return sum(ep.stats.comm_time for ep in self.all_endpoints)
+
+    def total_messages(self) -> int:
+        return sum(ep.stats.messages_sent for ep in self.all_endpoints)
+
+    def total_bytes(self) -> int:
+        return sum(ep.stats.bytes_sent for ep in self.all_endpoints)

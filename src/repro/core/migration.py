@@ -1,0 +1,223 @@
+"""The process-migration algorithms (paper Figs. 5 and 7).
+
+:func:`run_migration` executes on the migrating process (triggered from a
+poll point once the migration-request signal has been intercepted) and
+:func:`run_initialization` on the initialized process waiting on the
+destination host. The two run concurrently and communicate over a direct
+state-transfer channel — the prototype shipped execution/memory state over
+raw TCP outside PVM, which is why those transfers do not appear as PVM
+message lines in the paper's XPVM diagrams; we trace them as dedicated
+``state_*`` events instead.
+
+Trace events emitted here (consumed by the analysis layer to regenerate
+the paper's Tables 1-2 and Figures 10-13):
+
+``migration_start``, ``coordinate_done``, ``recvlist_sent``,
+``collect_done``, ``state_sent``, ``migration_source_done`` on the source;
+``init_start``, ``recvlist_received``, ``state_received``,
+``restore_done``, ``migration_commit`` on the destination.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.codec import encode, decode
+from repro.core.endpoint import MIGRATING, NORMAL, MigrationEndpoint
+from repro.core.messages import (
+    ExeMemState,
+    InitAbort,
+    MigrationCommit,
+    MigrationStart,
+    NewProcessReply,
+    PeerMigrating,
+    PLSnapshot,
+    RecvListTransfer,
+    RestoreComplete,
+    SIG_DISCONNECT,
+)
+from repro.core.sizes import CONTROL_PAYLOAD_BYTES, MESSAGE_HEADER_BYTES
+from repro.util.errors import MigrationError
+from repro.vm.channel import Channel
+from repro.vm.ids import Rank
+from repro.vm.messages import ControlEnvelope, Envelope
+
+__all__ = ["run_migration", "run_initialization"]
+
+
+def run_migration(ep: MigrationEndpoint, state: dict) -> None:
+    """The migrate() algorithm on the migrating process (Fig. 5).
+
+    Never returns: the process terminates once state transfer completes.
+    """
+    ctx = ep.ctx
+    vm = ep.vm
+    kernel = ep.kernel
+    ep.migration_requested = False
+    # Migration is one long communication event: the disconnection
+    # handler must not run inside it (we coordinate explicitly below).
+    ctx.hold_signals()
+    t_start = kernel.now
+    vm.trace_record(ctx.name, "migration_start", rank=ep.rank,
+                    old_vmid=str(ctx.vmid))
+
+    # Lines 2-3: inform the scheduler and obtain the initialized process's
+    # vmid (the scheduler created it before signalling us).
+    reply_env = _scheduler_rpc(
+        ep, MigrationStart(rank=ep.rank, old_vmid=ctx.vmid),
+        lambda m: isinstance(m, NewProcessReply) and m.rank == ep.rank)
+    new_vmid = reply_env.msg.new_vmid
+    ep.state = MIGRATING
+
+    # Line 4: the local daemon rejects conn_reqs arriving beyond this
+    # point; requests already in our mailbox are rejected as we drain
+    # (dispatch nacks them in the MIGRATING state).
+    vm.daemon(ctx.host).reject_future_conn_reqs(ctx.vmid.pid)
+
+    # Line 5: coordinate every connected peer — disconnection signal plus
+    # peer_migrating as our last message on each channel.
+    t_coord0 = kernel.now
+    waiting: set[Rank] = set()
+    ep._drain_waiting = waiting
+
+    def coordinate(rank: Rank, chan: Channel) -> None:
+        ctx.send_signal(chan.peer_of(ctx.vmid), SIG_DISCONNECT)
+        chan.send(ctx, PeerMigrating(ep.rank), CONTROL_PAYLOAD_BYTES)
+        chan.close_end(ctx.vmid)
+        waiting.add(rank)
+        vm.trace_record(ctx.name, "peer_coordinated", peer=rank)
+
+    ep._drain_coordinate = coordinate
+    for rank, chan in list(ep.connected.items()):
+        coordinate(rank, chan)
+
+    # Line 6: drain — receive everything still in transit into the
+    # received-message-list until each coordinated peer's last message
+    # (end_of_message, or peer_migrating if it is migrating too) arrives.
+    # Grants whose ChannelHello is still in flight are waited out too: the
+    # hello registers the channel, which coordinate() then handles like any
+    # other connected peer.
+    while waiting or ep.pending_grant_count() > 0:
+        item = ctx.next_message()
+        ep.dispatch(item)
+    ep._drain_waiting = None
+    ep._drain_coordinate = None
+    # Line 7: every coordinated channel has been closed by the drain.
+    if ep.connected:
+        raise MigrationError(
+            f"connections survived the drain: {sorted(ep.connected)}")
+    t_coord = kernel.now - t_coord0
+    vm.trace_record(ctx.name, "coordinate_done", seconds=t_coord,
+                    captured=ep.stats.captured_in_transit)
+
+    # Line 8: forward the received-message-list to the new process over a
+    # direct transfer channel.
+    xfer = vm.create_channel(ctx.vmid, new_vmid)
+    messages = ep.recvlist.take_all()
+    list_nbytes = sum(m.nbytes for m in messages) + MESSAGE_HEADER_BYTES
+    xfer.send(ctx, RecvListTransfer(messages, list_nbytes), list_nbytes)
+    vm.trace_record(ctx.name, "recvlist_sent", count=len(messages),
+                    nbytes=list_nbytes)
+
+    # Line 9: collect execution and memory state into the
+    # machine-independent representation (refs [10, 11]).
+    t_collect0 = kernel.now
+    blob = encode(state, ep.arch)
+    costs = vm.costs
+    ctx.burn(costs.state_fixed + len(blob) * costs.state_collect_per_byte)
+    vm.trace_record(ctx.name, "collect_done", nbytes=len(blob),
+                    seconds=kernel.now - t_collect0)
+
+    # Line 10: ship it.
+    xfer.send(ctx, ExeMemState(blob, len(blob), ep.arch.name), len(blob))
+    vm.trace_record(ctx.name, "state_sent", nbytes=len(blob))
+
+    # Line 11: the migrating process terminates; the initialized process
+    # resumes execution.
+    vm.trace_record(ctx.name, "migration_source_done",
+                    total_seconds=kernel.now - t_start)
+    ctx.terminate()
+
+
+def run_initialization(ep: MigrationEndpoint) -> dict:
+    """The initialize() algorithm on the destination (Fig. 7).
+
+    Returns the restored application state; the caller then resumes the
+    program from it.
+    """
+    ctx = ep.ctx
+    vm = ep.vm
+    kernel = ep.kernel
+    vm.trace_record(ctx.name, "init_start", rank=ep.rank,
+                    vmid=str(ctx.vmid))
+
+    # Line 1 is implicit: the endpoint was constructed in the INITIALIZING
+    # state and grants every conn_req from the start; data arriving on
+    # fresh channels accumulates in the local received-message-list (ListB).
+
+    # Lines 2-3: receive the migrating process's list (ListA), then insert
+    # it *in front of* the local list so it is consumed first.
+    env = _pump_transfer(ep, RecvListTransfer)
+    transfer: RecvListTransfer = env.payload
+    ep.recvlist.prepend_all(transfer.messages)
+    vm.trace_record(ctx.name, "recvlist_received",
+                    count=len(transfer.messages))
+
+    # Line 4: receive the execution and memory state.
+    env = _pump_transfer(ep, ExeMemState)
+    payload: ExeMemState = env.payload
+    vm.trace_record(ctx.name, "state_received", nbytes=payload.nbytes,
+                    src_arch=payload.src_arch)
+    t_restore0 = kernel.now
+    state = decode(payload.blob)
+    costs = vm.costs
+    ctx.burn(costs.state_fixed + payload.nbytes * costs.state_restore_per_byte)
+    if not isinstance(state, dict):
+        raise MigrationError(
+            f"restored state is {type(state).__name__}, expected dict")
+
+    # Lines 5-6: tell the scheduler restoration completed; receive the
+    # current PL table contents and the old vmid.
+    reply_env = _scheduler_rpc(
+        ep, RestoreComplete(rank=ep.rank, new_vmid=ctx.vmid),
+        lambda m: isinstance(m, PLSnapshot) and m.rank == ep.rank)
+    snapshot: PLSnapshot = reply_env.msg
+    ep.pl.replace_all(snapshot.table)
+    vm.trace_record(ctx.name, "restore_done",
+                    seconds=kernel.now - t_restore0,
+                    old_vmid=str(snapshot.old_vmid))
+
+    # Line 7: commit.
+    ctx.route_control(ep.scheduler_vmid, MigrationCommit(rank=ep.rank))
+    vm.trace_record(ctx.name, "migration_commit", rank=ep.rank)
+
+    # Line 8: restore process state — the caller resumes the program.
+    ep.state = NORMAL
+    return state
+
+
+def _pump_transfer(ep: MigrationEndpoint, payload_type: type) -> Envelope:
+    """Wait for a state-transfer payload, honouring scheduler aborts.
+
+    If the scheduler reports the migrating rank terminated before starting
+    its migration (:class:`InitAbort`), the initialized process exits —
+    there is nothing to restore.
+    """
+    item = ep.pump_until(
+        lambda it: (isinstance(it, Envelope)
+                    and isinstance(it.payload, payload_type))
+        or (isinstance(it, ControlEnvelope)
+            and isinstance(it.msg, InitAbort)))
+    if isinstance(item, ControlEnvelope):
+        ep.vm.trace_record(ep.ctx.name, "init_aborted",
+                           reason=item.msg.reason)
+        ep.ctx.terminate()
+    return item
+
+
+def _scheduler_rpc(ep: MigrationEndpoint, request: Any, match) -> Any:
+    """Send *request* to the scheduler; pump until the reply matching
+    *match* arrives. Returns the reply's control envelope."""
+    ep.ctx.route_control(ep.scheduler_vmid, request)
+    return ep.pump_until(
+        lambda it: isinstance(it, ControlEnvelope) and match(it.msg))

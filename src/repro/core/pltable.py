@@ -1,0 +1,65 @@
+"""The process-location (PL) table (paper Section 2.1).
+
+Maps application ranks to vmids. A copy lives in every process and in the
+scheduler; copies go stale when processes migrate and are refreshed *on
+demand*: a sender only learns a peer's new location when a connection
+attempt is rejected and it consults the scheduler — the protocol's
+no-broadcast property.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.util.errors import ProtocolError
+from repro.vm.ids import Rank, VmId
+
+__all__ = ["PLTable"]
+
+
+class PLTable:
+    """A rank → vmid mapping with explicit update semantics."""
+
+    def __init__(self, entries: dict[Rank, VmId] | None = None):
+        self._table: dict[Rank, VmId] = dict(entries or {})
+
+    def __contains__(self, rank: Rank) -> bool:
+        return rank in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[Rank]:
+        return iter(sorted(self._table))
+
+    def lookup(self, rank: Rank) -> VmId:
+        """Current belief about where *rank* lives (may be stale)."""
+        try:
+            return self._table[rank]
+        except KeyError:
+            raise ProtocolError(f"rank {rank} not in PL table") from None
+
+    def update(self, rank: Rank, vmid: VmId) -> None:
+        """Record a (new) location for *rank* (Fig. 3 line 12)."""
+        self._table[rank] = vmid
+
+    def remove(self, rank: Rank) -> None:
+        self._table.pop(rank, None)
+
+    def replace_all(self, entries: dict[Rank, VmId]) -> None:
+        """Install a full snapshot (initialize(), Fig. 7 line 6)."""
+        self._table = dict(entries)
+
+    def snapshot(self) -> dict[Rank, VmId]:
+        """An independent copy of the mapping."""
+        return dict(self._table)
+
+    def copy(self) -> "PLTable":
+        return PLTable(self._table)
+
+    def ranks(self) -> list[Rank]:
+        return sorted(self._table)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r}->{v}" for r, v in sorted(self._table.items()))
+        return f"<PLTable {inner}>"

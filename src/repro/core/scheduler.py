@@ -1,0 +1,205 @@
+"""The centralized scheduler (paper Sections 2 and 3).
+
+The scheduler is a (daemon) process in the virtual machine that
+
+1. keeps track of hosts and application processes (the master PL table and
+   each rank's execution status),
+2. provides the lookup service that ``connect()`` consults after a
+   connection rejection — location updates are therefore strictly
+   *on demand*, never broadcast,
+3. coordinates process migration: on a user migration request it performs
+   *process initialization* (remotely invoking the migration-enabled
+   executable on the destination) and then signals the migrating process;
+   it answers ``migration_start`` with the initialized process's vmid,
+   installs the new location at ``restore_complete``, and books the
+   ``migration_commit``.
+
+The paper notes the scheduler could equally be distributed (DNS/LDAP/
+Chord-style); a centralized one is used "for the sake of simplicity" and
+that is what we reproduce. The lookup *protocol* is what matters to the
+communication state transfer, not the directory's internal structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.messages import (
+    InitAbort,
+    LookupReply,
+    LookupRequest,
+    MigrateRequest,
+    MigrationCommit,
+    MigrationStart,
+    NewProcessReply,
+    PLSnapshot,
+    RestoreComplete,
+    SIG_MIGRATE,
+    TerminateNotice,
+)
+from repro.core.pltable import PLTable
+from repro.vm.ids import Rank, VmId
+from repro.vm.messages import ControlEnvelope
+from repro.vm.process import ProcessContext
+
+__all__ = ["SchedulerState", "MigrationRecord", "scheduler_main",
+           "STATUS_RUNNING", "STATUS_MIGRATING", "STATUS_TERMINATED"]
+
+STATUS_RUNNING = "running"
+STATUS_MIGRATING = "migrating"
+STATUS_TERMINATED = "terminated"
+
+#: CPU cost (reference seconds) of remotely invoking the migration-enabled
+#: executable on the destination host (process initialization).
+PROCESS_INIT_COST = 5e-3
+
+
+@dataclass
+class MigrationRecord:
+    """Bookkeeping for one migration (scheduler's records)."""
+
+    rank: Rank
+    dest_host: str
+    old_vmid: VmId | None = None
+    new_vmid: VmId | None = None
+    t_request: float = 0.0
+    t_signalled: float = 0.0
+    t_start: float = 0.0
+    t_restored: float = 0.0
+    t_committed: float = 0.0
+    #: the rank finished before the migration could start
+    aborted: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.t_committed > 0.0
+
+    @property
+    def duration(self) -> float:
+        """migration_start → restore_complete (the paper's Migrate row)."""
+        return self.t_restored - self.t_start
+
+
+@dataclass
+class SchedulerState:
+    """Shared state between the scheduler process and the launcher.
+
+    ``spawn_initialized`` is injected by the application launcher: it
+    performs process initialization (spawning the migration-enabled
+    executable on the destination) and returns the new process's vmid.
+    """
+
+    pl: PLTable
+    spawn_initialized: Callable[[Rank, str], VmId]
+    status: dict[Rank, str] = field(default_factory=dict)
+    init_vmid: dict[Rank, VmId] = field(default_factory=dict)
+    migrations: list[MigrationRecord] = field(default_factory=list)
+    lookups_served: int = 0
+
+    def current_record(self, rank: Rank) -> MigrationRecord:
+        for rec in reversed(self.migrations):
+            if rec.rank == rank and not rec.completed and not rec.aborted:
+                return rec
+        raise LookupError(f"no open migration record for rank {rank}")
+
+
+def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
+    """Event loop of the scheduler process (spawned as a daemon)."""
+    vm = ctx.vm
+    while True:
+        item = ctx.next_message()
+        if not isinstance(item, ControlEnvelope):
+            vm.trace_record(ctx.name, "scheduler_ignored",
+                            item=type(item).__name__)
+            continue
+        msg = item.msg
+
+        if isinstance(msg, LookupRequest):
+            state.lookups_served += 1
+            status = state.status.get(msg.rank, STATUS_TERMINATED)
+            if status == STATUS_MIGRATING:
+                reply = LookupReply(msg.rank, "migrate",
+                                    state.init_vmid[msg.rank], msg.token)
+            elif status == STATUS_RUNNING:
+                reply = LookupReply(msg.rank, "running",
+                                    state.pl.lookup(msg.rank), msg.token)
+            else:
+                reply = LookupReply(msg.rank, "terminated", None, msg.token)
+            vm.trace_record(ctx.name, "lookup_served", rank=msg.rank,
+                            status=reply.status)
+            ctx.route_control(msg.reply_to, reply)
+
+        elif isinstance(msg, MigrateRequest):
+            if state.status.get(msg.rank) != STATUS_RUNNING \
+                    or msg.rank in state.init_vmid:
+                vm.trace_record(ctx.name, "migrate_request_ignored",
+                                rank=msg.rank,
+                                status=state.status.get(msg.rank))
+                continue
+            rec = MigrationRecord(rank=msg.rank, dest_host=msg.dest_host,
+                                  t_request=ctx.kernel.now)
+            state.migrations.append(rec)
+            # Process initialization: remote invocation of the
+            # migration-enabled executable on the destination machine.
+            ctx.burn(PROCESS_INIT_COST)
+            new_vmid = state.spawn_initialized(msg.rank, msg.dest_host)
+            state.init_vmid[msg.rank] = new_vmid
+            rec.new_vmid = new_vmid
+            vm.trace_record(ctx.name, "initialized_process_spawned",
+                            rank=msg.rank, vmid=str(new_vmid),
+                            host=msg.dest_host)
+            # Now instruct the migrating process.
+            target = state.pl.lookup(msg.rank)
+            ctx.send_signal(target, SIG_MIGRATE)
+            rec.t_signalled = ctx.kernel.now
+            vm.trace_record(ctx.name, "migration_signalled", rank=msg.rank,
+                            target=str(target))
+
+        elif isinstance(msg, MigrationStart):
+            state.status[msg.rank] = STATUS_MIGRATING
+            rec = state.current_record(msg.rank)
+            rec.old_vmid = msg.old_vmid
+            rec.t_start = ctx.kernel.now
+            ctx.route_control(
+                item.src_vmid,
+                NewProcessReply(msg.rank, state.init_vmid[msg.rank]))
+            vm.trace_record(ctx.name, "migration_start_acked", rank=msg.rank)
+
+        elif isinstance(msg, RestoreComplete):
+            rec = state.current_record(msg.rank)
+            rec.t_restored = ctx.kernel.now
+            state.pl.update(msg.rank, msg.new_vmid)
+            state.status[msg.rank] = STATUS_RUNNING
+            state.init_vmid.pop(msg.rank, None)
+            ctx.route_control(
+                item.src_vmid,
+                PLSnapshot(rank=msg.rank, table=state.pl.snapshot(),
+                           old_vmid=rec.old_vmid))
+            vm.trace_record(ctx.name, "restore_complete", rank=msg.rank,
+                            new_vmid=str(msg.new_vmid))
+
+        elif isinstance(msg, MigrationCommit):
+            rec = state.current_record(msg.rank)
+            rec.t_committed = ctx.kernel.now
+            vm.trace_record(ctx.name, "migration_committed", rank=msg.rank)
+
+        elif isinstance(msg, TerminateNotice):
+            state.status[msg.rank] = STATUS_TERMINATED
+            vm.trace_record(ctx.name, "rank_terminated", rank=msg.rank)
+            # If a migration was pending for this rank but its process
+            # finished first, release the waiting initialized process.
+            pending = state.init_vmid.pop(msg.rank, None)
+            if pending is not None:
+                try:
+                    rec = state.current_record(msg.rank)
+                    rec.aborted = True
+                except LookupError:
+                    pass
+                ctx.route_control(pending, InitAbort(rank=msg.rank))
+                vm.trace_record(ctx.name, "migration_aborted",
+                                rank=msg.rank, init=str(pending))
+
+        else:
+            vm.trace_record(ctx.name, "scheduler_ignored",
+                            item=type(msg).__name__)

@@ -1,0 +1,39 @@
+"""Payload size estimation for wire/CPU cost accounting.
+
+``snow_send`` charges network and copy costs by message size. Callers that
+know their payload size (the MG kernel does) pass ``nbytes`` explicitly;
+otherwise we estimate cheaply here — a full codec encode of every payload
+would itself distort the timings we are modelling.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.codec import encoded_size
+
+__all__ = ["estimate_nbytes", "MESSAGE_HEADER_BYTES", "CONTROL_PAYLOAD_BYTES"]
+
+#: framing overhead added to every data message (PVM header ballpark)
+MESSAGE_HEADER_BYTES = 40
+#: wire size of small in-channel control payloads (hello/eom/peer_migrating)
+CONTROL_PAYLOAD_BYTES = 16
+
+
+def estimate_nbytes(body: Any) -> int:
+    """Approximate encoded size of *body* in bytes (plus header).
+
+    Exact for arrays/bytes/strings (the overwhelmingly common payloads);
+    falls back to the codec's true encoded size for anything structured.
+    """
+    if isinstance(body, np.ndarray):
+        return int(body.nbytes) + MESSAGE_HEADER_BYTES
+    if isinstance(body, (bytes, bytearray)):
+        return len(body) + MESSAGE_HEADER_BYTES
+    if isinstance(body, str):
+        return len(body.encode("utf-8")) + MESSAGE_HEADER_BYTES
+    if isinstance(body, (int, float, complex, bool)) or body is None:
+        return 8 + MESSAGE_HEADER_BYTES
+    return encoded_size(body) + MESSAGE_HEADER_BYTES

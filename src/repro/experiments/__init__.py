@@ -1,0 +1,17 @@
+"""Canned experiment configurations reproducing the paper's evaluation."""
+
+from repro.experiments.mg_runs import (
+    DEC_SPEED,
+    MGRunResult,
+    ULTRA5_FLOPS,
+    run_mg_heterogeneous,
+    run_mg_homogeneous,
+)
+
+__all__ = [
+    "DEC_SPEED",
+    "MGRunResult",
+    "ULTRA5_FLOPS",
+    "run_mg_heterogeneous",
+    "run_mg_homogeneous",
+]

@@ -1,0 +1,164 @@
+"""Canned kernel-MG experiment configurations (paper Section 6).
+
+Each function builds and runs one of the paper's experimental setups and
+returns an :class:`MGRunResult` with everything the tables and figures
+need. Used by the benchmark harness (``benchmarks/``), the examples, and
+the integration tests.
+
+The paper's testbeds map onto these configurations:
+
+* ``run_mg_homogeneous`` — ten Sun Ultra 5s on 100 Mbit/s Ethernet
+  (Sections 6.1-6.2, Figures 10-12, Table 1). Modes: ``original``
+  (plain code), ``modified`` (migration-enabled, no migration),
+  ``migration`` (rank 0 migrates after ``migrate_after`` V-cycles).
+* ``run_mg_heterogeneous`` — 7 Ultra 5s plus one DEC 5000/120 on a
+  10 Mbit/s uplink; the slow process migrates to an idle Ultra 5
+  (Section 6.3, Figure 13, Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.metrics import MigrationBreakdown, makespan, migration_breakdown
+from repro.apps.mg import make_mg_program, num_levels_dist
+from repro.codec import MIPS32, SPARC32
+from repro.core.launch import Application
+from repro.sim.network import ETHERNET_10M
+from repro.vm.virtual_machine import VirtualMachine
+
+__all__ = ["MGRunResult", "run_mg_homogeneous", "run_mg_heterogeneous"]
+
+#: virtual-time calibration: reference Ultra 5 floating-point rate
+ULTRA5_FLOPS = 2.5e7
+#: the DEC 5000/120's relative CPU speed (paper: collect 5.209 s vs 0.73 s)
+DEC_SPEED = 0.14
+
+
+@dataclass
+class MGRunResult:
+    """Everything one MG run produced."""
+
+    mode: str
+    n: int
+    nranks: int
+    vm: VirtualMachine
+    app: Application
+    results: dict[int, dict[str, Any]]
+    #: makespan of the application processes (paper's "Execution")
+    execution: float
+    #: mean per-process time inside snow_send/snow_recv ("Communication")
+    communication: float
+    breakdown: MigrationBreakdown | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_messages(self) -> int:
+        return self.app.total_messages()
+
+    @property
+    def total_bytes(self) -> int:
+        return self.app.total_bytes()
+
+
+def _finish(mode: str, n: int, nranks: int, vm: VirtualMachine,
+            app: Application, results: dict, source: str | None = None,
+            dest: str | None = None) -> MGRunResult:
+    actors = [f"p{r}" for r in range(nranks)] + [f"p{r}.m1" for r in range(nranks)]
+    execution = makespan(vm.trace, actors)
+    # aggregate communication time per rank across incarnations
+    per_rank: dict[int, float] = {}
+    for ep in app.all_endpoints:
+        per_rank[ep.rank] = per_rank.get(ep.rank, 0.0) + ep.stats.comm_time
+    comm_values = list(per_rank.values())
+    communication = sum(comm_values) / max(1, len(comm_values))
+    breakdown = None
+    if source is not None and dest is not None:
+        breakdown = migration_breakdown(vm.trace, source, dest)
+    return MGRunResult(mode=mode, n=n, nranks=nranks, vm=vm, app=app,
+                       results=results, execution=execution,
+                       communication=communication, breakdown=breakdown)
+
+
+def run_mg_homogeneous(mode: str = "modified", n: int = 64, nranks: int = 8,
+                       iterations: int = 4, migrate_after: int = 2,
+                       flop_rate: float = ULTRA5_FLOPS,
+                       seed: int = 7) -> MGRunResult:
+    """Sections 6.1-6.2: the Ultra 5 cluster.
+
+    ``mode``: ``"original"`` | ``"modified"`` | ``"migration"``.
+    """
+    if mode not in ("original", "modified", "migration"):
+        raise ValueError(f"unknown mode {mode!r}")
+    vm = VirtualMachine()
+    # ten workstations: 8 compute + scheduler host + migration destination
+    for i in range(nranks):
+        vm.add_host(f"u{i}")
+    vm.add_host("sched")
+    vm.add_host("spare")
+
+    results: dict[int, dict[str, Any]] = {}
+    levels = num_levels_dist(n, n // nranks)
+    program = make_mg_program(n, iterations=iterations, levels=levels,
+                              flop_rate=flop_rate, seed=seed,
+                              results=results)
+    app = Application(vm, program, placement=[f"u{i}" for i in range(nranks)],
+                      scheduler_host="sched",
+                      migratable=(mode != "original"))
+    app.start()
+    source = dest = None
+    if mode == "migration":
+        # Request the migration while V-cycle ``migrate_after`` runs, so
+        # the signal is pending at the poll point that closes it — the
+        # paper migrates after two completed iterations.
+        app.migrate_after_event("app_vcycle_done", rank=0,
+                                dest_host="spare", actor="p0",
+                                iter=migrate_after - 1)
+        source, dest = "p0", "p0.m1"
+    app.run()
+    res = _finish(mode, n, nranks, vm, app, results, source, dest)
+    if mode == "migration":
+        assert len(app.migrations) == 1 and app.migrations[0].completed, \
+            "migration did not complete — adjust request timing"
+    return res
+
+
+def run_mg_heterogeneous(n: int = 64, nranks: int = 8, iterations: int = 4,
+                         migrate_after: int = 2,
+                         flop_rate: float = ULTRA5_FLOPS,
+                         dec_speed: float = DEC_SPEED,
+                         seed: int = 7) -> MGRunResult:
+    """Section 6.3: one DEC 5000/120 on 10 Mbit/s Ethernet; its process
+    migrates to an idle Ultra 5 after ``migrate_after`` V-cycles."""
+    vm = VirtualMachine()
+    vm.add_host("dec0", cpu_speed=dec_speed)
+    for i in range(1, nranks):
+        vm.add_host(f"u{i}")
+    vm.add_host("sched")
+    vm.add_host("spare")
+    # the DEC hangs off a 10 Mbit segment towards every other machine
+    for other in vm.hosts:
+        if other != "dec0":
+            vm.network.set_link("dec0", other, ETHERNET_10M)
+
+    results: dict[int, dict[str, Any]] = {}
+    levels = num_levels_dist(n, n // nranks)
+    program = make_mg_program(n, iterations=iterations, levels=levels,
+                              flop_rate=flop_rate, seed=seed,
+                              results=results)
+    placement = ["dec0"] + [f"u{i}" for i in range(1, nranks)]
+    architectures = {"dec0": MIPS32}
+    architectures.update({f"u{i}": SPARC32 for i in range(1, nranks)})
+    architectures["spare"] = SPARC32
+    app = Application(vm, program, placement=placement,
+                      scheduler_host="sched", architectures=architectures)
+    app.start()
+    app.migrate_after_event("app_vcycle_done", rank=0, dest_host="spare",
+                            actor="p0", iter=migrate_after - 1)
+    app.run()
+    res = _finish("heterogeneous", n, nranks, vm, app, results,
+                  "p0", "p0.m1")
+    assert len(app.migrations) == 1 and app.migrations[0].completed, \
+        "heterogeneous migration did not complete"
+    return res

@@ -1,0 +1,13 @@
+"""Execution backends.
+
+* the **simulated** backend is the default everywhere else in the package
+  (deterministic virtual time — :mod:`repro.sim` + :mod:`repro.vm`);
+* :class:`MPCluster` (:mod:`repro.runtime.mp`) runs ranks as real OS
+  processes over TCP and migrates them for real, with state crossing the
+  process boundary through the machine-independent codec.
+"""
+
+from repro.runtime.framing import FrameClosed, recv_frame, send_frame
+from repro.runtime.mp import MPApi, MPCluster
+
+__all__ = ["FrameClosed", "MPApi", "MPCluster", "recv_frame", "send_frame"]

@@ -1,0 +1,57 @@
+"""Length-prefixed message framing over stream sockets.
+
+The multiprocess backend's wire format: a 4-byte big-endian length
+followed by a pickled header/payload tuple. TCP gives the FIFO, reliable,
+connection-oriented channel the protocols assume (paper Section 2.3 lists
+TCP explicitly as a suitable substrate). Migration *state* payloads are
+not pickled Python objects but opaque byte blobs produced by the
+machine-independent codec — the pickle layer here plays the role PVM's
+own wire encoding played, while heterogeneity of process state is handled
+by :mod:`repro.codec`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = ["send_frame", "recv_frame", "FrameClosed"]
+
+_HDR = struct.Struct(">I")
+#: refuse absurd frames (corrupt stream guard)
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class FrameClosed(Exception):
+    """The peer closed the connection (clean EOF between frames)."""
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Serialize *obj* and write it as one frame (blocking)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HDR.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise FrameClosed(
+                f"connection closed mid-frame ({len(buf)}/{n} bytes)")
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one frame (blocking); raises :class:`FrameClosed` on EOF."""
+    try:
+        hdr = _recv_exact(sock, _HDR.size)
+    except FrameClosed:
+        raise
+    (length,) = _HDR.unpack(hdr)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame of {length} bytes exceeds limit")
+    return pickle.loads(_recv_exact(sock, length))

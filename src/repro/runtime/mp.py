@@ -1,0 +1,647 @@
+"""Multiprocess runtime: real process migration between OS processes.
+
+The simulator validates the protocol design; this backend demonstrates it
+*for real*: application ranks are separate OS processes communicating
+over TCP sockets (FIFO, connection-oriented — the substrate of paper
+Section 2.3), and a migration actually moves a running rank into a fresh
+OS process:
+
+* the registry (the paper's scheduler) spawns the initialized process,
+  which listens and accepts connections from the start (Fig. 7 line 1);
+* the migrating process stops accepting, sends ``peer_migrating`` as its
+  last message on every connection, drains until each peer's
+  ``end_of_message`` arrives (Fig. 5), ships its received-message-list
+  and its **machine-independent state blob** (:mod:`repro.codec`) to the
+  new process, and exits;
+* peers discover the new location on demand: a failed/refused connect
+  triggers a registry lookup — no broadcast, no forwarding, and the old
+  process is gone (no residual dependency).
+
+The paper's out-of-band disconnection signal is replaced by in-band
+``peer_migrating`` frames: an OS process blocked in receive is already
+watching all its sockets, so the separate signal (needed in PVM to
+interrupt a *computing* process) reduces to the poll-point check.
+
+Worker architecture mirrors the simulator: one reader thread per socket
+feeds a single inbox queue; the protocol logic is single-threaded on top.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.codec import NATIVE, Architecture, decode, encode
+from repro.runtime.framing import FrameClosed, recv_frame, send_frame
+
+__all__ = ["MPCluster", "MPApi"]
+
+_BACKLOG = 16
+_CONNECT_TIMEOUT = 10.0
+
+
+def _dbg(*args: Any) -> None:
+    """Diagnostics to stderr when REPRO_MP_DEBUG is set."""
+    import os
+    import sys
+    if os.environ.get("REPRO_MP_DEBUG"):
+        print(f"[mp {os.getpid()} {time.time():.3f}]", *args,
+              file=sys.stderr, flush=True)
+
+
+# ---------------------------------------------------------------------------
+# registry (the scheduler), runs as a thread in the launcher process
+# ---------------------------------------------------------------------------
+
+class _Registry:
+    """Rank → address table plus migration coordination."""
+
+    def __init__(self) -> None:
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.addr = self.listener.getsockname()
+        self._lock = threading.Lock()
+        self.locations: dict[int, tuple] = {}
+        self.status: dict[int, str] = {}
+        self.init_addr: dict[int, tuple] = {}
+        self.worker_ctl: dict[int, socket.socket] = {}
+        self.results: dict[int, Any] = {}
+        self.done = threading.Event()
+        self.expected_results = 0
+        self._threads: list[threading.Thread] = []
+        t = threading.Thread(target=self._accept_loop, daemon=True)
+        t.start()
+        self._threads.append(t)
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            t = threading.Thread(target=self._serve, args=(conn,),
+                                 daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def _serve(self, conn: socket.socket) -> None:
+        rank = None
+        try:
+            while True:
+                frame = recv_frame(conn)
+                kind = frame[0]
+                if kind == "register":
+                    _, rank, addr = frame
+                    with self._lock:
+                        self.locations[rank] = tuple(addr)
+                        self.status[rank] = "running"
+                        self.worker_ctl[rank] = conn
+                    send_frame(conn, ("registered",))
+                elif kind == "register_init":
+                    _, rank, addr = frame
+                    with self._lock:
+                        self.init_addr[rank] = tuple(addr)
+                    send_frame(conn, ("registered",))
+                elif kind == "lookup":
+                    _, target = frame
+                    with self._lock:
+                        # a rank that has not registered yet is "starting",
+                        # not terminated — the requester retries
+                        st = self.status.get(target, "starting")
+                        if st == "migrating":
+                            addr = self.init_addr.get(target)
+                        else:
+                            addr = self.locations.get(target)
+                    send_frame(conn, ("location", target, st, addr))
+                elif kind == "migration_start":
+                    _, rank = frame
+                    with self._lock:
+                        self.status[rank] = "migrating"
+                        addr = self.init_addr[rank]
+                    send_frame(conn, ("new_process", addr))
+                elif kind == "restore_complete":
+                    _, rank, addr = frame
+                    with self._lock:
+                        self.locations[rank] = tuple(addr)
+                        self.status[rank] = "running"
+                        self.init_addr.pop(rank, None)
+                        self.worker_ctl[rank] = conn
+                        table = dict(self.locations)
+                    send_frame(conn, ("pl_snapshot", table))
+                elif kind == "result":
+                    _, rank, value = frame
+                    with self._lock:
+                        self.results[rank] = value
+                        if len(self.results) >= self.expected_results:
+                            self.done.set()
+                elif kind == "terminated":
+                    _, rank = frame
+                    with self._lock:
+                        self.status[rank] = "terminated"
+                else:  # pragma: no cover - protocol error guard
+                    raise ValueError(f"bad registry frame {frame!r}")
+        except (FrameClosed, OSError):
+            return
+
+    def signal_migrate(self, rank: int, arch_name: str) -> None:
+        with self._lock:
+            conn = self.worker_ctl[rank]
+        send_frame(conn, ("migrate", arch_name))
+
+    def close(self) -> None:
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# worker-side plumbing
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _StoredMessage:
+    src: int
+    tag: int
+    body: Any
+
+
+class _PeerLink:
+    """One TCP connection to a peer, with its reader thread."""
+
+    def __init__(self, sock: socket.socket, rank: int, inbox: queue.Queue):
+        self.sock = sock
+        self.rank = rank
+        self.open = True
+        self._wlock = threading.Lock()
+        self._reader = threading.Thread(
+            target=self._read_loop, args=(inbox,), daemon=True)
+        self._reader.start()
+
+    def _read_loop(self, inbox: queue.Queue) -> None:
+        try:
+            while True:
+                inbox.put(("peer", self.rank, recv_frame(self.sock)))
+        except (FrameClosed, OSError):
+            # identify *which* link closed: a stale EOF from a replaced
+            # connection must not mark its successor closed
+            inbox.put(("peer_closed", self.rank, self))
+
+    def send(self, frame: Any) -> None:
+        with self._wlock:
+            send_frame(self.sock, frame)
+
+    def close(self) -> None:
+        self.open = False
+        try:
+            self.sock.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+
+class MPApi:
+    """The programming interface inside a multiprocess worker."""
+
+    def __init__(self, worker: "_Worker"):
+        self._w = worker
+
+    @property
+    def rank(self) -> int:
+        return self._w.rank
+
+    @property
+    def size(self) -> int:
+        return self._w.nranks
+
+    @property
+    def incarnation(self) -> int:
+        """0 for the original process, +1 per migration (real PIDs differ)."""
+        return self._w.incarnation
+
+    @property
+    def pid(self) -> int:
+        import os
+        return os.getpid()
+
+    def send(self, dest: int, body: Any, tag: int = 0) -> None:
+        self._w.send(dest, body, tag)
+
+    def recv(self, src: int | None = None, tag: int | None = None
+             ) -> _StoredMessage:
+        return self._w.recv(src, tag)
+
+    def compute(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    def poll_migration(self, state: dict) -> None:
+        self._w.poll_migration(state)
+
+
+class _Worker:
+    """Protocol engine of one rank (one OS process)."""
+
+    def __init__(self, rank: int, nranks: int, registry_addr: tuple,
+                 program: Callable, initializing: bool,
+                 arch: Architecture, incarnation: int):
+        self.rank = rank
+        self.nranks = nranks
+        self.program = program
+        self.arch = arch
+        self.incarnation = incarnation
+        self.inbox: queue.Queue = queue.Queue()
+        self.links: dict[int, _PeerLink] = {}
+        self.recvlist: list[_StoredMessage] = []
+        self.pl: dict[int, tuple] = {}
+        self.migrate_requested: str | None = None
+        self.migrating = False
+
+        # listener for incoming peer connections
+        self.listener = socket.create_server(("127.0.0.1", 0),
+                                             backlog=_BACKLOG)
+        self.addr = self.listener.getsockname()
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+        # registry control connection
+        self.ctl = socket.create_connection(registry_addr,
+                                            timeout=_CONNECT_TIMEOUT)
+        self.ctl.settimeout(None)
+        self._ctl_replies: queue.Queue = queue.Queue()
+        kind = "register_init" if initializing else "register"
+        send_frame(self.ctl, (kind, rank, self.addr))
+        threading.Thread(target=self._ctl_loop, daemon=True).start()
+        self._await_ctl("registered")
+
+    # -- socket plumbing ---------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return  # listener closed (migration)
+            try:
+                hello = recv_frame(conn)
+            except (FrameClosed, OSError):
+                continue
+            if hello[0] == "hello":
+                # the application-level conn_ack of Fig. 3: TCP connect
+                # success alone is NOT establishment (a connect can land in
+                # the backlog of a migrating process's dying listener)
+                if self.migrating:
+                    conn.close()  # reject: requester will consult registry
+                    continue
+                try:
+                    send_frame(conn, ("hello_ack", self.rank))
+                except OSError:
+                    continue
+                peer_rank = hello[1]
+                self.inbox.put(("new_link", peer_rank,
+                                _PeerLink(conn, peer_rank, self.inbox)))
+            elif hello[0] == "state_transfer":
+                # the migrating process's transfer connection; its frames
+                # (recvlist, state) flow into the inbox like peer frames
+                _PeerLink(conn, hello[1], self.inbox)
+            else:
+                conn.close()
+
+    def _ctl_loop(self) -> None:
+        try:
+            while True:
+                frame = recv_frame(self.ctl)
+                if frame[0] == "migrate":
+                    self.inbox.put(("ctl", None, frame))
+                else:
+                    self._ctl_replies.put(frame)
+        except (FrameClosed, OSError):
+            return
+
+    def _await_ctl(self, kind: str) -> tuple:
+        frame = self._ctl_replies.get(timeout=_CONNECT_TIMEOUT)
+        assert frame[0] == kind, f"expected {kind}, got {frame!r}"
+        return frame
+
+    def _rpc(self, request: tuple, reply_kind: str) -> tuple:
+        send_frame(self.ctl, request)
+        return self._await_ctl(reply_kind)
+
+    # -- connection management ----------------------------------------------
+    def _connect(self, dest: int) -> _PeerLink:
+        addr = self.pl.get(dest)
+        for _ in range(60):
+            if addr is not None:
+                sock = None
+                try:
+                    sock = socket.create_connection(
+                        tuple(addr), timeout=_CONNECT_TIMEOUT)
+                    send_frame(sock, ("hello", self.rank))
+                    # wait for the application-level acknowledgement: a
+                    # migrating process never answers (its listener is
+                    # closed or the accept loop is gone), so the connect
+                    # attempt fails here instead of losing messages into a
+                    # half-dead backlog connection
+                    sock.settimeout(2.0)
+                    ack = recv_frame(sock)
+                    if ack[0] != "hello_ack":
+                        raise OSError(f"bad handshake {ack!r}")
+                    sock.settimeout(None)
+                    link = _PeerLink(sock, dest, self.inbox)
+                    self.links[dest] = link
+                    return link
+                except (OSError, FrameClosed):
+                    if sock is not None:
+                        try:
+                            sock.close()
+                        except OSError:
+                            pass
+                    # refused / unacked / stale address: consult the registry
+            _, _, status, new_addr = self._rpc(("lookup", dest), "location")
+            _dbg(f"rank {self.rank}: lookup({dest}) -> {status} {new_addr}")
+            if status == "terminated":
+                raise RuntimeError(f"rank {dest} has terminated")
+            if new_addr is None or tuple(new_addr) == addr:
+                time.sleep(0.05)  # still starting/migrating; retry shortly
+            if new_addr is not None:
+                addr = tuple(new_addr)
+                self.pl[dest] = addr
+        raise RuntimeError(f"could not connect to rank {dest}")
+
+    # -- inbox dispatch ----------------------------------------------------
+    def _dispatch(self, item: tuple, drain_waiting: set | None = None) -> None:
+        kind, peer, payload = item
+        if kind == "new_link":
+            old = self.links.get(peer)
+            self.links[peer] = payload
+            if old is not None and old.open:
+                old.close()
+            if drain_waiting is not None:
+                payload.send(("peer_migrating", self.rank))
+                payload.close()
+                drain_waiting.add(peer)
+        elif kind == "peer_closed":
+            link = self.links.get(peer)
+            if link is not None and (payload is None or link is payload):
+                link.open = False
+                if drain_waiting is not None:
+                    drain_waiting.discard(peer)
+        elif kind == "ctl":
+            if payload[0] == "migrate":
+                self.migrate_requested = payload[1]
+        elif kind == "peer":
+            fkind = payload[0]
+            if fkind == "data":
+                _, src, tag, body = payload
+                self.recvlist.append(_StoredMessage(src, tag, body))
+            elif fkind == "peer_migrating":
+                link = self.links.pop(peer, None)
+                if link is not None:
+                    if drain_waiting is None:
+                        link.send(("eom", self.rank))
+                    link.close()
+                if drain_waiting is not None:
+                    drain_waiting.discard(peer)
+            elif fkind == "eom":
+                link = self.links.pop(peer, None)
+                if link is not None:
+                    link.close()
+                if drain_waiting is not None:
+                    drain_waiting.discard(peer)
+            else:
+                raise ValueError(f"bad peer frame {payload!r}")
+        else:  # pragma: no cover
+            raise ValueError(f"bad inbox item {item!r}")
+
+    # -- the API operations ---------------------------------------------------
+    def send(self, dest: int, body: Any, tag: int = 0) -> None:
+        link = self.links.get(dest)
+        if link is None or not link.open:
+            link = self._connect(dest)
+        link.send(("data", self.rank, tag, body))
+
+    def recv(self, src: int | None, tag: int | None) -> _StoredMessage:
+        while True:
+            for i, m in enumerate(self.recvlist):
+                if (src is None or m.src == src) and \
+                        (tag is None or m.tag == tag):
+                    return self.recvlist.pop(i)
+            self._dispatch(self.inbox.get())
+
+    def poll_migration(self, state: dict) -> None:
+        # collect any pending control without blocking
+        while True:
+            try:
+                item = self.inbox.get_nowait()
+            except queue.Empty:
+                break
+            self._dispatch(item)
+        if self.migrate_requested is not None:
+            self._migrate(state)
+
+    # -- migration (Fig. 5) -------------------------------------------------
+    def _migrate(self, state: dict) -> None:
+        self.migrating = True  # accept loop stops acking from here on
+        _dbg(f"rank {self.rank}: migrate() starting")
+        _, new_addr = self._rpc(("migration_start", self.rank),
+                                "new_process")
+        # reject further connections: close the listener
+        self.listener.close()
+        # coordinate every connected peer
+        waiting: set[int] = set()
+        for rank, link in list(self.links.items()):
+            if link.open:
+                link.send(("peer_migrating", self.rank))
+                link.close()
+                waiting.add(rank)
+        _dbg(f"rank {self.rank}: draining, waiting={waiting}")
+        while waiting:
+            self._dispatch(self.inbox.get(timeout=_CONNECT_TIMEOUT),
+                           drain_waiting=waiting)
+        # Quiescence sweep: a connection acked just before the migration
+        # flag went up may still deliver its hello and first data; give
+        # such in-flight establishments a grace window, coordinating any
+        # that appear (the analogue of the simulator's pending-grant
+        # accounting, where grants are tracked exactly).
+        deadline = time.time() + 0.25
+        while time.time() < deadline or waiting:
+            try:
+                item = self.inbox.get(timeout=0.05)
+            except queue.Empty:
+                if not waiting:
+                    break
+                continue
+            self._dispatch(item, drain_waiting=waiting)
+        _dbg(f"rank {self.rank}: drain complete; transferring to {new_addr}")
+        # transfer the received-message-list and the machine-independent
+        # execution/memory state
+        xfer = socket.create_connection(tuple(new_addr),
+                                        timeout=_CONNECT_TIMEOUT)
+        send_frame(xfer, ("state_transfer", self.rank))
+        send_frame(xfer, ("recvlist",
+                          [(m.src, m.tag, m.body) for m in self.recvlist]))
+        blob = encode(state, self.arch)
+        send_frame(xfer, ("state", blob))
+        xfer.close()
+        _dbg(f"rank {self.rank}: state shipped; exiting source process")
+        raise _Migrated()
+
+
+class _Migrated(BaseException):
+    """Unwinds the worker after its state has been shipped."""
+
+
+# ---------------------------------------------------------------------------
+# process entry points
+# ---------------------------------------------------------------------------
+
+def _worker_main(rank: int, nranks: int, registry_addr: tuple,
+                 program: Callable, pl: dict, arch: Architecture) -> None:
+    w = _Worker(rank, nranks, registry_addr, program, initializing=False,
+                arch=arch, incarnation=0)
+    w.pl = dict(pl)
+    _run_program(w, {})
+
+
+def _init_main(rank: int, nranks: int, registry_addr: tuple,
+               program: Callable, arch: Architecture,
+               incarnation: int) -> None:
+    w = _Worker(rank, nranks, registry_addr, program, initializing=True,
+                arch=arch, incarnation=incarnation)
+    # Fig. 7: accept connections from the start; wait for the transfer.
+    transfer_link: list = []
+    recvlist_a = None
+    state_blob = None
+    while state_blob is None:
+        item = w.inbox.get(timeout=_CONNECT_TIMEOUT)
+        kind, peer, payload = item
+        if kind == "peer" and payload[0] == "recvlist":
+            recvlist_a = payload[1]
+        elif kind == "peer" and payload[0] == "state":
+            state_blob = payload[1]
+        else:
+            w._dispatch(item)
+    # prepend ListA in front of whatever arrived on new connections
+    w.recvlist = [_StoredMessage(*t) for t in recvlist_a] + w.recvlist
+    state = decode(state_blob)
+    _dbg(f"init rank {rank}: state restored ({len(state_blob)} bytes)")
+    frame = w._rpc(("restore_complete", rank, w.addr), "pl_snapshot")
+    w.pl = {r: tuple(a) for r, a in frame[1].items()}
+    _run_program(w, state)
+
+
+def _run_program(w: _Worker, state: dict) -> None:
+    api = MPApi(w)
+    try:
+        result = w.program(api, state)
+    except _Migrated:
+        return
+    for link in w.links.values():
+        if link.open:
+            try:
+                link.send(("eom", w.rank))
+            except OSError:
+                pass
+            link.close()
+    send_frame(w.ctl, ("result", w.rank, result))
+    send_frame(w.ctl, ("terminated", w.rank))
+
+
+# ---------------------------------------------------------------------------
+# launcher
+# ---------------------------------------------------------------------------
+
+class MPCluster:
+    """Launch and steer a multiprocess computation.
+
+    Example::
+
+        cluster = MPCluster(program, nranks=2)
+        cluster.start()
+        time.sleep(0.2)
+        cluster.migrate(1)
+        results = cluster.join()
+    """
+
+    def __init__(self, program: Callable, nranks: int,
+                 arch: Architecture = NATIVE,
+                 dest_arch: Architecture = NATIVE):
+        self.program = program
+        self.nranks = nranks
+        self.arch = arch
+        self.dest_arch = dest_arch
+        self.registry = _Registry()
+        self.registry.expected_results = nranks
+        self._procs: list[mp.Process] = []
+        self._incarnation: dict[int, int] = {}
+        self._ctx = mp.get_context("fork")
+
+    def start(self) -> "MPCluster":
+        for rank in range(self.nranks):
+            p = self._ctx.Process(
+                target=_worker_main,
+                args=(rank, self.nranks, self.registry.addr, self.program,
+                      {}, self.arch),
+                daemon=True)
+            p.start()
+            self._procs.append(p)
+        # wait until every rank registered
+        deadline = time.time() + _CONNECT_TIMEOUT
+        while time.time() < deadline:
+            with self.registry._lock:
+                if len(self.registry.locations) == self.nranks:
+                    return self
+            time.sleep(0.01)
+        raise RuntimeError("workers failed to register")
+
+    def migrate(self, rank: int) -> None:
+        """Move *rank* into a brand-new OS process.
+
+        Waits for any in-flight migration of the same rank to commit
+        first (the registry must hold a live control connection to the
+        current incarnation before it can signal it).
+        """
+        deadline = time.time() + _CONNECT_TIMEOUT
+        while time.time() < deadline:
+            with self.registry._lock:
+                ready = (self.registry.status.get(rank) == "running"
+                         and rank not in self.registry.init_addr)
+            if ready:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError(f"rank {rank} is not in a migratable state")
+        inc = self._incarnation.get(rank, 0) + 1
+        self._incarnation[rank] = inc
+        p = self._ctx.Process(
+            target=_init_main,
+            args=(rank, self.nranks, self.registry.addr, self.program,
+                  self.dest_arch, inc),
+            daemon=True)
+        p.start()
+        self._procs.append(p)
+        # wait for the initialized process to register, then signal
+        deadline = time.time() + _CONNECT_TIMEOUT
+        while time.time() < deadline:
+            with self.registry._lock:
+                if rank in self.registry.init_addr:
+                    break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError("initialized process failed to register")
+        self.registry.signal_migrate(rank, self.dest_arch.name)
+
+    def join(self, timeout: float = 60.0) -> dict[int, Any]:
+        """Wait for every rank's result; returns rank → program return."""
+        if not self.registry.done.wait(timeout):
+            raise TimeoutError("cluster did not finish in time")
+        for p in self._procs:
+            p.join(timeout=5.0)
+        self.registry.close()
+        return dict(self.registry.results)
+
+    def terminate(self) -> None:
+        for p in self._procs:
+            if p.is_alive():
+                p.terminate()
+        self.registry.close()

@@ -1,0 +1,42 @@
+"""Deterministic virtual-time simulation substrate.
+
+Public surface:
+
+* :class:`Kernel` / :class:`SimThread` — cooperative virtual-time scheduler
+  with deadlock detection (:mod:`repro.sim.kernel`).
+* :class:`SimEvent` / :class:`SimQueue` — synchronization built on the
+  kernel (:mod:`repro.sim.sync`).
+* :class:`Network`, :class:`HostSpec`, :class:`LinkSpec` — host CPU and
+  interconnect models (:mod:`repro.sim.network`).
+* :class:`Trace` / :class:`TraceEvent` — the XPVM-style event log
+  (:mod:`repro.sim.trace`).
+"""
+
+from repro.sim.kernel import TIMEOUT, Kernel, SimThread
+from repro.sim.network import (
+    ETHERNET_10M,
+    ETHERNET_100M,
+    LOOPBACK,
+    HostSpec,
+    LinkSpec,
+    Network,
+)
+from repro.sim.sync import QueueClosed, SimEvent, SimQueue
+from repro.sim.trace import Trace, TraceEvent
+
+__all__ = [
+    "ETHERNET_100M",
+    "ETHERNET_10M",
+    "LOOPBACK",
+    "HostSpec",
+    "Kernel",
+    "LinkSpec",
+    "Network",
+    "QueueClosed",
+    "SimEvent",
+    "SimQueue",
+    "SimThread",
+    "TIMEOUT",
+    "Trace",
+    "TraceEvent",
+]

@@ -1,0 +1,171 @@
+"""Host and interconnect models.
+
+The paper's testbeds are (a) ten Sun Ultra 5 workstations on 100 Mbit/s
+Ethernet and (b) the same cluster plus one DEC 5000/120 (roughly an order
+of magnitude slower) attached via 10 Mbit/s Ethernet. This module models
+exactly the properties those testbeds contribute to the results:
+
+* per-host relative CPU speed (scales every compute event),
+* per-link propagation latency and bandwidth, with transmissions
+  *serialized* on each directed link (a second message queues behind the
+  first), which also yields the FIFO delivery the protocols assume.
+
+Delivery is callback-based: the network computes the arrival time and asks
+the kernel to run a completion callback then. Higher layers (channels,
+daemons) use the callback to enqueue the message at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.kernel import Kernel
+from repro.util.errors import SimulationError
+
+__all__ = ["HostSpec", "LinkSpec", "Network",
+           "ETHERNET_100M", "ETHERNET_10M", "LOOPBACK"]
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of a workstation.
+
+    ``cpu_speed`` is relative to a reference machine (the paper's Ultra 5):
+    a compute event of *w* reference-seconds takes ``w / cpu_speed`` seconds
+    on this host. The DEC 5000/120 is modelled with ``cpu_speed`` well below
+    1.
+    """
+
+    name: str
+    cpu_speed: float = 1.0
+
+    def compute_time(self, reference_seconds: float) -> float:
+        if reference_seconds < 0:
+            raise SimulationError("negative compute time")
+        return reference_seconds / self.cpu_speed
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A directed link: propagation latency plus serialized bandwidth."""
+
+    latency: float  # seconds
+    bandwidth: float  # bytes / second
+
+    def tx_time(self, nbytes: int) -> float:
+        """Pure serialization (store-and-forward) time for *nbytes*."""
+        return nbytes / self.bandwidth
+
+
+#: 100 Mbit/s switched Ethernet with typical LAN latency (the Ultra 5 cluster).
+ETHERNET_100M = LinkSpec(latency=120e-6, bandwidth=100e6 / 8)
+#: 10 Mbit/s Ethernet (the DEC 5000/120 uplink).
+ETHERNET_10M = LinkSpec(latency=500e-6, bandwidth=10e6 / 8)
+#: Same-host "link" (kernel buffer copy).
+LOOPBACK = LinkSpec(latency=5e-6, bandwidth=400e6)
+
+
+class Network:
+    """A set of named hosts plus the directed links between them.
+
+    Unspecified links fall back to ``default_link``; same-host traffic uses
+    ``loopback``. Links may be changed while a simulation runs (a host
+    "moving" networks), but in this reproduction topologies are fixed per
+    experiment.
+    """
+
+    def __init__(self, kernel: Kernel, default_link: LinkSpec = ETHERNET_100M,
+                 loopback: LinkSpec = LOOPBACK, trace=None):
+        self.kernel = kernel
+        self.default_link = default_link
+        self.loopback = loopback
+        self.trace = trace
+        self._hosts: dict[str, HostSpec] = {}
+        self._links: dict[tuple[str, str], LinkSpec] = {}
+        # per directed link: virtual time at which the link becomes idle
+        self._link_free: dict[tuple[str, str], float] = {}
+        self._frames_sent = 0
+        self._bytes_sent = 0
+
+    # -- topology ------------------------------------------------------------
+    def add_host(self, name: str, cpu_speed: float = 1.0) -> HostSpec:
+        """Register a host. Names must be unique."""
+        if name in self._hosts:
+            raise SimulationError(f"duplicate host {name!r}")
+        spec = HostSpec(name, cpu_speed)
+        self._hosts[name] = spec
+        return spec
+
+    def remove_host(self, name: str) -> None:
+        """Remove a host (it has left the virtual machine)."""
+        self._hosts.pop(name, None)
+
+    def host(self, name: str) -> HostSpec:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise SimulationError(f"unknown host {name!r}") from None
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._hosts)
+
+    def set_link(self, src: str, dst: str, spec: LinkSpec,
+                 symmetric: bool = True) -> None:
+        """Override the link between two hosts."""
+        self._links[(src, dst)] = spec
+        if symmetric:
+            self._links[(dst, src)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        if src == dst:
+            return self.loopback
+        return self._links.get((src, dst), self.default_link)
+
+    # -- traffic ---------------------------------------------------------------
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Unloaded end-to-end time for *nbytes* (no queueing)."""
+        spec = self.link(src, dst)
+        return spec.latency + spec.tx_time(nbytes)
+
+    def deliver(self, src: str, dst: str, nbytes: int,
+                on_arrival: Callable[[], None]) -> float:
+        """Transmit *nbytes* from *src* to *dst*; run *on_arrival* on arrival.
+
+        Transmissions on the same directed link are serialized, which both
+        models shared bandwidth and guarantees FIFO arrival order. Returns
+        the arrival time.
+        """
+        if src not in self._hosts:
+            raise SimulationError(f"unknown source host {src!r}")
+        # Note: dst may have left the VM; the caller (daemon layer) is
+        # responsible for checking liveness. The bits still take time.
+        spec = self.link(src, dst)
+        now = self.kernel.now
+        key = (src, dst)
+        start = max(now, self._link_free.get(key, 0.0))
+        done_tx = start + spec.tx_time(nbytes)
+        self._link_free[key] = done_tx
+        arrival = done_tx + spec.latency
+        self._frames_sent += 1
+        self._bytes_sent += nbytes
+        if self.trace is not None:
+            self.trace.record(src, "net_tx", dst=dst, nbytes=nbytes,
+                              arrival=arrival)
+        self.kernel.call_at(arrival, on_arrival)
+        return arrival
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def frames_sent(self) -> int:
+        """Total number of frames handed to the network."""
+        return self._frames_sent
+
+    @property
+    def bytes_sent(self) -> int:
+        """Total payload bytes handed to the network."""
+        return self._bytes_sent

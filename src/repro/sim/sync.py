@@ -1,0 +1,127 @@
+"""Synchronization objects for simulated threads.
+
+All primitives here are built on the kernel's single blocking choke point
+(:meth:`Kernel._block` / :meth:`Kernel._wake`), so they inherit its
+determinism (FIFO wake order) and its deadlock detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.kernel import TIMEOUT, Kernel, SimThread
+from repro.util.errors import SimulationError
+
+__all__ = ["SimEvent", "SimQueue", "QueueClosed"]
+
+
+class SimEvent:
+    """One-shot (clearable) event, analogous to :class:`threading.Event`.
+
+    Waiters are released in FIFO order when :meth:`set` is called.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "event"):
+        self.kernel = kernel
+        self.name = name
+        self._set = False
+        self._waiters: deque[SimThread] = deque()
+
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self) -> None:
+        """Set the flag and wake every waiter."""
+        self._set = True
+        while self._waiters:
+            self.kernel._wake(self._waiters.popleft(), True)
+
+    def clear(self) -> None:
+        self._set = False
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until set. Returns ``False`` if *timeout* expired first."""
+        if self._set:
+            return True
+        me = self.kernel._require_current()
+        self._waiters.append(me)
+        got = self.kernel._block(f"event({self.name})", timeout)
+        if got is TIMEOUT:
+            if me in self._waiters:
+                self._waiters.remove(me)
+            return False
+        return True
+
+
+class QueueClosed(SimulationError):
+    """Raised by :meth:`SimQueue.get` / ``put`` on a closed queue."""
+
+
+class SimQueue:
+    """Unbounded FIFO queue for simulated threads.
+
+    ``put`` never blocks (the paper assumes buffered-mode sends whose
+    underlying buffers are large enough); ``get`` blocks until an item is
+    available. Closing the queue wakes all blocked getters with
+    :class:`QueueClosed`, which models a communication channel being torn
+    down underneath a reader.
+    """
+
+    def __init__(self, kernel: Kernel, name: str = "queue"):
+        self.kernel = kernel
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[SimThread] = deque()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, item: Any) -> None:
+        """Append *item*; wakes the oldest blocked getter, if any."""
+        if self._closed:
+            raise QueueClosed(f"queue {self.name} is closed")
+        self._items.append(item)
+        if self._getters:
+            self.kernel._wake(self._getters.popleft(), True)
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Pop the oldest item, blocking while the queue is empty.
+
+        Returns :data:`TIMEOUT` if *timeout* expires first. Raises
+        :class:`QueueClosed` if the queue is (or becomes) closed while empty
+        — items already enqueued are always drained first.
+        """
+        while True:
+            if self._items:
+                return self._items.popleft()
+            if self._closed:
+                raise QueueClosed(f"queue {self.name} is closed")
+            me = self.kernel._require_current()
+            self._getters.append(me)
+            got = self.kernel._block(f"queue({self.name}).get", timeout)
+            if got is TIMEOUT:
+                if me in self._getters:
+                    self._getters.remove(me)
+                return TIMEOUT
+            # woken: either an item arrived or the queue closed; loop re-checks
+
+    def peek(self) -> Any:
+        """Return the oldest item without removing it (queue must be non-empty)."""
+        if not self._items:
+            raise SimulationError(f"peek on empty queue {self.name}")
+        return self._items[0]
+
+    def close(self) -> None:
+        """Close the queue; blocked and future getters see :class:`QueueClosed`
+        once drained."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._getters:
+            self.kernel._wake(self._getters.popleft(), False)

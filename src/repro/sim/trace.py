@@ -1,0 +1,124 @@
+"""Event tracing for simulations.
+
+The tracer is the reproduction's analogue of XPVM: every layer (network,
+virtual machine, migration protocol, applications) appends
+:class:`TraceEvent` records, and :mod:`repro.analysis.spacetime` renders
+them into the space-time diagrams of the paper's Figures 10-13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the event.
+    actor:
+        Name of the process/daemon/scheduler the event happened at.
+    kind:
+        Machine-matchable event class, e.g. ``"send"``, ``"recv"``,
+        ``"conn_req"``, ``"migration_start"``.
+    detail:
+        Free-form key/value payload (message sizes, peers, tags, ...).
+    """
+
+    time: float
+    actor: str
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:12.6f}] {self.actor:<16} {self.kind:<22} {kv}"
+
+
+class Trace:
+    """An append-only, queryable event log.
+
+    A ``Trace`` can be disabled (``enabled=False``) to measure protocol
+    behaviour without tracing overhead; recording then becomes a no-op.
+    """
+
+    def __init__(self, clock=None, enabled: bool = True):
+        self.events: list[TraceEvent] = []
+        self.enabled = enabled
+        # ``clock`` is any object with a ``now`` attribute (usually the Kernel).
+        self._clock = clock
+
+    def record(self, actor: str, kind: str, **detail: Any) -> None:
+        """Append an event stamped with the current virtual time."""
+        if not self.enabled:
+            return
+        t = self._clock.now if self._clock is not None else 0.0
+        self.events.append(TraceEvent(t, actor, kind, detail))
+
+    def record_at(self, time: float, actor: str, kind: str, **detail: Any) -> None:
+        """Append an event with an explicit timestamp."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(time, actor, kind, detail))
+
+    # -- queries -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def filter(self, kind: str | None = None, actor: str | None = None,
+               t0: float = float("-inf"), t1: float = float("inf"),
+               **detail_match: Any) -> list[TraceEvent]:
+        """Select events by kind, actor, time window and detail values."""
+        out = []
+        for ev in self.events:
+            if kind is not None and ev.kind != kind:
+                continue
+            if actor is not None and ev.actor != actor:
+                continue
+            if not (t0 <= ev.time <= t1):
+                continue
+            if any(ev.detail.get(k) != v for k, v in detail_match.items()):
+                continue
+            out.append(ev)
+        return out
+
+    def first(self, kind: str, **detail_match: Any) -> TraceEvent | None:
+        """First event of *kind* matching the detail filter, or ``None``."""
+        for ev in self.events:
+            if ev.kind == kind and \
+                    all(ev.detail.get(k) == v for k, v in detail_match.items()):
+                return ev
+        return None
+
+    def last(self, kind: str, **detail_match: Any) -> TraceEvent | None:
+        """Last event of *kind* matching the detail filter, or ``None``."""
+        found = None
+        for ev in self.events:
+            if ev.kind == kind and \
+                    all(ev.detail.get(k) == v for k, v in detail_match.items()):
+                found = ev
+        return found
+
+    def count(self, kind: str, **detail_match: Any) -> int:
+        return len(self.filter(kind=kind, **detail_match))
+
+    def actors(self) -> list[str]:
+        """All actor names, in order of first appearance."""
+        seen: dict[str, None] = {}
+        for ev in self.events:
+            seen.setdefault(ev.actor, None)
+        return list(seen)
+
+    def dump(self, limit: int | None = None) -> str:
+        """Human-readable rendering of (a prefix of) the log."""
+        evs = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(ev) for ev in evs)

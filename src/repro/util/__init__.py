@@ -1,0 +1,37 @@
+"""Shared utilities: errors, deterministic RNG streams, formatting."""
+
+from repro.util.errors import (
+    ChannelClosedError,
+    CodecError,
+    DeadlockError,
+    DestinationTerminatedError,
+    MigrationError,
+    NoSuchProcessError,
+    ProtocolError,
+    ReproError,
+    SimThreadError,
+    SimulationError,
+    ThreadKilled,
+    VirtualMachineError,
+)
+from repro.util.rng import RngStream
+from repro.util.text import format_seconds, format_size, format_table
+
+__all__ = [
+    "ChannelClosedError",
+    "CodecError",
+    "DeadlockError",
+    "DestinationTerminatedError",
+    "MigrationError",
+    "NoSuchProcessError",
+    "ProtocolError",
+    "ReproError",
+    "RngStream",
+    "SimThreadError",
+    "SimulationError",
+    "ThreadKilled",
+    "VirtualMachineError",
+    "format_seconds",
+    "format_size",
+    "format_table",
+]

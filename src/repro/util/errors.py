@@ -1,0 +1,83 @@
+"""Exception hierarchy shared across the repro package.
+
+Every layer of the system (simulation kernel, virtual machine, migration
+protocol, baselines) raises exceptions derived from :class:`ReproError` so
+callers can catch package failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the kernel finds live threads but nothing runnable.
+
+    This is the mechanical embodiment of the paper's Theorem 1: a protocol
+    run that deadlocks leaves every live simulated process blocked with no
+    pending timer, which the kernel detects and reports with a per-thread
+    diagnostic of what each process was waiting on.
+    """
+
+    def __init__(self, message: str, blocked: list[str] | None = None):
+        super().__init__(message)
+        #: human-readable descriptions of each blocked thread
+        self.blocked = blocked or []
+
+
+class ThreadKilled(BaseException):
+    """Injected into a simulated thread to terminate it.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so that
+    application-level ``except Exception`` blocks cannot accidentally
+    swallow a process termination, mirroring how a migrating process in the
+    paper simply ceases to exist on the source host once state transfer
+    completes.
+    """
+
+
+class SimThreadError(SimulationError):
+    """A simulated thread died with an unhandled exception."""
+
+    def __init__(self, thread_name: str, original: BaseException):
+        super().__init__(f"simulated thread {thread_name!r} died: {original!r}")
+        self.thread_name = thread_name
+        self.original = original
+
+
+class VirtualMachineError(ReproError):
+    """Base class for virtual-machine layer errors."""
+
+
+class NoSuchProcessError(VirtualMachineError):
+    """A vmid does not (or no longer does) name a live process."""
+
+
+class ChannelClosedError(VirtualMachineError):
+    """An operation was attempted on a closed communication channel."""
+
+
+class ProtocolError(ReproError):
+    """The migration/communication protocol reached an invalid state."""
+
+
+class DestinationTerminatedError(ProtocolError):
+    """connect() learned from the scheduler that the receiver terminated.
+
+    Matches line 13 of the paper's Fig. 3 ``connect()`` algorithm
+    ("report error: destination terminated").
+    """
+
+
+class MigrationError(ProtocolError):
+    """A process migration could not be carried out."""
+
+
+class CodecError(ReproError):
+    """Machine-independent encoding or decoding failed."""

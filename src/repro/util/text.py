@@ -1,0 +1,62 @@
+"""Plain-text formatting helpers used by reports and benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration in seconds with sensible precision.
+
+    >>> format_seconds(0.000123)
+    '123.0us'
+    >>> format_seconds(2.5)
+    '2.500s'
+    """
+    if t < 0:
+        return "-" + format_seconds(-t)
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.3f}ms"
+    return f"{t:.3f}s"
+
+
+def format_size(nbytes: int) -> str:
+    """Render a byte count using binary units.
+
+    >>> format_size(34848)
+    '34.0KiB'
+    """
+    n = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(n)}B"
+            return f"{n:.1f}{unit}"
+        n /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table (right-aligned data columns).
+
+    The first column is left-aligned (row labels); remaining columns are
+    right-aligned, matching the style of the paper's Tables 1 and 2.
+    """
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    ncols = max(len(r) for r in cells)
+    widths = [0] * ncols
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for ri, row in enumerate(cells):
+        parts = []
+        for i in range(ncols):
+            cell = row[i] if i < len(row) else ""
+            parts.append(cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i]))
+        lines.append("  ".join(parts).rstrip())
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""PVM-like virtual machine substrate (paper Section 2).
+
+Provides the three communication services the migration protocols rely on:
+
+* connection-oriented FIFO channels (:class:`Channel`),
+* connectionless daemon-routed control messages (:class:`Daemon`),
+* ordered reliable signals that only interrupt computation events
+  (:class:`ProcessContext`).
+"""
+
+from repro.vm.channel import Channel
+from repro.vm.costs import DEFAULT_COSTS, CommCosts
+from repro.vm.daemon import Daemon
+from repro.vm.ids import Rank, VmId
+from repro.vm.messages import ConnAck, ConnNack, ConnReq, ControlEnvelope, Envelope
+from repro.vm.process import ProcessContext, ProcessExit
+from repro.vm.virtual_machine import VirtualMachine
+
+__all__ = [
+    "Channel",
+    "CommCosts",
+    "ConnAck",
+    "ConnNack",
+    "ConnReq",
+    "ControlEnvelope",
+    "DEFAULT_COSTS",
+    "Daemon",
+    "Envelope",
+    "ProcessContext",
+    "ProcessExit",
+    "Rank",
+    "VirtualMachine",
+    "VmId",
+]

@@ -1,0 +1,126 @@
+"""Connection-oriented FIFO communication channels.
+
+A :class:`Channel` is the VM-level object behind the paper's
+"bi-directional, First-In-First-Out communication channel between two
+processes" (Section 2.3). Properties implemented here:
+
+* messages on a channel do not get lost in the network and arrive in order
+  (FIFO comes from link serialization in :class:`repro.sim.Network`);
+* **buffered-mode send**: the sender is charged only the CPU time to copy
+  the payload into the underlying protocol's buffers and then continues —
+  it never waits for the receiver (paper Section 2.3);
+* each end can be closed independently; sending on a closed end raises
+  :class:`ChannelClosedError`. Messages already in flight are still
+  delivered — the migration protocol drains them *before* closing, which is
+  exactly what its correctness depends on;
+* a message arriving for a process that no longer exists is dropped and
+  *traced* (``msg_dropped``). The test suite asserts this never happens
+  under the SNOW protocol (Theorem 2); baselines without draining can and
+  do trip it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.util.errors import ChannelClosedError
+from repro.vm.ids import VmId
+from repro.vm.messages import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.process import ProcessContext
+    from repro.vm.virtual_machine import VirtualMachine
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A duplex FIFO channel between two fixed vmids.
+
+    Construct via :meth:`VirtualMachine.create_channel`; the endpoints are
+    pinned at creation — a migrated process gets *new* channels, matching
+    the paper's model where connections are torn down during migration and
+    re-established to the initialized process.
+    """
+
+    def __init__(self, vm: "VirtualMachine", cid: int, a: VmId, b: VmId):
+        if a == b:
+            raise ChannelClosedError("channel endpoints must differ")
+        self.vm = vm
+        self.id = cid
+        self._open_for_send: dict[VmId, bool] = {a: True, b: True}
+        self._msgs_sent: dict[VmId, int] = {a: 0, b: 0}
+
+    @property
+    def endpoints(self) -> tuple[VmId, VmId]:
+        a, b = self._open_for_send.keys()
+        return (a, b)
+
+    def peer_of(self, vmid: VmId) -> VmId:
+        """The other endpoint's vmid."""
+        a, b = self.endpoints
+        if vmid == a:
+            return b
+        if vmid == b:
+            return a
+        raise ChannelClosedError(f"{vmid} is not an endpoint of channel {self.id}")
+
+    def is_open_for(self, vmid: VmId) -> bool:
+        return self._open_for_send.get(vmid, False)
+
+    def messages_sent_by(self, vmid: VmId) -> int:
+        return self._msgs_sent.get(vmid, 0)
+
+    def send(self, src: "ProcessContext", payload: Any, nbytes: int) -> None:
+        """Buffered-mode send of *payload* from endpoint *src*.
+
+        Charges the sender the software copy cost (scaled by its host CPU
+        speed), then hands the bytes to the network; delivery enqueues an
+        :class:`Envelope` in the peer's mailbox on arrival.
+        """
+        if not self.is_open_for(src.vmid):
+            raise ChannelClosedError(
+                f"channel {self.id} closed for sending at {src.vmid}")
+        dst_vmid = self.peer_of(src.vmid)
+        costs = self.vm.costs
+        # CPU time to copy into OS buffers; after this the sender continues.
+        src.burn(costs.send_cost(nbytes))
+        self._msgs_sent[src.vmid] += 1
+        env = Envelope(channel_id=self.id, src_vmid=src.vmid,
+                       src_rank=src.rank, payload=payload, nbytes=nbytes)
+        self.vm.trace_record(src.name, "chan_send", channel=self.id,
+                             dst=str(dst_vmid), nbytes=nbytes,
+                             payload=type(payload).__name__)
+        self.vm.network.deliver(
+            src.vmid.host, dst_vmid.host, nbytes,
+            lambda: self._arrive(dst_vmid, env))
+
+    def _arrive(self, dst_vmid: VmId, env: Envelope) -> None:
+        dst = self.vm.lookup(dst_vmid)
+        if dst is None or not dst.alive:
+            # The intended receiver is gone. For *data*, the paper's
+            # protocol guarantees this never happens (channels are drained
+            # before close) and the trace record is how tests detect
+            # message loss. Protocol-control payloads (peer_migrating /
+            # end_of_message racing a termination) are benign.
+            control = bool(getattr(env.payload, "protocol_control", False))
+            self.vm.trace_record(str(dst_vmid), "msg_dropped",
+                                 channel=self.id, nbytes=env.nbytes,
+                                 src=str(env.src_vmid), control=control)
+            return
+        dst.mailbox.put(env)
+
+    def close_end(self, vmid: VmId) -> None:
+        """Stop *vmid* from sending on this channel (idempotent)."""
+        if vmid not in self._open_for_send:
+            raise ChannelClosedError(f"{vmid} is not an endpoint of channel {self.id}")
+        self._open_for_send[vmid] = False
+
+    @property
+    def fully_closed(self) -> bool:
+        return not any(self._open_for_send.values())
+
+    def __repr__(self) -> str:
+        a, b = self.endpoints
+        state = "open" if not self.fully_closed else "closed"
+        return f"<Channel {self.id} {a}<->{b} {state}>"

@@ -1,0 +1,156 @@
+"""Per-host virtual machine daemons.
+
+Each host runs one daemon (paper Section 2). Daemons are passive state
+machines driven by network-arrival callbacks — they never block, so they
+are not simulated threads; their processing time is modelled as a
+per-message ``control_hop`` delay.
+
+Responsibilities (paper Sections 2-3):
+
+* route connectionless control messages between processes, hop-by-hop
+  (process → local daemon → remote daemon → process);
+* keep records of connection requests routed through to local processes,
+  deleting each record when the matching ack/nack is routed back out;
+* reject (``conn_nack``) connection requests addressed to a local process
+  that is migrating (the migrating process *informs the local daemon* to
+  reject all future requests — Fig. 5 line 4), has terminated, or never
+  existed;
+* when a local process terminates with recorded requests still pending,
+  nack them on its behalf;
+* when the *target host* has resigned from the virtual machine, the
+  requester's own daemon generates the rejection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.vm.ids import VmId
+from repro.vm.messages import ConnAck, ConnNack, ConnReq, ControlEnvelope
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vm.process import ProcessContext
+    from repro.vm.virtual_machine import VirtualMachine
+
+__all__ = ["Daemon"]
+
+
+class Daemon:
+    """The virtual machine agent on one host."""
+
+    def __init__(self, vm: "VirtualMachine", host: str):
+        self.vm = vm
+        self.host = host
+        #: the daemon's own vmid (pid 0 on every host)
+        self.vmid = VmId(host, 0)
+        self.processes: dict[int, "ProcessContext"] = {}
+        #: local pids whose incoming conn_reqs must be rejected (migrating)
+        self.rejecting: set[int] = set()
+        #: conn_req records: req_id -> (requester vmid, local target pid)
+        self.pending_reqs: dict[int, tuple[VmId, int]] = {}
+
+    # -- local process registry -----------------------------------------------
+    def register(self, proc: "ProcessContext") -> None:
+        self.processes[proc.vmid.pid] = proc
+
+    def deregister(self, pid: int) -> None:
+        """A local process terminated (or migrated away): clean up.
+
+        Any conn_req records still pending for it are rejected on its
+        behalf — "the target daemon will send the rejection message back to
+        the requestor's daemon".
+        """
+        self.processes.pop(pid, None)
+        self.rejecting.discard(pid)
+        stale = [rid for rid, (_, tpid) in self.pending_reqs.items() if tpid == pid]
+        for rid in stale:
+            requester, _ = self.pending_reqs.pop(rid)
+            self.vm.trace_record(f"daemon@{self.host}", "daemon_nack",
+                                 req_id=rid, reason="process-terminated")
+            self._route_back(requester,
+                             ConnNack(rid, reason="process-terminated"))
+
+    def reject_future_conn_reqs(self, pid: int) -> None:
+        """Called by a migrating local process (Fig. 5 line 4)."""
+        self.rejecting.add(pid)
+
+    def allow_conn_reqs(self, pid: int) -> None:
+        """Lift a rejection mark (used when a migration is aborted)."""
+        self.rejecting.discard(pid)
+
+    # -- routing pipeline ------------------------------------------------------
+    def _after_processing(self, fn) -> None:
+        """Run *fn* after this daemon's per-message processing delay."""
+        host_spec = self.vm.network.host(self.host)
+        self.vm.kernel.call_later(
+            host_spec.compute_time(self.vm.costs.control_hop), fn)
+
+    def on_outgoing(self, env: ControlEnvelope, dst_vmid: VmId) -> None:
+        """A local process handed us a control message for *dst_vmid*."""
+        self._after_processing(lambda: self._forward(env, dst_vmid))
+
+    def _forward(self, env: ControlEnvelope, dst_vmid: VmId) -> None:
+        vm = self.vm
+        # Ack/nack leaving a host: the response to a recorded conn_req is
+        # now routed back, so the record is deleted here.
+        if isinstance(env.msg, (ConnAck, ConnNack)):
+            self.pending_reqs.pop(env.msg.req_id, None)
+        if not vm.network.has_host(dst_vmid.host):
+            # Target machine resigned from the virtual machine: the
+            # requester's own daemon produces the rejection.
+            if isinstance(env.msg, ConnReq):
+                vm.trace_record(f"daemon@{self.host}", "daemon_nack",
+                                req_id=env.msg.req_id, reason="host-left")
+                self._route_back(env.src_vmid,
+                                 ConnNack(env.msg.req_id, reason="host-left"))
+            else:
+                vm.trace_record(f"daemon@{self.host}", "control_dropped",
+                                dst=str(dst_vmid),
+                                msg=type(env.msg).__name__)
+            return
+        vm.network.deliver(
+            self.host, dst_vmid.host, env.nbytes,
+            lambda: vm.daemon(dst_vmid.host).on_incoming(env, dst_vmid))
+
+    def on_incoming(self, env: ControlEnvelope, dst_vmid: VmId) -> None:
+        """A control message for one of our local processes arrived."""
+        self._after_processing(lambda: self._dispatch(env, dst_vmid))
+
+    def _dispatch(self, env: ControlEnvelope, dst_vmid: VmId) -> None:
+        vm = self.vm
+        target = self.processes.get(dst_vmid.pid)
+        msg = env.msg
+        if isinstance(msg, ConnReq):
+            if dst_vmid.pid in self.rejecting or target is None \
+                    or not target.alive:
+                reason = ("migrating" if dst_vmid.pid in self.rejecting
+                          else "no-such-process")
+                vm.trace_record(f"daemon@{self.host}", "daemon_nack",
+                                req_id=msg.req_id, reason=reason)
+                self._route_back(env.src_vmid,
+                                 ConnNack(msg.req_id, reason=reason))
+                return
+            self.pending_reqs[msg.req_id] = (env.src_vmid, dst_vmid.pid)
+            target.mailbox.put(env)
+            return
+        if target is None or not target.alive:
+            vm.trace_record(f"daemon@{self.host}", "control_dropped",
+                            dst=str(dst_vmid), msg=type(msg).__name__)
+            return
+        target.mailbox.put(env)
+
+    def _route_back(self, requester: VmId, msg: Any) -> None:
+        """Send a daemon-originated control message to *requester*."""
+        env = ControlEnvelope(src_vmid=self.vmid, msg=msg)
+        if requester.host == self.host:
+            self._after_processing(
+                lambda: self._dispatch(env, requester))
+            return
+        vm = self.vm
+        if not vm.network.has_host(requester.host):
+            vm.trace_record(f"daemon@{self.host}", "control_dropped",
+                            dst=str(requester), msg=type(msg).__name__)
+            return
+        vm.network.deliver(
+            self.host, requester.host, vm.costs.control_bytes,
+            lambda: vm.daemon(requester.host).on_incoming(env, requester))

@@ -1,0 +1,41 @@
+"""Process identification (paper Section 2.1).
+
+The paper identifies processes at two levels:
+
+* **application level** — a *rank*: a non-negative integer assigned in
+  sequence to every process of the distributed computation, location
+  transparent;
+* **virtual-machine level** — a *vmid*: the coupling of a workstation
+  identifier and a per-workstation process number. Every process in the
+  environment has a vmid (including the scheduler and the daemons); only
+  application processes have ranks.
+
+The mapping rank → vmid is kept in the process-location (PL) table, a copy
+of which lives inside every process and the scheduler
+(:mod:`repro.core.pltable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["VmId", "Rank"]
+
+#: Application-level process identifier (the paper's "rank number").
+Rank = int
+
+
+@dataclass(frozen=True, order=True)
+class VmId:
+    """Virtual-machine-level process identification.
+
+    ``host`` is the workstation name (the paper uses a sequential
+    workstation number; a name is the same thing, more readable) and
+    ``pid`` the sequential process number on that workstation.
+    """
+
+    host: str
+    pid: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.pid}"

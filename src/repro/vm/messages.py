@@ -1,0 +1,103 @@
+"""Wire-level message containers and connection-control messages.
+
+Two delivery paths exist in the virtual machine (paper Section 2.3):
+
+* **connection-oriented**: data messages travel over established channels
+  and arrive wrapped in an :class:`Envelope` carrying their channel id and
+  source identity — the FIFO path the protocols' ordering argument rests on;
+* **connectionless**: control messages (connection requests and their
+  acknowledgement/rejection, scheduler RPCs) are routed hop-by-hop through
+  the daemons and arrive wrapped in a :class:`ControlEnvelope`.
+
+The three connection-control messages (``conn_req`` / ``conn_ack`` /
+``conn_nack``) are defined here, at the VM level, because the daemons
+themselves inspect and answer them (a daemon sends ``conn_nack`` on behalf
+of a process that has migrated away or whose host left). Protocol-level
+control *data* messages (``peer_migrating``, ``end_of_message``) live in
+:mod:`repro.core.messages` — they travel over channels like ordinary data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.vm.ids import Rank, VmId
+
+__all__ = [
+    "Envelope",
+    "ControlEnvelope",
+    "ConnReq",
+    "ConnAck",
+    "ConnNack",
+]
+
+
+@dataclass
+class Envelope:
+    """A message delivered over a connection-oriented channel."""
+
+    channel_id: int
+    src_vmid: VmId
+    src_rank: Rank | None
+    payload: Any
+    nbytes: int
+
+    def __repr__(self) -> str:
+        return (f"<Envelope ch={self.channel_id} from={self.src_vmid} "
+                f"rank={self.src_rank} {self.nbytes}B {self.payload!r}>")
+
+
+@dataclass
+class ControlEnvelope:
+    """A connectionless message routed through the daemons.
+
+    ``nbytes`` is the wire size: small and fixed for genuine control
+    messages, payload-sized when the envelope carries indirect-mode
+    application data (PVM's daemon-routed communication path).
+    """
+
+    src_vmid: VmId
+    msg: Any
+    nbytes: int = 64
+
+    def __repr__(self) -> str:
+        return f"<Control from={self.src_vmid} {self.msg!r}>"
+
+
+@dataclass(frozen=True)
+class ConnReq:
+    """Connection request (sender-initiated establishment, paper Fig. 3).
+
+    ``req_id`` lets the requester match the eventual ack/nack; ``src_rank``
+    tells the receiver which application process is asking so it can update
+    its bookkeeping when granting.
+    """
+
+    req_id: int
+    src_rank: Rank | None
+    src_vmid: VmId
+
+
+@dataclass(frozen=True)
+class ConnAck:
+    """Positive response: the receiver will accept a channel."""
+
+    req_id: int
+    #: identity the acceptor will present on the new channel
+    acceptor_rank: Rank | None
+    acceptor_vmid: VmId
+
+
+@dataclass(frozen=True)
+class ConnNack:
+    """Rejection: the target is migrating, has migrated, or is gone.
+
+    ``reason`` is diagnostic only — the paper's connect() reacts to any
+    rejection the same way: consult the scheduler.
+    """
+
+    req_id: int
+    reason: str = "unavailable"
+    #: extra diagnostic payload (e.g. which daemon generated the nack)
+    detail: dict = field(default_factory=dict)

@@ -1,0 +1,201 @@
+"""The virtual machine: hosts, daemons, processes, channels.
+
+``VirtualMachine`` ties the simulation substrate together into the
+environment of the paper's Section 2: a network of workstations, one
+daemon per host, processes identified by vmid, and the three communication
+services (connection-oriented channels, connectionless daemon routing,
+signals). Hosts may join and leave while the computation runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from repro.sim.kernel import Kernel, SimThread
+from repro.sim.network import ETHERNET_100M, LinkSpec, Network
+from repro.sim.trace import Trace
+from repro.util.errors import NoSuchProcessError, VirtualMachineError
+from repro.vm.channel import Channel
+from repro.vm.costs import DEFAULT_COSTS, CommCosts
+from repro.vm.daemon import Daemon
+from repro.vm.ids import Rank, VmId
+from repro.vm.messages import ControlEnvelope
+from repro.vm.process import ProcessContext
+
+__all__ = ["VirtualMachine"]
+
+
+class VirtualMachine:
+    """A dynamic distributed environment for simulated processes.
+
+    Typical setup::
+
+        vm = VirtualMachine()
+        for i in range(8):
+            vm.add_host(f"u{i}")
+        vm.spawn("u0", my_process_fn, rank=0)
+        vm.run()
+
+    Process functions receive their :class:`ProcessContext` as the first
+    argument.
+    """
+
+    def __init__(self, kernel: Kernel | None = None, *,
+                 costs: CommCosts = DEFAULT_COSTS,
+                 default_link: LinkSpec = ETHERNET_100M,
+                 trace: Trace | None = None):
+        self.kernel = kernel if kernel is not None else Kernel()
+        self.trace = trace if trace is not None else Trace(clock=self.kernel)
+        self.kernel.trace = self.trace
+        self.costs = costs
+        self.network = Network(self.kernel, default_link=default_link,
+                               trace=self.trace)
+        self._daemons: dict[str, Daemon] = {}
+        self._procs: dict[VmId, ProcessContext] = {}
+        self._next_pid: dict[str, itertools.count] = {}
+        self._next_channel = itertools.count(1)
+        self.channels: dict[int, Channel] = {}
+
+    # -- membership --------------------------------------------------------
+    def add_host(self, name: str, cpu_speed: float = 1.0) -> Daemon:
+        """A host joins the environment; its daemon starts (pid 0)."""
+        self.network.add_host(name, cpu_speed)
+        daemon = Daemon(self, name)
+        self._daemons[name] = daemon
+        self._next_pid[name] = itertools.count(1)  # pid 0 is the daemon
+        self.trace_record(f"daemon@{name}", "host_joined", cpu_speed=cpu_speed)
+        return daemon
+
+    def remove_host(self, name: str) -> None:
+        """A host resigns: its daemon terminates and its processes die."""
+        daemon = self._daemons.pop(name, None)
+        if daemon is None:
+            raise VirtualMachineError(f"unknown host {name!r}")
+        for proc in list(daemon.processes.values()):
+            if proc.thread is not None:
+                proc.thread.kill()
+            proc.finalize()
+        self.network.remove_host(name)
+        self.trace_record(f"daemon@{name}", "host_left")
+
+    def daemon(self, host: str) -> Daemon:
+        try:
+            return self._daemons[host]
+        except KeyError:
+            raise VirtualMachineError(f"no daemon on host {host!r}") from None
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._daemons)
+
+    # -- processes -------------------------------------------------------------
+    def spawn(self, host: str, fn: Callable[..., Any], *args: Any,
+              rank: Rank | None = None, name: str | None = None,
+              daemon: bool = False, **kwargs: Any) -> ProcessContext:
+        """Create a process on *host* running ``fn(ctx, *args, **kwargs)``.
+
+        ``daemon=True`` marks service processes (e.g. the scheduler) that
+        should not keep the simulation alive or count towards deadlock.
+        """
+        if host not in self._daemons:
+            raise VirtualMachineError(f"unknown host {host!r}")
+        pid = next(self._next_pid[host])
+        vmid = VmId(host, pid)
+        if name is None:
+            name = f"p{rank}" if rank is not None else f"{host}.{pid}"
+        ctx = ProcessContext(self, vmid, name, rank=rank)
+        self._procs[vmid] = ctx
+        self._daemons[host].register(ctx)
+
+        def main() -> None:
+            try:
+                fn(ctx, *args, **kwargs)
+            finally:
+                ctx.finalize()
+
+        ctx.thread = self.kernel.spawn(main, name=name, daemon=daemon)
+        self.trace_record(name, "process_spawned", vmid=str(vmid), rank=rank)
+        return ctx
+
+    def lookup(self, vmid: VmId) -> ProcessContext | None:
+        """The live process with this vmid, or ``None``."""
+        proc = self._procs.get(vmid)
+        if proc is not None and proc.alive:
+            return proc
+        return None
+
+    def require(self, vmid: VmId) -> ProcessContext:
+        proc = self.lookup(vmid)
+        if proc is None:
+            raise NoSuchProcessError(f"no live process {vmid}")
+        return proc
+
+    def _process_finished(self, proc: ProcessContext) -> None:
+        """Internal: a process ended (return, terminate() or kill)."""
+        daemon = self._daemons.get(proc.host)
+        if daemon is not None:
+            daemon.deregister(proc.vmid.pid)
+        for chan in self.channels.values():
+            if proc.vmid in chan.endpoints and chan.is_open_for(proc.vmid):
+                chan.close_end(proc.vmid)
+        self.trace_record(proc.name, "process_exited", vmid=str(proc.vmid))
+
+    # -- channels -----------------------------------------------------------------
+    def create_channel(self, a: VmId, b: VmId) -> Channel:
+        """Wire a duplex FIFO channel between two live processes."""
+        self.require(a)
+        self.require(b)
+        cid = next(self._next_channel)
+        chan = Channel(self, cid, a, b)
+        self.channels[cid] = chan
+        self.trace_record(str(a), "channel_created", channel=cid, peer=str(b))
+        return chan
+
+    # -- connectionless routing ------------------------------------------------
+    def route_control(self, src_vmid: VmId, dst_vmid: VmId, msg: Any,
+                      nbytes: int | None = None) -> None:
+        """Route *msg* from process *src_vmid* to *dst_vmid* via the daemons.
+
+        ``nbytes`` defaults to the small control-message size; indirect
+        data messages pass their payload size so the wire cost is real.
+        """
+        daemon = self._daemons.get(src_vmid.host)
+        if daemon is None:
+            raise VirtualMachineError(
+                f"source host {src_vmid.host!r} has no daemon")
+        size = self.costs.control_bytes if nbytes is None else nbytes
+        env = ControlEnvelope(src_vmid=src_vmid, msg=msg, nbytes=size)
+        self.trace_record(str(src_vmid), "control_routed", dst=str(dst_vmid),
+                          msg=type(msg).__name__)
+        # First hop: process to its local daemon (same-host traffic).
+        self.network.deliver(
+            src_vmid.host, src_vmid.host, size,
+            lambda: daemon.on_outgoing(env, dst_vmid))
+
+    # -- misc -----------------------------------------------------------------
+    def trace_record(self, actor: str, kind: str, **detail: Any) -> None:
+        self.trace.record(actor, kind, **detail)
+
+    def run(self, **kwargs: Any) -> None:
+        """Drive the simulation (see :meth:`Kernel.run`)."""
+        self.kernel.run(**kwargs)
+
+    def shutdown(self) -> None:
+        self.kernel.shutdown()
+
+    def __enter__(self) -> "VirtualMachine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    # -- diagnostics ---------------------------------------------------------
+    def dropped_messages(self) -> list:
+        """Trace records of *data* messages that arrived for dead processes.
+
+        Must be empty after any run of the paper's protocol (Theorem 2).
+        Protocol-control payloads racing a clean termination are excluded —
+        losing those is part of normal teardown.
+        """
+        return self.trace.filter(kind="msg_dropped", control=False)

@@ -1,0 +1,27 @@
+"""Shared fixtures: a fresh kernel per test, always shut down afterwards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Kernel, Network, Trace
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel()
+    yield k
+    k.shutdown()
+
+
+@pytest.fixture
+def trace(kernel):
+    t = Trace(clock=kernel)
+    kernel.trace = t
+    return t
+
+
+@pytest.fixture
+def network(kernel, trace):
+    net = Network(kernel, trace=trace)
+    return net

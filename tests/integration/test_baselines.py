@@ -1,0 +1,80 @@
+"""Correctness tests for the §7 baseline migration mechanisms.
+
+Every mechanism must preserve the ring streams (the workload harness
+asserts ordering internally via ``verify_streams``); these tests pin the
+comparative properties the ablation benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    run_broadcast_migration,
+    run_cocheck_migration,
+    run_forwarding_migration,
+    run_snow_migration,
+)
+
+_KW = dict(nprocs=4, iterations=15, migrate_at=0.01)
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return {
+        "snow": run_snow_migration(**_KW),
+        "cocheck": run_cocheck_migration(**_KW),
+        "broadcast": run_broadcast_migration(**_KW),
+        "forwarding": run_forwarding_migration(**_KW),
+    }
+
+
+def test_no_mechanism_loses_messages(metrics):
+    for m in metrics.values():
+        assert m.messages_lost == 0, m.name
+
+
+def test_snow_coordinates_only_neighbours(metrics):
+    assert metrics["snow"].processes_coordinated == 2
+
+
+def test_cocheck_coordinates_everyone(metrics):
+    m = metrics["cocheck"]
+    assert m.processes_coordinated == _KW["nprocs"]
+    # one marker per directed ring channel
+    assert m.extra["markers"] == 2 * _KW["nprocs"]
+
+
+def test_cocheck_blocks_all_processes(metrics):
+    assert metrics["cocheck"].blocked_time_total > \
+        10 * metrics["snow"].blocked_time_total
+
+
+def test_broadcast_uses_two_rounds(metrics):
+    # 2 broadcasts of N messages each (before and after the migration)
+    assert metrics["broadcast"].control_messages == 2 * _KW["nprocs"]
+
+
+def test_broadcast_buffers_senders(metrics):
+    m = metrics["broadcast"]
+    assert m.extra.get("retransmitted", 0) >= 1
+    assert m.blocked_time_total > 0
+
+
+def test_forwarding_cheap_but_taxed(metrics):
+    m = metrics["forwarding"]
+    assert m.control_messages <= 2
+    assert m.processes_coordinated == 1
+    assert m.forwarded_messages > 0
+    assert m.residual_dependency
+
+
+def test_forwarding_loss_on_host_leave():
+    m = run_forwarding_migration(nprocs=4, iterations=20, migrate_at=0.01,
+                                 old_host_leaves=True)
+    assert m.extra["lost_after_leave"] > 0
+
+
+def test_snow_no_residual_dependency(metrics):
+    assert not metrics["snow"].residual_dependency
+    assert metrics["snow"].forwarded_messages == 0

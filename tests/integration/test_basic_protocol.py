@@ -1,0 +1,182 @@
+"""End-to-end tests of the communication protocol without/with migration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Application, VirtualMachine
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2", "h3"):
+        machine.add_host(h)
+    return machine
+
+
+def test_two_process_ping_pong(vm):
+    log = []
+
+    def program(api, state):
+        for i in range(5):
+            if api.rank == 0:
+                api.send(1, ("ping", i), tag=i)
+                msg = api.recv(src=1, tag=i)
+                log.append(msg.body)
+            else:
+                msg = api.recv(src=0, tag=i)
+                api.send(0, ("pong", i), tag=i)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.run()
+    assert log == [("pong", i) for i in range(5)]
+    assert vm.dropped_messages() == []
+
+
+def test_connection_established_once(vm):
+    def program(api, state):
+        for i in range(10):
+            if api.rank == 0:
+                api.send(1, i)
+            else:
+                api.recv(src=0)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.run()
+    assert app.endpoints[0].stats.conn_reqs_sent == 1
+    assert app.endpoints[1].stats.conn_reqs_granted == 1
+
+
+def test_simultaneous_mutual_connect_yields_one_channel(vm):
+    """Both ranks send to each other immediately: exactly one channel."""
+    seen = {}
+
+    def program(api, state):
+        peer = 1 - api.rank
+        api.send(peer, f"hello from {api.rank}")
+        msg = api.recv(src=peer)
+        assert msg.body == f"hello from {peer}"
+        seen[api.rank] = api.endpoint.connected[peer]
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.run()
+    assert seen[0] is seen[1]  # a single shared channel, not two
+    assert len(vm.channels) == 1
+
+
+def test_wildcard_receive(vm):
+    got = []
+
+    def program(api, state):
+        if api.rank == 0:
+            for _ in range(3):
+                msg = api.recv()  # any src, any tag
+                got.append((msg.src, msg.tag))
+        else:
+            api.send(0, "x", tag=api.rank * 10)
+
+    app = Application(vm, program,
+                      placement=["h0", "h1", "h2", "h3"],
+                      scheduler_host="h0")
+    app.run()
+    assert sorted(got) == [(1, 10), (2, 20), (3, 30)]
+
+
+def test_out_of_order_tag_matching(vm):
+    order = []
+
+    def program(api, state):
+        if api.rank == 0:
+            api.send(1, "first", tag=1)
+            api.send(1, "second", tag=2)
+        else:
+            # receive in reverse tag order: list must buffer tag 1
+            order.append(api.recv(src=0, tag=2).body)
+            order.append(api.recv(src=0, tag=1).body)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.run()
+    assert order == ["second", "first"]
+    # the unwanted message went through the received-message-list
+    assert app.endpoints[1].recvlist.total_appended >= 1
+
+
+def test_fifo_order_preserved_per_pair(vm):
+    got = []
+
+    def program(api, state):
+        if api.rank == 0:
+            for i in range(20):
+                api.send(1, i)
+        else:
+            for _ in range(20):
+                got.append(api.recv(src=0).body)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.run()
+    assert got == list(range(20))
+
+
+def test_ring_communication(vm):
+    """Each rank passes a token around a ring; checks global progress."""
+    sums = {}
+
+    def program(api, state):
+        right = (api.rank + 1) % api.size
+        left = (api.rank - 1) % api.size
+        total = 0
+        token = api.rank
+        for _ in range(api.size):
+            api.send(right, token)
+            token = api.recv(src=left).body
+            total += token
+        sums[api.rank] = total
+
+    app = Application(vm, program,
+                      placement=["h0", "h1", "h2", "h3"],
+                      scheduler_host="h0")
+    app.run()
+    expected = sum(range(4))
+    assert all(s == expected for s in sums.values())
+
+
+def test_migration_during_ping_pong(vm):
+    """The quickstart scenario: rank 0 migrates mid-computation."""
+    log = []
+
+    def program(api, state):
+        i = state.get("i", 0)
+        hosts = state.setdefault("hosts", [])
+        while i < 10:
+            if api.rank == 0:
+                api.send(1, f"ping {i}")
+                log.append(api.recv(src=1).body)
+            else:
+                body = api.recv(src=0).body
+                api.send(1 - api.rank, body.replace("ping", "pong"))
+            i += 1
+            state["i"] = i
+            if api.host not in hosts:
+                hosts.append(api.host)
+            api.compute(0.01)
+            api.poll_migration(state)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.035, rank=0, dest_host="h3")
+    app.run()
+    assert log == [f"pong {i}" for i in range(10)]
+    assert len(app.migrations) == 1
+    rec = app.migrations[0]
+    assert rec.completed
+    assert rec.new_vmid.host == "h3"
+    # the final incarnation of rank 0 ran on h3
+    assert "h3" in app.endpoints[0].ctx.host
+    assert vm.dropped_messages() == []

@@ -1,0 +1,182 @@
+"""Checkpoint/restart tests: crash the cluster, restart elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Application, VirtualMachine
+from repro.codec import MIPS32, SPARC32
+from repro.core.checkpointing import (
+    CheckpointStore,
+    checkpoint_state,
+    restore_state,
+)
+from repro.util.errors import ProtocolError, ReproError
+
+
+# -- store unit behaviour ------------------------------------------------------
+
+def test_store_memory_roundtrip():
+    store = CheckpointStore()
+    n = checkpoint_state(store, rank=0, version=3,
+                         state={"x": np.arange(5), "i": 3})
+    assert n > 0
+    state = restore_state(store, 0, 3)
+    np.testing.assert_array_equal(state["x"], np.arange(5))
+    assert state["i"] == 3
+
+
+def test_store_disk_roundtrip(tmp_path):
+    store = CheckpointStore(tmp_path)
+    checkpoint_state(store, 1, 2, {"v": [1.5, 2.5]}, arch=SPARC32)
+    assert (tmp_path / "ckpt-r1-v2.bin").exists()
+    # a brand-new store object over the same directory sees it
+    reopened = CheckpointStore(tmp_path)
+    assert restore_state(reopened, 1, 2) == {"v": [1.5, 2.5]}
+    assert reopened.versions(1) == [2]
+    assert reopened.ranks() == [1]
+
+
+def test_missing_checkpoint_raises():
+    store = CheckpointStore()
+    with pytest.raises(ReproError):
+        restore_state(store, 0, 0)
+
+
+def test_latest_common_version():
+    store = CheckpointStore()
+    for rank in (0, 1):
+        for v in (1, 2):
+            checkpoint_state(store, rank, v, {"v": v})
+    checkpoint_state(store, 0, 3, {"v": 3})  # rank 1 crashed during v3
+    assert store.latest_common_version(2) == 2
+    assert store.latest_common_version(3) is None  # rank 2 never saved
+
+
+def test_restore_requires_store():
+    vm = VirtualMachine()
+    vm.add_host("h0")
+    with pytest.raises(ProtocolError):
+        Application(vm, lambda api, s: None, placement=["h0"],
+                    scheduler_host="h0", restore_version=1)
+    vm.shutdown()
+
+
+# -- end-to-end crash/restart ----------------------------------------------------
+
+def _ring_program(rounds, store_versions):
+    def program(api, state):
+        i = state.get("i", 0)
+        acc = state.setdefault("acc", 0)
+        right = (api.rank + 1) % api.size
+        left = (api.rank - 1) % api.size
+        while i < rounds:
+            api.send(right, (api.rank, i))
+            src, _ = api.recv(src=left).body
+            state["acc"] = state["acc"] + src + i
+            i += 1
+            state["i"] = i
+            api.compute(0.005)
+            api.checkpoint(state, version=i)
+            if store_versions is not None:
+                store_versions.append((api.rank, i))
+            api.poll_migration(state)
+        state.setdefault("final", state["acc"])
+    return program
+
+
+def _uninterrupted_reference(rounds, nranks):
+    """Expected accumulator value per rank."""
+    out = {}
+    for rank in range(nranks):
+        left = (rank - 1) % nranks
+        out[rank] = sum(left + i for i in range(rounds))
+    return out
+
+
+def test_crash_and_restart_resumes_correctly(kernel):
+    rounds, nranks = 12, 3
+    store = CheckpointStore()
+
+    # phase 1: run, then "crash" the whole cluster mid-computation
+    vm1 = VirtualMachine()
+    for h in ("a0", "a1", "a2", "a3"):
+        vm1.add_host(h)
+    app1 = Application(vm1, _ring_program(rounds, None),
+                       placement=["a0", "a1", "a2"], scheduler_host="a3",
+                       checkpoint_store=store)
+    app1.start()
+    vm1.run(until=0.04)          # power cut mid-run
+    vm1.shutdown()
+    line = store.latest_common_version(nranks)
+    assert line is not None and 0 < line < rounds
+
+    # phase 2: restart from the recovery line on a *different* cluster
+    vm2 = VirtualMachine(kernel)
+    for h in ("b0", "b1", "b2", "b3"):
+        vm2.add_host(h)
+    app2 = Application(vm2, _ring_program(rounds, None),
+                       placement=["b0", "b1", "b2"], scheduler_host="b3",
+                       checkpoint_store=store, restore_version=line)
+    app2.run()
+
+    expected = _uninterrupted_reference(rounds, nranks)
+    for rank in range(nranks):
+        final = restore_state(store, rank, rounds)["acc"]
+        assert final == expected[rank]
+    assert vm2.dropped_messages() == []
+    restores = vm2.trace.filter(kind="checkpoint_restored")
+    assert len(restores) == nranks
+
+
+def test_checkpoints_cross_architectures(kernel):
+    """Save big-endian, restart on a little-endian cluster."""
+    rounds, nranks = 6, 2
+    store = CheckpointStore()
+    vm1 = VirtualMachine()
+    for h in ("a0", "a1", "a2"):
+        vm1.add_host(h)
+    app1 = Application(vm1, _ring_program(rounds, None),
+                       placement=["a0", "a1"], scheduler_host="a2",
+                       checkpoint_store=store,
+                       architectures={"a0": SPARC32, "a1": SPARC32})
+    app1.start()
+    vm1.run(until=0.03)
+    vm1.shutdown()
+    line = store.latest_common_version(nranks)
+    assert line
+
+    vm2 = VirtualMachine(kernel)
+    for h in ("b0", "b1", "b2"):
+        vm2.add_host(h)
+    app2 = Application(vm2, _ring_program(rounds, None),
+                       placement=["b0", "b1"], scheduler_host="b2",
+                       checkpoint_store=store, restore_version=line,
+                       architectures={"b0": MIPS32, "b1": MIPS32})
+    app2.run()
+    expected = _uninterrupted_reference(rounds, nranks)
+    for rank in range(nranks):
+        assert restore_state(store, rank, rounds)["acc"] == expected[rank]
+
+
+def test_checkpointing_composes_with_migration(kernel):
+    """Checkpoints keep flowing across a live migration; a later restart
+    from a post-migration version still completes correctly."""
+    rounds, nranks = 15, 3
+    store = CheckpointStore()
+    vm = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2", "h3", "h4"):
+        vm.add_host(h)
+    app = Application(vm, _ring_program(rounds, None),
+                      placement=["h0", "h1", "h2"], scheduler_host="h3",
+                      checkpoint_store=store)
+    app.start()
+    app.migrate_at(0.02, rank=1, dest_host="h4")
+    app.run()
+    assert any(m.completed for m in app.migrations)
+    expected = _uninterrupted_reference(rounds, nranks)
+    for rank in range(nranks):
+        assert restore_state(store, rank, rounds)["acc"] == expected[rank]
+    # every version along the way exists for every rank
+    assert store.latest_common_version(nranks) == rounds

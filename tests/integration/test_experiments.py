@@ -1,0 +1,87 @@
+"""Smoke tests for the canned paper-experiment configurations.
+
+Small grids so the whole file stays fast; the full-size runs live in
+``benchmarks/``. These tests pin the *invariants* every configuration
+must satisfy regardless of scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_mg_heterogeneous, run_mg_homogeneous
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {
+        "original": run_mg_homogeneous(mode="original", n=16),
+        "modified": run_mg_homogeneous(mode="modified", n=16),
+        "migration": run_mg_homogeneous(mode="migration", n=16),
+        "hetero": run_mg_heterogeneous(n=16),
+    }
+    yield out
+    for r in out.values():
+        r.vm.shutdown()
+
+
+def test_modes_record_identity(runs):
+    for mode in ("original", "modified", "migration"):
+        assert runs[mode].mode == mode
+        assert runs[mode].nranks == 8
+
+
+def test_original_has_no_migration_machinery(runs):
+    orig = runs["original"]
+    assert orig.breakdown is None
+    assert orig.vm.trace.count("migration_start") == 0
+
+
+def test_modified_overhead_small(runs):
+    assert runs["modified"].execution <= runs["original"].execution * 1.15
+
+
+def test_migration_mode_migrates_after_two_vcycles(runs):
+    mig = runs["migration"]
+    assert mig.breakdown is not None
+    # the poll point that fires is the one closing V-cycle 2
+    done_before = mig.vm.trace.filter(kind="app_vcycle_done", actor="p0")
+    assert len(done_before) == 2
+    done_after = mig.vm.trace.filter(kind="app_vcycle_done", actor="p0.m1")
+    assert len(done_after) == 2
+
+
+def test_all_modes_same_numerics(runs):
+    import numpy as np
+    base = runs["original"].results
+    for mode in ("modified", "migration", "hetero"):
+        other = runs[mode].results
+        for rank in base:
+            np.testing.assert_allclose(other[rank]["u"], base[rank]["u"],
+                                       rtol=1e-12, atol=1e-14)
+
+
+def test_no_mode_drops_messages(runs):
+    for r in runs.values():
+        assert r.vm.dropped_messages() == []
+
+
+def test_hetero_uses_slow_host_and_link(runs):
+    h = runs["hetero"]
+    assert h.vm.network.host("dec0").cpu_speed < 0.5
+    from repro.sim.network import ETHERNET_10M
+    assert h.vm.network.link("dec0", "u1") == ETHERNET_10M
+    # rank 0 started on the DEC and ended on the spare Ultra
+    rec = h.app.migrations[0]
+    assert rec.old_vmid.host == "dec0"
+    assert rec.new_vmid.host == "spare"
+
+
+def test_hetero_collect_slower_than_homog(runs):
+    assert runs["hetero"].breakdown.collect > \
+        3 * runs["migration"].breakdown.collect
+
+
+def test_run_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        run_mg_homogeneous(mode="bogus", n=16)

@@ -1,0 +1,162 @@
+"""Dynamic environment tests: hosts joining/leaving, failure visibility.
+
+Paper Section 2: "hosts can join or leave a virtual machine environment
+dynamically ... it is important that process migration mechanisms do not
+create residual dependency and data communication between the migrating
+process and others can be done without existence of old hosts."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Application, VirtualMachine
+from repro.util.errors import DeadlockError
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2", "h3"):
+        machine.add_host(h)
+    return machine
+
+
+def test_source_host_can_leave_after_migration(vm):
+    """No residual dependency: tear down the old host mid-run."""
+    log = []
+
+    def program(api, state):
+        i = state.get("i", 0)
+        while i < 30:
+            if api.rank == 0:
+                api.send(1, i)
+            else:
+                log.append(api.recv(src=0).body)
+            i += 1
+            state["i"] = i
+            api.compute(0.003)
+            api.poll_migration(state)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.02, rank=1, dest_host="h3")
+
+    removed = []
+
+    def maybe_remove():
+        # once the migration committed, the old host resigns
+        if any(m.completed for m in app.migrations):
+            vm.remove_host("h1")
+            removed.append(True)
+        else:
+            vm.kernel.call_later(0.005, maybe_remove)
+
+    vm.kernel.call_later(0.03, maybe_remove)
+    app.run()
+    assert removed, "migration should have completed so the host could leave"
+    assert log == list(range(30))
+    assert "h1" not in vm.hosts
+    assert vm.dropped_messages() == []
+
+
+def test_new_host_joins_and_receives_migration(vm):
+    """A host added *after* launch becomes a migration destination."""
+    done = {}
+
+    def program(api, state):
+        i = state.get("i", 0)
+        while i < 25:
+            if api.rank == 0:
+                api.send(1, i)
+            else:
+                state.setdefault("got", []).append(api.recv(src=0).body)
+            i += 1
+            state["i"] = i
+            api.compute(0.004)
+            api.poll_migration(state)
+        if api.rank == 1:
+            done["got"] = state["got"]
+            done["host"] = api.host
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    vm.kernel.call_later(0.01, lambda: vm.add_host("late-joiner",
+                                                   cpu_speed=2.0))
+    app.migrate_at(0.02, rank=1, dest_host="late-joiner")
+    app.run()
+    assert done["got"] == list(range(25))
+    assert done["host"] == "late-joiner"
+
+
+def test_connect_after_target_host_left(vm):
+    """The requester's own daemon nacks when the target host resigned;
+    the scheduler then reports the rank terminated."""
+    from repro.util.errors import DestinationTerminatedError
+    outcome = []
+
+    def program(api, state):
+        if api.rank == 0:
+            api.compute(0.02)  # rank 1's host disappears meanwhile
+            try:
+                api.send(1, "too late")
+            except DestinationTerminatedError:
+                outcome.append("terminated")
+        else:
+            pass  # exits immediately
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    vm.kernel.call_later(0.01, lambda: vm.remove_host("h1"))
+    app.run()
+    assert outcome == ["terminated"]
+
+
+def test_killed_peer_during_drain_is_detected_not_hung(kernel):
+    """An *abrupt* host loss around a migration is detected, not hung.
+
+    The protocol assumes reliable channels and clean terminations
+    (crash-stop recovery is CoCheck's fault-tolerance territory, cf. §7).
+    Depending on where the crash lands, the run ends in one of two
+    *detected* failures: the kernel's deadlock detector (peer died
+    mid-drain, its end-of-message can never arrive) or the connect retry
+    cap (peer died silently, the scheduler still believes it runs).
+    Silently hanging or losing the failure is the bug this test guards
+    against."""
+    vm = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2", "h3"):
+        vm.add_host(h)
+
+    def program(api, state):
+        i = state.get("i", 0)
+        while i < 50:
+            peer = 1 - api.rank
+            api.send(peer, i)
+            api.recv(src=peer)
+            i += 1
+            state["i"] = i
+            api.compute(0.004)
+            api.poll_migration(state)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.02, rank=0, dest_host="h3")
+
+    def kill_peer():
+        # yank rank 1's host the instant rank 0 starts migrating
+        if vm.trace.first("migration_start") is not None:
+            if "h1" in vm.hosts:
+                vm.remove_host("h1")
+        else:
+            vm.kernel.call_later(0.001, kill_peer)
+
+    vm.kernel.call_later(0.02, kill_peer)
+    from repro.util.errors import ProtocolError, SimThreadError
+    with pytest.raises((DeadlockError, SimThreadError)) as ei:
+        app.run()
+    if isinstance(ei.value, SimThreadError):
+        assert isinstance(ei.value.original, ProtocolError)

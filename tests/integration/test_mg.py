@@ -1,0 +1,119 @@
+"""Integration tests: distributed MG matches serial MG, with and without
+process migration (output correctness is the paper's Section 6.3 check —
+"the experimental outputs with and without the migration are identical")."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Application, VirtualMachine
+from repro.apps.mg import make_mg_program, num_levels_dist, solve_serial
+from repro.apps.mg.serial import make_rhs, num_levels, vcycle_serial, residual_norm
+
+
+def _vm(kernel, nhosts, slow=None):
+    vm = VirtualMachine(kernel)
+    for i in range(nhosts):
+        speed = slow.get(f"u{i}", 1.0) if slow else 1.0
+        vm.add_host(f"u{i}", cpu_speed=speed)
+    return vm
+
+
+def _serial_reference(n, iterations, levels):
+    v = make_rhs(n)
+    u = np.zeros_like(v)
+    norms = []
+    for _ in range(iterations):
+        u = vcycle_serial(u, v, levels)
+        norms.append(residual_norm(u, v))
+    return u, norms
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_distributed_matches_serial(kernel, nranks):
+    n, iterations = 16, 2
+    levels = num_levels_dist(n, n // nranks)
+    u_ref, norms_ref = _serial_reference(n, iterations, levels)
+
+    vm = _vm(kernel, nranks + 1)
+    results: dict = {}
+    prog = make_mg_program(n, iterations=iterations, levels=levels,
+                           results=results)
+    app = Application(vm, prog, placement=[f"u{i}" for i in range(nranks)],
+                      scheduler_host=f"u{nranks}")
+    app.run()
+
+    assert sorted(results) == list(range(nranks))
+    u_dist = np.concatenate([results[r]["u"] for r in range(nranks)], axis=0)
+    np.testing.assert_allclose(u_dist, u_ref, rtol=1e-12, atol=1e-14)
+    np.testing.assert_allclose(results[0]["rnorms"], norms_ref, rtol=1e-12)
+    assert vm.dropped_messages() == []
+
+
+def test_residual_decreases(kernel):
+    n, nranks = 16, 4
+    vm = _vm(kernel, nranks + 1)
+    results: dict = {}
+    prog = make_mg_program(n, iterations=3, results=results)
+    app = Application(vm, prog, placement=[f"u{i}" for i in range(nranks)],
+                      scheduler_host="u4")
+    app.run()
+    norms = results[0]["rnorms"]
+    assert norms[0] > norms[1] > norms[2]
+    # multigrid should reduce the residual by a solid factor per cycle
+    assert norms[2] < norms[0] / 10
+
+
+def test_mg_with_migration_identical_output(kernel):
+    """Migrate rank 0 after ~2 V-cycles; results must match serial."""
+    n, nranks, iterations = 16, 4, 4
+    levels = num_levels_dist(n, n // nranks)
+    u_ref, norms_ref = _serial_reference(n, iterations, levels)
+
+    vm = _vm(kernel, nranks + 2)
+    results: dict = {}
+    prog = make_mg_program(n, iterations=iterations, levels=levels,
+                           results=results)
+    app = Application(vm, prog, placement=[f"u{i}" for i in range(nranks)],
+                      scheduler_host=f"u{nranks}")
+    app.start()
+
+    # Determine when 2 V-cycles complete by running a probe simulation?
+    # Simpler: request the migration early; the poll point after iteration
+    # boundaries picks it up at the first boundary after the signal.
+    app.migrate_at(0.002, rank=0, dest_host=f"u{nranks + 1}")
+    app.run()
+
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    u_dist = np.concatenate([results[r]["u"] for r in range(nranks)], axis=0)
+    np.testing.assert_allclose(u_dist, u_ref, rtol=1e-12, atol=1e-14)
+    np.testing.assert_allclose(results[0]["rnorms"], norms_ref, rtol=1e-12)
+    assert results[0]["hosts"][-1] == f"u{nranks + 1}"
+    assert vm.dropped_messages() == []
+
+
+def test_mg_heterogeneous_migration(kernel):
+    """The paper's Section 6.3: one slow host, migrate its process away."""
+    n, nranks, iterations = 16, 4, 4
+    levels = num_levels_dist(n, n // nranks)
+    u_ref, _ = _serial_reference(n, iterations, levels)
+
+    vm = VirtualMachine(kernel)
+    vm.add_host("dec0", cpu_speed=0.12)  # the DEC 5000/120
+    for i in range(1, nranks + 2):
+        vm.add_host(f"u{i}")
+    results: dict = {}
+    prog = make_mg_program(n, iterations=iterations, levels=levels,
+                           results=results)
+    placement = ["dec0"] + [f"u{i}" for i in range(1, nranks)]
+    app = Application(vm, prog, placement=placement,
+                      scheduler_host=f"u{nranks}")
+    app.start()
+    app.migrate_at(0.002, rank=0, dest_host=f"u{nranks + 1}")
+    app.run()
+
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    u_dist = np.concatenate([results[r]["u"] for r in range(nranks)], axis=0)
+    np.testing.assert_allclose(u_dist, u_ref, rtol=1e-12, atol=1e-14)
+    assert vm.dropped_messages() == []

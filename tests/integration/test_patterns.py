@@ -1,0 +1,221 @@
+"""Integration tests for the additional communication patterns, with and
+without migrations (the paper's planned further case studies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Application, VirtualMachine
+from repro.apps import (
+    make_alltoall_program,
+    make_master_worker_program,
+    make_pingpong_program,
+    make_stencil2d_program,
+)
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    for i in range(8):
+        machine.add_host(f"h{i}")
+    return machine
+
+
+# -- ping-pong ---------------------------------------------------------------
+
+def test_pingpong_completes(vm):
+    results = {}
+    app = Application(vm, make_pingpong_program(rounds=20, results=results),
+                      placement=["h0", "h1"], scheduler_host="h2")
+    app.run()
+    assert len(results["rtts"]) == 20
+    assert all(r > 0 for r in results["rtts"])
+
+
+def test_pingpong_with_migration(vm):
+    results = {}
+    app = Application(vm, make_pingpong_program(rounds=200, results=results),
+                      placement=["h0", "h1"], scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.02, rank=1, dest_host="h3")
+    app.run()
+    assert len(results["rtts"]) == 200
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    assert vm.dropped_messages() == []
+
+
+# -- 2-D stencil ---------------------------------------------------------------
+
+def _stencil_reference(n, iterations, px, py):
+    """Serial Jacobi with periodic boundaries, tile-assembled like the app."""
+    from repro.util.rng import RngStream
+    tile_h, tile_w = n // py, n // px
+    u = np.zeros((n, n))
+    for me in range(px * py):
+        ry, rx = divmod(me, px)
+        rng = RngStream(11, f"stencil-{me}")
+        u[ry * tile_h:(ry + 1) * tile_h,
+          rx * tile_w:(rx + 1) * tile_w] = rng.numpy.random((tile_h, tile_w))
+    for _ in range(iterations):
+        u = 0.25 * (np.roll(u, 1, 0) + np.roll(u, -1, 0)
+                    + np.roll(u, 1, 1) + np.roll(u, -1, 1))
+    return u
+
+
+def test_stencil2d_matches_serial(vm):
+    n, px, py, iterations = 16, 2, 2, 6
+    results = {}
+    prog = make_stencil2d_program(n=n, px=px, py=py, iterations=iterations,
+                                  results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(4)],
+                      scheduler_host="h4")
+    app.run()
+    ref = _stencil_reference(n, iterations, px, py)
+    tile_h, tile_w = n // py, n // px
+    for me in range(4):
+        ry, rx = divmod(me, px)
+        np.testing.assert_allclose(
+            results[me],
+            ref[ry * tile_h:(ry + 1) * tile_h,
+                rx * tile_w:(rx + 1) * tile_w], rtol=1e-12)
+
+
+def test_stencil2d_with_migration_matches_serial(vm):
+    n, px, py, iterations = 16, 2, 2, 30
+    results = {}
+    prog = make_stencil2d_program(n=n, px=px, py=py, iterations=iterations,
+                                  results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(4)],
+                      scheduler_host="h4")
+    app.start()
+    app.migrate_at(0.0005, rank=2, dest_host="h5")
+    app.run()
+    ref = _stencil_reference(n, iterations, px, py)
+    tile_h, tile_w = n // py, n // px
+    for me in range(4):
+        ry, rx = divmod(me, px)
+        np.testing.assert_allclose(
+            results[me],
+            ref[ry * tile_h:(ry + 1) * tile_h,
+                rx * tile_w:(rx + 1) * tile_w], rtol=1e-12)
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    assert vm.dropped_messages() == []
+
+
+# -- master/worker ------------------------------------------------------------
+
+def test_master_worker_completes(vm):
+    results = {}
+    prog = make_master_worker_program(ntasks=25, results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(5)],
+                      scheduler_host="h5")
+    app.run()
+    assert results["done"] == sorted((i, i * i) for i in range(25))
+
+
+def test_master_migration_star_topology(vm):
+    """Migrating the master coordinates every worker (max degree)."""
+    results = {}
+    prog = make_master_worker_program(ntasks=30, task_cost=0.004,
+                                      results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(5)],
+                      scheduler_host="h5")
+    app.start()
+    app.migrate_at(0.03, rank=0, dest_host="h6")
+    app.run()
+    assert results["done"] == sorted((i, i * i) for i in range(30))
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    coordinated = vm.trace.filter(kind="peer_coordinated", actor="p0")
+    assert len(coordinated) == 4  # the master was connected to all workers
+    assert vm.dropped_messages() == []
+
+
+def test_worker_migration_task_farm(vm):
+    results = {}
+    prog = make_master_worker_program(ntasks=30, task_cost=0.004,
+                                      results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(5)],
+                      scheduler_host="h5")
+    app.start()
+    app.migrate_at(0.02, rank=2, dest_host="h6")
+    app.run()
+    assert results["done"] == sorted((i, i * i) for i in range(30))
+    assert vm.dropped_messages() == []
+
+
+# -- all-to-all -----------------------------------------------------------------
+
+def test_alltoall_completes(vm):
+    results = {}
+    prog = make_alltoall_program(rounds=4, results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(4)],
+                      scheduler_host="h4")
+    app.run()
+    expected = sum(range(4))  # minus own rank added back per round
+    for me in range(4):
+        assert results[me] == [expected - me] * 4
+
+
+def test_alltoall_with_migration(vm):
+    """Migration with a fully connected topology: all channels drained."""
+    results = {}
+    prog = make_alltoall_program(rounds=8, results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(4)],
+                      scheduler_host="h4")
+    app.start()
+    app.migrate_at(0.01, rank=1, dest_host="h5")
+    app.run()
+    expected = sum(range(4))
+    for me in range(4):
+        assert results[me] == [expected - me] * 8
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    coordinated = vm.trace.filter(kind="peer_coordinated", actor="p1")
+    assert len(coordinated) == 3  # connected to every other rank
+    assert vm.dropped_messages() == []
+
+
+# -- pipeline -----------------------------------------------------------------
+
+def test_pipeline_completes(vm):
+    from repro.apps import make_pipeline_program
+    results = {}
+    prog = make_pipeline_program(nitems=12, results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(4)],
+                      scheduler_host="h4")
+    app.run()
+    assert results["out"] == [[0, 1, 2, 3]] * 12
+
+
+def test_pipeline_mid_stage_migration(vm):
+    """Migrating a middle stage captures a window of in-flight items."""
+    from repro.apps import make_pipeline_program
+    results = {}
+    prog = make_pipeline_program(nitems=40, stage_cost=0.002,
+                                 results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(4)],
+                      scheduler_host="h4")
+    app.start()
+    app.migrate_at(0.03, rank=2, dest_host="h5")
+    app.run()
+    assert results["out"] == [[0, 1, 2, 3]] * 40
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    assert vm.dropped_messages() == []
+
+
+def test_pipeline_source_and_sink_migrations(vm):
+    from repro.apps import make_pipeline_program
+    results = {}
+    prog = make_pipeline_program(nitems=40, stage_cost=0.002,
+                                 results=results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(4)],
+                      scheduler_host="h4")
+    app.start()
+    app.migrate_at(0.02, rank=0, dest_host="h5")
+    app.migrate_at(0.05, rank=3, dest_host="h6")
+    app.run()
+    assert results["out"] == [[0, 1, 2, 3]] * 40
+    completed = [m for m in app.migrations if m.completed]
+    assert len(completed) == 2
+    assert vm.dropped_messages() == []

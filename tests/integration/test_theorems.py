@@ -1,0 +1,294 @@
+"""Scenario tests for the paper's correctness theorems (Section 4).
+
+The simulation kernel detects genuine deadlocks (every live thread blocked
+with no pending timer raises), so every test here checks Theorem 1 simply
+by running to completion. Message loss (Theorem 2) is checked by counting
+deliveries plus the VM's dropped-data instrument; ordering (Theorem 3,
+Lemma 2, Theorem 4) by sequence numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Application, VirtualMachine
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2", "h3", "h4", "h5"):
+        machine.add_host(h)
+    return machine
+
+
+def _seq_stream(api, state, dest, count, tag=1, pace=0.0, poll=False):
+    """Send ``count`` sequence-numbered messages to ``dest``."""
+    i = state.get("i", 0)
+    while i < count:
+        api.send(dest, ("seq", i), tag=tag)
+        i += 1
+        state["i"] = i
+        if pace:
+            api.compute(pace)
+        if poll:
+            api.poll_migration(state)
+
+
+def _seq_check(api, state, src, count, tag=1, pace=0.0, poll=False):
+    """Receive ``count`` messages from ``src``; assert order; return list."""
+    i = state.get("i", 0)
+    got = state.setdefault("got", [])
+    while i < count:
+        msg = api.recv(src=src, tag=tag)
+        assert msg.body == ("seq", i), f"out of order: {msg.body} != {i}"
+        got.append(msg.body[1])
+        i += 1
+        state["i"] = i
+        if pace:
+            api.compute(pace)
+        if poll:
+            api.poll_migration(state)
+
+
+# -- Theorem 3: receiver migrates mid-stream -------------------------------
+
+def test_ordering_receiver_migrates(vm):
+    count = 40
+    done = {}
+
+    def program(api, state):
+        if api.rank == 0:
+            _seq_stream(api, state, dest=1, count=count, pace=0.002)
+        else:
+            _seq_check(api, state, src=0, count=count, pace=0.003,
+                       poll=True)
+            done["got"] = state["got"]
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.03, rank=1, dest_host="h3")
+    app.run()
+    assert done["got"] == list(range(count))
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    assert vm.dropped_messages() == []
+
+
+def test_ordering_receiver_migrates_twice(vm):
+    count = 60
+    done = {}
+
+    def program(api, state):
+        if api.rank == 0:
+            _seq_stream(api, state, dest=1, count=count, pace=0.002)
+        else:
+            _seq_check(api, state, src=0, count=count, pace=0.003,
+                       poll=True)
+            done["got"] = state["got"]
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.03, rank=1, dest_host="h3")
+    app.migrate_at(0.09, rank=1, dest_host="h4")
+    app.run()
+    assert done["got"] == list(range(count))
+    completed = [m for m in app.migrations if m.completed]
+    assert len(completed) == 2
+    assert completed[1].new_vmid.host == "h4"
+    assert vm.dropped_messages() == []
+
+
+# -- Lemma 2: sender migrates mid-stream --------------------------------------
+
+def test_ordering_sender_migrates(vm):
+    count = 40
+    done = {}
+
+    def program(api, state):
+        if api.rank == 0:
+            _seq_stream(api, state, dest=1, count=count, pace=0.003,
+                        poll=True)
+        else:
+            _seq_check(api, state, src=0, count=count, pace=0.002)
+            done["got"] = state["got"]
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.03, rank=0, dest_host="h3")
+    app.run()
+    assert done["got"] == list(range(count))
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+    assert vm.dropped_messages() == []
+
+
+# -- Theorem 1: blocked send/recv during migration ------------------------------
+
+def test_sender_not_blocked_by_receiver_migration(vm):
+    """Sends complete while the receiver migrates (buffered-mode claim)."""
+    send_times = []
+
+    def program(api, state):
+        if api.rank == 0:
+            for i in range(10):
+                t0 = api.now
+                api.send(1, i)
+                send_times.append(api.now - t0)
+                api.compute(0.01)
+        else:
+            state.setdefault("i", 0)
+            api.compute(0.02)
+            api.poll_migration(state)
+            while state["i"] < 10:
+                api.recv(src=0)
+                state["i"] += 1
+                api.poll_migration(state)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.015, rank=1, dest_host="h3")
+    app.run()
+    assert len(send_times) == 10
+    # no send took anywhere near the migration duration: senders never
+    # block on a migrating receiver
+    assert max(send_times) < 0.05
+    assert vm.dropped_messages() == []
+
+
+def test_receive_blocked_on_migrating_sender_completes(vm):
+    """A recv posted against a migrating process completes afterwards."""
+    got = []
+
+    def program(api, state):
+        if api.rank == 0:
+            state.setdefault("i", 0)
+            api.compute(0.05)
+            api.poll_migration(state)
+            if state["i"] == 0:
+                api.send(1, "after-migration")
+                state["i"] = 1
+        else:
+            got.append(api.recv(src=0).body)  # blocks across the migration
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.01, rank=0, dest_host="h3")
+    app.run()
+    assert got == ["after-migration"]
+    assert len(app.migrations) == 1 and app.migrations[0].completed
+
+
+# -- Theorem 4: simultaneous migrations ----------------------------------------
+
+def test_simultaneous_migration_of_connected_pair(vm):
+    count = 30
+    done = {}
+
+    def program(api, state):
+        peer = 1 - api.rank
+        i = state.get("i", 0)
+        got = state.setdefault("got", [])
+        while i < count:
+            api.send(peer, ("seq", i))
+            msg = api.recv(src=peer)
+            assert msg.body == ("seq", i)
+            got.append(msg.body[1])
+            i += 1
+            state["i"] = i
+            api.compute(0.002)
+            api.poll_migration(state)
+        done[api.rank] = got
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    # both processes receive migration requests at the same instant
+    app.migrate_at(0.02, rank=0, dest_host="h3")
+    app.migrate_at(0.02, rank=1, dest_host="h4")
+    app.run()
+    assert done[0] == list(range(count))
+    assert done[1] == list(range(count))
+    completed = [m for m in app.migrations if m.completed]
+    assert len(completed) == 2
+    assert vm.dropped_messages() == []
+
+
+def test_all_ranks_migrate_in_ring(vm):
+    nranks, rounds = 4, 20
+    sums = {}
+
+    def program(api, state):
+        right = (api.rank + 1) % api.size
+        left = (api.rank - 1) % api.size
+        i = state.get("i", 0)
+        total = state.get("total", 0)
+        token = state.get("token", api.rank)
+        while i < rounds:
+            api.send(right, token)
+            token = api.recv(src=left).body
+            total += token
+            i += 1
+            state.update(i=i, total=total, token=token)
+            api.compute(0.002)
+            api.poll_migration(state)
+        sums[api.rank] = total
+
+    app = Application(vm, program,
+                      placement=["h0", "h1", "h2", "h3"],
+                      scheduler_host="h4")
+    app.start()
+    # every rank migrates, staggered
+    for r in range(nranks):
+        app.migrate_at(0.01 + 0.01 * r, rank=r, dest_host="h5")
+    app.run()
+    # token values cycle; every rank accumulates the same multiset sum
+    expected = sum(range(nranks)) * (rounds // nranks)
+    assert all(s == expected for s in sums.values())
+    completed = [m for m in app.migrations if m.completed]
+    assert len(completed) == nranks
+    assert vm.dropped_messages() == []
+
+
+# -- Theorem 2: no loss under bursty traffic into a migration ----------------
+
+def test_burst_into_migration_no_loss(vm):
+    """Many senders flood a rank exactly while it migrates."""
+    nsenders = 4
+    per_sender = 15
+    done = {}
+
+    def program(api, state):
+        if api.rank == 0:
+            state.setdefault("n", 0)
+            seen = state.setdefault("seen", [])
+            api.compute(0.01)
+            api.poll_migration(state)
+            while state["n"] < nsenders * per_sender:
+                msg = api.recv()
+                seen.append((msg.src, msg.body))
+                state["n"] += 1
+                api.poll_migration(state)
+            done["seen"] = seen
+        else:
+            for i in range(per_sender):
+                api.send(0, i, tag=api.rank)
+                api.compute(0.001)
+
+    app = Application(
+        vm, program, placement=["h0", "h1", "h2", "h3", "h4"],
+        scheduler_host="h5")
+    app.start()
+    app.migrate_at(0.012, rank=0, dest_host="h5")
+    app.run()
+    seen = done["seen"]
+    assert len(seen) == nsenders * per_sender
+    # per-sender FIFO order preserved
+    for s in range(1, nsenders + 1):
+        stream = [body for src, body in seen if src == s]
+        assert stream == list(range(per_sender))
+    assert vm.dropped_messages() == []
+    assert len(app.migrations) == 1 and app.migrations[0].completed

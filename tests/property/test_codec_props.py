@@ -1,0 +1,93 @@
+"""Property-based tests for the machine-independent codec."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.codec import MIPS32, SPARC32, X86_64, decode, encode
+
+ARCHES = st.sampled_from([SPARC32, MIPS32, X86_64])
+
+# Recursive strategy over encodable values. Dict keys must be hashable
+# (and set members canonicalizable), so keys stay scalar.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 80), max_value=2 ** 80),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+        st.tuples(children, children),
+    ),
+    max_leaves=15,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(value=_values, arch=ARCHES)
+def test_roundtrip_structures(value, arch):
+    assert decode(encode(value, arch)) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.floats(), arch=ARCHES)
+def test_roundtrip_floats_including_nan(value, arch):
+    out = decode(encode(value, arch))
+    if math.isnan(value):
+        assert math.isnan(out)
+    else:
+        assert out == value
+
+
+@st.composite
+def _arrays(draw):
+    dtype = np.dtype(draw(st.sampled_from(
+        ["f8", "f4", "i8", "i4", "i2", "u1", "c16", "b1"])))
+    shape = draw(hnp.array_shapes(max_dims=3, max_side=6))
+    return draw(hnp.arrays(
+        dtype=dtype, shape=shape,
+        elements=hnp.from_dtype(dtype, allow_nan=False,
+                                allow_infinity=False)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(arr=_arrays(), arch=ARCHES)
+def test_roundtrip_ndarrays(arr, arch):
+    out = decode(encode(arr, arch))
+    assert out.shape == arr.shape
+    np.testing.assert_array_equal(out, arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=_values)
+def test_cross_architecture_equivalence(value):
+    """Encodings differ per architecture but decode identically."""
+    decoded = [decode(encode(value, a)) for a in (SPARC32, MIPS32, X86_64)]
+    assert decoded[0] == decoded[1] == decoded[2] == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=_values, arch=ARCHES)
+def test_encoding_deterministic(value, arch):
+    assert encode(value, arch) == encode(value, arch)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(0, 6), arch=ARCHES)
+def test_shared_substructure_count_preserved(n, arch):
+    shared = list(range(5))
+    value = [shared] * n
+    out = decode(encode(value, arch))
+    assert len(out) == n
+    assert all(item is out[0] for item in out[1:])

@@ -1,0 +1,102 @@
+"""Property-based tests of the simulation kernel's determinism.
+
+Determinism is load-bearing: the benchmark tables are only reproducible
+because two identical runs produce identical event sequences. Hypothesis
+generates random thread/sleep/queue programs and checks that the observed
+event order is a pure function of the program.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel, SimEvent, SimQueue
+
+
+def _run_program(spec):
+    """Interpret a random program spec; return the observed event log."""
+    k = Kernel()
+    log: list = []
+    queues = [SimQueue(k, name=f"q{i}") for i in range(2)]
+    events = [SimEvent(k, name=f"e{i}") for i in range(2)]
+
+    def worker(wid, ops):
+        for op in ops:
+            kind = op[0]
+            if kind == "sleep":
+                k.sleep(op[1])
+                log.append(("slept", wid, round(k.now, 9)))
+            elif kind == "put":
+                queues[op[1]].put((wid, op[2]))
+                log.append(("put", wid, op[1]))
+            elif kind == "get":
+                got = queues[op[1]].get(timeout=op[2])
+                log.append(("got", wid, got if got is not None else None)
+                           if got.__class__ is not object else None)
+            elif kind == "set":
+                events[op[1]].set()
+                log.append(("set", wid, op[1]))
+            elif kind == "wait":
+                ok = events[op[1]].wait(timeout=op[2])
+                log.append(("waited", wid, ok))
+
+    for wid, ops in enumerate(spec):
+        k.spawn(worker, wid, ops, name=f"w{wid}")
+    k.run(detect_deadlock=False)
+    final = k.now
+    k.shutdown()
+    return log, final
+
+
+_op = st.one_of(
+    st.tuples(st.just("sleep"), st.floats(0.0, 0.5)),
+    st.tuples(st.just("put"), st.integers(0, 1), st.integers(0, 9)),
+    st.tuples(st.just("get"), st.integers(0, 1), st.floats(0.01, 0.3)),
+    st.tuples(st.just("set"), st.integers(0, 1)),
+    st.tuples(st.just("wait"), st.integers(0, 1), st.floats(0.01, 0.3)),
+)
+
+_program = st.lists(st.lists(_op, max_size=6), min_size=1, max_size=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=_program)
+def test_kernel_runs_are_deterministic(spec):
+    first = _run_program(spec)
+    second = _run_program(spec)
+    assert first == second
+
+
+@settings(max_examples=40, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=10))
+def test_virtual_time_is_max_of_sleepers(delays):
+    k = Kernel()
+    for i, d in enumerate(delays):
+        k.spawn(lambda d=d: k.sleep(d), name=f"s{i}")
+    k.run()
+    assert k.now == max(delays)
+    k.shutdown()
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 30))
+def test_queue_is_exactly_once(n):
+    """N producers, one consumer: every item delivered exactly once."""
+    k = Kernel()
+    q = SimQueue(k)
+    got = []
+
+    def producer(i):
+        k.sleep(i * 0.01)
+        q.put(i)
+
+    def consumer():
+        for _ in range(n):
+            got.append(q.get())
+
+    k.spawn(consumer)
+    for i in range(n):
+        k.spawn(producer, i)
+    k.run()
+    assert sorted(got) == list(range(n))
+    k.shutdown()

@@ -1,0 +1,186 @@
+"""Property-based tests: protocol invariants under randomized schedules.
+
+Hypothesis drives random communication patterns, pacing and migration
+schedules; the invariants are exactly the paper's theorems:
+
+1. no deadlock (the kernel raises on real deadlock — completion == proof),
+2. no message loss (delivery counts + the dropped-data instrument),
+3. per-pair FIFO ordering survives arbitrary migrations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Application, VirtualMachine
+
+HOSTS = ["h0", "h1", "h2", "h3", "h4", "h5", "h6"]
+
+
+def _run_scenario(nranks, count, paces, migrations):
+    """Ring of ``nranks`` processes streaming ``count`` messages rightward
+    while an arbitrary migration schedule executes."""
+    vm = VirtualMachine()
+    for h in HOSTS:
+        vm.add_host(h)
+    received: dict[int, list] = {}
+
+    def program(api, state):
+        right = (api.rank + 1) % api.size
+        left = (api.rank - 1) % api.size
+        i = state.get("i", 0)
+        got = state.setdefault("got", [])
+        pace = paces[api.rank % len(paces)]
+        while i < count:
+            api.send(right, ("m", api.rank, i))
+            msg = api.recv(src=left)
+            got.append(msg.body)
+            i += 1
+            state["i"] = i
+            if pace:
+                api.compute(pace)
+            api.poll_migration(state)
+        received[api.rank] = got
+
+    app = Application(vm, program, placement=HOSTS[:nranks],
+                      scheduler_host=HOSTS[-1])
+    app.start()
+    for when, rank, dest in migrations:
+        app.migrate_at(when, rank=rank % nranks,
+                       dest_host=HOSTS[dest % len(HOSTS)])
+    try:
+        app.run()
+        return vm, app, received
+    finally:
+        vm.shutdown()
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nranks=st.integers(2, 4),
+    count=st.integers(3, 20),
+    paces=st.lists(st.sampled_from([0.0, 0.001, 0.004, 0.02]),
+                   min_size=1, max_size=4),
+    migrations=st.lists(
+        st.tuples(st.floats(0.001, 0.3), st.integers(0, 3),
+                  st.integers(0, 6)),
+        min_size=0, max_size=3),
+)
+def test_ring_stream_survives_random_migrations(nranks, count, paces,
+                                                migrations):
+    vm, app, received = _run_scenario(nranks, count, paces, migrations)
+    # Theorem 2: every rank received exactly `count` messages from its
+    # left neighbour, in FIFO order (Theorem 3 / Lemma 2)
+    for rank in range(nranks):
+        left = (rank - 1) % nranks
+        expected = [("m", left, i) for i in range(count)]
+        assert received[rank] == expected
+    assert vm.dropped_messages() == []
+    # every migration either completed or was legitimately superseded /
+    # ignored (duplicate rank requests, app already finished)
+    for rec in app.migrations:
+        assert rec.completed or rec.aborted or rec.t_start == 0.0
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    count=st.integers(2, 25),
+    send_pace=st.sampled_from([0.0, 0.002, 0.01]),
+    recv_pace=st.sampled_from([0.0, 0.003, 0.015]),
+    when=st.floats(0.001, 0.2),
+    tags=st.lists(st.integers(0, 3), min_size=1, max_size=4),
+)
+def test_tagged_pair_stream_with_migration(count, send_pace, recv_pace,
+                                           when, tags):
+    """Wildcard/tagged receives keep per-tag FIFO across a migration."""
+    vm = VirtualMachine()
+    for h in HOSTS:
+        vm.add_host(h)
+    out = {}
+
+    def program(api, state):
+        if api.rank == 0:
+            i = state.get("i", 0)
+            while i < count:
+                api.send(1, ("m", tags[i % len(tags)], i),
+                         tag=tags[i % len(tags)])
+                i += 1
+                state["i"] = i
+                if send_pace:
+                    api.compute(send_pace)
+                api.poll_migration(state)
+        else:
+            i = state.get("i", 0)
+            got = state.setdefault("got", [])
+            while i < count:
+                msg = api.recv(src=0)  # wildcard tag
+                got.append(msg.body)
+                i += 1
+                state["i"] = i
+                if recv_pace:
+                    api.compute(recv_pace)
+                api.poll_migration(state)
+            out["got"] = got
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h6")
+    app.start()
+    app.migrate_at(when, rank=1, dest_host="h2")
+    try:
+        app.run()
+    finally:
+        vm.shutdown()
+    # overall FIFO from a single sender: sequence numbers ascend
+    seqs = [b[2] for b in out["got"]]
+    assert seqs == list(range(count))
+    assert vm.dropped_messages() == []
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    nranks=st.integers(2, 4),
+    count=st.integers(4, 12),
+    whens=st.lists(st.floats(0.005, 0.1), min_size=2, max_size=4),
+)
+def test_simultaneous_migrations_all_to_all(nranks, count, whens):
+    """Theorem 4 under randomization: several ranks of a fully connected
+    computation migrate at (possibly identical) times."""
+    vm = VirtualMachine()
+    for h in HOSTS:
+        vm.add_host(h)
+    sums: dict[int, list] = {}
+
+    def program(api, state):
+        r = state.get("r", 0)
+        acc = state.setdefault("acc", [])
+        while r < count:
+            for other in range(api.size):
+                if other != api.rank:
+                    api.send(other, (api.rank, r), tag=r)
+            got = sorted(api.recv(src=o, tag=r).body
+                         for o in range(api.size) if o != api.rank)
+            acc.append(got)
+            r += 1
+            state["r"] = r
+            api.compute(0.003)
+            api.poll_migration(state)
+        sums[api.rank] = acc
+
+    app = Application(vm, program, placement=HOSTS[:nranks],
+                      scheduler_host=HOSTS[-1])
+    app.start()
+    for i, when in enumerate(whens):
+        app.migrate_at(when, rank=i % nranks,
+                       dest_host=HOSTS[(nranks + i) % (len(HOSTS) - 1)])
+    try:
+        app.run()
+    finally:
+        vm.shutdown()
+    for rank in range(nranks):
+        expected = [sorted((o, r) for o in range(nranks) if o != rank)
+                    for r in range(count)]
+        assert sums[rank] == expected
+    assert vm.dropped_messages() == []

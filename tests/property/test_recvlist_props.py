@@ -1,0 +1,75 @@
+"""Model-based test: the received-message-list vs a reference model.
+
+The reference model is a list with linear scans — the list's contract is
+"FIFO among matching messages, stable for the rest". Hypothesis drives
+random append/find/prepend sequences against both.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.messages import ANY, DataMessage
+from repro.core.recvlist import ReceivedMessageList
+
+
+class _Model:
+    def __init__(self):
+        self.items: list[DataMessage] = []
+
+    def append(self, m):
+        self.items.append(m)
+
+    def prepend_all(self, ms):
+        self.items = list(ms) + self.items
+
+    def find(self, src, tag):
+        for i, m in enumerate(self.items):
+            if (src is ANY or src == m.src) and (tag is ANY or tag == m.tag):
+                return self.items.pop(i)
+        return None
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(0, 3), st.integers(0, 3)),
+        st.tuples(st.just("find"),
+                  st.integers(0, 3) | st.none(),
+                  st.integers(0, 3) | st.none()),
+        st.tuples(st.just("prepend"), st.integers(0, 3), st.integers(1, 3)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_ops)
+def test_recvlist_matches_reference_model(ops):
+    real = ReceivedMessageList()
+    model = _Model()
+    counter = 0
+    for op in ops:
+        if op[0] == "append":
+            _, src, tag = op
+            m = DataMessage(src=src, tag=tag, body=counter, nbytes=1)
+            counter += 1
+            real.append(m)
+            model.append(m)
+        elif op[0] == "find":
+            _, src, tag = op
+            got_real = real.find(src, tag)
+            got_model = model.find(src, tag)
+            assert (got_real.body if got_real else None) == \
+                (got_model.body if got_model else None)
+        else:
+            _, src, k = op
+            ms = [DataMessage(src=src, tag=9, body=f"fwd{counter}-{j}",
+                              nbytes=1) for j in range(k)]
+            counter += 1
+            real.prepend_all(ms)
+            model.prepend_all(ms)
+        assert len(real) == len(model.items)
+    # drain both fully; identical order
+    drained_real = [m.body for m in iter(lambda: real.find(ANY, ANY), None)]
+    drained_model = [m.body for m in iter(lambda: model.find(ANY, ANY), None)]
+    assert drained_real == drained_model

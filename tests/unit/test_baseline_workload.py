@@ -1,0 +1,129 @@
+"""Unit tests for the baseline common substrate (RawPeer, RingHarness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.common import BaselineMetrics, RawPeer, ring_neighbours
+from repro.baselines.workload import APP_TAG, RingHarness
+from repro.util.errors import ProtocolError, SimThreadError
+from repro.vm import VirtualMachine
+
+
+def test_ring_neighbours():
+    assert ring_neighbours(0, 4) == (3, 1)
+    assert ring_neighbours(3, 4) == (2, 0)
+    assert ring_neighbours(0, 2) == (1, 1)
+
+
+def test_baseline_metrics_row():
+    m = BaselineMetrics("x", 4, control_messages=7,
+                        processes_coordinated=2,
+                        blocked_time_total=0.5,
+                        residual_dependency=True, forwarded_messages=3)
+    row = m.row()
+    assert row[0] == "x" and row[5] == "yes" and row[6] == 3
+
+
+def test_rawpeer_send_without_wiring_rejected(kernel):
+    vm = VirtualMachine(kernel)
+    vm.add_host("h0")
+
+    def body(ctx):
+        peer = RawPeer(ctx, 0)
+        peer.send(1, "x")
+
+    vm.spawn("h0", body)
+    with pytest.raises(SimThreadError) as ei:
+        vm.run()
+    assert isinstance(ei.value.original, ProtocolError)
+
+
+def test_rawpeer_buffers_unmatched(kernel):
+    vm = VirtualMachine(kernel)
+    vm.add_host("h0")
+    vm.add_host("h1")
+    got = []
+    peers = {}
+
+    def a(ctx):
+        peer = RawPeer(ctx, 0)
+        peers[0] = peer
+        ctx.kernel.sleep(0.001)
+        peer.send(1, "first", tag=1)
+        peer.send(1, "second", tag=2)
+
+    def b(ctx):
+        peer = RawPeer(ctx, 1)
+        peers[1] = peer
+        ctx.kernel.sleep(0.001)
+        got.append(peer.recv(src=0, tag=2).body)  # buffers tag 1
+        got.append(peer.recv(src=0, tag=1).body)
+
+    ca = vm.spawn("h0", a)
+    cb = vm.spawn("h1", b)
+
+    def wire():
+        chan = vm.create_channel(ca.vmid, cb.vmid)
+        peers[0].wire(1, chan)
+        peers[1].wire(0, chan)
+
+    vm.kernel.call_at(0.0005, wire)
+    vm.run()
+    assert got == ["second", "first"]
+
+
+def test_rawpeer_try_recv_timeout(kernel):
+    vm = VirtualMachine(kernel)
+    vm.add_host("h0")
+    out = []
+
+    def body(ctx):
+        peer = RawPeer(ctx, 0)
+        out.append(peer.try_recv(timeout=0.01))
+
+    vm.spawn("h0", body)
+    vm.run()
+    assert out == [None]
+
+
+def test_ring_harness_runs_and_verifies(kernel=None):
+    h = RingHarness(nprocs=3, iterations=5, pace=0.001)
+    h.start()
+    h.run()
+    h.verify_streams()
+    # every worker received its stream
+    for r in range(3):
+        assert len(h.workers[r].received) == 5
+    h.vm.shutdown()
+
+
+def test_ring_harness_detects_corruption():
+    h = RingHarness(nprocs=2, iterations=3, pace=0.0)
+    h.start()
+    h.run()
+    h.workers[0].received[1] = ("tok", 9, 9)  # corrupt
+    with pytest.raises(AssertionError):
+        h.verify_streams()
+    h.vm.shutdown()
+
+
+def test_ring_harness_control_to_worker(kernel=None):
+    h = RingHarness(nprocs=2, iterations=8, pace=0.002)
+    seen = []
+
+    def on_iteration(worker):
+        for env in worker.peer.take_control():
+            seen.append((worker.rank, env.msg))
+
+    h.hooks.on_iteration = on_iteration
+    h.start()
+
+    def coordinator(ctx):
+        ctx.kernel.sleep(0.005)
+        h.control_to_worker(ctx, 1, "hello-control")
+
+    h.spawn_coordinator(coordinator)
+    h.run()
+    assert (1, "hello-control") in seen
+    h.vm.shutdown()

@@ -1,0 +1,98 @@
+"""Chandy-Lamport snapshot: token conservation on a ring workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.chandy_lamport import GlobalSnapshot, Marker, SnapshotRecorder
+from repro.baselines.common import RawPeer, ring_neighbours
+
+
+def _run_ring_snapshot(kernel, nprocs=4, iterations=12, initial_tokens=10,
+                       snapshot_iter=4):
+    from repro.vm.virtual_machine import VirtualMachine
+    vm = VirtualMachine(kernel)
+    for i in range(nprocs):
+        vm.add_host(f"h{i}")
+
+    snapshot = GlobalSnapshot(snapshot_id=1)
+    peers: dict[int, RawPeer] = {}
+    holders = {r: {"tokens": initial_tokens} for r in range(nprocs)}
+
+    def worker(ctx, rank):
+        peer = RawPeer(ctx, rank)
+        peers[rank] = peer
+        holder = holders[rank]
+        rec = SnapshotRecorder(peer, lambda: holder["tokens"], snapshot)
+        ctx.kernel.sleep(0.001)  # wait for wiring
+        left, right = ring_neighbours(rank, nprocs)
+
+        def recv_token():
+            while True:
+                m = peer.recv()
+                if isinstance(m.body, Marker):
+                    rec.on_marker(m.body)
+                    continue
+                rec.on_message(m)
+                return m
+
+        for i in range(iterations):
+            if rank == 0 and i == snapshot_iter:
+                rec.start()
+            peer.send(right, 1, tag=1)
+            holder["tokens"] -= 1
+            got = recv_token()
+            holder["tokens"] += got.body
+            ctx.compute(0.0005 * (1 + rank % 3))
+        while not rec.done:
+            m = peer.recv()
+            if isinstance(m.body, Marker):
+                rec.on_marker(m.body)
+            else:
+                rec.on_message(m)
+                holder["tokens"] += m.body
+
+    ctxs = [vm.spawn(f"h{r}", worker, r, name=f"w{r}") for r in range(nprocs)]
+    # wire the ring channels before anyone runs communication
+    for r in range(nprocs):
+        left, right = ring_neighbours(r, nprocs)
+        chan = vm.create_channel(ctxs[r].vmid, ctxs[right].vmid)
+        # the channel is duplex: wire both ends
+        pass
+    # channels must be wired into RawPeers once they exist; do it at t=0.0005
+    def wire():
+        for r in range(nprocs):
+            _, right = ring_neighbours(r, nprocs)
+            chan = next(c for c in vm.channels.values()
+                        if set(c.endpoints) == {ctxs[r].vmid,
+                                                ctxs[right].vmid})
+            peers[r].wire(right, chan)
+            peers[right].wire(r, chan)
+    vm.kernel.call_at(0.0005, wire)
+    vm.run()
+    return snapshot, nprocs * initial_tokens
+
+
+def test_snapshot_conserves_tokens(kernel):
+    snapshot, total = _run_ring_snapshot(kernel)
+    assert snapshot.complete
+    recorded = sum(snapshot.process_states.values()) + \
+        sum(sum(v) for v in snapshot.channel_states.values())
+    assert recorded == total
+
+
+@pytest.mark.parametrize("nprocs", [2, 3, 5])
+def test_snapshot_all_processes_recorded(kernel, nprocs):
+    snapshot, total = _run_ring_snapshot(kernel, nprocs=nprocs,
+                                         iterations=10, snapshot_iter=3)
+    assert sorted(snapshot.process_states) == list(range(nprocs))
+    # ring: each process has 2 channels (or 1 duplex pair for n=2)
+    recorded = sum(snapshot.process_states.values()) + \
+        sum(sum(v) for v in snapshot.channel_states.values())
+    assert recorded == total
+
+
+def test_marker_cost_is_linear_in_channels(kernel):
+    snapshot, _ = _run_ring_snapshot(kernel, nprocs=4)
+    # each of the 4 processes sends a marker on each of its 2 channels
+    assert snapshot.markers_sent == 8

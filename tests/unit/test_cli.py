@@ -1,0 +1,66 @@
+"""CLI tests (fast paths only; the heavy mg runs are covered by benches)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_mg_defaults():
+    args = build_parser().parse_args(["mg"])
+    assert args.command == "mg" and args.n == 64
+    assert not args.hetero and not args.spacetime
+
+
+def test_parser_compare_options():
+    args = build_parser().parse_args(["compare", "--nprocs", "6"])
+    assert args.nprocs == 6
+
+
+def test_theorems_command_passes(capsys):
+    assert main(["theorems"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "40/40" in out
+
+
+def test_compare_command_prints_table(capsys):
+    assert main(["compare", "--nprocs", "4", "--iterations", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "snow" in out and "cocheck" in out and "forwarding" in out
+
+
+def test_mg_small_run(capsys):
+    assert main(["mg", "--n", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "Execution" in out and "migration:" in out
+
+
+def test_mg_hetero_small_run(capsys):
+    assert main(["mg", "--n", "16", "--hetero", "--spacetime"]) == 0
+    out = capsys.readouterr().out
+    assert "Coordinate" in out and "space-time" in out
+
+
+def test_mg_save_trace(tmp_path, capsys):
+    out_file = tmp_path / "run.trace"
+    assert main(["mg", "--n", "16", "--hetero",
+                 "--save-trace", str(out_file)]) == 0
+    assert out_file.exists()
+    from repro.analysis import load_trace
+    tr = load_trace(out_file)
+    assert tr.first("migration_start") is not None
+
+
+def test_mg_svg_output(tmp_path, capsys):
+    out_file = tmp_path / "diagram.svg"
+    assert main(["mg", "--n", "16", "--hetero", "--svg",
+                 str(out_file)]) == 0
+    import xml.etree.ElementTree as ET
+    ET.fromstring(out_file.read_text())

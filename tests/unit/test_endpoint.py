@@ -1,0 +1,159 @@
+"""Unit-level tests of MigrationEndpoint behaviours in a small VM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.endpoint import MigrationEndpoint
+from repro.core.messages import ANY
+from repro.core.pltable import PLTable
+from repro.core.scheduler import STATUS_RUNNING, SchedulerState, scheduler_main
+from repro.util.errors import (
+    DestinationTerminatedError,
+    ProtocolError,
+    SimThreadError,
+)
+from repro.vm import VirtualMachine
+
+
+@pytest.fixture
+def setup(kernel):
+    """Two endpoints + a scheduler, manually constructed."""
+    vm = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2", "h3"):
+        vm.add_host(h)
+    pl = PLTable()
+    state = SchedulerState(pl=pl, spawn_initialized=lambda r, h: None)
+    sched = vm.spawn("h2", scheduler_main, state, name="scheduler",
+                     daemon=True)
+    return vm, pl, state, sched
+
+
+def _spawn_endpoint(vm, pl, state, sched, host, rank, body):
+    def main(ctx):
+        ep = MigrationEndpoint(ctx, rank, sched.vmid, pl)
+        body(ep)
+
+    ctx = vm.spawn(host, main, rank=rank, name=f"p{rank}")
+    pl.update(rank, ctx.vmid)
+    state.status[rank] = STATUS_RUNNING
+    return ctx
+
+
+def test_send_to_self_rejected(setup):
+    vm, pl, state, sched = setup
+
+    def body(ep):
+        ep.snow_send(0, "x")
+
+    _spawn_endpoint(vm, pl, state, sched, "h0", 0, body)
+    with pytest.raises(SimThreadError) as ei:
+        vm.run()
+    assert isinstance(ei.value.original, ProtocolError)
+
+
+def test_connect_to_terminated_rank_raises(setup):
+    vm, pl, state, sched = setup
+    outcome = []
+
+    # rank 1 exists in the PL table but finishes instantly
+    def peer_body(ep):
+        ep.shutdown()
+
+    def body(ep):
+        ep.ctx.kernel.sleep(0.05)  # let rank 1 terminate
+        try:
+            ep.snow_send(1, "late")
+        except DestinationTerminatedError:
+            outcome.append("terminated")
+
+    _spawn_endpoint(vm, pl, state, sched, "h1", 1, peer_body)
+    _spawn_endpoint(vm, pl, state, sched, "h0", 0, body)
+    vm.run()
+    assert outcome == ["terminated"]
+
+
+def test_stats_accounting(setup):
+    vm, pl, state, sched = setup
+    stats = {}
+
+    def sender(ep):
+        for i in range(5):
+            ep.snow_send(1, b"x" * 100, tag=i, nbytes=100)
+        stats["s"] = ep.stats
+
+    def receiver(ep):
+        for i in range(5):
+            ep.snow_recv(src=0, tag=i)
+        stats["r"] = ep.stats
+
+    _spawn_endpoint(vm, pl, state, sched, "h1", 1, receiver)
+    _spawn_endpoint(vm, pl, state, sched, "h0", 0, sender)
+    vm.run()
+    assert stats["s"].messages_sent == 5
+    assert stats["s"].bytes_sent == 500
+    assert stats["s"].conn_reqs_sent == 1
+    assert stats["r"].messages_received == 5
+    assert stats["r"].comm_time > 0
+
+
+def test_probe(setup):
+    vm, pl, state, sched = setup
+    seen = []
+
+    def sender(ep):
+        ep.snow_send(1, "a", tag=7)
+
+    def receiver(ep):
+        assert not ep.probe(src=0, tag=7)
+        msg = ep.snow_recv(src=0, tag=7)  # pulls it in
+        seen.append(msg.body)
+        assert not ep.probe()  # consumed
+
+    _spawn_endpoint(vm, pl, state, sched, "h1", 1, receiver)
+    _spawn_endpoint(vm, pl, state, sched, "h0", 0, sender)
+    vm.run()
+    assert seen == ["a"]
+
+
+def test_unwanted_messages_buffered_and_probed(setup):
+    vm, pl, state, sched = setup
+    order = []
+
+    def sender(ep):
+        ep.snow_send(1, "first", tag=1)
+        ep.snow_send(1, "second", tag=2)
+
+    def receiver(ep):
+        m2 = ep.snow_recv(src=0, tag=2)  # buffers tag 1
+        assert ep.probe(src=0, tag=1)
+        m1 = ep.snow_recv(src=0, tag=1)
+        order.extend([m2.body, m1.body])
+
+    _spawn_endpoint(vm, pl, state, sched, "h1", 1, receiver)
+    _spawn_endpoint(vm, pl, state, sched, "h0", 0, sender)
+    vm.run()
+    assert order == ["second", "first"]
+
+
+def test_pl_table_learns_peer_locations(setup):
+    vm, pl, state, sched = setup
+    tables = {}
+
+    def sender(ep):
+        ep.snow_send(1, "x")
+        tables["sender"] = ep.pl.snapshot()
+
+    def receiver(ep):
+        ep.snow_recv(src=0)
+        tables["receiver"] = ep.pl.snapshot()
+
+    rx = _spawn_endpoint(vm, pl, state, sched, "h1", 1, receiver)
+    tx = _spawn_endpoint(vm, pl, state, sched, "h0", 0, sender)
+    vm.run()
+    assert tables["sender"][1] == rx.vmid
+    assert tables["receiver"][0] == tx.vmid
+
+
+def test_wildcard_any_is_none():
+    assert ANY is None

@@ -1,0 +1,372 @@
+"""Unit tests for the virtual-time cooperative-thread kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import TIMEOUT, Kernel, SimEvent
+from repro.util.errors import DeadlockError, SimThreadError, SimulationError
+
+
+def test_single_thread_runs_to_completion(kernel):
+    out = []
+    kernel.spawn(lambda: out.append("ran"))
+    kernel.run()
+    assert out == ["ran"]
+
+
+def test_thread_result_recorded(kernel):
+    th = kernel.spawn(lambda: 42)
+    kernel.run()
+    assert th.result == 42
+    assert not th.alive
+
+
+def test_clock_starts_at_zero(kernel):
+    assert kernel.now == 0.0
+
+
+def test_sleep_advances_virtual_time(kernel):
+    times = []
+
+    def body():
+        kernel.sleep(1.5)
+        times.append(kernel.now)
+        kernel.sleep(0.5)
+        times.append(kernel.now)
+
+    kernel.spawn(body)
+    kernel.run()
+    assert times == [1.5, 2.0]
+    assert kernel.now == 2.0
+
+
+def test_sleep_zero_is_allowed(kernel):
+    def body():
+        kernel.sleep(0.0)
+
+    kernel.spawn(body)
+    kernel.run()
+    assert kernel.now == 0.0
+
+
+def test_negative_sleep_rejected(kernel):
+    def body():
+        kernel.sleep(-1.0)
+
+    kernel.spawn(body)
+    with pytest.raises(SimThreadError) as ei:
+        kernel.run()
+    assert isinstance(ei.value.original, SimulationError)
+
+
+def test_threads_interleave_deterministically(kernel):
+    log = []
+
+    def worker(name, delay):
+        for i in range(3):
+            kernel.sleep(delay)
+            log.append((name, kernel.now))
+
+    kernel.spawn(worker, "a", 1.0)
+    kernel.spawn(worker, "b", 1.5)
+    kernel.run()
+    # At t=3.0 both wake; b's timer was scheduled first (at t=1.5) so b runs
+    # first — simultaneous timers fire in scheduling order.
+    assert log == [
+        ("a", 1.0), ("b", 1.5), ("a", 2.0), ("b", 3.0), ("a", 3.0),
+        ("b", 4.5),
+    ]
+
+
+def test_same_time_wakeups_fire_in_spawn_order(kernel):
+    log = []
+
+    def w(name):
+        kernel.sleep(1.0)
+        log.append(name)
+
+    for name in ("x", "y", "z"):
+        kernel.spawn(w, name)
+    kernel.run()
+    assert log == ["x", "y", "z"]
+
+
+def test_determinism_across_runs():
+    def scenario():
+        k = Kernel()
+        log = []
+
+        def w(name, d):
+            for _ in range(5):
+                k.sleep(d)
+                log.append((name, k.now))
+
+        k.spawn(w, "a", 0.3)
+        k.spawn(w, "b", 0.7)
+        k.spawn(w, "c", 0.7)
+        k.run()
+        k.shutdown()
+        return log
+
+    assert scenario() == scenario()
+
+
+def test_yield_now_lets_other_threads_run(kernel):
+    log = []
+
+    def first():
+        log.append("first-start")
+        kernel.yield_now()
+        log.append("first-end")
+
+    def second():
+        log.append("second")
+
+    kernel.spawn(first)
+    kernel.spawn(second)
+    kernel.run()
+    assert log == ["first-start", "second", "first-end"]
+
+
+def test_call_later_fires_in_order(kernel):
+    fired = []
+    kernel.call_later(2.0, lambda: fired.append(2))
+    kernel.call_later(1.0, lambda: fired.append(1))
+    kernel.call_later(3.0, lambda: fired.append(3))
+    kernel.run()
+    assert fired == [1, 2, 3]
+    assert kernel.now == 3.0
+
+
+def test_cancel_timer(kernel):
+    fired = []
+    tid = kernel.call_later(1.0, lambda: fired.append("no"))
+    kernel.call_later(2.0, lambda: fired.append("yes"))
+    kernel.cancel_timer(tid)
+    kernel.run()
+    assert fired == ["yes"]
+
+
+def test_call_at_in_past_rejected(kernel):
+    def body():
+        kernel.sleep(5.0)
+        kernel.call_at(1.0, lambda: None)
+
+    kernel.spawn(body)
+    with pytest.raises(SimThreadError):
+        kernel.run()
+
+
+def test_run_until_stops_at_horizon(kernel):
+    log = []
+
+    def body():
+        for _ in range(10):
+            kernel.sleep(1.0)
+            log.append(kernel.now)
+
+    kernel.spawn(body)
+    kernel.run(until=3.5)
+    assert log == [1.0, 2.0, 3.0]
+    assert kernel.now == 3.5
+    kernel.run()  # resume to completion
+    assert log[-1] == 10.0
+
+
+def test_exception_propagates_as_sim_thread_error(kernel):
+    def bad():
+        raise ValueError("boom")
+
+    kernel.spawn(bad, name="bad")
+    with pytest.raises(SimThreadError) as ei:
+        kernel.run()
+    assert ei.value.thread_name == "bad"
+    assert isinstance(ei.value.original, ValueError)
+
+
+def test_exception_can_be_collected_instead_of_raised(kernel):
+    def bad():
+        raise ValueError("boom")
+
+    th = kernel.spawn(bad)
+    kernel.run(raise_on_thread_error=False)
+    assert isinstance(th.exception, ValueError)
+
+
+def test_deadlock_detected(kernel):
+    ev = SimEvent(kernel, "never")
+
+    def stuck():
+        ev.wait()
+
+    kernel.spawn(stuck, name="stuck-1")
+    kernel.spawn(stuck, name="stuck-2")
+    with pytest.raises(DeadlockError) as ei:
+        kernel.run()
+    assert len(ei.value.blocked) == 2
+    assert any("stuck-1" in b for b in ei.value.blocked)
+
+
+def test_deadlock_not_reported_when_timer_pending(kernel):
+    ev = SimEvent(kernel)
+
+    def stuck():
+        ev.wait()
+
+    kernel.spawn(stuck)
+    kernel.call_later(1.0, ev.set)
+    kernel.run()  # completes thanks to the timer
+    assert kernel.now == 1.0
+
+
+def test_kill_blocked_thread(kernel):
+    ev = SimEvent(kernel)
+    log = []
+
+    def victim():
+        try:
+            ev.wait()
+            log.append("unreachable")
+        finally:
+            log.append("cleanup")
+
+    th = kernel.spawn(victim)
+
+    def killer():
+        kernel.sleep(1.0)
+        th.kill()
+
+    kernel.spawn(killer)
+    kernel.run()
+    assert log == ["cleanup"]
+    assert not th.alive
+
+
+def test_kill_before_first_run(kernel):
+    log = []
+    th = kernel.spawn(lambda: log.append("ran"))
+    th.kill()
+    kernel.run()
+    assert log == []
+    assert not th.alive
+
+
+def test_join(kernel):
+    log = []
+
+    def worker():
+        kernel.sleep(2.0)
+        log.append("worker-done")
+
+    th = kernel.spawn(worker)
+
+    def waiter():
+        assert th.join()
+        log.append(("joined", kernel.now))
+
+    kernel.spawn(waiter)
+    kernel.run()
+    assert log == ["worker-done", ("joined", 2.0)]
+
+
+def test_join_timeout(kernel):
+    def worker():
+        kernel.sleep(10.0)
+
+    th = kernel.spawn(worker)
+    results = []
+
+    def waiter():
+        results.append(th.join(timeout=1.0))
+
+    kernel.spawn(waiter)
+    kernel.run()
+    assert results == [False]
+
+
+def test_join_already_finished(kernel):
+    th = kernel.spawn(lambda: None)
+    ok = []
+
+    def waiter():
+        kernel.sleep(1.0)
+        ok.append(th.join())
+
+    kernel.spawn(waiter)
+    kernel.run()
+    assert ok == [True]
+
+
+def test_blocking_primitive_outside_thread_rejected(kernel):
+    with pytest.raises(SimulationError):
+        kernel.sleep(1.0)
+
+
+def test_run_is_not_reentrant(kernel):
+    def body():
+        kernel.run()
+
+    kernel.spawn(body)
+    with pytest.raises(SimThreadError) as ei:
+        kernel.run()
+    assert isinstance(ei.value.original, SimulationError)
+
+
+def test_shutdown_kills_everything():
+    k = Kernel()
+    ev = SimEvent(k)
+    cleaned = []
+
+    def stuck(name):
+        try:
+            ev.wait()
+        finally:
+            cleaned.append(name)
+
+    k.spawn(stuck, "a")
+    k.spawn(stuck, "b")
+    with pytest.raises(DeadlockError):
+        k.run()
+    k.shutdown()
+    assert sorted(cleaned) == ["a", "b"]
+
+
+def test_spawn_after_shutdown_rejected():
+    k = Kernel()
+    k.shutdown()
+    with pytest.raises(SimulationError):
+        k.spawn(lambda: None)
+
+
+def test_kernel_context_manager():
+    with Kernel() as k:
+        k.spawn(lambda: k.sleep(1.0))
+        k.run()
+        assert k.now == 1.0
+
+
+def test_many_threads_complete(kernel):
+    done = []
+
+    def w(i):
+        kernel.sleep(i * 0.01)
+        done.append(i)
+
+    for i in range(100):
+        kernel.spawn(w, i)
+    kernel.run()
+    assert done == list(range(100))
+
+
+def test_timeout_sentinel_distinct_from_values(kernel):
+    ev = SimEvent(kernel)
+    got = []
+
+    def waiter():
+        got.append(ev.wait(timeout=1.0))
+
+    kernel.spawn(waiter)
+    kernel.run()
+    assert got == [False]
+    assert TIMEOUT is not False and TIMEOUT is not None

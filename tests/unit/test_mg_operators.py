@@ -1,0 +1,197 @@
+"""Unit tests for the MG stencil operators and grid helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.mg.grid import (
+    boundary_planes,
+    fill_xy_ghosts,
+    fill_z_ghosts_local,
+    ghosted,
+    set_z_ghosts,
+)
+from repro.apps.mg.operators import (
+    A_COEFF,
+    P_COEFF,
+    S_COEFF,
+    apply_27,
+    prolong,
+    residual,
+    restrict,
+    smooth,
+    stencil_flops,
+)
+from repro.apps.mg.serial import make_rhs, num_levels, residual_norm, solve_serial
+from repro.apps.mg.spmd import num_levels_dist
+
+
+def _wrapped(interior):
+    g = ghosted(interior)
+    fill_z_ghosts_local(g)
+    fill_xy_ghosts(g)
+    return g
+
+
+# -- stencil basics ---------------------------------------------------------
+
+def test_apply_27_constant_field():
+    """A constant field maps to constant * (sum of all weights)."""
+    u = np.full((4, 4, 4), 2.0)
+    out = apply_27(_wrapped(u), S_COEFF)
+    total = S_COEFF[0] + 6 * S_COEFF[1] + 12 * S_COEFF[2] + 8 * S_COEFF[3]
+    np.testing.assert_allclose(out, 2.0 * total, rtol=1e-12)
+
+
+def test_a_coeff_annihilates_constants():
+    """NAS MG's A has zero row sum: A(const) = 0."""
+    u = np.full((4, 4, 4), 7.0)
+    out = apply_27(_wrapped(u), A_COEFF)
+    np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+
+def test_apply_27_linearity():
+    rng = np.random.default_rng(0)
+    u = rng.random((6, 6, 6))
+    v = rng.random((6, 6, 6))
+    lhs = apply_27(_wrapped(2 * u + 3 * v), S_COEFF)
+    rhs = 2 * apply_27(_wrapped(u), S_COEFF) + \
+        3 * apply_27(_wrapped(v), S_COEFF)
+    np.testing.assert_allclose(lhs, rhs, rtol=1e-12)
+
+
+def test_apply_27_periodicity():
+    """Cyclically shifting the input cyclically shifts the output."""
+    rng = np.random.default_rng(1)
+    u = rng.random((8, 8, 8))
+    out = apply_27(_wrapped(u), A_COEFF)
+    shifted = np.roll(u, 3, axis=0)
+    out_shifted = apply_27(_wrapped(shifted), A_COEFF)
+    np.testing.assert_allclose(out_shifted, np.roll(out, 3, axis=0),
+                               rtol=1e-12)
+
+
+def test_residual_of_exact_zero_rhs():
+    u = np.zeros((4, 4, 4))
+    v = np.zeros((4, 4, 4))
+    np.testing.assert_allclose(residual(_wrapped(u), v), 0.0)
+
+
+def test_smooth_is_s_stencil():
+    rng = np.random.default_rng(2)
+    r = rng.random((4, 4, 4))
+    np.testing.assert_allclose(smooth(_wrapped(r)),
+                               apply_27(_wrapped(r), S_COEFF))
+
+
+# -- restriction / prolongation ----------------------------------------------
+
+def test_restrict_halves_each_dimension():
+    r = np.random.default_rng(3).random((8, 8, 8))
+    out = restrict(_wrapped(r))
+    assert out.shape == (4, 4, 4)
+
+
+def test_restrict_requires_even_interior():
+    with pytest.raises(ValueError):
+        restrict(_wrapped(np.zeros((5, 6, 6))))
+
+
+def test_restrict_preserves_constants():
+    """Full weighting (sum of P weights = 4) scales constants by 4."""
+    r = np.full((8, 8, 8), 1.0)
+    out = restrict(_wrapped(r))
+    total = P_COEFF[0] + 6 * P_COEFF[1] + 12 * P_COEFF[2] + 8 * P_COEFF[3]
+    np.testing.assert_allclose(out, total)
+
+
+def test_prolong_doubles_each_dimension():
+    z = np.random.default_rng(4).random((4, 4, 4))
+    out = prolong(_wrapped(z), (8, 8, 8))
+    assert out.shape == (8, 8, 8)
+
+
+def test_prolong_exact_on_constants():
+    z = np.full((4, 4, 4), 3.0)
+    out = prolong(_wrapped(z), (8, 8, 8))
+    np.testing.assert_allclose(out, 3.0)
+
+
+def test_prolong_even_points_copy_coarse():
+    z = np.random.default_rng(5).random((4, 4, 4))
+    out = prolong(_wrapped(z), (8, 8, 8))
+    np.testing.assert_allclose(out[::2, ::2, ::2], z)
+
+
+def test_prolong_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        prolong(_wrapped(np.zeros((4, 4, 4))), (10, 8, 8))
+
+
+def test_stencil_flops():
+    assert stencil_flops(1000) == 54_000
+
+
+# -- grid helpers -------------------------------------------------------------
+
+def test_ghosted_places_interior():
+    u = np.arange(8.0).reshape(2, 2, 2)
+    g = ghosted(u)
+    assert g.shape == (4, 4, 4)
+    np.testing.assert_array_equal(g[1:-1, 1:-1, 1:-1], u)
+    assert g[0].sum() == 0  # ghosts zeroed
+
+
+def test_boundary_planes_are_copies():
+    u = np.random.default_rng(6).random((4, 3, 3))
+    lo, hi = boundary_planes(u)
+    np.testing.assert_array_equal(lo, u[0])
+    np.testing.assert_array_equal(hi, u[-1])
+    lo[0, 0] = 99.0
+    assert u[0, 0, 0] != 99.0
+
+
+def test_set_z_ghosts():
+    u = np.zeros((2, 3, 3))
+    g = ghosted(u)
+    below = np.full((3, 3), 5.0)
+    above = np.full((3, 3), 7.0)
+    set_z_ghosts(g, below, above)
+    np.testing.assert_array_equal(g[0, 1:-1, 1:-1], below)
+    np.testing.assert_array_equal(g[-1, 1:-1, 1:-1], above)
+
+
+# -- serial solver -----------------------------------------------------------
+
+def test_make_rhs_charges():
+    v = make_rhs(16, seed=3, ncharges=10)
+    assert (v == 1.0).sum() == 10
+    assert (v == -1.0).sum() == 10
+    assert (v != 0).sum() == 20
+    np.testing.assert_array_equal(v, make_rhs(16, seed=3, ncharges=10))
+
+
+def test_num_levels():
+    assert num_levels(32) == 4   # 32,16,8,4
+    assert num_levels(128) == 6  # 128..4
+    assert num_levels(4) == 1
+
+
+def test_num_levels_dist_caps_by_slab():
+    assert num_levels_dist(64, 8) == 4   # slab 8,4,2,1
+    assert num_levels_dist(128, 16) == 5
+    assert num_levels_dist(16, 16) == 3  # grid caps first: 16,8,4
+
+
+def test_serial_solver_converges():
+    _, norms = solve_serial(16, iterations=3)
+    assert norms[0] > norms[1] > norms[2]
+    assert norms[2] < norms[0] / 10
+
+
+def test_residual_norm_zero_solution():
+    v = make_rhs(8)
+    # u = 0 -> residual = v
+    assert residual_norm(np.zeros_like(v), v) == \
+        pytest.approx(float(np.sqrt(np.sum(v * v))))

@@ -1,0 +1,181 @@
+"""Unit tests for host and link models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import ETHERNET_10M, ETHERNET_100M, LinkSpec, Network
+from repro.util.errors import SimulationError
+
+
+def test_add_and_lookup_host(network):
+    network.add_host("u1", cpu_speed=1.0)
+    assert network.host("u1").name == "u1"
+    assert network.has_host("u1")
+    assert not network.has_host("nope")
+
+
+def test_duplicate_host_rejected(network):
+    network.add_host("u1")
+    with pytest.raises(SimulationError):
+        network.add_host("u1")
+
+
+def test_unknown_host_lookup_rejected(network):
+    with pytest.raises(SimulationError):
+        network.host("ghost")
+
+
+def test_remove_host(network):
+    network.add_host("u1")
+    network.remove_host("u1")
+    assert not network.has_host("u1")
+
+
+def test_compute_time_scales_with_cpu_speed(network):
+    fast = network.add_host("fast", cpu_speed=2.0)
+    slow = network.add_host("slow", cpu_speed=0.1)
+    assert fast.compute_time(1.0) == pytest.approx(0.5)
+    assert slow.compute_time(1.0) == pytest.approx(10.0)
+
+
+def test_default_link_used_when_unset(network):
+    network.add_host("a")
+    network.add_host("b")
+    assert network.link("a", "b") == network.default_link
+
+
+def test_loopback_for_same_host(network):
+    network.add_host("a")
+    assert network.link("a", "a") == network.loopback
+
+
+def test_set_link_symmetric(network):
+    network.add_host("a")
+    network.add_host("b")
+    network.set_link("a", "b", ETHERNET_10M)
+    assert network.link("a", "b") == ETHERNET_10M
+    assert network.link("b", "a") == ETHERNET_10M
+
+
+def test_set_link_asymmetric(network):
+    network.add_host("a")
+    network.add_host("b")
+    network.set_link("a", "b", ETHERNET_10M, symmetric=False)
+    assert network.link("a", "b") == ETHERNET_10M
+    assert network.link("b", "a") == network.default_link
+
+
+def test_transfer_time_formula(network):
+    network.add_host("a")
+    network.add_host("b")
+    spec = LinkSpec(latency=1e-3, bandwidth=1e6)
+    network.set_link("a", "b", spec)
+    assert network.transfer_time("a", "b", 500_000) == pytest.approx(0.501)
+
+
+def test_10mbit_slower_than_100mbit():
+    nbytes = 7_500_000  # the paper's exe+mem state size
+    t_fast = ETHERNET_100M.tx_time(nbytes)
+    t_slow = ETHERNET_10M.tx_time(nbytes)
+    assert t_slow == pytest.approx(10 * t_fast)
+    # 7.5 MB over 10 Mbit/s is about 6 seconds of pure serialization,
+    # consistent with the paper's 8.591 s Tx row (which includes protocol
+    # overheads we model elsewhere).
+    assert 5.0 < t_slow < 7.0
+
+
+def test_deliver_runs_callback_at_arrival(kernel, network):
+    network.add_host("a")
+    network.add_host("b")
+    network.set_link("a", "b", LinkSpec(latency=0.5, bandwidth=1000))
+    arrivals = []
+
+    def sender():
+        network.deliver("a", "b", 1000, lambda: arrivals.append(kernel.now))
+
+    kernel.spawn(sender)
+    kernel.run()
+    assert arrivals == [pytest.approx(1.5)]  # 1s tx + 0.5s latency
+
+
+def test_deliver_serializes_link(kernel, network):
+    network.add_host("a")
+    network.add_host("b")
+    network.set_link("a", "b", LinkSpec(latency=0.0, bandwidth=1000))
+    arrivals = []
+
+    def sender():
+        # two back-to-back 1000-byte messages: second queues behind first
+        network.deliver("a", "b", 1000, lambda: arrivals.append(("m1", kernel.now)))
+        network.deliver("a", "b", 1000, lambda: arrivals.append(("m2", kernel.now)))
+
+    kernel.spawn(sender)
+    kernel.run()
+    assert arrivals == [("m1", pytest.approx(1.0)), ("m2", pytest.approx(2.0))]
+
+
+def test_deliver_fifo_even_with_mixed_sizes(kernel, network):
+    network.add_host("a")
+    network.add_host("b")
+    network.set_link("a", "b", LinkSpec(latency=0.1, bandwidth=1000))
+    arrivals = []
+
+    def sender():
+        network.deliver("a", "b", 5000, lambda: arrivals.append("big"))
+        network.deliver("a", "b", 10, lambda: arrivals.append("small"))
+
+    kernel.spawn(sender)
+    kernel.run()
+    assert arrivals == ["big", "small"]
+
+
+def test_opposite_directions_do_not_serialize(kernel, network):
+    network.add_host("a")
+    network.add_host("b")
+    network.set_link("a", "b", LinkSpec(latency=0.0, bandwidth=1000))
+    arrivals = []
+
+    def sender():
+        network.deliver("a", "b", 1000, lambda: arrivals.append(("ab", kernel.now)))
+        network.deliver("b", "a", 1000, lambda: arrivals.append(("ba", kernel.now)))
+
+    kernel.spawn(sender)
+    kernel.run()
+    assert arrivals == [("ab", pytest.approx(1.0)), ("ba", pytest.approx(1.0))]
+
+
+def test_deliver_from_unknown_host_rejected(kernel, network):
+    network.add_host("b")
+
+    def sender():
+        network.deliver("ghost", "b", 10, lambda: None)
+
+    kernel.spawn(sender)
+    from repro.util.errors import SimThreadError
+    with pytest.raises(SimThreadError):
+        kernel.run()
+
+
+def test_traffic_accounting(kernel, network):
+    network.add_host("a")
+    network.add_host("b")
+
+    def sender():
+        network.deliver("a", "b", 100, lambda: None)
+        network.deliver("a", "b", 200, lambda: None)
+
+    kernel.spawn(sender)
+    kernel.run()
+    assert network.frames_sent == 2
+    assert network.bytes_sent == 300
+
+
+def test_net_tx_traced(kernel, network, trace):
+    network.add_host("a")
+    network.add_host("b")
+    kernel.spawn(lambda: network.deliver("a", "b", 64, lambda: None))
+    kernel.run()
+    evs = trace.filter(kind="net_tx", actor="a")
+    assert len(evs) == 1
+    assert evs[0].detail["nbytes"] == 64

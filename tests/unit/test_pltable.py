@@ -1,0 +1,63 @@
+"""Unit tests for the process-location table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pltable import PLTable
+from repro.util.errors import ProtocolError
+from repro.vm.ids import VmId
+
+
+def test_lookup_unknown_rank_raises():
+    pl = PLTable()
+    with pytest.raises(ProtocolError):
+        pl.lookup(0)
+
+
+def test_update_and_lookup():
+    pl = PLTable()
+    pl.update(0, VmId("a", 1))
+    assert pl.lookup(0) == VmId("a", 1)
+    pl.update(0, VmId("b", 2))  # migration moved it
+    assert pl.lookup(0) == VmId("b", 2)
+
+
+def test_contains_len_iter():
+    pl = PLTable({1: VmId("a", 1), 0: VmId("b", 1)})
+    assert 0 in pl and 1 in pl and 2 not in pl
+    assert len(pl) == 2
+    assert list(pl) == [0, 1]  # sorted
+
+
+def test_copy_is_independent():
+    pl = PLTable({0: VmId("a", 1)})
+    other = pl.copy()
+    other.update(0, VmId("z", 9))
+    assert pl.lookup(0) == VmId("a", 1)
+
+
+def test_snapshot_is_independent():
+    pl = PLTable({0: VmId("a", 1)})
+    snap = pl.snapshot()
+    snap[0] = VmId("z", 9)
+    assert pl.lookup(0) == VmId("a", 1)
+
+
+def test_replace_all():
+    pl = PLTable({0: VmId("a", 1)})
+    pl.replace_all({1: VmId("b", 1), 2: VmId("c", 1)})
+    assert 0 not in pl
+    assert pl.ranks() == [1, 2]
+
+
+def test_remove_is_idempotent():
+    pl = PLTable({0: VmId("a", 1)})
+    pl.remove(0)
+    pl.remove(0)
+    assert 0 not in pl
+
+
+def test_repr_mentions_entries():
+    pl = PLTable({3: VmId("h", 2)})
+    assert "3->h:2" in repr(pl)

@@ -1,0 +1,104 @@
+"""Unit tests for the received-message-list."""
+
+from __future__ import annotations
+
+from repro.core.messages import ANY, DataMessage
+from repro.core.recvlist import ReceivedMessageList
+
+
+def _m(src, tag, body="x"):
+    return DataMessage(src=src, tag=tag, body=body, nbytes=8)
+
+
+def test_empty_find_returns_none():
+    lst = ReceivedMessageList()
+    assert lst.find(0, 0) is None
+    assert len(lst) == 0
+
+
+def test_append_and_find_exact():
+    lst = ReceivedMessageList()
+    lst.append(_m(1, 5, "hello"))
+    got = lst.find(1, 5)
+    assert got.body == "hello"
+    assert len(lst) == 0  # find removes
+
+
+def test_find_wildcard_src():
+    lst = ReceivedMessageList()
+    lst.append(_m(3, 7))
+    assert lst.find(ANY, 7) is not None
+
+
+def test_find_wildcard_tag():
+    lst = ReceivedMessageList()
+    lst.append(_m(3, 7))
+    assert lst.find(3, ANY) is not None
+
+
+def test_find_full_wildcard_returns_oldest():
+    lst = ReceivedMessageList()
+    lst.append(_m(1, 1, "first"))
+    lst.append(_m(2, 2, "second"))
+    assert lst.find(ANY, ANY).body == "first"
+
+
+def test_find_skips_nonmatching_preserves_order():
+    lst = ReceivedMessageList()
+    lst.append(_m(1, 1, "a"))
+    lst.append(_m(2, 2, "b"))
+    lst.append(_m(1, 1, "c"))
+    assert lst.find(2, 2).body == "b"
+    assert lst.find(1, 1).body == "a"
+    assert lst.find(1, 1).body == "c"
+
+
+def test_fifo_among_same_src_tag():
+    lst = ReceivedMessageList()
+    for i in range(5):
+        lst.append(_m(0, 9, i))
+    assert [lst.find(0, 9).body for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_prepend_all_goes_in_front_in_order():
+    lst = ReceivedMessageList()
+    lst.append(_m(1, 0, "local-1"))
+    lst.append(_m(1, 0, "local-2"))
+    lst.prepend_all([_m(1, 0, "fwd-1"), _m(1, 0, "fwd-2")])
+    order = [lst.find(ANY, ANY).body for _ in range(4)]
+    assert order == ["fwd-1", "fwd-2", "local-1", "local-2"]
+
+
+def test_prepend_empty_is_noop():
+    lst = ReceivedMessageList()
+    lst.append(_m(0, 0, "x"))
+    lst.prepend_all([])
+    assert lst.find(ANY, ANY).body == "x"
+
+
+def test_take_all_clears():
+    lst = ReceivedMessageList()
+    lst.append(_m(0, 0, "a"))
+    lst.append(_m(0, 1, "b"))
+    taken = lst.take_all()
+    assert [m.body for m in taken] == ["a", "b"]
+    assert len(lst) == 0
+
+
+def test_scan_accounting():
+    lst = ReceivedMessageList()
+    lst.append(_m(1, 1))
+    lst.append(_m(2, 2))
+    lst.append(_m(3, 3))
+    lst.find(3, 3)  # scans 3 entries
+    assert lst.total_scanned == 3
+    lst.find(9, 9)  # scans remaining 2, no match
+    assert lst.total_scanned == 5
+    assert lst.total_appended == 3
+
+
+def test_iteration_does_not_consume():
+    lst = ReceivedMessageList()
+    lst.append(_m(0, 0))
+    assert len(list(lst)) == 1
+    assert len(lst) == 1

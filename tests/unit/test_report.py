@@ -1,0 +1,78 @@
+"""Tests for the run-report aggregator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Application, VirtualMachine
+from repro.analysis import run_report
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    for i in range(5):
+        machine.add_host(f"h{i}")
+    return machine
+
+
+def _pingpong(rounds):
+    def program(api, state):
+        i = state.get("i", 0)
+        while i < rounds:
+            if api.rank == 0:
+                api.send(1, i, tag=i)
+                api.recv(src=1, tag=i)
+            else:
+                api.recv(src=0, tag=i)
+                api.send(0, i, tag=i)
+            i += 1
+            state["i"] = i
+            api.compute(0.004)
+            api.poll_migration(state)
+    return program
+
+
+def test_report_without_migration(vm):
+    app = Application(vm, _pingpong(6), placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.run()
+    rep = run_report(app)
+    assert rep.nranks == 2
+    assert rep.per_rank[0][0] == 6 and rep.per_rank[1][0] == 6
+    assert rep.total_messages == 12
+    assert rep.pair_messages[(0, 1)] == 6
+    assert rep.pair_messages[(1, 0)] == 6
+    assert rep.migrations == []
+    assert rep.dropped_data == 0
+    assert rep.execution > 0
+    text = rep.text()
+    assert "2 ranks" in text and "protocol health" in text
+
+
+def test_report_with_migration(vm):
+    app = Application(vm, _pingpong(20), placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.02, rank=1, dest_host="h3")
+    app.run()
+    rep = run_report(app)
+    assert len(rep.migrations) == 1
+    b = rep.migrations[0]
+    assert b.migrate > 0
+    assert rep.total_messages == 40
+    assert rep.dropped_data == 0
+    assert "migrations: 1" in rep.text()
+
+
+def test_report_counts_all_incarnations(vm):
+    app = Application(vm, _pingpong(30), placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.02, rank=0, dest_host="h3")
+    app.migrate_at(0.07, rank=0, dest_host="h4")
+    app.run()
+    rep = run_report(app)
+    # the sender's sends across three incarnations still total `rounds`
+    assert rep.per_rank[0][0] == 30
+    assert len(rep.migrations) == 2

@@ -1,0 +1,158 @@
+"""Unit tests for the centralized scheduler's protocol handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import (
+    LookupReply,
+    LookupRequest,
+    MigrateRequest,
+    TerminateNotice,
+)
+from repro.core.pltable import PLTable
+from repro.core.scheduler import (
+    STATUS_RUNNING,
+    STATUS_TERMINATED,
+    MigrationRecord,
+    SchedulerState,
+    scheduler_main,
+)
+from repro.vm import VirtualMachine, VmId
+from repro.vm.messages import ControlEnvelope
+
+
+@pytest.fixture
+def env(kernel):
+    vm = VirtualMachine(kernel)
+    for h in ("h0", "h1"):
+        vm.add_host(h)
+    pl = PLTable()
+    spawned = []
+
+    def spawn_init(rank, host):
+        vmid = VmId(host, 99)
+        spawned.append((rank, host, vmid))
+        return vmid
+
+    state = SchedulerState(pl=pl, spawn_initialized=spawn_init)
+    sched = vm.spawn("h0", scheduler_main, state, name="scheduler",
+                     daemon=True)
+    return vm, pl, state, sched, spawned
+
+
+def _client(vm, host, fn):
+    """Spawn a probe process running fn(ctx) and drive the sim."""
+    vm.spawn(host, fn, name="probe")
+    vm.run()
+
+
+def test_lookup_running(env):
+    vm, pl, state, sched, _ = env
+    pl.update(3, VmId("h1", 5))
+    state.status[3] = STATUS_RUNNING
+    replies = []
+
+    def probe(ctx):
+        ctx.route_control(sched.vmid, LookupRequest(3, ctx.vmid, token=1))
+        replies.append(ctx.next_message().msg)
+
+    _client(vm, "h1", probe)
+    (r,) = replies
+    assert isinstance(r, LookupReply)
+    assert r.status == "running" and r.vmid == VmId("h1", 5)
+    assert state.lookups_served == 1
+
+
+def test_lookup_unknown_rank_is_terminated(env):
+    vm, pl, state, sched, _ = env
+    replies = []
+
+    def probe(ctx):
+        ctx.route_control(sched.vmid, LookupRequest(9, ctx.vmid, token=2))
+        replies.append(ctx.next_message().msg)
+
+    _client(vm, "h1", probe)
+    assert replies[0].status == "terminated" and replies[0].vmid is None
+
+
+def test_migrate_request_spawns_and_signals(env):
+    vm, pl, state, sched, spawned = env
+    signals = []
+
+    def target(ctx):
+        ctx.on_signal("SIG_MIGRATE", lambda: signals.append("got"))
+        pl.update(0, ctx.vmid)
+        state.status[0] = STATUS_RUNNING
+        sched.mailbox.put(ControlEnvelope(
+            VmId("user", 0), MigrateRequest(rank=0, dest_host="h1")))
+        ctx.compute(0.1)
+
+    vm.spawn("h1", target, name="target", rank=0)
+    vm.run()
+    assert spawned == [(0, "h1", VmId("h1", 99))]
+    assert signals == ["got"]
+    assert state.init_vmid[0] == VmId("h1", 99)
+    assert len(state.migrations) == 1
+
+
+def test_migrate_request_for_non_running_rank_ignored(env):
+    vm, pl, state, sched, spawned = env
+    state.status[0] = STATUS_TERMINATED
+
+    def probe(ctx):
+        sched.mailbox.put(ControlEnvelope(
+            VmId("user", 0), MigrateRequest(rank=0, dest_host="h1")))
+        ctx.compute(0.05)
+
+    _client(vm, "h1", probe)
+    assert spawned == []
+    assert state.migrations == []
+
+
+def test_duplicate_migrate_request_ignored(env):
+    vm, pl, state, sched, spawned = env
+
+    def target(ctx):
+        pl.update(0, ctx.vmid)
+        state.status[0] = STATUS_RUNNING
+        for _ in range(2):
+            sched.mailbox.put(ControlEnvelope(
+                VmId("user", 0), MigrateRequest(rank=0, dest_host="h1")))
+        ctx.compute(0.1)
+
+    vm.spawn("h1", target, name="target", rank=0)
+    vm.run()
+    assert len(spawned) == 1
+    assert len(state.migrations) == 1
+
+
+def test_terminate_notice_marks_rank(env):
+    vm, pl, state, sched, _ = env
+    state.status[2] = STATUS_RUNNING
+
+    def probe(ctx):
+        ctx.route_control(sched.vmid, TerminateNotice(2))
+        ctx.compute(0.05)
+
+    _client(vm, "h1", probe)
+    assert state.status[2] == STATUS_TERMINATED
+
+
+def test_migration_record_properties():
+    rec = MigrationRecord(rank=1, dest_host="x", t_start=2.0,
+                          t_restored=5.0, t_committed=5.5)
+    assert rec.completed
+    assert rec.duration == pytest.approx(3.0)
+    assert not MigrationRecord(rank=1, dest_host="x").completed
+
+
+def test_current_record_skips_closed_and_aborted():
+    state = SchedulerState(pl=PLTable(), spawn_initialized=lambda r, h: None)
+    done = MigrationRecord(rank=0, dest_host="a", t_committed=1.0)
+    aborted = MigrationRecord(rank=0, dest_host="b", aborted=True)
+    open_rec = MigrationRecord(rank=0, dest_host="c")
+    state.migrations.extend([done, aborted, open_rec])
+    assert state.current_record(0) is open_rec
+    with pytest.raises(LookupError):
+        state.current_record(5)

@@ -1,0 +1,151 @@
+"""Deeper tests of the VM signaling semantics (paper Section 2.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm import VirtualMachine
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    machine.add_host("h0")
+    machine.add_host("h1")
+    return machine
+
+
+def test_multiple_interruptions_preserve_compute_total(vm):
+    """Three signals interrupt one computation; total compute time holds."""
+    times = {}
+
+    def receiver(ctx):
+        ctx.on_signal("S", lambda: ctx.kernel.sleep(0.5))
+        t0 = ctx.kernel.now
+        ctx.compute(3.0)
+        times["elapsed"] = ctx.kernel.now - t0
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        for i in range(3):
+            ctx.kernel.sleep(0.7)
+            ctx.send_signal(rx.vmid, "S")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    # 3.0s of compute + 3 x 0.5s of handler time (small delivery slack)
+    assert times["elapsed"] == pytest.approx(4.5, abs=0.05)
+
+
+def test_nested_hold_release(vm):
+    log = []
+
+    def receiver(ctx):
+        ctx.on_signal("S", lambda: log.append(("handled", ctx.kernel.now)))
+        ctx.hold_signals()
+        ctx.hold_signals()
+        ctx.kernel.sleep(1.0)
+        ctx.release_signals()  # still masked (depth 1)
+        ctx.kernel.sleep(1.0)
+        ctx.release_signals()  # unmasked: handler runs now
+        log.append(("released", ctx.kernel.now))
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(0.5)
+        ctx.send_signal(rx.vmid, "S")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert [k for k, _ in log] == ["handled", "released"]
+    assert log[0][1] == pytest.approx(2.0, abs=0.01)
+
+
+def test_handler_installed_after_arrival_misses(vm):
+    """A signal with no handler at dispatch time is consumed, not queued
+    for later handlers (matching POSIX default-action semantics)."""
+    log = []
+
+    def receiver(ctx):
+        ctx.compute(1.0)  # signal arrives here, no handler -> ignored
+        ctx.on_signal("S", lambda: log.append("late-handler"))
+        ctx.compute(1.0)
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(0.5)
+        ctx.send_signal(rx.vmid, "S")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert log == []
+
+
+def test_signal_during_handler_is_deferred_not_nested(vm):
+    order = []
+
+    def receiver(ctx):
+        def handler():
+            order.append(("start", ctx.kernel.now))
+            ctx.kernel.sleep(1.0)  # second signal arrives during this
+            order.append(("end", ctx.kernel.now))
+
+        ctx.on_signal("S", handler)
+        ctx.compute(3.0)
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(0.5)
+        ctx.send_signal(rx.vmid, "S")
+        ctx.kernel.sleep(0.7)  # lands inside the first handler's sleep
+        ctx.send_signal(rx.vmid, "S")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    kinds = [k for k, _ in order]
+    # strictly serialized: start/end pairs never interleave
+    assert kinds == ["start", "end", "start", "end"]
+
+
+def test_burn_is_not_interruptible(vm):
+    """burn() models communication-software CPU time: signals wait."""
+    log = []
+
+    def receiver(ctx):
+        ctx.on_signal("S", lambda: log.append(ctx.kernel.now))
+        ctx.hold_signals()
+        ctx.burn(2.0)
+        ctx.release_signals()
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(0.5)
+        ctx.send_signal(rx.vmid, "S")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert len(log) == 1
+    assert log[0] == pytest.approx(2.0, abs=0.01)
+
+
+def test_compute_zero_checks_signals(vm):
+    log = []
+
+    def receiver(ctx):
+        ctx.on_signal("S", lambda: log.append("ran"))
+        ctx.kernel.sleep(1.0)  # pending signal accumulates
+        ctx.compute(0.0)
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.send_signal(rx.vmid, "S")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert log == ["ran"]

@@ -1,0 +1,92 @@
+"""Tests for the SVG space-time renderer."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.analysis import render_spacetime_svg, save_spacetime_svg
+from repro.sim import Trace
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _mk_trace():
+    clk = _Clock()
+    tr = Trace(clock=clk)
+    clk.now = 1.0
+    tr.record("p0", "snow_send", dest=1, tag=0, nbytes=128)
+    clk.now = 1.2
+    tr.record("p1", "snow_recv", src=0, tag=0, nbytes=128, sent_at=1.0)
+    clk.now = 2.0
+    tr.record("p0", "migration_start", rank=0)
+    clk.now = 2.5
+    tr.record("p0", "migration_source_done", total_seconds=0.5)
+    clk.now = 2.3
+    tr.record_at(2.3, "p0.m1", "init_start", rank=0)
+    tr.record_at(2.6, "p0.m1", "restore_done", seconds=0.1)
+    return tr
+
+
+def test_svg_is_well_formed_xml():
+    svg = render_spacetime_svg(_mk_trace(), actors=["p0", "p1", "p0.m1"])
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+
+
+def test_svg_contains_rows_band_and_flight():
+    svg = render_spacetime_svg(_mk_trace(), actors=["p0", "p1", "p0.m1"])
+    assert ">p0<" in svg and ">p1<" in svg
+    assert "migrating" in svg       # tooltip on the migration band
+    assert "initializing" in svg
+    assert "message flight" in svg  # legend
+    assert "p0 → p1" in svg         # flight tooltip
+
+
+def test_svg_empty_trace():
+    svg = render_spacetime_svg(Trace(), actors=["p0"])
+    assert "(no events)" in svg
+    ET.fromstring(svg)
+
+
+def test_save_svg(tmp_path):
+    path = tmp_path / "diagram.svg"
+    save_spacetime_svg(_mk_trace(), path, actors=["p0", "p1"])
+    text = path.read_text()
+    assert text.startswith("<svg")
+    ET.fromstring(text)
+
+
+def test_svg_from_real_migration_run(tmp_path):
+    from repro import Application, VirtualMachine
+
+    vm = VirtualMachine()
+    for h in ("h0", "h1", "h2", "h3"):
+        vm.add_host(h)
+
+    def program(api, state):
+        i = state.get("i", 0)
+        while i < 12:
+            if api.rank == 0:
+                api.send(1, i)
+            else:
+                api.recv(src=0)
+            i += 1
+            state["i"] = i
+            api.compute(0.004)
+            api.poll_migration(state)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    app.migrate_at(0.015, rank=1, dest_host="h3")
+    app.run()
+    svg = render_spacetime_svg(vm.trace, actors=["p0", "p1", "p1.m1"])
+    vm.shutdown()
+    ET.fromstring(svg)
+    assert "migrating" in svg and "initializing" in svg
+    # ticks for sends and dots for recvs exist
+    assert svg.count("<circle") > 5
+    assert "stroke-width=\"1.5\"" in svg

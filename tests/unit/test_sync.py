@@ -1,0 +1,238 @@
+"""Unit tests for simulated events and queues."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import TIMEOUT, SimEvent, SimQueue
+from repro.sim.sync import QueueClosed
+from repro.util.errors import SimThreadError, SimulationError
+
+
+# -- SimEvent ---------------------------------------------------------------
+
+def test_event_set_before_wait(kernel):
+    ev = SimEvent(kernel)
+    ev.set()
+    got = []
+    kernel.spawn(lambda: got.append(ev.wait()))
+    kernel.run()
+    assert got == [True]
+
+
+def test_event_wakes_all_waiters_fifo(kernel):
+    ev = SimEvent(kernel)
+    order = []
+
+    def waiter(name):
+        ev.wait()
+        order.append(name)
+
+    for n in ("w1", "w2", "w3"):
+        kernel.spawn(waiter, n)
+    kernel.spawn(lambda: (kernel.sleep(1.0), ev.set()))
+    kernel.run()
+    assert order == ["w1", "w2", "w3"]
+
+
+def test_event_wait_timeout_then_set(kernel):
+    ev = SimEvent(kernel)
+    got = []
+
+    def waiter():
+        got.append(ev.wait(timeout=0.5))  # times out
+        got.append(ev.wait(timeout=5.0))  # then succeeds
+
+    kernel.spawn(waiter)
+    kernel.spawn(lambda: (kernel.sleep(2.0), ev.set()))
+    kernel.run()
+    assert got == [False, True]
+
+
+def test_event_clear_and_reuse(kernel):
+    ev = SimEvent(kernel)
+    log = []
+
+    def body():
+        ev.set()
+        assert ev.is_set()
+        ev.clear()
+        assert not ev.is_set()
+        log.append(ev.wait(timeout=0.1))
+
+    kernel.spawn(body)
+    kernel.run()
+    assert log == [False]
+
+
+# -- SimQueue ----------------------------------------------------------------
+
+def test_queue_put_then_get(kernel):
+    q = SimQueue(kernel)
+    got = []
+
+    def body():
+        q.put("a")
+        q.put("b")
+        got.append(q.get())
+        got.append(q.get())
+
+    kernel.spawn(body)
+    kernel.run()
+    assert got == ["a", "b"]
+
+
+def test_queue_get_blocks_until_put(kernel):
+    q = SimQueue(kernel)
+    got = []
+
+    def consumer():
+        got.append((q.get(), kernel.now))
+
+    def producer():
+        kernel.sleep(3.0)
+        q.put("x")
+
+    kernel.spawn(consumer)
+    kernel.spawn(producer)
+    kernel.run()
+    assert got == [("x", 3.0)]
+
+
+def test_queue_fifo_across_many_items(kernel):
+    q = SimQueue(kernel)
+    got = []
+
+    def producer():
+        for i in range(50):
+            q.put(i)
+            if i % 7 == 0:
+                kernel.sleep(0.01)
+
+    def consumer():
+        for _ in range(50):
+            got.append(q.get())
+
+    kernel.spawn(consumer)
+    kernel.spawn(producer)
+    kernel.run()
+    assert got == list(range(50))
+
+
+def test_queue_multiple_getters_fifo(kernel):
+    q = SimQueue(kernel)
+    got = []
+
+    def getter(name):
+        got.append((name, q.get()))
+
+    kernel.spawn(getter, "g1")
+    kernel.spawn(getter, "g2")
+
+    def producer():
+        kernel.sleep(1.0)
+        q.put("first")
+        q.put("second")
+
+    kernel.spawn(producer)
+    kernel.run()
+    assert got == [("g1", "first"), ("g2", "second")]
+
+
+def test_queue_get_timeout(kernel):
+    q = SimQueue(kernel)
+    got = []
+    kernel.spawn(lambda: got.append(q.get(timeout=2.0)))
+    kernel.run()
+    assert got == [TIMEOUT]
+    assert kernel.now == 2.0
+
+
+def test_queue_peek(kernel):
+    q = SimQueue(kernel)
+    got = []
+
+    def body():
+        q.put(1)
+        got.append(q.peek())
+        got.append(q.get())
+
+    kernel.spawn(body)
+    kernel.run()
+    assert got == [1, 1]
+
+
+def test_queue_peek_empty_raises(kernel):
+    q = SimQueue(kernel)
+
+    def body():
+        q.peek()
+
+    kernel.spawn(body)
+    with pytest.raises(SimThreadError) as ei:
+        kernel.run()
+    assert isinstance(ei.value.original, SimulationError)
+
+
+def test_queue_close_wakes_blocked_getter(kernel):
+    q = SimQueue(kernel)
+    outcome = []
+
+    def consumer():
+        try:
+            q.get()
+        except QueueClosed:
+            outcome.append("closed")
+
+    kernel.spawn(consumer)
+    kernel.spawn(lambda: (kernel.sleep(1.0), q.close()))
+    kernel.run()
+    assert outcome == ["closed"]
+
+
+def test_queue_close_drains_existing_items_first(kernel):
+    q = SimQueue(kernel)
+    got = []
+
+    def body():
+        q.put("a")
+        q.close()
+        got.append(q.get())
+        try:
+            q.get()
+        except QueueClosed:
+            got.append("closed")
+
+    kernel.spawn(body)
+    kernel.run()
+    assert got == ["a", "closed"]
+
+
+def test_queue_put_after_close_rejected(kernel):
+    q = SimQueue(kernel)
+
+    def body():
+        q.close()
+        q.put("x")
+
+    kernel.spawn(body)
+    with pytest.raises(SimThreadError) as ei:
+        kernel.run()
+    assert isinstance(ei.value.original, QueueClosed)
+
+
+def test_queue_len(kernel):
+    q = SimQueue(kernel)
+    sizes = []
+
+    def body():
+        sizes.append(len(q))
+        q.put(1)
+        q.put(2)
+        sizes.append(len(q))
+        q.get()
+        sizes.append(len(q))
+
+    kernel.spawn(body)
+    kernel.run()
+    assert sizes == [0, 2, 1]

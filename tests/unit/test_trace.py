@@ -1,0 +1,89 @@
+"""Unit tests for the event tracer."""
+
+from __future__ import annotations
+
+from repro.sim import Trace
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_record_stamps_current_time():
+    clk = _FakeClock()
+    tr = Trace(clock=clk)
+    tr.record("p0", "send", dest=1)
+    clk.now = 2.5
+    tr.record("p1", "recv", src=0)
+    assert [e.time for e in tr] == [0.0, 2.5]
+
+
+def test_record_at_explicit_time():
+    tr = Trace()
+    tr.record_at(7.0, "p0", "send")
+    assert tr.events[0].time == 7.0
+
+
+def test_disabled_trace_is_noop():
+    tr = Trace(enabled=False)
+    tr.record("p0", "send")
+    assert len(tr) == 0
+
+
+def test_filter_by_kind_actor_window_and_detail():
+    clk = _FakeClock()
+    tr = Trace(clock=clk)
+    for i in range(10):
+        clk.now = float(i)
+        tr.record(f"p{i % 2}", "send" if i % 3 else "recv", tag=i)
+    sends_p1 = tr.filter(kind="send", actor="p1")
+    assert all(e.actor == "p1" and e.kind == "send" for e in sends_p1)
+    windowed = tr.filter(t0=3.0, t1=5.0)
+    assert [e.time for e in windowed] == [3.0, 4.0, 5.0]
+    tagged = tr.filter(tag=4)
+    assert len(tagged) == 1 and tagged[0].detail["tag"] == 4
+
+
+def test_first_and_last():
+    clk = _FakeClock()
+    tr = Trace(clock=clk)
+    for i in range(5):
+        clk.now = float(i)
+        tr.record("p0", "tick", i=i)
+    assert tr.first("tick").detail["i"] == 0
+    assert tr.last("tick").detail["i"] == 4
+    assert tr.first("missing") is None
+    assert tr.last("missing") is None
+    assert tr.first("tick", i=3).time == 3.0
+
+
+def test_count():
+    tr = Trace(clock=_FakeClock())
+    for _ in range(4):
+        tr.record("p0", "send")
+    tr.record("p0", "recv")
+    assert tr.count("send") == 4
+    assert tr.count("recv") == 1
+    assert tr.count("nothing") == 0
+
+
+def test_actors_in_first_appearance_order():
+    tr = Trace(clock=_FakeClock())
+    for actor in ("s", "p0", "p1", "p0", "daemon"):
+        tr.record(actor, "x")
+    assert tr.actors() == ["s", "p0", "p1", "daemon"]
+
+
+def test_dump_renders_lines():
+    tr = Trace(clock=_FakeClock())
+    tr.record("p0", "send", dest=1, nbytes=10)
+    text = tr.dump()
+    assert "p0" in text and "send" in text and "dest=1" in text
+
+
+def test_dump_limit():
+    tr = Trace(clock=_FakeClock())
+    for i in range(10):
+        tr.record("p0", "e", i=i)
+    assert len(tr.dump(limit=3).splitlines()) == 3

@@ -1,0 +1,110 @@
+"""Unit tests for shared utilities (rng, text formatting, errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import format_seconds, format_size, format_table
+from repro.util.errors import DeadlockError, ReproError, SimulationError
+from repro.util.rng import RngStream
+
+
+# -- RngStream -----------------------------------------------------------
+
+def test_same_seed_same_draws():
+    a = RngStream(42).uniform()
+    b = RngStream(42).uniform()
+    assert a == b
+
+
+def test_different_seeds_differ():
+    assert RngStream(1).uniform() != RngStream(2).uniform()
+
+
+def test_named_children_independent_and_stable():
+    root = RngStream(7)
+    a1 = root.child("net").uniform()
+    a2 = RngStream(7).child("net").uniform()
+    b = RngStream(7).child("cpu").uniform()
+    assert a1 == a2
+    assert a1 != b
+
+
+def test_randint_range():
+    rng = RngStream(0)
+    draws = [rng.randint(3, 7) for _ in range(100)]
+    assert all(3 <= d < 7 for d in draws)
+    assert len(set(draws)) > 1
+
+
+def test_choice_and_empty_choice():
+    rng = RngStream(0)
+    assert rng.choice([5]) == 5
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_shuffle_is_permutation_and_pure():
+    rng = RngStream(3)
+    original = list(range(10))
+    out = rng.shuffle(original)
+    assert sorted(out) == original
+    assert original == list(range(10))  # input not mutated
+
+
+def test_exponential_positive():
+    rng = RngStream(1)
+    assert all(rng.exponential(2.0) > 0 for _ in range(20))
+
+
+def test_bytes_length():
+    assert len(RngStream(0).bytes(16)) == 16
+
+
+# -- text formatting ---------------------------------------------------------
+
+@pytest.mark.parametrize("value,expect", [
+    (0.000123, "123.0us"),
+    (0.5, "500.000ms"),
+    (2.5, "2.500s"),
+    (-2.5, "-2.500s"),
+])
+def test_format_seconds(value, expect):
+    assert format_seconds(value) == expect
+
+
+@pytest.mark.parametrize("value,expect", [
+    (512, "512B"),
+    (34848, "34.0KiB"),
+    (7_500_000, "7.2MiB"),
+    (3 * 1024 ** 3, "3.0GiB"),
+])
+def test_format_size(value, expect):
+    assert format_size(value) == expect
+
+
+def test_format_table_alignment():
+    out = format_table(("name", "x"), [("a", 1), ("long-name", 22)])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    assert lines[0].startswith("name")
+    assert lines[2].startswith("a ")
+    assert lines[3].endswith("22")
+
+
+def test_format_table_empty_rows():
+    out = format_table(("h1", "h2"), [])
+    assert "h1" in out
+
+
+# -- errors ------------------------------------------------------------------
+
+def test_error_hierarchy():
+    assert issubclass(SimulationError, ReproError)
+    assert issubclass(DeadlockError, SimulationError)
+
+
+def test_deadlock_error_carries_blocked_list():
+    err = DeadlockError("x", blocked=["a: waiting"])
+    assert err.blocked == ["a: waiting"]
+    assert DeadlockError("y").blocked == []

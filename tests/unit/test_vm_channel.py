@@ -1,0 +1,298 @@
+"""Unit tests for channels and daemon-routed control messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.errors import ChannelClosedError, SimThreadError
+from repro.vm import ConnAck, ConnNack, ConnReq, ControlEnvelope, Envelope, VirtualMachine, VmId
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2"):
+        machine.add_host(h)
+    return machine
+
+
+def _idle(ctx, t=50.0):
+    ctx.kernel.sleep(t)
+
+
+# -- channels ----------------------------------------------------------------
+
+def test_channel_send_and_receive(vm):
+    got = []
+
+    def receiver(ctx):
+        env = ctx.next_message()
+        got.append((env.payload, env.src_rank, ctx.kernel.now))
+
+    rx = vm.spawn("h1", receiver, rank=1)
+
+    def sender(ctx):
+        chan = vm.create_channel(ctx.vmid, rx.vmid)
+        chan.send(ctx, "hello", nbytes=1000)
+
+    vm.spawn("h0", sender, rank=0)
+    vm.run()
+    assert len(got) == 1
+    payload, src_rank, t = got[0]
+    assert payload == "hello"
+    assert src_rank == 0
+    assert t > 0
+
+
+def test_channel_fifo_order(vm):
+    got = []
+
+    def receiver(ctx):
+        for _ in range(20):
+            got.append(ctx.next_message().payload)
+
+    rx = vm.spawn("h1", receiver)
+
+    def sender(ctx):
+        chan = vm.create_channel(ctx.vmid, rx.vmid)
+        for i in range(20):
+            chan.send(ctx, i, nbytes=100 * (20 - i))  # shrinking sizes
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert got == list(range(20))
+
+
+def test_channel_duplex(vm):
+    got = {"a": None, "b": None}
+    chan_holder = {}
+
+    def a(ctx):
+        chan = vm.create_channel(ctx.vmid, b_ctx.vmid)
+        chan_holder["chan"] = chan
+        chan.send(ctx, "ping", nbytes=10)
+        got["a"] = ctx.next_message().payload
+
+    def b(ctx):
+        env = ctx.next_message()
+        got["b"] = env.payload
+        chan_holder["chan"].send(ctx, "pong", nbytes=10)
+
+    b_ctx = vm.spawn("h1", b)
+    vm.spawn("h0", a)
+    vm.run()
+    assert got == {"a": "pong", "b": "ping"}
+
+
+def test_send_on_closed_end_rejected(vm):
+    rx = vm.spawn("h1", _idle)
+
+    def sender(ctx):
+        chan = vm.create_channel(ctx.vmid, rx.vmid)
+        chan.close_end(ctx.vmid)
+        chan.send(ctx, "x", nbytes=1)
+
+    vm.spawn("h0", sender)
+    with pytest.raises(SimThreadError) as ei:
+        vm.run()
+    assert isinstance(ei.value.original, ChannelClosedError)
+
+
+def test_close_is_per_end(vm):
+    got = []
+
+    def receiver(ctx):
+        got.append(ctx.next_message().payload)
+
+    rx = vm.spawn("h1", receiver)
+
+    def sender(ctx):
+        chan = vm.create_channel(ctx.vmid, rx.vmid)
+        chan.close_end(rx.vmid)  # peer's end closed; ours still open
+        assert not chan.fully_closed
+        chan.send(ctx, "still-works", nbytes=10)
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert got == ["still-works"]
+
+
+def test_message_to_dead_process_dropped_and_traced(vm):
+    rx = vm.spawn("h1", lambda ctx: ctx.kernel.sleep(0.5))  # dies at t=0.5
+
+    def sender(ctx):
+        chan = vm.create_channel(ctx.vmid, rx.vmid)  # both alive at t=0
+        ctx.kernel.sleep(1.0)  # receiver long gone
+        chan.send(ctx, "lost", nbytes=10)
+
+    vm.spawn("h0", sender)
+    vm.run()
+    drops = vm.dropped_messages()
+    assert len(drops) == 1
+    assert drops[0].detail["nbytes"] == 10
+
+
+def test_channel_endpoints_must_differ(vm):
+    p = vm.spawn("h0", _idle)
+    with pytest.raises(ChannelClosedError):
+        vm.create_channel(p.vmid, p.vmid)
+
+
+def test_channel_message_counters(vm):
+    def receiver(ctx):
+        ctx.next_message()
+        ctx.next_message()
+
+    rx = vm.spawn("h1", receiver)
+    sent = {}
+
+    def sender(ctx):
+        chan = vm.create_channel(ctx.vmid, rx.vmid)
+        chan.send(ctx, 1, nbytes=10)
+        chan.send(ctx, 2, nbytes=10)
+        sent["count"] = chan.messages_sent_by(ctx.vmid)
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert sent["count"] == 2
+
+
+# -- connectionless routing -----------------------------------------------------
+
+def test_route_control_delivers(vm):
+    got = []
+
+    def receiver(ctx):
+        env = ctx.next_message()
+        got.append(env)
+
+    rx = vm.spawn("h1", receiver)
+
+    def sender(ctx):
+        ctx.route_control(rx.vmid, ConnReq(req_id=7, src_rank=0,
+                                           src_vmid=ctx.vmid))
+
+    tx = vm.spawn("h0", sender)
+    vm.run()
+    assert len(got) == 1
+    env = got[0]
+    assert isinstance(env, ControlEnvelope)
+    assert env.msg.req_id == 7
+    assert env.src_vmid == tx.vmid
+
+
+def test_conn_req_to_missing_process_nacked_by_daemon(vm):
+    got = []
+
+    def sender(ctx):
+        ctx.route_control(VmId("h1", 42), ConnReq(req_id=1, src_rank=0,
+                                                  src_vmid=ctx.vmid))
+        env = ctx.next_message()
+        got.append(env.msg)
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert len(got) == 1
+    assert isinstance(got[0], ConnNack)
+    assert got[0].reason == "no-such-process"
+
+
+def test_conn_req_to_resigned_host_nacked_by_local_daemon(vm):
+    got = []
+
+    def sender(ctx):
+        vm.remove_host("h2")
+        ctx.route_control(VmId("h2", 1), ConnReq(req_id=2, src_rank=0,
+                                                 src_vmid=ctx.vmid))
+        got.append(ctx.next_message().msg)
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert isinstance(got[0], ConnNack)
+    assert got[0].reason == "host-left"
+
+
+def test_conn_req_rejected_while_marked_migrating(vm):
+    rx = vm.spawn("h1", _idle)
+    vm.daemon("h1").reject_future_conn_reqs(rx.vmid.pid)
+    got = []
+
+    def sender(ctx):
+        ctx.route_control(rx.vmid, ConnReq(req_id=3, src_rank=0,
+                                           src_vmid=ctx.vmid))
+        got.append(ctx.next_message().msg)
+
+    vm.spawn("h0", sender)
+    vm.run(until=5.0)
+    assert isinstance(got[0], ConnNack)
+    assert got[0].reason == "migrating"
+
+
+def test_pending_conn_req_nacked_when_target_terminates(vm):
+    # receiver gets the conn_req but dies without answering
+    def receiver(ctx):
+        ctx.next_message()
+        # terminate without replying
+
+    rx = vm.spawn("h1", receiver)
+    got = []
+
+    def sender(ctx):
+        ctx.route_control(rx.vmid, ConnReq(req_id=4, src_rank=0,
+                                           src_vmid=ctx.vmid))
+        got.append(ctx.next_message().msg)
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert isinstance(got[0], ConnNack)
+    assert got[0].reason == "process-terminated"
+
+
+def test_ack_routed_back_deletes_pending_record(vm):
+    def receiver(ctx):
+        env = ctx.next_message()
+        ctx.route_control(env.src_vmid,
+                          ConnAck(env.msg.req_id, acceptor_rank=ctx.rank,
+                                  acceptor_vmid=ctx.vmid))
+        ctx.kernel.sleep(5.0)
+
+    rx = vm.spawn("h1", receiver, rank=1)
+    got = []
+
+    def sender(ctx):
+        ctx.route_control(rx.vmid, ConnReq(req_id=5, src_rank=0,
+                                           src_vmid=ctx.vmid))
+        got.append(ctx.next_message().msg)
+
+    vm.spawn("h0", sender, rank=0)
+    vm.run()
+    assert isinstance(got[0], ConnAck)
+    assert vm.daemon("h1").pending_reqs == {}
+
+
+def test_generic_control_to_dead_process_dropped(vm):
+    rx = vm.spawn("h1", lambda ctx: None)
+
+    def sender(ctx):
+        ctx.kernel.sleep(1.0)
+        ctx.route_control(rx.vmid, "not-a-conn-req")
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert vm.trace.count("control_dropped") == 1
+
+
+def test_control_messages_between_same_host_processes(vm):
+    got = []
+
+    def receiver(ctx):
+        got.append(ctx.next_message().msg)
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.route_control(rx.vmid, "local-hello")
+
+    vm.spawn("h0", sender)
+    vm.run()
+    assert got == ["local-hello"]

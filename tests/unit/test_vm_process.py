@@ -1,0 +1,226 @@
+"""Unit tests for ProcessContext: identity, compute, signals, mailbox."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import TIMEOUT
+from repro.vm import VirtualMachine, VmId
+
+
+@pytest.fixture
+def vm(kernel):
+    machine = VirtualMachine(kernel)
+    machine.add_host("h0")
+    machine.add_host("h1", cpu_speed=0.5)
+    return machine
+
+
+def test_spawn_assigns_sequential_pids(vm):
+    a = vm.spawn("h0", lambda ctx: None)
+    b = vm.spawn("h0", lambda ctx: None)
+    c = vm.spawn("h1", lambda ctx: None)
+    assert a.vmid == VmId("h0", 1)  # pid 0 is the daemon
+    assert b.vmid == VmId("h0", 2)
+    assert c.vmid == VmId("h1", 1)
+
+
+def test_spawn_on_unknown_host_rejected(vm):
+    from repro.util.errors import VirtualMachineError
+    with pytest.raises(VirtualMachineError):
+        vm.spawn("ghost", lambda ctx: None)
+
+
+def test_default_names(vm):
+    a = vm.spawn("h0", lambda ctx: None, rank=3)
+    b = vm.spawn("h0", lambda ctx: None)
+    assert a.name == "p3"
+    assert b.name == "h0.2"
+
+
+def test_compute_scales_with_host_speed(vm):
+    times = {}
+
+    def body(ctx):
+        ctx.compute(1.0)
+        times[ctx.host] = ctx.kernel.now
+
+    vm.spawn("h0", body)
+    vm.spawn("h1", body)  # half speed
+    vm.run()
+    assert times["h0"] == pytest.approx(1.0)
+    assert times["h1"] == pytest.approx(2.0)
+
+
+def test_lookup_and_require(vm):
+    ctx = vm.spawn("h0", lambda c: c.kernel.sleep(1.0))
+    assert vm.lookup(ctx.vmid) is ctx
+    assert vm.lookup(VmId("h0", 99)) is None
+    from repro.util.errors import NoSuchProcessError
+    with pytest.raises(NoSuchProcessError):
+        vm.require(VmId("h0", 99))
+
+
+def test_process_finalized_on_return(vm):
+    ctx = vm.spawn("h0", lambda c: None)
+    vm.run()
+    assert not ctx.alive
+    assert vm.lookup(ctx.vmid) is None
+
+
+def test_terminate_unwinds_and_finalizes(vm):
+    reached = []
+
+    def body(ctx):
+        ctx.terminate()
+        reached.append("after")  # never
+
+    ctx = vm.spawn("h0", body)
+    vm.run()
+    assert reached == []
+    assert not ctx.alive
+
+
+def test_signal_delivery_and_handler(vm):
+    log = []
+
+    def receiver(ctx):
+        ctx.on_signal("SIGUSR1", lambda: log.append(("handled", ctx.kernel.now)))
+        ctx.compute(10.0)  # interruptible
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(2.0)
+        ctx.send_signal(rx.vmid, "SIGUSR1")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert len(log) == 1
+    kind, t = log[0]
+    assert kind == "handled"
+    assert 2.0 < t < 2.1  # shortly after send (network + dispatch)
+
+
+def test_signal_interrupts_compute_but_preserves_total_time(vm):
+    times = {}
+
+    def receiver(ctx):
+        ctx.on_signal("SIG", lambda: ctx.kernel.sleep(5.0))  # slow handler
+        ctx.compute(10.0)
+        times["done"] = ctx.kernel.now
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(3.0)
+        ctx.send_signal(rx.vmid, "SIG")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    # 10s of compute plus ~5s of handler; signal arrival overhead is small
+    assert times["done"] == pytest.approx(15.0, abs=0.1)
+
+
+def test_signals_held_during_communication_events(vm):
+    log = []
+
+    def receiver(ctx):
+        ctx.on_signal("SIG", lambda: log.append(("handled", ctx.kernel.now)))
+        ctx.hold_signals()
+        ctx.kernel.sleep(5.0)  # a long "communication event"
+        ctx.release_signals()  # handler must run only now
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(1.0)
+        ctx.send_signal(rx.vmid, "SIG")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert len(log) == 1
+    assert log[0][1] == pytest.approx(5.0, abs=0.01)
+
+
+def test_unbalanced_release_rejected(vm):
+    from repro.util.errors import SimThreadError, SimulationError
+
+    def body(ctx):
+        ctx.release_signals()
+
+    vm.spawn("h0", body)
+    with pytest.raises(SimThreadError) as ei:
+        vm.run()
+    assert isinstance(ei.value.original, SimulationError)
+
+
+def test_signals_arrive_in_send_order(vm):
+    log = []
+
+    def receiver(ctx):
+        ctx.on_signal("A", lambda: log.append("A"))
+        ctx.on_signal("B", lambda: log.append("B"))
+        ctx.compute(5.0)
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.kernel.sleep(1.0)
+        ctx.send_signal(rx.vmid, "A")
+        ctx.send_signal(rx.vmid, "B")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert log == ["A", "B"]
+
+
+def test_unhandled_signal_is_recorded_and_ignored(vm, trace):
+    def receiver(ctx):
+        ctx.compute(2.0)
+
+    rx = vm.spawn("h0", receiver)
+
+    def sender(ctx):
+        ctx.send_signal(rx.vmid, "NOBODY")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    evs = vm.trace.filter(kind="signal_handled", handled=False)
+    assert len(evs) == 1
+
+
+def test_signal_to_dead_process_dropped(vm):
+    rx = vm.spawn("h0", lambda c: None)
+
+    def sender(ctx):
+        ctx.kernel.sleep(1.0)
+        ctx.send_signal(rx.vmid, "SIG")
+
+    vm.spawn("h1", sender)
+    vm.run()
+    assert vm.trace.count("signal_dropped") == 1
+
+
+def test_mailbox_next_message_timeout(vm):
+    got = []
+
+    def body(ctx):
+        got.append(ctx.next_message(timeout=1.0))
+
+    vm.spawn("h0", body)
+    vm.run()
+    assert got == [TIMEOUT]
+
+
+def test_host_leave_kills_processes(vm):
+    ctx = vm.spawn("h1", lambda c: c.kernel.sleep(100.0))
+
+    def admin(c):
+        c.kernel.sleep(1.0)
+        vm.remove_host("h1")
+
+    vm.spawn("h0", admin)
+    vm.run()
+    assert not ctx.alive
+    assert "h1" not in vm.hosts

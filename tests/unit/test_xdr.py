@@ -1,0 +1,97 @@
+"""Unit tests for the low-level XDR-like writer/reader."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codec import MIPS32, SPARC32, Reader, Writer
+from repro.util.errors import CodecError
+
+
+def _roundtrip(arch, write_ops, read_ops):
+    w = Writer(arch)
+    for op, value in write_ops:
+        getattr(w, op)(value)
+    r = Reader(w.getvalue(), arch)
+    return [getattr(r, op)() for op in read_ops]
+
+
+@pytest.mark.parametrize("arch", [SPARC32, MIPS32], ids=lambda a: a.name)
+def test_fixed_width_roundtrip(arch):
+    got = _roundtrip(arch,
+                     [("u8", 200), ("u32", 123456), ("u64", 2**40),
+                      ("f64", 3.25)],
+                     ["u8", "u32", "u64", "f64"])
+    assert got == [200, 123456, 2**40, 3.25]
+
+
+def test_endianness_visible_in_bytes():
+    big = Writer(SPARC32)
+    big.u32(1)
+    little = Writer(MIPS32)
+    little.u32(1)
+    assert big.getvalue() == b"\x00\x00\x00\x01"
+    assert little.getvalue() == b"\x01\x00\x00\x00"
+
+
+@pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**63])
+def test_varint_roundtrip(value):
+    w = Writer(SPARC32)
+    w.varint(value)
+    assert Reader(w.getvalue(), SPARC32).varint() == value
+
+
+def test_varint_negative_rejected():
+    with pytest.raises(CodecError):
+        Writer(SPARC32).varint(-1)
+
+
+@pytest.mark.parametrize("value", [0, -1, 1, 255, -256, 2**200, -(2**200)])
+def test_bigint_roundtrip(value):
+    for arch in (SPARC32, MIPS32):
+        w = Writer(arch)
+        w.bigint(value)
+        assert Reader(w.getvalue(), arch).bigint() == value
+
+
+def test_raw_and_string_roundtrip():
+    w = Writer(MIPS32)
+    w.raw(b"\x00\x01binary")
+    w.string("héllo")
+    r = Reader(w.getvalue(), MIPS32)
+    assert r.raw() == b"\x00\x01binary"
+    assert r.string() == "héllo"
+
+
+def test_out_of_range_fields_rejected():
+    w = Writer(SPARC32)
+    with pytest.raises(CodecError):
+        w.u8(256)
+    with pytest.raises(CodecError):
+        w.u32(-1)
+    with pytest.raises(CodecError):
+        w.u64(1 << 64)
+
+
+def test_truncated_stream_detected():
+    w = Writer(SPARC32)
+    w.u64(7)
+    r = Reader(w.getvalue()[:3], SPARC32)
+    with pytest.raises(CodecError):
+        r.u64()
+
+
+def test_exhausted_flag():
+    w = Writer(SPARC32)
+    w.u8(1)
+    r = Reader(w.getvalue(), SPARC32)
+    assert not r.exhausted
+    r.u8()
+    assert r.exhausted
+
+
+def test_writer_len():
+    w = Writer(SPARC32)
+    w.u32(0)
+    w.u8(0)
+    assert len(w) == 5
