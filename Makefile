@@ -1,0 +1,16 @@
+# Developer entry points. Everything runs against the in-tree sources.
+export PYTHONPATH := src
+
+.PHONY: test fast stress bench
+
+test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
+	python -m pytest -x -q
+
+fast:   ## the suite minus the seeded fault-injection stress runs
+	python -m pytest -q -m "not stress"
+
+stress: ## fault-adversarial runs checked against the paper's theorems
+	python -m pytest tests/stress -q
+
+bench:  ## regenerate the paper's tables/figures (print with -s)
+	python -m pytest benchmarks/ --benchmark-only -q

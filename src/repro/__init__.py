@@ -27,8 +27,10 @@ Quick start::
     app.run()
 """
 
+from repro.analysis import check_invariants
 from repro.core import ANY, Application, MigrationEndpoint, PLTable, SnowAPI
-from repro.sim import Kernel, Network, Trace
+from repro.sim import FaultPlan, Kernel, Network, Trace
+from repro.util import RetryPolicy
 from repro.vm import VirtualMachine, VmId
 
 __version__ = "1.0.0"
@@ -36,13 +38,16 @@ __version__ = "1.0.0"
 __all__ = [
     "ANY",
     "Application",
+    "FaultPlan",
     "Kernel",
     "MigrationEndpoint",
     "Network",
     "PLTable",
+    "RetryPolicy",
     "SnowAPI",
     "Trace",
     "VirtualMachine",
     "VmId",
+    "check_invariants",
     "__version__",
 ]

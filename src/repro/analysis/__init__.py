@@ -1,5 +1,10 @@
 """Trace analysis: migration timing breakdowns and space-time diagrams."""
 
+from repro.analysis.invariants import (
+    InvariantReport,
+    InvariantViolation,
+    check_invariants,
+)
 from repro.analysis.metrics import (
     MigrationBreakdown,
     app_progress_events,
@@ -13,6 +18,9 @@ from repro.analysis.svg import render_spacetime_svg, save_spacetime_svg
 from repro.analysis.traffic import LinkTraffic, TrafficReport, traffic_report
 
 __all__ = [
+    "InvariantReport",
+    "InvariantViolation",
+    "check_invariants",
     "LinkTraffic",
     "MessageFlight",
     "RunReport",

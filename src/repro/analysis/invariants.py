@@ -1,0 +1,195 @@
+"""Theorem checks over a run's trace (paper Section 4, made executable).
+
+The stress suite runs the protocol under the seeded adversary of
+:mod:`repro.sim.faults` and then asserts the paper's four guarantees from
+the trace log alone:
+
+* **Theorem 1 (progress)** — the run terminated. The kernel raises on a
+  genuine deadlock, so reaching the checks at all is the proof; helpers
+  here only verify the application actually exchanged traffic.
+* **Theorem 2 (no loss, exactly once)** — for every (sender, receiver)
+  pair, the number of ``snow_recv`` events equals the number of
+  ``snow_send`` events, and no data message was dropped at a dead
+  process (:meth:`~repro.vm.virtual_machine.VirtualMachine.dropped_messages`).
+* **Theorem 3 / Lemma 2 (per-pair FIFO)** — at every receiver, messages
+  consumed from one (sender, tag) stream carry nondecreasing ``sent_at``
+  stamps: what was sent earlier was received earlier.
+* **Theorem 4 (simultaneous migrations)** — every requested migration
+  eventually completed (allowing scheduler-level abort-and-retry in
+  hardened mode), and the guarantees above held regardless.
+
+Ranks are recovered from the launcher's process naming convention
+(``p<rank>`` with migration incarnations ``p<rank>.m<n>``), so the same
+checker spans all incarnations of a rank transparently.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.sim.trace import Trace
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantReport",
+    "actor_rank",
+    "sends_by_pair",
+    "recvs_by_pair",
+    "check_exactly_once",
+    "check_fifo",
+    "check_no_data_loss",
+    "check_migrations_complete",
+    "check_invariants",
+]
+
+_ACTOR_RE = re.compile(r"^p(\d+)(?:\.m\d+)?$")
+
+
+class InvariantViolation(AssertionError):
+    """A theorem check failed; the message lists every violation."""
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of :func:`check_invariants`."""
+
+    #: (sender rank, receiver rank) -> messages sent
+    sends: Counter = field(default_factory=Counter)
+    #: (sender rank, receiver rank) -> messages received
+    recvs: Counter = field(default_factory=Counter)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violation(s):\n  "
+                + "\n  ".join(self.violations))
+
+
+def actor_rank(actor: str) -> int | None:
+    """Rank encoded in a launcher process name, or ``None`` for others."""
+    m = _ACTOR_RE.match(actor)
+    return int(m.group(1)) if m else None
+
+
+def sends_by_pair(trace: Trace) -> Counter:
+    """(sender rank, receiver rank) -> ``snow_send`` count."""
+    out: Counter = Counter()
+    for ev in trace.filter(kind="snow_send"):
+        src = actor_rank(ev.actor)
+        if src is not None:
+            out[(src, ev.detail["dest"])] += 1
+    return out
+
+
+def recvs_by_pair(trace: Trace) -> Counter:
+    """(sender rank, receiver rank) -> ``snow_recv`` count."""
+    out: Counter = Counter()
+    for ev in trace.filter(kind="snow_recv"):
+        dst = actor_rank(ev.actor)
+        if dst is not None:
+            out[(ev.detail["src"], dst)] += 1
+    return out
+
+
+def check_exactly_once(trace: Trace) -> list[str]:
+    """Theorem 2: every pair's receive count equals its send count."""
+    sends = sends_by_pair(trace)
+    recvs = recvs_by_pair(trace)
+    violations = []
+    for pair in sorted(set(sends) | set(recvs)):
+        if sends[pair] != recvs[pair]:
+            violations.append(
+                f"pair {pair[0]}->{pair[1]}: sent {sends[pair]} "
+                f"but received {recvs[pair]}")
+    return violations
+
+
+def check_fifo(trace: Trace) -> list[str]:
+    """Theorem 3 / Lemma 2: per (receiver, sender, tag) stream, consumed
+    messages carry nondecreasing ``sent_at`` stamps.
+
+    Messages of one (sender, tag) stream are appended to the
+    received-message-list in arrival order and consumed front-first, so
+    consumption order equals delivery order; a decreasing stamp means the
+    network (or a migration transfer) reordered the pair's stream.
+    """
+    last_sent_at: dict[tuple[int, int, int], float] = defaultdict(
+        lambda: float("-inf"))
+    violations = []
+    for ev in trace.filter(kind="snow_recv"):
+        dst = actor_rank(ev.actor)
+        if dst is None:
+            continue
+        key = (dst, ev.detail["src"], ev.detail.get("tag", 0))
+        stamp = ev.detail["sent_at"]
+        if stamp < last_sent_at[key]:
+            violations.append(
+                f"receiver {dst} got src={key[1]} tag={key[2]} message "
+                f"sent at {stamp:g} after one sent at "
+                f"{last_sent_at[key]:g} (FIFO violated)")
+        else:
+            last_sent_at[key] = stamp
+    return violations
+
+
+def check_no_data_loss(vm) -> list[str]:
+    """Theorem 2's direct instrument: no data message hit a dead process."""
+    dropped = vm.dropped_messages()
+    return [f"data message dropped at dead process: {ev}" for ev in dropped]
+
+
+def check_migrations_complete(migrations, expect_at_least: int = 0
+                              ) -> list[str]:
+    """Theorem 4 under retries: the *final* migration attempt per rank
+    completed (earlier attempts may have been aborted and re-issued)."""
+    violations = []
+    latest: dict = {}
+    for rec in migrations:
+        latest[rec.rank] = rec
+    for rank, rec in sorted(latest.items()):
+        if not rec.completed:
+            violations.append(
+                f"rank {rank}: final migration attempt to "
+                f"{rec.dest_host} did not complete "
+                f"(aborted={rec.aborted})")
+    completed = sum(1 for r in migrations if r.completed)
+    if completed < expect_at_least:
+        violations.append(
+            f"only {completed} migration(s) completed, "
+            f"expected at least {expect_at_least}")
+    return violations
+
+
+def check_invariants(vm, app=None, expect_migrations: int = 0
+                     ) -> InvariantReport:
+    """Run every theorem check; see :class:`InvariantReport`.
+
+    Parameters
+    ----------
+    vm:
+        The :class:`~repro.vm.virtual_machine.VirtualMachine` after a
+        completed run (progress — Theorem 1 — is already evidenced by
+        being here rather than in a deadlock traceback).
+    app:
+        Optional :class:`~repro.core.launch.Application`; enables the
+        migration-completion check (Theorem 4).
+    expect_migrations:
+        Minimum number of completed migrations the run must show.
+    """
+    trace = vm.trace
+    report = InvariantReport(sends=sends_by_pair(trace),
+                             recvs=recvs_by_pair(trace))
+    report.violations += check_exactly_once(trace)
+    report.violations += check_fifo(trace)
+    report.violations += check_no_data_loss(vm)
+    if app is not None:
+        report.violations += check_migrations_complete(
+            app.migrations, expect_at_least=expect_migrations)
+    return report

@@ -35,11 +35,13 @@ from repro.core.messages import (
     DataMessage,
     EndOfMessage,
     IndirectData,
+    InitAbort,
     LookupReply,
     LookupRequest,
     NewProcessReply,
     PeerMigrating,
     PLSnapshot,
+    SchedulerAck,
     SIG_DISCONNECT,
     SIG_MIGRATE,
     TerminateNotice,
@@ -47,11 +49,15 @@ from repro.core.messages import (
 from repro.core.pltable import PLTable
 from repro.core.recvlist import ReceivedMessageList
 from repro.core.sizes import CONTROL_PAYLOAD_BYTES, estimate_nbytes
+from repro.sim.kernel import TIMEOUT
+from repro.sim.trace import KIND_RETRY, KIND_TIMEOUT
 from repro.util.errors import (
     DestinationTerminatedError,
     NoSuchProcessError,
     ProtocolError,
 )
+from repro.util.retry import RetryPolicy
+from repro.util.rng import RngStream
 from repro.vm.channel import Channel
 from repro.vm.ids import Rank, VmId
 from repro.vm.messages import ConnAck, ConnNack, ConnReq, ControlEnvelope, Envelope
@@ -85,6 +91,10 @@ class EndpointStats:
     captured_in_transit: int = 0
     #: control messages this endpoint ignored as stale
     stale_ignored: int = 0
+    #: re-sends after an unanswered control request (hardened mode)
+    retries: int = 0
+    #: per-attempt timeouts observed (hardened mode)
+    timeouts: int = 0
     extra: dict[str, float] = field(default_factory=dict)
 
 
@@ -112,6 +122,18 @@ class MigrationEndpoint:
         the paper's protocols are built on. ``"indirect"`` — PVM's
         daemon-routed mode: no connections, per-message routing hops;
         migration is unsupported on this path (the transport ablation).
+    retry_policy:
+        When set, hardens the connectionless control path against the
+        fault model of :mod:`repro.sim.faults`: every ``conn_req`` and
+        scheduler RPC is re-sent on a timeout per the policy's bounded
+        exponential backoff, and gives up with
+        :class:`~repro.util.errors.RetryExhausted`. ``None`` (default)
+        reproduces the paper's reliable-network assumption: wait forever.
+    drain_timeout:
+        Bound on the migration drain (Fig. 5 line 6). When the drain does
+        not finish within this many virtual seconds the migration is
+        aborted and the process resumes normal execution (the scheduler
+        may re-issue the request). ``None`` disables the bound.
     """
 
     def __init__(self, ctx: ProcessContext, rank: Rank,
@@ -119,7 +141,9 @@ class MigrationEndpoint:
                  arch: Architecture = NATIVE,
                  migration_enabled: bool = True,
                  initializing: bool = False,
-                 transport: str = "direct"):
+                 transport: str = "direct",
+                 retry_policy: RetryPolicy | None = None,
+                 drain_timeout: float | None = None):
         if transport not in ("direct", "indirect"):
             raise ProtocolError(f"unknown transport {transport!r}")
         if transport == "indirect" and migration_enabled:
@@ -137,6 +161,12 @@ class MigrationEndpoint:
         self.arch = arch
         self.migration_enabled = migration_enabled
         self.state = INITIALIZING if initializing else NORMAL
+        self.retry_policy = retry_policy
+        self.drain_timeout = drain_timeout
+        #: jitter stream: per-endpoint sub-stream so concurrent retriers
+        #: never perturb each other's draws
+        self._retry_rng = (RngStream(retry_policy.seed, f"retry/{ctx.name}")
+                           if retry_policy is not None else None)
 
         #: rank -> channel for every established connection (the paper's
         #: ``Connected`` set and ``cc[]`` array in one structure)
@@ -157,10 +187,17 @@ class MigrationEndpoint:
         #: (req_id, dest) of the connection request in flight, if any
         self._outstanding: tuple[int, Rank] | None = None
         self._deferred_reqs: list[ControlEnvelope] = []
+        #: conn_reqs an initializing endpoint is holding until restore
+        #: completes (only with a drain timeout — see _handle_conn_req)
+        self._init_deferred: list[ControlEnvelope] = []
         #: grants we have acked whose ChannelHello has not yet arrived;
         #: the migration drain must wait these out or their first data
         #: message could arrive after this process terminated
         self._pending_grants: dict[Rank, int] = {}
+        #: every ack ever sent, keyed (requester vmid, req_id): a
+        #: retransmitted conn_req is answered with the *same* ack instead
+        #: of granting a second channel (idempotent dispatch)
+        self._acked_reqs: dict[tuple[VmId, int], ConnAck] = {}
 
         if migration_enabled:
             ctx.on_signal(SIG_MIGRATE, self._on_migrate_signal)
@@ -255,14 +292,9 @@ class MigrationEndpoint:
                     f"connect({dest}) did not converge after {attempts - 1} "
                     "attempts")
             req_id = next(self._req_ids)
-            target = self.pl.lookup(dest)
             self._outstanding = (req_id, dest)
             self.stats.conn_reqs_sent += 1
-            self.vm.trace_record(self.ctx.name, "conn_req_sent", dest=dest,
-                                 req_id=req_id, target=str(target))
-            self.ctx.route_control(
-                target, ConnReq(req_id=req_id, src_rank=self.rank,
-                                src_vmid=self.ctx.vmid))
+            self._send_conn_req(req_id, dest)
             try:
                 self._await_conn_response(req_id, dest)
             finally:
@@ -270,10 +302,50 @@ class MigrationEndpoint:
         self._flush_deferred()
         return self.connected[dest]
 
+    def _send_conn_req(self, req_id: int, dest: Rank) -> None:
+        """(Re-)send one connection request; the target is looked up fresh
+        so a resend after a PL update chases the process's new location."""
+        target = self.pl.lookup(dest)
+        self.vm.trace_record(self.ctx.name, "conn_req_sent", dest=dest,
+                             req_id=req_id, target=str(target))
+        self.ctx.route_control(
+            target, ConnReq(req_id=req_id, src_rank=self.rank,
+                            src_vmid=self.ctx.vmid))
+
     def _await_conn_response(self, req_id: int, dest: Rank) -> None:
-        """Wait until our request resolves or a hello connects us."""
+        """Wait until our request resolves or a hello connects us.
+
+        With a retry policy the wait is bounded per attempt: an unanswered
+        request is re-sent with the *same* req_id (the acceptor dedups),
+        and after ``max_attempts`` unanswered sends the operation raises
+        :class:`~repro.util.errors.RetryExhausted`.
+        """
+        policy = self.retry_policy
+        delays = policy.delays(self._retry_rng) if policy is not None else None
+        deadline = (self.kernel.now + next(delays)
+                    if delays is not None else None)
+        attempt = 1
+        t0 = self.kernel.now
         while self._outstanding is not None and dest not in self.connected:
-            item = self.ctx.next_message()
+            timeout = (None if deadline is None
+                       else max(0.0, deadline - self.kernel.now))
+            item = self.ctx.next_message(timeout=timeout)
+            if item is TIMEOUT:
+                self.stats.timeouts += 1
+                self.vm.trace_record(self.ctx.name, KIND_TIMEOUT,
+                                     what="conn_req", dest=dest,
+                                     req_id=req_id, attempt=attempt)
+                if attempt >= policy.max_attempts:
+                    raise policy.exhausted(f"conn_req to rank {dest}",
+                                           self.kernel.now - t0)
+                attempt += 1
+                self.stats.retries += 1
+                self.vm.trace_record(self.ctx.name, KIND_RETRY,
+                                     what="conn_req", dest=dest,
+                                     req_id=req_id, attempt=attempt)
+                self._send_conn_req(req_id, dest)
+                deadline = self.kernel.now + next(delays)
+                continue
             msg = item.msg if isinstance(item, ControlEnvelope) else None
             if isinstance(msg, ConnAck) and msg.req_id == req_id:
                 self._outstanding = None
@@ -320,17 +392,49 @@ class MigrationEndpoint:
         self.stats.scheduler_consults += 1
         self.vm.trace_record(self.ctx.name, "scheduler_consult", dest=dest,
                              token=token)
-        self.ctx.route_control(
+        item = self.request_reply(
             self.scheduler_vmid,
-            LookupRequest(rank=dest, reply_to=self.ctx.vmid, token=token))
-        item = self.pump_until(
+            LookupRequest(rank=dest, reply_to=self.ctx.vmid, token=token),
             lambda it: isinstance(it, ControlEnvelope)
-            and isinstance(it.msg, LookupReply) and it.msg.token == token)
+            and isinstance(it.msg, LookupReply) and it.msg.token == token,
+            what="lookup")
         reply: LookupReply = item.msg
         self.vm.trace_record(self.ctx.name, "scheduler_reply", dest=dest,
                              status=reply.status,
                              vmid=str(reply.vmid) if reply.vmid else None)
         return reply.status, reply.vmid
+
+    def request_reply(self, dest_vmid: VmId, msg: Any,
+                      pred: Callable[[Any], bool], what: str) -> Any:
+        """Send *msg* to *dest_vmid* and pump until *pred* matches a reply.
+
+        Without a retry policy this waits forever (the paper's reliable
+        network). With one, each unanswered attempt re-sends the *same*
+        message after a backoff timeout — receivers are idempotent, so a
+        duplicate request just earns a duplicate reply — and the operation
+        raises :class:`~repro.util.errors.RetryExhausted` after the
+        attempt budget is spent.
+        """
+        policy = self.retry_policy
+        self.ctx.route_control(dest_vmid, msg)
+        if policy is None:
+            return self.pump_until(pred)
+        t0 = self.kernel.now
+        attempt = 0
+        for delay in policy.delays(self._retry_rng):
+            attempt += 1
+            item = self.pump_until(pred, timeout=delay)
+            if item is not TIMEOUT:
+                return item
+            self.stats.timeouts += 1
+            self.vm.trace_record(self.ctx.name, KIND_TIMEOUT, what=what,
+                                 attempt=attempt)
+            if attempt < policy.max_attempts:
+                self.stats.retries += 1
+                self.vm.trace_record(self.ctx.name, KIND_RETRY, what=what,
+                                     attempt=attempt + 1)
+                self.ctx.route_control(dest_vmid, msg)
+        raise policy.exhausted(what, self.kernel.now - t0)
 
     # ------------------------------------------------------------------
     # message dispatch
@@ -339,10 +443,21 @@ class MigrationEndpoint:
                    timeout: float | None = None) -> Any:
         """Receive mailbox items, dispatching until *pred* matches one.
 
-        The matching item is returned *without* being dispatched.
+        The matching item is returned *without* being dispatched. With a
+        *timeout* the wait is bounded by a deadline ``now + timeout``
+        covering the whole pump (not each message), and the
+        :data:`~repro.sim.kernel.TIMEOUT` sentinel is returned on expiry.
         """
+        deadline = None if timeout is None else self.kernel.now + timeout
         while True:
-            item = self.ctx.next_message(timeout=timeout)
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - self.kernel.now
+                if remaining <= 0:
+                    return TIMEOUT
+            item = self.ctx.next_message(timeout=remaining)
+            if item is TIMEOUT:
+                return TIMEOUT
             if pred(item):
                 return item
             self.dispatch(item)
@@ -393,7 +508,11 @@ class MigrationEndpoint:
                                  msg=type(msg).__name__, req_id=msg.req_id)
         elif isinstance(msg, IndirectData):
             self.recvlist.append(msg.message)
-        elif isinstance(msg, (LookupReply, NewProcessReply, PLSnapshot)):
+        elif isinstance(msg, (LookupReply, NewProcessReply, PLSnapshot,
+                              SchedulerAck, InitAbort)):
+            # Scheduler traffic that no specific wait claimed: a reply to a
+            # request that was already answered (duplicate or late after a
+            # retry). Receivers are idempotent, so dropping it is safe.
             self.stats.stale_ignored += 1
             self.vm.trace_record(self.ctx.name, "stale_control",
                                  msg=type(msg).__name__)
@@ -403,6 +522,30 @@ class MigrationEndpoint:
     # -- connection request handling --------------------------------------
     def _handle_conn_req(self, env: ControlEnvelope) -> None:
         msg: ConnReq = env.msg
+        ack = self._acked_reqs.get((env.src_vmid, msg.req_id))
+        if ack is not None:
+            # Retransmit of a request we already granted (our ack was lost
+            # or is still in flight): re-send the *same* ack — no second
+            # grant, no stats, no new pending-grant obligation. Checked
+            # before the MIGRATING rejection on purpose: the original
+            # grant is still counted in _pending_grants, so nacking the
+            # retransmit would leave the drain waiting for a hello the
+            # requester will never send.
+            self.vm.trace_record(self.ctx.name, "conn_req_dup",
+                                 src=msg.src_rank, req_id=msg.req_id)
+            self.ctx.route_control(env.src_vmid, ack)
+            return
+        if self.state == INITIALIZING and self.drain_timeout is not None:
+            # Abort is possible in this configuration. Granting now would
+            # let peers deliver data that is stranded (lost) if the
+            # migration is abandoned, so hold the request until restore
+            # completes; if this process instead terminates on an abort,
+            # the daemon nacks the recorded requests on its behalf.
+            if not self._already_deferred(env):
+                self._init_deferred.append(env)
+                self.vm.trace_record(self.ctx.name, "conn_req_deferred",
+                                     src=msg.src_rank, req_id=msg.req_id)
+            return
         if self.state == MIGRATING:
             # Fig. 5 line 4: requests that already reached the migrating
             # process are rejected; the requester will consult the
@@ -429,7 +572,10 @@ class MigrationEndpoint:
                 and self.rank < msg.src_rank):
             # Mutual simultaneous request: the lower rank waits for its own
             # request to be acked; the peer's request is answered after.
-            self._deferred_reqs.append(env)
+            # A retransmitted copy must not be queued twice — the double
+            # grant would strand a pending-grant count the drain waits on.
+            if not self._already_deferred(env):
+                self._deferred_reqs.append(env)
             return
         self._grant(env)
 
@@ -439,16 +585,26 @@ class MigrationEndpoint:
         self.stats.conn_reqs_granted += 1
         self._pending_grants[msg.src_rank] = \
             self._pending_grants.get(msg.src_rank, 0) + 1
+        ack = ConnAck(msg.req_id, acceptor_rank=self.rank,
+                      acceptor_vmid=self.ctx.vmid)
+        self._acked_reqs[(env.src_vmid, msg.req_id)] = ack
         self.vm.trace_record(self.ctx.name, "conn_req_granted",
                              src=msg.src_rank, req_id=msg.req_id)
-        self.ctx.route_control(
-            env.src_vmid,
-            ConnAck(msg.req_id, acceptor_rank=self.rank,
-                    acceptor_vmid=self.ctx.vmid))
+        self.ctx.route_control(env.src_vmid, ack)
+
+    def _already_deferred(self, env: ControlEnvelope) -> bool:
+        return any(d.src_vmid == env.src_vmid
+                   and d.msg.req_id == env.msg.req_id
+                   for d in self._deferred_reqs + self._init_deferred)
 
     def _flush_deferred(self) -> None:
         while self._deferred_reqs:
             self._handle_conn_req(self._deferred_reqs.pop(0))
+
+    def flush_init_deferred(self) -> None:
+        """Grant the conn_reqs held while initializing (restore is done)."""
+        while self._init_deferred:
+            self._handle_conn_req(self._init_deferred.pop(0))
 
     def pending_grant_count(self) -> int:
         """Grants acked but whose channel is not yet established."""
@@ -463,11 +619,11 @@ class MigrationEndpoint:
                 f"duplicate channel to rank {hello.src_rank}")
         self.connected[hello.src_rank] = chan
         self.pl.update(hello.src_rank, env.src_vmid)
-        pending = self._pending_grants.get(hello.src_rank, 0)
-        if pending > 1:
-            self._pending_grants[hello.src_rank] = pending - 1
-        else:
-            self._pending_grants.pop(hello.src_rank, None)
+        # A hello from this rank retires *every* grant held for it: the
+        # requester establishes exactly one channel per connect() and any
+        # other req_ids it sent (retransmits, abandoned attempts) will
+        # never produce a hello of their own.
+        self._pending_grants.pop(hello.src_rank, None)
         self.vm.trace_record(self.ctx.name, "connected",
                              dest=hello.src_rank, channel=chan.id,
                              initiator=False)
@@ -584,5 +740,17 @@ class MigrationEndpoint:
                           CONTROL_PAYLOAD_BYTES)
                 chan.close_end(self.ctx.vmid)
         self.connected.clear()
-        self.ctx.route_control(self.scheduler_vmid, TerminateNotice(self.rank))
+        if self.retry_policy is None:
+            self.ctx.route_control(self.scheduler_vmid,
+                                   TerminateNotice(self.rank))
+        else:
+            # A lost terminate notice would leave the scheduler advertising
+            # a stale location forever, so in hardened mode the notice is
+            # retried until acknowledged.
+            self.request_reply(
+                self.scheduler_vmid, TerminateNotice(self.rank, ack=True),
+                lambda it: isinstance(it, ControlEnvelope)
+                and isinstance(it.msg, SchedulerAck)
+                and it.msg.kind == "terminate" and it.msg.rank == self.rank,
+                what="terminate_notice")
         self.vm.trace_record(self.ctx.name, "rank_finished", rank=self.rank)

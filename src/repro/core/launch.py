@@ -23,6 +23,7 @@ from repro.core.scheduler import (
     scheduler_main,
 )
 from repro.util.errors import ProtocolError
+from repro.util.retry import RetryPolicy
 from repro.vm.ids import Rank, VmId
 from repro.vm.messages import ControlEnvelope
 from repro.vm.virtual_machine import VirtualMachine
@@ -49,6 +50,17 @@ class Application:
     migratable:
         ``False`` runs the "original code" configuration of Table 1: same
         message flow, no migration-layer overheads, migration disabled.
+    retry:
+        Optional :class:`~repro.util.retry.RetryPolicy` hardening every
+        endpoint's control path against the fault model of
+        :mod:`repro.sim.faults` (timeouts + bounded exponential backoff).
+        ``None`` keeps the paper's reliable-network behaviour.
+    drain_timeout:
+        Per-migration bound on the channel drain; on expiry the migration
+        aborts cleanly and the scheduler may retry it. ``None`` disables.
+    migration_retry_limit:
+        How many times the scheduler re-issues an aborted migration
+        request per rank.
     """
 
     def __init__(self, vm: VirtualMachine, program: Program,
@@ -56,7 +68,10 @@ class Application:
                  architectures: dict[str, Architecture] | None = None,
                  migratable: bool = True, name: str = "app",
                  checkpoint_store=None, restore_version: int | None = None,
-                 transport: str = "direct"):
+                 transport: str = "direct",
+                 retry: "RetryPolicy | None" = None,
+                 drain_timeout: float | None = None,
+                 migration_retry_limit: int = 2):
         self.vm = vm
         self.program = program
         #: "direct" (connection-oriented) or "indirect" (daemon-routed)
@@ -72,6 +87,9 @@ class Application:
         if restore_version is not None and checkpoint_store is None:
             raise ProtocolError(
                 "restore_version requires a checkpoint_store")
+        self.retry = retry
+        self.drain_timeout = drain_timeout
+        self.migration_retry_limit = migration_retry_limit
         self.placement = list(placement)
         self.nranks = len(placement)
         self.scheduler_host = scheduler_host
@@ -101,7 +119,8 @@ class Application:
 
         master_pl = PLTable()
         self.scheduler_state = SchedulerState(
-            pl=master_pl, spawn_initialized=self._spawn_initialized)
+            pl=master_pl, spawn_initialized=self._spawn_initialized,
+            migration_retry_limit=self.migration_retry_limit)
         self._scheduler_ctx = vm.spawn(
             self.scheduler_host, scheduler_main, self.scheduler_state,
             name="scheduler", daemon=True)
@@ -123,7 +142,9 @@ class Application:
             self.scheduler_state.pl.copy(),
             arch=self.arch_for(ctx.host),
             migration_enabled=self.migratable,
-            transport=self.transport)
+            transport=self.transport,
+            retry_policy=self.retry,
+            drain_timeout=self.drain_timeout)
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         api = SnowAPI(endpoint, self.nranks,
@@ -152,7 +173,9 @@ class Application:
         endpoint = MigrationEndpoint(
             ctx, rank, self._scheduler_ctx.vmid, PLTable(),
             arch=self.arch_for(ctx.host),
-            migration_enabled=True, initializing=True)
+            migration_enabled=True, initializing=True,
+            retry_policy=self.retry,
+            drain_timeout=self.drain_timeout)
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         state = run_initialization(endpoint)

@@ -32,10 +32,12 @@ __all__ = [
     "LookupReply",
     "MigrateRequest",
     "MigrationStart",
+    "MigrationAbort",
     "NewProcessReply",
     "RestoreComplete",
     "PLSnapshot",
     "MigrationCommit",
+    "SchedulerAck",
     "TerminateNotice",
     "SIG_MIGRATE",
     "SIG_DISCONNECT",
@@ -141,12 +143,17 @@ class LookupReply:
 
     ``status`` is one of ``"running"``, ``"migrate"`` (paper Fig. 3 line
     11 — redirect to the initialized process) or ``"terminated"``.
+    ``init_vmid`` names the currently designated initialized process for
+    the rank, if any — an initialized process waiting out a lossy state
+    transfer polls the scheduler and uses it to learn whether it is still
+    wanted (see :func:`repro.core.migration._pump_transfer`).
     """
 
     rank: Rank
     status: str
     vmid: VmId | None
     token: int
+    init_vmid: VmId | None = None
 
 
 @dataclass(frozen=True)
@@ -192,16 +199,55 @@ class PLSnapshot:
 
 @dataclass(frozen=True)
 class MigrationCommit:
-    """Initialized process → scheduler: migration fully committed."""
+    """Initialized process → scheduler: migration fully committed.
 
+    ``ack=True`` asks the scheduler for a :class:`SchedulerAck` so a
+    retrying sender knows the notice landed (hardened mode only — the
+    default keeps the paper's fire-and-forget flow byte-identical).
+    """
+
+    rank: Rank
+    ack: bool = False
+
+
+@dataclass(frozen=True)
+class MigrationAbort:
+    """Migrating process → scheduler: this migration attempt is off.
+
+    Sent when the channel drain does not finish within the configured
+    drain timeout (e.g. a coordinated peer's traffic is being disrupted).
+    The process reverts to normal execution; the scheduler tells the
+    initialized process to exit and may re-issue the migration request.
+    """
+
+    rank: Rank
+    old_vmid: VmId
+    reason: str = "drain-timeout"
+
+
+@dataclass(frozen=True)
+class SchedulerAck:
+    """Scheduler → process: positive acknowledgement of a notice.
+
+    ``kind`` names the RPC being acknowledged (``"migration_commit"``,
+    ``"migration_abort"`` or ``"terminate"``), so a retried sender can
+    match the ack to the right request. Idempotent on the scheduler side:
+    a duplicate notice simply gets another ack.
+    """
+
+    kind: str
     rank: Rank
 
 
 @dataclass(frozen=True)
 class TerminateNotice:
-    """Application process → scheduler: this rank has finished."""
+    """Application process → scheduler: this rank has finished.
+
+    ``ack=True`` requests a :class:`SchedulerAck` (hardened mode).
+    """
 
     rank: Rank
+    ack: bool = False
 
 
 @dataclass

@@ -27,6 +27,9 @@ from repro.core.endpoint import MIGRATING, NORMAL, MigrationEndpoint
 from repro.core.messages import (
     ExeMemState,
     InitAbort,
+    LookupReply,
+    LookupRequest,
+    MigrationAbort,
     MigrationCommit,
     MigrationStart,
     NewProcessReply,
@@ -34,9 +37,12 @@ from repro.core.messages import (
     PLSnapshot,
     RecvListTransfer,
     RestoreComplete,
+    SchedulerAck,
     SIG_DISCONNECT,
 )
 from repro.core.sizes import CONTROL_PAYLOAD_BYTES, MESSAGE_HEADER_BYTES
+from repro.sim.kernel import TIMEOUT
+from repro.sim.trace import KIND_TIMEOUT
 from repro.util.errors import MigrationError
 from repro.vm.channel import Channel
 from repro.vm.ids import Rank
@@ -48,7 +54,11 @@ __all__ = ["run_migration", "run_initialization"]
 def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     """The migrate() algorithm on the migrating process (Fig. 5).
 
-    Never returns: the process terminates once state transfer completes.
+    Normally never returns: the process terminates once state transfer
+    completes. The one exception is a bounded drain (``ep.drain_timeout``)
+    that expires — the migration is then aborted, the process reverts to
+    normal execution and this function *returns*, so the caller resumes
+    the program where it left off (the scheduler may retry later).
     """
     ctx = ep.ctx
     vm = ep.vm
@@ -96,9 +106,22 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     # (end_of_message, or peer_migrating if it is migrating too) arrives.
     # Grants whose ChannelHello is still in flight are waited out too: the
     # hello registers the channel, which coordinate() then handles like any
-    # other connected peer.
+    # other connected peer. With a drain timeout, a drain that cannot
+    # finish (e.g. a grant abandoned because its ack was lost) aborts the
+    # migration instead of waiting forever.
+    drain_deadline = (kernel.now + ep.drain_timeout
+                      if ep.drain_timeout is not None else None)
     while waiting or ep.pending_grant_count() > 0:
-        item = ctx.next_message()
+        remaining = None
+        if drain_deadline is not None:
+            remaining = drain_deadline - kernel.now
+            if remaining <= 0:
+                _abort_migration(ep, waiting)
+                return
+        item = ctx.next_message(timeout=remaining)
+        if item is TIMEOUT:
+            _abort_migration(ep, waiting)
+            return
         ep.dispatch(item)
     ep._drain_waiting = None
     ep._drain_coordinate = None
@@ -137,6 +160,49 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     vm.trace_record(ctx.name, "migration_source_done",
                     total_seconds=kernel.now - t_start)
     ctx.terminate()
+
+
+def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]") -> None:
+    """Drain timeout expired: revert to normal execution (hardened mode).
+
+    Undoes Fig. 5 lines 4-5: the endpoint returns to NORMAL, the local
+    daemon accepts conn_reqs again, and the scheduler is told so it can
+    release the waiting initialized process and optionally retry. Channels
+    already coordinated are *not* resurrected — peer_migrating was their
+    last message, both sides have closed them, and future sends simply
+    reconnect; no data was lost because everything in transit was drained
+    into the received-message-list, which this process keeps.
+    """
+    ctx = ep.ctx
+    vm = ep.vm
+    vm.trace_record(ctx.name, KIND_TIMEOUT, what="migration_drain",
+                    waiting=sorted(waiting),
+                    pending_grants=ep.pending_grant_count())
+    ep.stats.timeouts += 1
+    for rank in list(waiting):
+        ep.connected.pop(rank, None)
+    waiting.clear()
+    # Grants whose hello never came belong to abandoned requests (the
+    # requester was nacked on a retransmit and redirected); since this
+    # process stays alive at the same vmid, a straggler hello would still
+    # register normally. Nothing to wait for.
+    ep._pending_grants.clear()
+    ep._drain_waiting = None
+    ep._drain_coordinate = None
+    ep.state = NORMAL
+    vm.daemon(ctx.host).allow_conn_reqs(ctx.vmid.pid)
+    abort = MigrationAbort(rank=ep.rank, old_vmid=ctx.vmid)
+    if ep.retry_policy is None:
+        ctx.route_control(ep.scheduler_vmid, abort)
+    else:
+        ep.request_reply(
+            ep.scheduler_vmid, abort,
+            lambda it: isinstance(it, ControlEnvelope)
+            and isinstance(it.msg, SchedulerAck)
+            and it.msg.kind == "migration_abort" and it.msg.rank == ep.rank,
+            what="migration_abort")
+    vm.trace_record(ctx.name, "migration_abort", rank=ep.rank)
+    ctx.release_signals()
 
 
 def run_initialization(ep: MigrationEndpoint) -> dict:
@@ -187,12 +253,26 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
                     seconds=kernel.now - t_restore0,
                     old_vmid=str(snapshot.old_vmid))
 
-    # Line 7: commit.
-    ctx.route_control(ep.scheduler_vmid, MigrationCommit(rank=ep.rank))
+    # The PL snapshot proves the scheduler booked restore_complete, so an
+    # abort is no longer possible: grants held back while initializing
+    # (hardened mode) can be issued now, before the commit round-trip.
+    ep.state = NORMAL
+    ep.flush_init_deferred()
+
+    # Line 7: commit (acknowledged and retried in hardened mode — a lost
+    # commit would leave the migration record open forever).
+    if ep.retry_policy is None:
+        ctx.route_control(ep.scheduler_vmid, MigrationCommit(rank=ep.rank))
+    else:
+        ep.request_reply(
+            ep.scheduler_vmid, MigrationCommit(rank=ep.rank, ack=True),
+            lambda it: isinstance(it, ControlEnvelope)
+            and isinstance(it.msg, SchedulerAck)
+            and it.msg.kind == "migration_commit" and it.msg.rank == ep.rank,
+            what="migration_commit")
     vm.trace_record(ctx.name, "migration_commit", rank=ep.rank)
 
     # Line 8: restore process state — the caller resumes the program.
-    ep.state = NORMAL
     return state
 
 
@@ -202,22 +282,65 @@ def _pump_transfer(ep: MigrationEndpoint, payload_type: type) -> Envelope:
     If the scheduler reports the migrating rank terminated before starting
     its migration (:class:`InitAbort`), the initialized process exits —
     there is nothing to restore.
+
+    In hardened mode the wait also survives a *lost* abort notice: when
+    nothing arrives for a while, the initialized process polls the
+    scheduler with a lookup on its own rank and exits if it is no longer
+    the designated initialized process (the migration was aborted or the
+    rank terminated, and the InitAbort datagram was dropped).
     """
-    item = ep.pump_until(
-        lambda it: (isinstance(it, Envelope)
-                    and isinstance(it.payload, payload_type))
-        or (isinstance(it, ControlEnvelope)
-            and isinstance(it.msg, InitAbort)))
-    if isinstance(item, ControlEnvelope):
-        ep.vm.trace_record(ep.ctx.name, "init_aborted",
-                           reason=item.msg.reason)
-        ep.ctx.terminate()
-    return item
+    interval = None
+    if ep.retry_policy is not None:
+        interval = max(ep.retry_policy.cap, ep.retry_policy.base)
+    token_box: list[int | None] = [None]
+
+    def pred(it: Any) -> bool:
+        if isinstance(it, Envelope) and isinstance(it.payload, payload_type):
+            return True
+        if isinstance(it, ControlEnvelope):
+            if isinstance(it.msg, InitAbort):
+                return True
+            if (token_box[0] is not None and isinstance(it.msg, LookupReply)
+                    and it.msg.token == token_box[0]):
+                return True
+        return False
+
+    while True:
+        item = ep.pump_until(pred, timeout=interval)
+        if item is TIMEOUT:
+            token = next(ep._tokens)
+            token_box[0] = token
+            ep.vm.trace_record(ep.ctx.name, "init_poll", rank=ep.rank,
+                               token=token)
+            ep.ctx.route_control(
+                ep.scheduler_vmid,
+                LookupRequest(rank=ep.rank, reply_to=ep.ctx.vmid,
+                              token=token))
+            continue
+        if isinstance(item, ControlEnvelope):
+            if isinstance(item.msg, InitAbort):
+                ep.vm.trace_record(ep.ctx.name, "init_aborted",
+                                   reason=item.msg.reason)
+                ep.ctx.terminate()
+            reply: LookupReply = item.msg
+            token_box[0] = None
+            if reply.status == "terminated" \
+                    or reply.init_vmid != ep.ctx.vmid:
+                # We are no longer the designated initialized process.
+                ep.vm.trace_record(ep.ctx.name, "init_aborted",
+                                   reason="superseded"
+                                   if reply.status != "terminated"
+                                   else "rank-terminated")
+                ep.ctx.terminate()
+            continue
+        return item
 
 
 def _scheduler_rpc(ep: MigrationEndpoint, request: Any, match) -> Any:
     """Send *request* to the scheduler; pump until the reply matching
-    *match* arrives. Returns the reply's control envelope."""
-    ep.ctx.route_control(ep.scheduler_vmid, request)
-    return ep.pump_until(
-        lambda it: isinstance(it, ControlEnvelope) and match(it.msg))
+    *match* arrives (re-sending per the endpoint's retry policy, if any).
+    Returns the reply's control envelope."""
+    return ep.request_reply(
+        ep.scheduler_vmid, request,
+        lambda it: isinstance(it, ControlEnvelope) and match(it.msg),
+        what=type(request).__name__)

@@ -30,11 +30,13 @@ from repro.core.messages import (
     LookupReply,
     LookupRequest,
     MigrateRequest,
+    MigrationAbort,
     MigrationCommit,
     MigrationStart,
     NewProcessReply,
     PLSnapshot,
     RestoreComplete,
+    SchedulerAck,
     SIG_MIGRATE,
     TerminateNotice,
 )
@@ -96,6 +98,10 @@ class SchedulerState:
     init_vmid: dict[Rank, VmId] = field(default_factory=dict)
     migrations: list[MigrationRecord] = field(default_factory=list)
     lookups_served: int = 0
+    #: how many times an aborted migration is re-requested per rank
+    migration_retry_limit: int = 2
+    #: aborted-and-retried counts, per rank
+    abort_retries: dict[Rank, int] = field(default_factory=dict)
 
     def current_record(self, rank: Rank) -> MigrationRecord:
         for rec in reversed(self.migrations):
@@ -118,14 +124,18 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
         if isinstance(msg, LookupRequest):
             state.lookups_served += 1
             status = state.status.get(msg.rank, STATUS_TERMINATED)
+            init = state.init_vmid.get(msg.rank)
             if status == STATUS_MIGRATING:
                 reply = LookupReply(msg.rank, "migrate",
-                                    state.init_vmid[msg.rank], msg.token)
+                                    state.init_vmid[msg.rank], msg.token,
+                                    init_vmid=init)
             elif status == STATUS_RUNNING:
                 reply = LookupReply(msg.rank, "running",
-                                    state.pl.lookup(msg.rank), msg.token)
+                                    state.pl.lookup(msg.rank), msg.token,
+                                    init_vmid=init)
             else:
-                reply = LookupReply(msg.rank, "terminated", None, msg.token)
+                reply = LookupReply(msg.rank, "terminated", None, msg.token,
+                                    init_vmid=init)
             vm.trace_record(ctx.name, "lookup_served", rank=msg.rank,
                             status=reply.status)
             ctx.route_control(msg.reply_to, reply)
@@ -157,32 +167,101 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                             target=str(target))
 
         elif isinstance(msg, MigrationStart):
-            state.status[msg.rank] = STATUS_MIGRATING
-            rec = state.current_record(msg.rank)
-            rec.old_vmid = msg.old_vmid
-            rec.t_start = ctx.kernel.now
-            ctx.route_control(
-                item.src_vmid,
-                NewProcessReply(msg.rank, state.init_vmid[msg.rank]))
+            # Idempotent: a retransmit (its reply was lost) is answered
+            # with the same NewProcessReply without disturbing the record.
+            try:
+                rec = state.current_record(msg.rank)
+            except LookupError:
+                # Outlived its migration (completed or aborted): the
+                # sender has moved on; nothing to coordinate.
+                vm.trace_record(ctx.name, "scheduler_dup_ignored",
+                                msg="MigrationStart", rank=msg.rank)
+                continue
+            if state.status.get(msg.rank) != STATUS_MIGRATING:
+                state.status[msg.rank] = STATUS_MIGRATING
+                rec.old_vmid = msg.old_vmid
+                rec.t_start = ctx.kernel.now
+            new_vmid = state.init_vmid.get(msg.rank, rec.new_vmid)
+            ctx.route_control(item.src_vmid,
+                              NewProcessReply(msg.rank, new_vmid))
             vm.trace_record(ctx.name, "migration_start_acked", rank=msg.rank)
 
         elif isinstance(msg, RestoreComplete):
-            rec = state.current_record(msg.rank)
-            rec.t_restored = ctx.kernel.now
-            state.pl.update(msg.rank, msg.new_vmid)
-            state.status[msg.rank] = STATUS_RUNNING
-            state.init_vmid.pop(msg.rank, None)
+            # Idempotent per (rank, new_vmid): duplicates just get the
+            # current PL snapshot again.
+            rec = next((r for r in reversed(state.migrations)
+                        if r.rank == msg.rank
+                        and r.new_vmid == msg.new_vmid), None)
+            if rec is None or rec.aborted:
+                vm.trace_record(ctx.name, "scheduler_dup_ignored",
+                                msg="RestoreComplete", rank=msg.rank)
+                continue
+            if rec.t_restored == 0.0:
+                rec.t_restored = ctx.kernel.now
+                state.pl.update(msg.rank, msg.new_vmid)
+                state.status[msg.rank] = STATUS_RUNNING
+                state.init_vmid.pop(msg.rank, None)
+                vm.trace_record(ctx.name, "restore_complete", rank=msg.rank,
+                                new_vmid=str(msg.new_vmid))
+            else:
+                vm.trace_record(ctx.name, "scheduler_dup_reack",
+                                msg="RestoreComplete", rank=msg.rank)
             ctx.route_control(
                 item.src_vmid,
                 PLSnapshot(rank=msg.rank, table=state.pl.snapshot(),
                            old_vmid=rec.old_vmid))
-            vm.trace_record(ctx.name, "restore_complete", rank=msg.rank,
-                            new_vmid=str(msg.new_vmid))
 
         elif isinstance(msg, MigrationCommit):
-            rec = state.current_record(msg.rank)
-            rec.t_committed = ctx.kernel.now
-            vm.trace_record(ctx.name, "migration_committed", rank=msg.rank)
+            try:
+                rec = state.current_record(msg.rank)
+                rec.t_committed = ctx.kernel.now
+                vm.trace_record(ctx.name, "migration_committed",
+                                rank=msg.rank)
+            except LookupError:
+                vm.trace_record(ctx.name, "scheduler_dup_reack",
+                                msg="MigrationCommit", rank=msg.rank)
+            if msg.ack:
+                ctx.route_control(item.src_vmid,
+                                  SchedulerAck("migration_commit", msg.rank))
+
+        elif isinstance(msg, MigrationAbort):
+            # The migrating process gave up on its drain and reverted to
+            # normal execution at its old vmid. Release the waiting
+            # initialized process and, within the retry budget, re-issue
+            # the migration request. Idempotent: a duplicate abort finds
+            # the status already reverted and is simply re-acked.
+            if state.status.get(msg.rank) == STATUS_MIGRATING \
+                    or msg.rank in state.init_vmid:
+                state.status[msg.rank] = STATUS_RUNNING
+                pending = state.init_vmid.pop(msg.rank, None)
+                try:
+                    rec = state.current_record(msg.rank)
+                    rec.aborted = True
+                    dest_host = rec.dest_host
+                except LookupError:
+                    dest_host = None
+                if pending is not None:
+                    ctx.route_control(
+                        pending, InitAbort(rank=msg.rank,
+                                           reason="migration-aborted"))
+                vm.trace_record(ctx.name, "migration_aborted",
+                                rank=msg.rank, reason=msg.reason,
+                                init=str(pending) if pending else None)
+                retries = state.abort_retries.get(msg.rank, 0)
+                if dest_host is not None \
+                        and retries < state.migration_retry_limit:
+                    state.abort_retries[msg.rank] = retries + 1
+                    ctx.mailbox.put(ControlEnvelope(
+                        src_vmid=ctx.vmid,
+                        msg=MigrateRequest(rank=msg.rank,
+                                           dest_host=dest_host)))
+                    vm.trace_record(ctx.name, "migration_retry_queued",
+                                    rank=msg.rank, attempt=retries + 1)
+            else:
+                vm.trace_record(ctx.name, "scheduler_dup_reack",
+                                msg="MigrationAbort", rank=msg.rank)
+            ctx.route_control(item.src_vmid,
+                              SchedulerAck("migration_abort", msg.rank))
 
         elif isinstance(msg, TerminateNotice):
             state.status[msg.rank] = STATUS_TERMINATED
@@ -199,6 +278,9 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                 ctx.route_control(pending, InitAbort(rank=msg.rank))
                 vm.trace_record(ctx.name, "migration_aborted",
                                 rank=msg.rank, init=str(pending))
+            if msg.ack:
+                ctx.route_control(item.src_vmid,
+                                  SchedulerAck("terminate", msg.rank))
 
         else:
             vm.trace_record(ctx.name, "scheduler_ignored",

@@ -12,6 +12,15 @@ Public surface:
   (:mod:`repro.sim.trace`).
 """
 
+from repro.sim.faults import (
+    SERVICE_CHANNEL,
+    SERVICE_CONTROL,
+    SERVICE_SIGNAL,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    HostPause,
+)
 from repro.sim.kernel import TIMEOUT, Kernel, SimThread
 from repro.sim.network import (
     ETHERNET_10M,
@@ -28,11 +37,18 @@ __all__ = [
     "ETHERNET_100M",
     "ETHERNET_10M",
     "LOOPBACK",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "HostPause",
     "HostSpec",
     "Kernel",
     "LinkSpec",
     "Network",
     "QueueClosed",
+    "SERVICE_CHANNEL",
+    "SERVICE_CONTROL",
+    "SERVICE_SIGNAL",
     "SimEvent",
     "SimQueue",
     "SimThread",

@@ -1,0 +1,242 @@
+"""Deterministic fault injection for the interconnect.
+
+The paper proves its theorems over a reliable FIFO network; production
+networks drop, duplicate, and delay. This module wraps
+:meth:`repro.sim.network.Network.deliver` with a seeded, fully reproducible
+adversary so the protocol-hardening layer (timeouts, retries, idempotent
+dispatch) can be exercised by the stress suite.
+
+Fault model
+-----------
+
+The virtual machine uses three delivery services, and faults target them
+*by class*:
+
+* ``"chan"`` — connection-oriented channel traffic. Models TCP: reliable
+  and FIFO. Not faulted by default (the paper's channel abstraction); a
+  plan may fault it deliberately to prove the invariant checkers are not
+  vacuous.
+* ``"ctl"`` — connectionless daemon-routed control datagrams (connection
+  requests/acks, scheduler RPCs). Models PVM's UDP daemon path: the
+  default target of drop/duplication/jitter.
+* ``"sig"`` — the signalling service. Reliable per paper Section 2.3;
+  fault plans may add delay classes but the defaults leave it alone.
+
+Every decision draws from an :class:`~repro.util.rng.RngStream` derived
+from the plan's seed, in network-call order — which the kernel makes
+deterministic — so one seed yields one exact fault schedule. A plan with
+all rates zero and no pauses is *inert*: the injector takes the exact
+no-fault code path (zero RNG draws, zero trace records), making "fault
+layer installed but quiet" byte-for-byte identical to "no fault layer".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.sim.trace import KIND_FAULT_DELAY, KIND_FAULT_DROP, KIND_FAULT_DUP
+from repro.util.errors import SimulationError
+from repro.util.rng import RngStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.network import Network
+
+__all__ = ["FaultPlan", "HostPause", "FaultInjector", "FaultStats",
+           "SERVICE_CHANNEL", "SERVICE_CONTROL", "SERVICE_SIGNAL"]
+
+#: Connection-oriented channel traffic (TCP-like; reliable by default).
+SERVICE_CHANNEL = "chan"
+#: Connectionless daemon-routed control datagrams (UDP-like).
+SERVICE_CONTROL = "ctl"
+#: The signalling service.
+SERVICE_SIGNAL = "sig"
+
+_SERVICES = (SERVICE_CHANNEL, SERVICE_CONTROL, SERVICE_SIGNAL)
+
+
+@dataclass(frozen=True)
+class HostPause:
+    """A transient host/daemon stall: traffic touching *host* that enters
+    the network during ``[start, start + duration)`` is held until the
+    pause ends (modelling a frozen daemon or a GC'd/overloaded machine).
+    """
+
+    host: str
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise SimulationError(
+                f"invalid pause window start={self.start} "
+                f"duration={self.duration}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def extra_delay(self, now: float, src: str, dst: str) -> float:
+        """Extra seconds a frame entering the wire at *now* must wait."""
+        if self.host not in (src, dst):
+            return 0.0
+        if self.start <= now < self.end:
+            return self.end - now
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of the faults one run will see.
+
+    Rates are per-message probabilities. ``services`` selects which
+    delivery classes the drop/dup/jitter rates apply to (host pauses
+    always apply — a stalled machine stalls everything). ``active_from``
+    and ``active_until`` bound the adversary in virtual time.
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: extra latency drawn uniformly from ``[0, delay_max)`` seconds
+    delay_max: float = 0.0
+    services: tuple[str, ...] = (SERVICE_CONTROL,)
+    pauses: tuple[HostPause, ...] = ()
+    active_from: float = 0.0
+    active_until: float = math.inf
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "delay_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {v}")
+        if self.delay_max < 0:
+            raise SimulationError(f"delay_max must be >= 0, got {self.delay_max}")
+        if self.delay_rate > 0 and self.delay_max == 0:
+            raise SimulationError("delay_rate > 0 requires delay_max > 0")
+        for s in self.services:
+            if s not in _SERVICES:
+                raise SimulationError(
+                    f"unknown service {s!r}; expected one of {_SERVICES}")
+        if self.active_until < self.active_from:
+            raise SimulationError("active_until precedes active_from")
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never alter any delivery."""
+        return (self.drop_rate == 0.0 and self.dup_rate == 0.0
+                and self.delay_rate == 0.0 and not self.pauses)
+
+    def applies_to(self, service: str) -> bool:
+        return service in self.services
+
+    def active_at(self, now: float) -> bool:
+        return self.active_from <= now < self.active_until
+
+    def pause_delay(self, now: float, src: str, dst: str) -> float:
+        """Largest pause-induced hold for a frame entering the wire now."""
+        if not self.pauses:
+            return 0.0
+        return max((p.extra_delay(now, src, dst) for p in self.pauses),
+                   default=0.0)
+
+    # -- common shapes -------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """An inert plan (useful as an explicit 'no faults' marker)."""
+        return cls()
+
+    @classmethod
+    def lossy(cls, seed: int, drop: float = 0.05, dup: float = 0.05,
+              delay: float = 0.0, delay_max: float = 0.0,
+              services: tuple[str, ...] = (SERVICE_CONTROL,)) -> "FaultPlan":
+        """The stress suite's standard adversary: drop + duplicate the
+        control datagrams (optionally with jitter)."""
+        return cls(seed=seed, drop_rate=drop, dup_rate=dup,
+                   delay_rate=delay, delay_max=delay_max, services=services)
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did (one run's realized schedule size)."""
+
+    examined: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    pause_held: int = 0
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to every :meth:`Network.deliver` call.
+
+    Install via :meth:`repro.vm.virtual_machine.VirtualMachine.set_fault_plan`
+    (or by assigning ``network.faults``). The injector never reorders the
+    frames it leaves alone: untouched traffic keeps the link-serialized
+    FIFO guarantee, duplicated frames queue behind their original, and
+    dropped frames still burn wire time (the bits were transmitted; the
+    receiver just never saw them).
+    """
+
+    def __init__(self, plan: FaultPlan, trace=None):
+        self.plan = plan
+        self.trace = trace
+        self.stats = FaultStats()
+        self._rng = RngStream(plan.seed, "faults")
+
+    def _record(self, kind: str, src: str, **detail) -> None:
+        if self.trace is not None:
+            self.trace.record(f"faults@{src}", kind, **detail)
+
+    def deliver(self, network: "Network", src: str, dst: str, nbytes: int,
+                on_arrival: Callable[[], None] | None,
+                service: str) -> float:
+        """The faulted replacement for :meth:`Network.deliver`."""
+        plan = self.plan
+        now = network.kernel.now
+        if plan.is_null or not plan.active_at(now):
+            return network.transmit(src, dst, nbytes, on_arrival)
+
+        extra = plan.pause_delay(now, src, dst)
+        if extra > 0.0:
+            self.stats.pause_held += 1
+            self._record(KIND_FAULT_DELAY, src, dst=dst, nbytes=nbytes,
+                         service=service, seconds=extra, reason="pause")
+
+        if not plan.applies_to(service):
+            return network.transmit(src, dst, nbytes, on_arrival,
+                                    extra_delay=extra)
+
+        # Fixed draw order (drop, dup, delay[, delay amount]) per examined
+        # message keeps the schedule a pure function of the seed.
+        self.stats.examined += 1
+        u_drop = self._rng.uniform()
+        u_dup = self._rng.uniform()
+        u_delay = self._rng.uniform()
+        if plan.delay_rate > 0.0 and u_delay < plan.delay_rate:
+            jitter = self._rng.uniform(0.0, plan.delay_max)
+            extra += jitter
+            self.stats.delayed += 1
+            self._record(KIND_FAULT_DELAY, src, dst=dst, nbytes=nbytes,
+                         service=service, seconds=jitter, reason="jitter")
+
+        if plan.drop_rate > 0.0 and u_drop < plan.drop_rate:
+            self.stats.dropped += 1
+            self._record(KIND_FAULT_DROP, src, dst=dst, nbytes=nbytes,
+                         service=service)
+            # The frame occupies the link but never arrives.
+            return network.transmit(src, dst, nbytes, None, extra_delay=extra)
+
+        arrival = network.transmit(src, dst, nbytes, on_arrival,
+                                   extra_delay=extra)
+        if plan.dup_rate > 0.0 and u_dup < plan.dup_rate:
+            self.stats.duplicated += 1
+            self._record(KIND_FAULT_DUP, src, dst=dst, nbytes=nbytes,
+                         service=service)
+            # The copy is a second transmission: it queues behind the
+            # original on the serialized link, so it arrives strictly later.
+            network.transmit(src, dst, nbytes, on_arrival, extra_delay=extra)
+        return arrival

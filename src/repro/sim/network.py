@@ -81,6 +81,9 @@ class Network:
         self.default_link = default_link
         self.loopback = loopback
         self.trace = trace
+        #: optional repro.sim.faults.FaultInjector; when set, every
+        #: deliver() is routed through it (drop/duplicate/delay/pause)
+        self.faults = None
         self._hosts: dict[str, HostSpec] = {}
         self._links: dict[tuple[str, str], LinkSpec] = {}
         # per directed link: virtual time at which the link becomes idle
@@ -133,12 +136,33 @@ class Network:
         return spec.latency + spec.tx_time(nbytes)
 
     def deliver(self, src: str, dst: str, nbytes: int,
-                on_arrival: Callable[[], None]) -> float:
+                on_arrival: Callable[[], None],
+                service: str = "chan") -> float:
         """Transmit *nbytes* from *src* to *dst*; run *on_arrival* on arrival.
 
         Transmissions on the same directed link are serialized, which both
         models shared bandwidth and guarantees FIFO arrival order. Returns
         the arrival time.
+
+        ``service`` classifies the traffic for fault injection: ``"chan"``
+        (channel data — TCP-like), ``"ctl"`` (daemon-routed control
+        datagrams — UDP-like) or ``"sig"`` (signals). With no fault
+        injector installed the class is ignored and delivery is perfectly
+        reliable, which is the paper's network model.
+        """
+        if self.faults is not None:
+            return self.faults.deliver(self, src, dst, nbytes, on_arrival,
+                                       service)
+        return self.transmit(src, dst, nbytes, on_arrival)
+
+    def transmit(self, src: str, dst: str, nbytes: int,
+                 on_arrival: Callable[[], None] | None,
+                 extra_delay: float = 0.0) -> float:
+        """One physical transmission, bypassing fault injection.
+
+        ``on_arrival=None`` models a frame that burns wire time but is
+        never seen by the receiver (the fault layer's drop primitive);
+        ``extra_delay`` adds post-serialization latency (jitter, pauses).
         """
         if src not in self._hosts:
             raise SimulationError(f"unknown source host {src!r}")
@@ -150,13 +174,14 @@ class Network:
         start = max(now, self._link_free.get(key, 0.0))
         done_tx = start + spec.tx_time(nbytes)
         self._link_free[key] = done_tx
-        arrival = done_tx + spec.latency
+        arrival = done_tx + spec.latency + extra_delay
         self._frames_sent += 1
         self._bytes_sent += nbytes
         if self.trace is not None:
             self.trace.record(src, "net_tx", dst=dst, nbytes=nbytes,
                               arrival=arrival)
-        self.kernel.call_at(arrival, on_arrival)
+        if on_arrival is not None:
+            self.kernel.call_at(arrival, on_arrival)
         return arrival
 
     # -- accounting ----------------------------------------------------------

@@ -11,7 +11,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-__all__ = ["TraceEvent", "Trace"]
+__all__ = ["TraceEvent", "Trace",
+           "KIND_RETRY", "KIND_TIMEOUT", "KIND_FAULT_DROP", "KIND_FAULT_DUP",
+           "KIND_FAULT_DELAY"]
+
+# -- stable event kinds ------------------------------------------------------
+# The stress suite's invariant checks key on these strings; they are part of
+# the trace's public vocabulary and must not be renamed casually.
+
+#: A protocol wait expired and the request is about to be re-sent.
+KIND_RETRY = "retry"
+#: A protocol wait expired (recorded whether or not a retry follows).
+KIND_TIMEOUT = "timeout"
+#: The fault layer discarded a frame (it burned wire time but never arrived).
+KIND_FAULT_DROP = "fault_drop"
+#: The fault layer delivered an extra copy of a frame.
+KIND_FAULT_DUP = "fault_dup"
+#: The fault layer added extra latency (jitter or a host pause window).
+KIND_FAULT_DELAY = "fault_delay"
 
 
 @dataclass(frozen=True)

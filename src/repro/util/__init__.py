@@ -9,11 +9,13 @@ from repro.util.errors import (
     NoSuchProcessError,
     ProtocolError,
     ReproError,
+    RetryExhausted,
     SimThreadError,
     SimulationError,
     ThreadKilled,
     VirtualMachineError,
 )
+from repro.util.retry import RetryPolicy
 from repro.util.rng import RngStream
 from repro.util.text import format_seconds, format_size, format_table
 
@@ -26,6 +28,8 @@ __all__ = [
     "NoSuchProcessError",
     "ProtocolError",
     "ReproError",
+    "RetryExhausted",
+    "RetryPolicy",
     "RngStream",
     "SimThreadError",
     "SimulationError",

@@ -67,6 +67,24 @@ class ProtocolError(ReproError):
     """The migration/communication protocol reached an invalid state."""
 
 
+class RetryExhausted(ProtocolError):
+    """A retried protocol operation gave up after its final attempt.
+
+    Raised by the timeout/backoff machinery (:mod:`repro.util.retry`) when
+    ``max_attempts`` sends of a control message all went unanswered — the
+    hardened protocol's replacement for blocking forever on a lossy
+    control path.
+    """
+
+    def __init__(self, what: str, attempts: int, waited: float):
+        super().__init__(
+            f"{what}: no response after {attempts} attempt(s) "
+            f"({waited:g}s of virtual time)")
+        self.what = what
+        self.attempts = attempts
+        self.waited = waited
+
+
 class DestinationTerminatedError(ProtocolError):
     """connect() learned from the scheduler that the receiver terminated.
 

@@ -1,0 +1,88 @@
+"""Timeout and bounded exponential-backoff retry policy.
+
+The paper's protocols assume a reliable control path and therefore wait
+forever for every ``conn_ack`` and scheduler reply. Under the fault model
+of :mod:`repro.sim.faults` those datagrams can be lost, so the hardened
+protocol re-sends after a timeout. :class:`RetryPolicy` is the single
+knob object describing that behaviour: a base timeout, exponential growth
+bounded by a cap, bounded multiplicative jitter, and a finite attempt
+budget after which the operation raises
+:class:`repro.util.errors.RetryExhausted`.
+
+All randomness comes from a caller-supplied :class:`~repro.util.rng.RngStream`,
+so a retried run is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.errors import RetryExhausted, SimulationError
+from repro.util.rng import RngStream
+
+__all__ = ["RetryPolicy", "RetryExhausted"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a protocol operation waits, re-sends, and eventually gives up.
+
+    Attempt *i* (1-based) waits ``min(cap, base * factor**(i-1))`` seconds,
+    stretched by a jitter factor drawn uniformly from ``[1, 1 + jitter)``.
+    After ``max_attempts`` unanswered sends the operation raises
+    :class:`RetryExhausted`.
+
+    ``seed`` seeds the jitter stream of consumers that do not provide
+    their own (each derives a sub-stream per call site, so two endpoints
+    retrying concurrently never perturb each other's draws).
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 0.8
+    max_attempts: int = 8
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise SimulationError(f"retry base must be > 0, got {self.base}")
+        if self.factor < 1.0:
+            raise SimulationError(
+                f"retry factor must be >= 1, got {self.factor}")
+        if self.cap < self.base:
+            raise SimulationError(
+                f"retry cap {self.cap} is below the base timeout {self.base}")
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise SimulationError(
+                f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff(self, attempt: int) -> float:
+        """Un-jittered timeout for 1-based *attempt* (capped exponential)."""
+        if attempt < 1:
+            raise SimulationError(f"attempt numbers are 1-based, got {attempt}")
+        return min(self.cap, self.base * self.factor ** (attempt - 1))
+
+    def timeout(self, attempt: int, rng: RngStream | None = None) -> float:
+        """Jittered timeout for 1-based *attempt*.
+
+        Always ``<= cap * (1 + jitter)``; without an RNG the jitter term
+        is omitted (useful for tests that need exact values).
+        """
+        t = self.backoff(attempt)
+        if rng is not None and self.jitter > 0.0:
+            t *= 1.0 + rng.uniform(0.0, self.jitter)
+        return t
+
+    def delays(self, rng: RngStream | None = None) -> Iterator[float]:
+        """Yield the full schedule: one timeout per permitted attempt."""
+        for attempt in range(1, self.max_attempts + 1):
+            yield self.timeout(attempt, rng)
+
+    def exhausted(self, what: str, waited: float) -> RetryExhausted:
+        """Build the typed give-up error for an operation named *what*."""
+        return RetryExhausted(what, self.max_attempts, waited)

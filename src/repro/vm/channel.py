@@ -93,7 +93,7 @@ class Channel:
                              payload=type(payload).__name__)
         self.vm.network.deliver(
             src.vmid.host, dst_vmid.host, nbytes,
-            lambda: self._arrive(dst_vmid, env))
+            lambda: self._arrive(dst_vmid, env), service="chan")
 
     def _arrive(self, dst_vmid: VmId, env: Envelope) -> None:
         dst = self.vm.lookup(dst_vmid)

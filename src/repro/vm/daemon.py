@@ -110,7 +110,8 @@ class Daemon:
             return
         vm.network.deliver(
             self.host, dst_vmid.host, env.nbytes,
-            lambda: vm.daemon(dst_vmid.host).on_incoming(env, dst_vmid))
+            lambda: vm.daemon(dst_vmid.host).on_incoming(env, dst_vmid),
+            service="ctl")
 
     def on_incoming(self, env: ControlEnvelope, dst_vmid: VmId) -> None:
         """A control message for one of our local processes arrived."""
@@ -130,6 +131,12 @@ class Daemon:
                 self._route_back(env.src_vmid,
                                  ConnNack(msg.req_id, reason=reason))
                 return
+            if msg.req_id in self.pending_reqs:
+                # A retransmit of a request still on record (its ack was
+                # lost or is still in flight). Forward it — the endpoint's
+                # dispatch is idempotent per req_id — but keep one record.
+                vm.trace_record(f"daemon@{self.host}", "daemon_dup_req",
+                                req_id=msg.req_id)
             self.pending_reqs[msg.req_id] = (env.src_vmid, dst_vmid.pid)
             target.mailbox.put(env)
             return
@@ -153,4 +160,5 @@ class Daemon:
             return
         vm.network.deliver(
             self.host, requester.host, vm.costs.control_bytes,
-            lambda: vm.daemon(requester.host).on_incoming(env, requester))
+            lambda: vm.daemon(requester.host).on_incoming(env, requester),
+            service="ctl")

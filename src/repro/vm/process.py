@@ -173,7 +173,7 @@ class ProcessContext:
             dst._signal_arrived(name)
 
         vm.network.deliver(self.host, dst_vmid.host, vm.costs.control_bytes,
-                           deliver)
+                           deliver, service="sig")
 
     # -- mailbox ----------------------------------------------------------------
     def next_message(self, timeout: float | None = None) -> Any:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable
 
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.kernel import Kernel, SimThread
 from repro.sim.network import ETHERNET_100M, LinkSpec, Network
 from repro.sim.trace import Trace
@@ -44,18 +45,40 @@ class VirtualMachine:
     def __init__(self, kernel: Kernel | None = None, *,
                  costs: CommCosts = DEFAULT_COSTS,
                  default_link: LinkSpec = ETHERNET_100M,
-                 trace: Trace | None = None):
+                 trace: Trace | None = None,
+                 fault_plan: "FaultPlan | None" = None):
         self.kernel = kernel if kernel is not None else Kernel()
         self.trace = trace if trace is not None else Trace(clock=self.kernel)
         self.kernel.trace = self.trace
         self.costs = costs
         self.network = Network(self.kernel, default_link=default_link,
                                trace=self.trace)
+        if fault_plan is not None:
+            self.set_fault_plan(fault_plan)
         self._daemons: dict[str, Daemon] = {}
         self._procs: dict[VmId, ProcessContext] = {}
         self._next_pid: dict[str, itertools.count] = {}
         self._next_channel = itertools.count(1)
         self.channels: dict[int, Channel] = {}
+
+    # -- fault injection -----------------------------------------------------
+    def set_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Install (or, with ``None``, remove) a deterministic fault plan.
+
+        Must be called before the simulation runs; swapping adversaries
+        mid-run would make the realized schedule depend on call timing.
+        """
+        if plan is None:
+            self.network.faults = None
+            return
+        # Deliberately not traced: an inert plan must leave the trace
+        # byte-for-byte identical to a run with no fault layer at all.
+        self.network.faults = FaultInjector(plan, trace=self.trace)
+
+    @property
+    def fault_stats(self):
+        """Realized fault counts, or ``None`` without an installed plan."""
+        return self.network.faults.stats if self.network.faults else None
 
     # -- membership --------------------------------------------------------
     def add_host(self, name: str, cpu_speed: float = 1.0) -> Daemon:
@@ -171,7 +194,7 @@ class VirtualMachine:
         # First hop: process to its local daemon (same-host traffic).
         self.network.deliver(
             src_vmid.host, src_vmid.host, size,
-            lambda: daemon.on_outgoing(env, dst_vmid))
+            lambda: daemon.on_outgoing(env, dst_vmid), service="ctl")
 
     # -- misc -----------------------------------------------------------------
     def trace_record(self, actor: str, kind: str, **detail: Any) -> None:

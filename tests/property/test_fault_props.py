@@ -1,0 +1,139 @@
+"""Property tests for the fault-injection layer.
+
+Two guarantees the whole stress suite leans on:
+
+1. **Schedule determinism** — a ``FaultPlan`` is a pure function of its
+   seed: the same seed applied to the same delivery sequence realizes the
+   identical fault schedule (same drops, same dups, same jitter draws).
+2. **Inertness** — a plan with every rate at zero is not merely
+   harmless: it takes the exact no-fault code path, so a run with the
+   layer installed-but-quiet is byte-for-byte identical (trace and all)
+   to a run with no layer at all.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Application, FaultPlan, VirtualMachine
+from repro.sim import Kernel, Network, Trace
+from repro.sim.faults import FaultInjector
+
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+#: a fixed, service-diverse delivery sequence to replay under injection
+DELIVERIES = [
+    ("h0", "h1", 100, "ctl"),
+    ("h1", "h0", 200, "ctl"),
+    ("h0", "h2", 1500, "chan"),
+    ("h2", "h0", 64, "sig"),
+    ("h0", "h1", 300, "ctl"),
+    ("h1", "h2", 4096, "chan"),
+    ("h2", "h1", 50, "ctl"),
+    ("h0", "h1", 8, "ctl"),
+] * 5
+
+
+def _replay(plan: FaultPlan | None):
+    """Drive the fixed delivery sequence through a fresh network; return
+    (fault trace lines, stats, arrival count)."""
+    kernel = Kernel()
+    try:
+        trace = Trace(clock=kernel)
+        net = Network(kernel, trace=trace)
+        for h in HOSTS:
+            net.add_host(h)
+        if plan is not None:
+            net.faults = FaultInjector(plan, trace=trace)
+        arrived = []
+
+        def feed():
+            for src, dst, nbytes, service in DELIVERIES:
+                net.deliver(src, dst, nbytes,
+                            (lambda s=src, d=dst: arrived.append((s, d))),
+                            service=service)
+                kernel.sleep(0.001)
+
+        kernel.spawn(feed, name="feeder")
+        kernel.run()
+        fault_lines = [str(e) for e in trace
+                       if e.kind.startswith("fault_")]
+        stats = net.faults.stats if net.faults is not None else None
+        return fault_lines, stats, len(arrived)
+    finally:
+        kernel.shutdown()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_same_seed_same_fault_schedule(seed):
+    """Determinism: one seed realizes one exact schedule, replay after
+    replay."""
+    plan = FaultPlan.lossy(seed, drop=0.2, dup=0.2, delay=0.3,
+                           delay_max=0.002)
+    lines_a, stats_a, n_a = _replay(plan)
+    lines_b, stats_b, n_b = _replay(plan)
+    assert lines_a == lines_b
+    assert stats_a == stats_b
+    assert n_a == n_b
+    assert stats_a.examined == sum(
+        1 for *_, svc in DELIVERIES if svc == "ctl")
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_zero_rates_touch_nothing(seed):
+    """A zero-rate plan draws nothing, records nothing, drops nothing —
+    regardless of its seed."""
+    lines, stats, arrived = _replay(FaultPlan(seed=seed))
+    assert lines == []
+    assert stats.examined == 0
+    assert arrived == len(DELIVERIES)
+
+
+def test_inert_plan_is_byte_identical_to_no_layer():
+    """An installed-but-quiet fault layer must leave a full protocol run
+    (two ranks, one migration) with exactly the trace the bare network
+    produces."""
+
+    def run(plan: FaultPlan | None):
+        vm = VirtualMachine(fault_plan=plan)
+        for h in HOSTS + ["h4", "h5"]:
+            vm.add_host(h)
+        done = {}
+
+        def program(api, state):
+            if api.rank == 0:
+                i = state.get("i", 0)
+                while i < 20:
+                    api.send(1, ("seq", i))
+                    i += 1
+                    state["i"] = i
+                    api.compute(0.002)
+                    api.poll_migration(state)
+            else:
+                got = state.setdefault("got", [])
+                while state.get("i", 0) < 20:
+                    got.append(api.recv(src=0).body[1])
+                    state["i"] = state.get("i", 0) + 1
+                done["got"] = got
+
+        app = Application(vm, program, placement=["h0", "h1"],
+                          scheduler_host="h2")
+        app.start()
+        app.migrate_at(0.01, rank=0, dest_host="h3")
+        app.run()
+        assert done["got"] == list(range(20))
+        return [str(ev) for ev in vm.trace]
+
+    assert run(FaultPlan.none()) == run(None)
+
+
+def test_service_selectivity():
+    """A control-only plan never examines channel or signal traffic."""
+    plan = FaultPlan(seed=7, drop_rate=0.5, services=("ctl",))
+    _, stats, arrived = _replay(plan)
+    n_ctl = sum(1 for *_, svc in DELIVERIES if svc == "ctl")
+    assert stats.examined == n_ctl
+    # every non-ctl frame arrived; ctl frames arrive unless dropped
+    assert arrived == len(DELIVERIES) - stats.dropped

@@ -1,0 +1,76 @@
+"""Shared machinery for the fault-injection stress suite.
+
+Every test here runs the migration protocol under the seeded adversary of
+:mod:`repro.sim.faults` with the hardening layer enabled (a
+:class:`~repro.util.retry.RetryPolicy` on every endpoint), then asserts
+the paper's theorems from the trace via
+:func:`repro.analysis.check_invariants`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Application, FaultPlan, RetryPolicy, VirtualMachine
+
+HOSTS = ("h0", "h1", "h2", "h3", "h4", "h5")
+
+#: the suite's standard hardening: fast retries so faulted runs stay quick
+STRESS_RETRY = dict(base=0.01, factor=2.0, cap=0.2, max_attempts=12,
+                    jitter=0.1)
+
+
+@pytest.fixture
+def make_vm(kernel):
+    """Factory: a 6-host VM with an optional fault plan installed."""
+
+    def _make(plan: FaultPlan | None = None) -> VirtualMachine:
+        vm = VirtualMachine(kernel, fault_plan=plan)
+        for h in HOSTS:
+            vm.add_host(h)
+        return vm
+
+    return _make
+
+
+def retry_policy(seed: int = 0) -> RetryPolicy:
+    return RetryPolicy(seed=seed, **STRESS_RETRY)
+
+
+def hardened_app(vm, program, placement, scheduler_host="h2",
+                 seed: int = 0, drain_timeout: float | None = None,
+                 **kwargs) -> Application:
+    """An Application wired with the suite's standard retry policy."""
+    return Application(vm, program, placement=placement,
+                       scheduler_host=scheduler_host,
+                       retry=retry_policy(seed),
+                       drain_timeout=drain_timeout, **kwargs)
+
+
+def seq_stream(api, state, dest, count, tag=1, pace=0.0, poll=False):
+    """Send ``count`` sequence-numbered messages to ``dest``."""
+    i = state.get("i", 0)
+    while i < count:
+        api.send(dest, ("seq", i), tag=tag)
+        i += 1
+        state["i"] = i
+        if pace:
+            api.compute(pace)
+        if poll:
+            api.poll_migration(state)
+
+
+def seq_check(api, state, src, count, tag=1, pace=0.0, poll=False):
+    """Receive ``count`` messages from ``src``; assert sequence order."""
+    i = state.get("i", 0)
+    got = state.setdefault("got", [])
+    while i < count:
+        msg = api.recv(src=src, tag=tag)
+        assert msg.body == ("seq", i), f"out of order: {msg.body} != {i}"
+        got.append(msg.body[1])
+        i += 1
+        state["i"] = i
+        if pace:
+            api.compute(pace)
+        if poll:
+            api.poll_migration(state)

@@ -1,0 +1,108 @@
+"""Drain-timeout abort and scheduler-driven retry.
+
+A migrating process whose peer never answers the disconnection signal
+would drain forever under the paper's protocol. With ``drain_timeout``
+set, the hardened endpoint aborts the attempt, reverts to normal
+execution (keeping every drained message), tells the scheduler, and the
+scheduler re-issues the migration — which must eventually complete once
+the peer becomes responsive, with no message lost or reordered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, check_invariants
+
+from tests.stress.conftest import hardened_app, seq_check, seq_stream
+
+pytestmark = pytest.mark.stress
+
+COUNT = 40
+STALL = 0.25
+
+
+def _stall_then_receive(done):
+    """Rank 1 takes one message, then goes deaf (signals held) for STALL
+    seconds of compute — exactly the window in which rank 0 migrates."""
+
+    def program(api, state):
+        if api.rank == 0:
+            seq_stream(api, state, dest=1, count=COUNT, pace=0.002,
+                       poll=True)
+        else:
+            if not state.get("stalled"):
+                seq_check(api, state, src=0, count=1)
+                state["stalled"] = True
+                ctx = api.endpoint.ctx
+                ctx.hold_signals()
+                api.compute(STALL)
+                ctx.release_signals()
+            seq_check(api, state, src=0, count=COUNT)
+            done["got"] = state["got"]
+
+    return program
+
+
+def test_drain_timeout_aborts_then_retry_completes(make_vm):
+    """Attempt 1 hits the unresponsive peer and aborts at the drain
+    timeout; the scheduler's re-issued request succeeds after the peer
+    wakes. The stream still arrives exactly once, in order."""
+    vm = make_vm()
+    done = {}
+    app = hardened_app(vm, _stall_then_receive(done), ["h0", "h1"],
+                       drain_timeout=0.05, migration_retry_limit=5)
+    app.start()
+    app.migrate_at(0.02, rank=0, dest_host="h3")
+    app.run()
+
+    assert done["got"] == list(range(COUNT))
+    # at least one attempt was aborted, and the final one completed
+    assert any(rec.aborted for rec in app.migrations)
+    check_invariants(vm, app, expect_migrations=1).raise_if_failed()
+    # the abort path left its fingerprints in the trace
+    assert vm.trace.count("timeout", what="migration_drain") >= 1
+    assert vm.trace.count("migration_abort") >= 1
+    assert vm.trace.count("migration_retry_queued") >= 1
+
+
+def test_drain_abort_under_lossy_control(make_vm):
+    """Same scenario with 5% drop + 5% dup on the control path: the abort
+    round-trip itself (MigrationAbort / SchedulerAck) is retried through
+    loss and duplicates."""
+    vm = make_vm(FaultPlan.lossy(11, drop=0.05, dup=0.05))
+    done = {}
+    app = hardened_app(vm, _stall_then_receive(done), ["h0", "h1"],
+                       seed=11, drain_timeout=0.05, migration_retry_limit=5)
+    app.start()
+    app.migrate_at(0.02, rank=0, dest_host="h3")
+    app.run()
+
+    assert done["got"] == list(range(COUNT))
+    assert any(rec.aborted for rec in app.migrations)
+    check_invariants(vm, app, expect_migrations=1).raise_if_failed()
+
+
+def test_generous_drain_timeout_never_aborts(make_vm):
+    """Control: with a drain budget longer than any real drain, the
+    timeout machinery stays silent and the one attempt commits."""
+    vm = make_vm()
+    done = {}
+
+    def program(api, state):
+        if api.rank == 0:
+            seq_stream(api, state, dest=1, count=COUNT, pace=0.002,
+                       poll=True)
+        else:
+            seq_check(api, state, src=0, count=COUNT, pace=0.002)
+            done["got"] = state["got"]
+
+    app = hardened_app(vm, program, ["h0", "h1"], drain_timeout=5.0)
+    app.start()
+    app.migrate_at(0.03, rank=0, dest_host="h3")
+    app.run()
+
+    assert done["got"] == list(range(COUNT))
+    assert not any(rec.aborted for rec in app.migrations)
+    assert vm.trace.count("migration_abort") == 0
+    check_invariants(vm, app, expect_migrations=1).raise_if_failed()

@@ -1,0 +1,81 @@
+"""The invariant checks are not vacuous.
+
+Every other stress test asserts that the theorems *hold* while only the
+connectionless control path is faulted (the paper's channel abstraction
+stays reliable). Here the adversary is pointed at the channel service
+itself — which the protocol does NOT harden against, by design — and the
+harness must catch the resulting violation: a deadlock, a crashed
+sequence assertion, or an exactly-once mismatch. If these tests passed
+silently, the whole suite would be meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Application, FaultPlan, RetryPolicy, VirtualMachine
+from repro.analysis import InvariantViolation, check_invariants
+from repro.util.errors import DeadlockError, SimThreadError
+
+from tests.stress.conftest import HOSTS, STRESS_RETRY, seq_check, seq_stream
+
+pytestmark = pytest.mark.stress
+
+COUNT = 40
+
+
+def _chan_faulted_run(plan: FaultPlan):
+    vm = VirtualMachine(fault_plan=plan)
+    for h in HOSTS:
+        vm.add_host(h)
+
+    def program(api, state):
+        if api.rank == 0:
+            seq_stream(api, state, dest=1, count=COUNT)
+        else:
+            seq_check(api, state, src=0, count=COUNT)
+
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2",
+                      retry=RetryPolicy(seed=plan.seed, **STRESS_RETRY))
+    app.start()
+    app.run()
+    check_invariants(vm).raise_if_failed()
+    return vm
+
+
+def test_dropping_channel_data_is_detected():
+    """Dropping reliable channel frames must not go unnoticed: the run
+    deadlocks (receiver waits forever) or the theorem checks fail."""
+    with pytest.raises((DeadlockError, SimThreadError, InvariantViolation)):
+        _chan_faulted_run(FaultPlan(seed=3, drop_rate=0.15,
+                                    services=("chan",)))
+
+
+def test_duplicating_channel_data_is_detected():
+    """A duplicated channel frame breaks the sequence assertion or the
+    exactly-once count — either way the harness flags it."""
+    with pytest.raises((DeadlockError, SimThreadError, InvariantViolation)):
+        _chan_faulted_run(FaultPlan(seed=5, dup_rate=0.20,
+                                    services=("chan",)))
+
+
+def test_unhardened_stack_cannot_survive_control_loss():
+    """Without the retry layer, a lossy control path stalls the protocol
+    forever — the hardening is load-bearing, not decorative."""
+    vm = VirtualMachine(fault_plan=FaultPlan.lossy(9, drop=0.5, dup=0.0))
+    for h in HOSTS:
+        vm.add_host(h)
+
+    def program(api, state):
+        if api.rank == 0:
+            seq_stream(api, state, dest=1, count=10)
+        else:
+            seq_check(api, state, src=0, count=10)
+
+    # no retry policy: the paper's original wait-forever protocol
+    app = Application(vm, program, placement=["h0", "h1"],
+                      scheduler_host="h2")
+    app.start()
+    with pytest.raises((DeadlockError, SimThreadError)):
+        app.run()

@@ -1,0 +1,72 @@
+"""Application communication patterns under the seeded adversary.
+
+The canned workloads of :mod:`repro.apps.patterns` (task farm, pipeline,
+all-to-all) each migrate a rank while control datagrams are dropped and
+duplicated; results must be value-identical to a fault-free run and the
+trace must satisfy every theorem check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, check_invariants
+from repro.apps import (
+    make_alltoall_program,
+    make_master_worker_program,
+    make_pipeline_program,
+)
+
+from tests.stress.conftest import hardened_app
+
+pytestmark = pytest.mark.stress
+
+
+@pytest.mark.parametrize("seed", [1, 9])
+def test_master_worker_master_migrates_lossy(make_vm, seed):
+    """The star topology's hub migrates at 6% drop + 6% dup."""
+    vm = make_vm(FaultPlan.lossy(seed, drop=0.06, dup=0.06))
+    results = {}
+    prog = make_master_worker_program(ntasks=30, task_cost=0.004,
+                                      results=results)
+    app = hardened_app(vm, prog, [f"h{i}" for i in range(5)],
+                       scheduler_host="h5", seed=seed)
+    app.start()
+    app.migrate_at(0.03, rank=0, dest_host="h5")
+    app.run()
+    assert results["done"] == sorted((i, i * i) for i in range(30))
+    check_invariants(vm, app, expect_migrations=1).raise_if_failed()
+
+
+@pytest.mark.parametrize("seed", [2, 12])
+def test_pipeline_mid_stage_migrates_lossy(make_vm, seed):
+    vm = make_vm(FaultPlan.lossy(seed, drop=0.06, dup=0.06))
+    results = {}
+    prog = make_pipeline_program(nitems=30, stage_cost=0.002,
+                                 results=results)
+    app = hardened_app(vm, prog, [f"h{i}" for i in range(4)],
+                       scheduler_host="h4", seed=seed)
+    app.start()
+    app.migrate_at(0.03, rank=2, dest_host="h5")
+    app.run()
+    assert results["out"] == [[0, 1, 2, 3]] * 30
+    check_invariants(vm, app, expect_migrations=1).raise_if_failed()
+
+
+@pytest.mark.parametrize("seed", [3, 33])
+def test_alltoall_migrates_lossy(make_vm, seed):
+    """Fully connected topology: drain coordinates every channel while
+    control traffic is lossy and jittery."""
+    vm = make_vm(FaultPlan.lossy(seed, drop=0.05, dup=0.05,
+                                 delay=0.1, delay_max=0.005))
+    results = {}
+    prog = make_alltoall_program(rounds=8, results=results)
+    app = hardened_app(vm, prog, [f"h{i}" for i in range(4)],
+                       scheduler_host="h4", seed=seed)
+    app.start()
+    app.migrate_at(0.01, rank=1, dest_host="h5")
+    app.run()
+    expected = sum(range(4))
+    for me in range(4):
+        assert results[me] == [expected - me] * 8
+    check_invariants(vm, app, expect_migrations=1).raise_if_failed()

@@ -1,0 +1,127 @@
+"""Theorem 4 under faults: simultaneous migrations of connected processes.
+
+The acceptance bar for the suite: two connected processes migrate at the
+same instant while at least 5% of control datagrams are dropped *and* 5%
+are duplicated — and every invariant (progress, exactly-once, FIFO,
+migration completion) still holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import FaultPlan, check_invariants
+
+from tests.stress.conftest import hardened_app
+
+pytestmark = pytest.mark.stress
+
+COUNT = 30
+
+
+def _pingpong_pair(done):
+    def program(api, state):
+        peer = 1 - api.rank
+        i = state.get("i", 0)
+        got = state.setdefault("got", [])
+        while i < COUNT:
+            api.send(peer, ("seq", i))
+            msg = api.recv(src=peer)
+            assert msg.body == ("seq", i)
+            got.append(msg.body[1])
+            i += 1
+            state["i"] = i
+            api.compute(0.002)
+            api.poll_migration(state)
+        done[api.rank] = got
+    return program
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 13, 42, 77, 101, 999])
+def test_simultaneous_pair_migration_lossy(make_vm, seed):
+    """Both peers receive migration requests at the same instant with 5%
+    drop + 5% duplication on control traffic."""
+    vm = make_vm(FaultPlan.lossy(seed, drop=0.05, dup=0.05))
+    done = {}
+    app = hardened_app(vm, _pingpong_pair(done), ["h0", "h1"], seed=seed)
+    app.start()
+    app.migrate_at(0.02, rank=0, dest_host="h3")
+    app.migrate_at(0.02, rank=1, dest_host="h4")
+    app.run()
+    assert done[0] == list(range(COUNT))
+    assert done[1] == list(range(COUNT))
+    check_invariants(vm, app, expect_migrations=2).raise_if_failed()
+    assert vm.fault_stats.examined > 0
+
+
+@pytest.mark.parametrize("seed", [4, 21])
+def test_ring_staggered_migrations_lossy(make_vm, seed):
+    """All four ranks of a token ring migrate (staggered) at 8% drop +
+    8% dup with control-path jitter."""
+    nranks, rounds = 4, 20
+    vm = make_vm(FaultPlan.lossy(seed, drop=0.08, dup=0.08,
+                                 delay=0.15, delay_max=0.005))
+    sums = {}
+
+    def program(api, state):
+        right = (api.rank + 1) % api.size
+        left = (api.rank - 1) % api.size
+        i = state.get("i", 0)
+        total = state.get("total", 0)
+        token = state.get("token", api.rank)
+        while i < rounds:
+            api.send(right, token)
+            token = api.recv(src=left).body
+            total += token
+            i += 1
+            state.update(i=i, total=total, token=token)
+            api.compute(0.002)
+            api.poll_migration(state)
+        sums[api.rank] = total
+
+    app = hardened_app(vm, program, ["h0", "h1", "h2", "h3"],
+                       scheduler_host="h4", seed=seed)
+    app.start()
+    for r in range(nranks):
+        app.migrate_at(0.01 + 0.01 * r, rank=r, dest_host="h5")
+    app.run()
+    expected = sum(range(nranks)) * (rounds // nranks)
+    assert all(s == expected for s in sums.values())
+    check_invariants(vm, app, expect_migrations=nranks).raise_if_failed()
+
+
+def test_burst_into_migration_lossy(make_vm):
+    """Theorem 2 under faults: four senders flood a rank exactly while it
+    migrates, with lossy control traffic."""
+    nsenders, per_sender = 4, 15
+    vm = make_vm(FaultPlan.lossy(6, drop=0.06, dup=0.06))
+    done = {}
+
+    def program(api, state):
+        if api.rank == 0:
+            state.setdefault("n", 0)
+            seen = state.setdefault("seen", [])
+            api.compute(0.01)
+            api.poll_migration(state)
+            while state["n"] < nsenders * per_sender:
+                msg = api.recv()
+                seen.append((msg.src, msg.body))
+                state["n"] += 1
+                api.poll_migration(state)
+            done["seen"] = seen
+        else:
+            for i in range(per_sender):
+                api.send(0, i, tag=api.rank)
+                api.compute(0.001)
+
+    app = hardened_app(vm, program, ["h0", "h1", "h2", "h3", "h4"],
+                       scheduler_host="h5", seed=6)
+    app.start()
+    app.migrate_at(0.012, rank=0, dest_host="h5")
+    app.run()
+    seen = done["seen"]
+    assert len(seen) == nsenders * per_sender
+    for s in range(1, nsenders + 1):
+        stream = [body for src, body in seen if src == s]
+        assert stream == list(range(per_sender))
+    check_invariants(vm, app, expect_migrations=1).raise_if_failed()

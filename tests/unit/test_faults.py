@@ -1,0 +1,204 @@
+"""Unit tests for the fault-injection layer (plans, pauses, injector)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.faults import (
+    SERVICE_CHANNEL,
+    SERVICE_CONTROL,
+    SERVICE_SIGNAL,
+    FaultInjector,
+    FaultPlan,
+    HostPause,
+)
+from repro.util.errors import SimulationError
+
+
+# -- FaultPlan validation and queries ---------------------------------------
+
+def test_default_plan_is_null():
+    plan = FaultPlan()
+    assert plan.is_null
+    assert FaultPlan.none().is_null
+
+
+def test_lossy_plan_is_not_null():
+    plan = FaultPlan.lossy(1, drop=0.05, dup=0.05)
+    assert not plan.is_null
+    assert plan.drop_rate == 0.05
+    assert plan.dup_rate == 0.05
+    assert plan.services == (SERVICE_CONTROL,)
+
+
+def test_pause_only_plan_is_not_null():
+    plan = FaultPlan(pauses=(HostPause("h0", start=0.1, duration=0.2),))
+    assert not plan.is_null
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(drop_rate=-0.1),
+    dict(drop_rate=1.5),
+    dict(dup_rate=2.0),
+    dict(delay_rate=-1.0),
+    dict(delay_max=-0.5),
+    dict(delay_rate=0.5),  # delay_rate > 0 requires delay_max > 0
+    dict(services=("tcp",)),
+    dict(active_from=2.0, active_until=1.0),
+])
+def test_invalid_plans_rejected(kwargs):
+    with pytest.raises(SimulationError):
+        FaultPlan(**kwargs)
+
+
+def test_applies_to_and_active_window():
+    plan = FaultPlan(drop_rate=0.1, services=(SERVICE_CONTROL,),
+                     active_from=1.0, active_until=2.0)
+    assert plan.applies_to(SERVICE_CONTROL)
+    assert not plan.applies_to(SERVICE_CHANNEL)
+    assert not plan.applies_to(SERVICE_SIGNAL)
+    assert not plan.active_at(0.5)
+    assert plan.active_at(1.0)
+    assert plan.active_at(1.999)
+    assert not plan.active_at(2.0)
+    # default window is all of time
+    assert FaultPlan(drop_rate=0.1).active_at(0.0)
+    assert FaultPlan(drop_rate=0.1).active_until == math.inf
+
+
+# -- HostPause geometry ------------------------------------------------------
+
+def test_pause_window_validation():
+    with pytest.raises(SimulationError):
+        HostPause("h0", start=-1.0, duration=1.0)
+    with pytest.raises(SimulationError):
+        HostPause("h0", start=0.0, duration=0.0)
+
+
+def test_pause_extra_delay():
+    p = HostPause("h1", start=1.0, duration=0.5)
+    assert p.end == 1.5
+    # only traffic touching the paused host is held
+    assert p.extra_delay(1.2, "h0", "h2") == 0.0
+    # held until the pause ends, from either side
+    assert p.extra_delay(1.2, "h0", "h1") == pytest.approx(0.3)
+    assert p.extra_delay(1.2, "h1", "h0") == pytest.approx(0.3)
+    # outside the window: free to go
+    assert p.extra_delay(0.9, "h0", "h1") == 0.0
+    assert p.extra_delay(1.5, "h0", "h1") == 0.0
+
+
+def test_plan_pause_delay_takes_largest_hold():
+    plan = FaultPlan(pauses=(
+        HostPause("h0", start=0.0, duration=0.2),
+        HostPause("h1", start=0.0, duration=0.5),
+    ))
+    assert plan.pause_delay(0.1, "h0", "h1") == pytest.approx(0.4)
+    assert plan.pause_delay(0.1, "h0", "h2") == pytest.approx(0.1)
+    assert plan.pause_delay(0.1, "h2", "h3") == 0.0
+    assert FaultPlan().pause_delay(0.1, "h0", "h1") == 0.0
+
+
+# -- FaultInjector over a real network --------------------------------------
+
+def _wire(network, plan, trace=None):
+    inj = FaultInjector(plan, trace=trace)
+    network.faults = inj
+    for h in ("a", "b"):
+        network.add_host(h)
+    return inj
+
+
+def _deliver_n(kernel, network, n, service="ctl", arrived=None):
+    on_arrival = ((lambda: arrived.append(1)) if arrived is not None
+                  else (lambda: None))
+
+    def feed():
+        for _ in range(n):
+            network.deliver("a", "b", 100, on_arrival, service=service)
+            kernel.sleep(0.01)
+
+    kernel.spawn(feed, name="feeder")
+    kernel.run()
+
+
+def test_inert_plan_takes_no_draws_and_records_nothing(kernel, network,
+                                                       trace):
+    inj = _wire(network, FaultPlan(seed=99), trace)
+    before = len(trace)
+    _deliver_n(kernel, network, 20)
+    assert inj.stats.examined == 0
+    assert inj.stats.dropped == inj.stats.duplicated == 0
+    # only the ordinary net_tx records; zero fault_* events
+    assert [e for e in trace.events[before:]
+            if e.kind.startswith("fault_")] == []
+
+
+def test_dropped_frames_never_arrive(kernel, network, trace):
+    inj = _wire(network, FaultPlan(seed=1, drop_rate=1.0), trace)
+    arrived = []
+    _deliver_n(kernel, network, 10, arrived=arrived)
+    assert inj.stats.dropped == 10
+    assert arrived == []
+    assert trace.count("fault_drop") == 10
+    # the bits still burned wire time
+    assert network.frames_sent == 10
+
+
+def test_duplicated_frames_arrive_twice(kernel, network, trace):
+    inj = _wire(network, FaultPlan(seed=1, dup_rate=1.0), trace)
+    arrived = []
+    _deliver_n(kernel, network, 10, arrived=arrived)
+    assert inj.stats.duplicated == 10
+    assert len(arrived) == 20
+    assert trace.count("fault_dup") == 10
+    # each copy is a real transmission
+    assert network.frames_sent == 20
+
+
+def test_unlisted_service_bypasses_injection(kernel, network, trace):
+    inj = _wire(network, FaultPlan(seed=1, drop_rate=1.0,
+                                   services=(SERVICE_CONTROL,)), trace)
+    arrived = []
+    _deliver_n(kernel, network, 10, service="chan", arrived=arrived)
+    assert inj.stats.examined == 0
+    assert len(arrived) == 10
+
+
+def test_pause_holds_delivery_until_window_ends(kernel, network, trace):
+    plan = FaultPlan(seed=1,
+                     pauses=(HostPause("b", start=0.0, duration=0.5),))
+    inj = _wire(network, plan, trace)
+    arrivals = []
+
+    def feed():
+        network.deliver("a", "b", 10,
+                        lambda: arrivals.append(kernel.now), service="ctl")
+
+    kernel.spawn(feed, name="feeder")
+    kernel.run()
+    assert inj.stats.pause_held == 1
+    assert len(arrivals) == 1
+    assert arrivals[0] >= 0.5
+    assert trace.count("fault_delay", reason="pause") == 1
+
+
+def test_jitter_delays_but_delivers(kernel, network, trace):
+    plan = FaultPlan(seed=1, delay_rate=1.0, delay_max=0.1)
+    inj = _wire(network, plan, trace)
+    arrived = []
+    _deliver_n(kernel, network, 10, arrived=arrived)
+    assert inj.stats.delayed == 10
+    assert len(arrived) == 10
+    assert trace.count("fault_delay", reason="jitter") == 10
+
+
+def test_inactive_window_means_no_examination(kernel, network):
+    plan = FaultPlan(seed=1, drop_rate=1.0, active_from=100.0)
+    inj = _wire(network, plan)
+    arrived = []
+    _deliver_n(kernel, network, 5, arrived=arrived)
+    assert inj.stats.examined == 0
+    assert len(arrived) == 5

@@ -1,0 +1,87 @@
+"""Unit tests for the timeout/backoff retry policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.errors import ProtocolError, RetryExhausted, SimulationError
+from repro.util.retry import RetryPolicy
+from repro.util.rng import RngStream
+
+
+def test_backoff_is_capped_exponential():
+    p = RetryPolicy(base=0.05, factor=2.0, cap=0.8, max_attempts=8)
+    assert p.backoff(1) == pytest.approx(0.05)
+    assert p.backoff(2) == pytest.approx(0.10)
+    assert p.backoff(3) == pytest.approx(0.20)
+    assert p.backoff(5) == pytest.approx(0.80)  # exactly at the cap
+    assert p.backoff(6) == 0.8  # capped from here on
+    assert p.backoff(50) == 0.8
+
+
+def test_backoff_rejects_zero_based_attempts():
+    with pytest.raises(SimulationError):
+        RetryPolicy().backoff(0)
+
+
+def test_timeout_without_rng_is_exact():
+    p = RetryPolicy(base=0.1, factor=3.0, cap=1.0, jitter=0.5)
+    for attempt in (1, 2, 3, 9):
+        assert p.timeout(attempt) == p.backoff(attempt)
+
+
+def test_jitter_is_bounded_and_stretching():
+    """Jittered timeouts stay within [backoff, backoff * (1 + jitter))."""
+    p = RetryPolicy(base=0.05, factor=2.0, cap=0.8, jitter=0.1,
+                    max_attempts=8)
+    rng = RngStream(42, "jitter-test")
+    for attempt in range(1, 30):
+        t = p.timeout(attempt, rng)
+        lo = p.backoff(attempt)
+        assert lo <= t < lo * 1.1
+        assert t <= p.cap * (1.0 + p.jitter)
+
+
+def test_delays_yields_one_timeout_per_attempt():
+    p = RetryPolicy(base=0.01, factor=2.0, cap=0.1, max_attempts=5,
+                    jitter=0.0)
+    sched = list(p.delays())
+    assert len(sched) == p.max_attempts
+    assert sched == [0.01, 0.02, 0.04, 0.08, 0.1]
+    # nondecreasing up to the cap
+    assert all(a <= b for a, b in zip(sched, sched[1:]))
+
+
+def test_delays_are_deterministic_per_seed():
+    p = RetryPolicy(seed=7)
+    a = list(p.delays(RngStream(p.seed, "x")))
+    b = list(p.delays(RngStream(p.seed, "x")))
+    assert a == b
+    c = list(p.delays(RngStream(p.seed + 1, "x")))
+    assert a != c
+
+
+def test_exhausted_builds_typed_error():
+    p = RetryPolicy(max_attempts=4)
+    err = p.exhausted("conn_req to rank 3", waited=1.25)
+    assert isinstance(err, RetryExhausted)
+    assert isinstance(err, ProtocolError)
+    assert err.what == "conn_req to rank 3"
+    assert err.attempts == 4
+    assert err.waited == 1.25
+    assert "conn_req to rank 3" in str(err)
+    assert "4 attempt" in str(err)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(base=0.0),
+    dict(base=-0.1),
+    dict(factor=0.5),
+    dict(base=0.5, cap=0.1),
+    dict(max_attempts=0),
+    dict(jitter=-0.1),
+    dict(jitter=1.0),
+])
+def test_invalid_policies_rejected(kwargs):
+    with pytest.raises(SimulationError):
+        RetryPolicy(**kwargs)

@@ -3,6 +3,13 @@
 from __future__ import annotations
 
 from repro.sim import Trace
+from repro.sim.trace import (
+    KIND_FAULT_DELAY,
+    KIND_FAULT_DROP,
+    KIND_FAULT_DUP,
+    KIND_RETRY,
+    KIND_TIMEOUT,
+)
 
 
 class _FakeClock:
@@ -80,6 +87,31 @@ def test_dump_renders_lines():
     tr.record("p0", "send", dest=1, nbytes=10)
     text = tr.dump()
     assert "p0" in text and "send" in text and "dest=1" in text
+
+
+def test_stable_event_kinds():
+    """The stress suite's invariant checks key on these literal strings;
+    renaming any of them silently blinds every fault/retry assertion."""
+    assert KIND_RETRY == "retry"
+    assert KIND_TIMEOUT == "timeout"
+    assert KIND_FAULT_DROP == "fault_drop"
+    assert KIND_FAULT_DUP == "fault_dup"
+    assert KIND_FAULT_DELAY == "fault_delay"
+
+
+def test_fault_and_retry_kinds_roundtrip_through_filter():
+    clk = _FakeClock()
+    tr = Trace(clock=clk)
+    tr.record("faults@h0", KIND_FAULT_DROP, dst="h1", service="ctl")
+    tr.record("faults@h0", KIND_FAULT_DUP, dst="h1", service="ctl")
+    tr.record("p0", KIND_TIMEOUT, what="conn_req", attempt=1)
+    tr.record("p0", KIND_RETRY, what="conn_req", attempt=1)
+    tr.record("faults@h2", KIND_FAULT_DELAY, seconds=0.25, reason="pause")
+    assert tr.count(KIND_FAULT_DROP) == 1
+    assert tr.count(KIND_FAULT_DUP, service="ctl") == 1
+    assert tr.count(KIND_TIMEOUT, what="conn_req") == 1
+    assert tr.first(KIND_RETRY).detail["attempt"] == 1
+    assert tr.last(KIND_FAULT_DELAY, reason="pause").detail["seconds"] == 0.25
 
 
 def test_dump_limit():
