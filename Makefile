@@ -1,7 +1,7 @@
 # Developer entry points. Everything runs against the in-tree sources.
 export PYTHONPATH := src
 
-.PHONY: test fast stress bench
+.PHONY: test fast stress bench bench-directory
 
 test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
 	python -m pytest -x -q
@@ -14,3 +14,6 @@ stress: ## fault-adversarial runs checked against the paper's theorems
 
 bench:  ## regenerate the paper's tables/figures (print with -s)
 	python -m pytest benchmarks/ --benchmark-only -q
+
+bench-directory: ## directory-backend ablation; writes BENCH_directory.json
+	python -m pytest benchmarks/test_ablation_directory.py --benchmark-only -q -s

@@ -1,0 +1,205 @@
+"""ABL-5: centralized vs sharded vs Chord location directories.
+
+The paper centralizes its location service in the scheduler "for the
+sake of simplicity" and observes the lookup contract would survive a
+distributed implementation. This ablation measures that choice: a rotating-neighbor workload (each round
+every rank contacts a peer it has never spoken to) in which every rank
+migrates once. Established channels move *with* a migrating process —
+that is the paper's communication state transfer — so only fresh
+connections exercise the lookup path, and the rotation guarantees a
+steady stream of fresh connections to already-moved ranks. The lookup
+load then lands on one process (centralized) or spreads over directory
+nodes (sharded / chord), and chord pays finger-table forwarding hops for
+its O(log N) routing.
+
+Persists the cross-backend numbers to ``BENCH_directory.json`` at the
+repo root (the ``make bench-directory`` artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro import Application, VirtualMachine, check_invariants
+from repro.analysis import directory_report
+from repro.directory import DirectorySpec
+from repro.util.text import format_table
+
+_BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_directory.json"
+
+_cache: dict[str, dict] = {}
+
+#: rank counts of the scaling sweep (directory nodes scale as ranks // 2)
+SCALES = (4, 8, 12)
+
+
+def _sweeps(nranks: int) -> int:
+    """Enough full sweeps that the run comfortably outlives the staggered
+    migrations at every scale."""
+    return max(2, math.ceil(12 / (nranks - 1)))
+
+
+def make_rotating_program(sweeps: int, results: dict):
+    """Rotating neighbors: round ``r`` pairs rank ``me`` with
+    ``me + 1 + (r mod (P-1))``.
+
+    During the first sweep every (src, dst) pair connects for the first
+    time, so each round opens brand-new channels — the workload that
+    maximizes location lookups. Later sweeps reuse the (possibly
+    migrated) channels and keep the app alive under the migration burst.
+    """
+
+    def program(api, state):
+        me, P = api.rank, api.size
+        r = state.get("r", 0)
+        acc = state.setdefault("acc", 0)
+        while r < sweeps * (P - 1):
+            to = (me + 1 + r % (P - 1)) % P
+            frm = (me - 1 - r % (P - 1)) % P
+            api.send(to, ("rot", me, r), tag=r, nbytes=256)
+            got = api.recv(src=frm, tag=r).body
+            assert got == ("rot", frm, r)
+            acc += frm
+            state["acc"] = acc
+            r += 1
+            state["r"] = r
+            api.compute(0.002)
+            api.poll_migration(state)
+        results[me] = acc
+
+    return program
+
+
+def _spec(backend: str, nranks: int) -> "DirectorySpec | None":
+    if backend == "centralized":
+        return None
+    return DirectorySpec(backend=backend, nodes=max(2, nranks // 2),
+                         replication=2)
+
+
+def _run(backend: str, nranks: int) -> dict:
+    key = f"{backend}:{nranks}"
+    if key in _cache:
+        return _cache[key]
+    vm = VirtualMachine()
+    migrators = list(range(nranks))  # every rank relocates once
+    for i in range(nranks):
+        vm.add_host(f"h{i}")
+    for k in range(len(migrators)):
+        vm.add_host(f"s{k}")  # migration destinations
+    vm.add_host("sched")
+    results: dict = {}
+    prog = make_rotating_program(_sweeps(nranks), results)
+    app = Application(vm, prog, placement=[f"h{i}" for i in range(nranks)],
+                      scheduler_host="sched",
+                      directory=_spec(backend, nranks))
+    app.start()
+    # Staggered but early, so most first-contact connects happen after
+    # their destination has already moved.
+    for k, rank in enumerate(migrators):
+        app.migrate_at(0.003 + 0.003 * k, rank, f"s{k}")
+    app.run()
+    expected = sum(range(nranks))
+    for me in range(nranks):
+        assert results[me] == _sweeps(nranks) * (expected - me)
+    check_invariants(vm, app,
+                     expect_migrations=len(migrators)).raise_if_failed()
+    report = directory_report(vm, app)
+    out = {
+        "backend": backend,
+        "nranks": nranks,
+        "nodes": 0 if backend == "centralized" else _spec(backend,
+                                                          nranks).nodes,
+        "makespan": vm.kernel.now,
+        "migrations": len([m for m in app.migrations if m.completed]),
+        "consults": report.consults,
+        "scheduler_lookups": report.scheduler_lookups,
+        "fallbacks": report.fallbacks,
+        "max_node_load": report.max_node_load,
+        "node_lookups": report.node_lookups,
+        "mean_hops": report.mean_hops,
+        "mean_latency_us": report.mean_latency * 1e6,
+        "cache": report.cache,
+    }
+    vm.shutdown()
+    _cache[key] = out
+    return out
+
+
+def _persist() -> None:
+    rows = [_cache[k] for k in sorted(_cache)]
+    _BENCH_PATH.write_text(json.dumps(
+        {"ablation": "directory-backends",
+         "workload": "rotating-neighbor sweep, every rank migrates",
+         "scales": list(SCALES), "results": rows}, indent=2) + "\n")
+
+
+def _table(rows: list[dict]) -> str:
+    return format_table(
+        ("backend", "ranks", "sched lookups", "max node load", "mean hops",
+         "latency(us)", "makespan(s)"),
+        [(r["backend"], r["nranks"], r["scheduler_lookups"],
+          r["max_node_load"], f"{r['mean_hops']:.2f}",
+          f"{r['mean_latency_us']:.0f}", f"{r['makespan']:.3f}")
+         for r in rows])
+
+
+def test_abl5_centralized_hot_spot_grows(benchmark):
+    """The scheduler's lookup load grows with rank count."""
+    runs = benchmark.pedantic(
+        lambda: [_run("centralized", n) for n in SCALES],
+        rounds=1, iterations=1)
+    print("\nABL-5  centralized backend, scaling ranks:")
+    print(_table(runs))
+    loads = [r["scheduler_lookups"] for r in runs]
+    assert loads == sorted(loads), "hot-spot load must grow with scale"
+    assert loads[-1] > 2 * loads[0]
+    # every consult went to the scheduler: nobody else can answer
+    assert all(r["max_node_load"] == 0 for r in runs)
+
+
+def test_abl5_sharded_spreads_the_load(benchmark):
+    runs = benchmark.pedantic(
+        lambda: [_run("sharded", n) for n in SCALES],
+        rounds=1, iterations=1)
+    central = [_run("centralized", n) for n in SCALES]
+    print("\nABL-5  sharded backend, scaling ranks (nodes = ranks // 2):")
+    print(_table(runs))
+    for sharded, centralized in zip(runs, central):
+        # the directory fields the consults the scheduler used to serve
+        assert sum(sharded["node_lookups"].values()) > 0
+        assert sharded["scheduler_lookups"] < \
+            centralized["scheduler_lookups"]
+    # with nodes scaling alongside ranks, no single shard approaches the
+    # centralized hot spot at the top scale
+    assert runs[-1]["max_node_load"] < central[-1]["scheduler_lookups"] / 2
+
+
+def test_abl5_chord_routes_in_log_hops(benchmark):
+    runs = benchmark.pedantic(
+        lambda: [_run("chord", n) for n in SCALES],
+        rounds=1, iterations=1)
+    print("\nABL-5  chord backend, scaling ranks (nodes = ranks // 2):")
+    print(_table(runs))
+    top = runs[-1]
+    assert sum(top["node_lookups"].values()) > 0
+    # routing is bounded by O(log N) finger hops
+    for r in runs:
+        nodes = r["nodes"]
+        assert r["mean_hops"] <= math.log2(nodes) + 1
+    # at the top scale, multi-hop routing is actually exercised
+    assert top["mean_hops"] > 0
+
+
+def test_abl5_persist_bench_json(benchmark):
+    """Write BENCH_directory.json from the full backend x scale sweep."""
+    benchmark.pedantic(
+        lambda: [_run(b, n) for b in ("centralized", "sharded", "chord")
+                 for n in SCALES],
+        rounds=1, iterations=1)
+    _persist()
+    data = json.loads(_BENCH_PATH.read_text())
+    assert len(data["results"]) == 3 * len(SCALES)
+    print(f"\nABL-5  wrote {_BENCH_PATH}")

@@ -1,5 +1,6 @@
 """Trace analysis: migration timing breakdowns and space-time diagrams."""
 
+from repro.analysis.directory import DirectoryLoadReport, directory_report
 from repro.analysis.invariants import (
     InvariantReport,
     InvariantViolation,
@@ -18,6 +19,8 @@ from repro.analysis.svg import render_spacetime_svg, save_spacetime_svg
 from repro.analysis.traffic import LinkTraffic, TrafficReport, traffic_report
 
 __all__ = [
+    "DirectoryLoadReport",
+    "directory_report",
     "InvariantReport",
     "InvariantViolation",
     "check_invariants",

@@ -48,6 +48,7 @@ from repro.core.messages import (
 )
 from repro.core.pltable import PLTable
 from repro.core.recvlist import ReceivedMessageList
+from repro.directory.cache import LocationCache
 from repro.core.sizes import CONTROL_PAYLOAD_BYTES, estimate_nbytes
 from repro.sim.kernel import TIMEOUT
 from repro.sim.trace import KIND_RETRY, KIND_TIMEOUT
@@ -134,6 +135,12 @@ class MigrationEndpoint:
         not finish within this many virtual seconds the migration is
         aborted and the process resumes normal execution (the scheduler
         may re-issue the request). ``None`` disables the bound.
+    directory_client:
+        When set (a :class:`~repro.directory.client.DirectoryClient`),
+        location consults after a connection rejection go to the
+        configured distributed directory backend instead of the
+        scheduler; the scheduler remains the authoritative fallback.
+        ``None`` (default) is the paper's centralized configuration.
     """
 
     def __init__(self, ctx: ProcessContext, rank: Rank,
@@ -143,7 +150,8 @@ class MigrationEndpoint:
                  initializing: bool = False,
                  transport: str = "direct",
                  retry_policy: RetryPolicy | None = None,
-                 drain_timeout: float | None = None):
+                 drain_timeout: float | None = None,
+                 directory_client=None):
         if transport not in ("direct", "indirect"):
             raise ProtocolError(f"unknown transport {transport!r}")
         if transport == "indirect" and migration_enabled:
@@ -158,6 +166,10 @@ class MigrationEndpoint:
         ctx.rank = rank
         self.scheduler_vmid = scheduler_vmid
         self.pl = pl.copy()
+        #: cache discipline over the PL copy: negative invalidation on
+        #: conn_nack, hit/miss accounting for the directory ablation
+        self.cache = LocationCache(self.pl)
+        self.directory_client = directory_client
         self.arch = arch
         self.migration_enabled = migration_enabled
         self.state = INITIALIZING if initializing else NORMAL
@@ -305,7 +317,9 @@ class MigrationEndpoint:
     def _send_conn_req(self, req_id: int, dest: Rank) -> None:
         """(Re-)send one connection request; the target is looked up fresh
         so a resend after a PL update chases the process's new location."""
-        target = self.pl.lookup(dest)
+        target = self.cache.resolve(dest)
+        if target is None:
+            target = self.pl.lookup(dest)  # raises ProtocolError
         self.vm.trace_record(self.ctx.name, "conn_req_sent", dest=dest,
                              req_id=req_id, target=str(target))
         self.ctx.route_control(
@@ -357,12 +371,15 @@ class MigrationEndpoint:
                 self.stats.conn_nacks_received += 1
                 self.vm.trace_record(self.ctx.name, "conn_nack_received",
                                      dest=dest, reason=msg.reason)
+                # The nack disproved the cached location: mark it stale
+                # before consulting (negative invalidation).
+                self.cache.invalidate(dest)
                 status, vmid = self.consult_scheduler(dest)
                 if status == "terminated" or vmid is None:
                     raise DestinationTerminatedError(
                         f"rank {dest} has terminated")
                 # Fig. 3 line 12: update the PL table and retry.
-                self.pl.update(dest, vmid)
+                self.cache.refresh(dest, vmid)
                 return
             self.dispatch(item)
 
@@ -374,11 +391,12 @@ class MigrationEndpoint:
         except NoSuchProcessError:
             # Acceptor vanished between ack and establishment: treat like a
             # rejection — consult the scheduler and let connect() retry.
+            self.cache.invalidate(dest)
             status, vmid = self.consult_scheduler(dest)
             if status == "terminated" or vmid is None:
                 raise DestinationTerminatedError(
                     f"rank {dest} has terminated") from None
-            self.pl.update(dest, vmid)
+            self.cache.refresh(dest, vmid)
             return
         self.connected[dest] = chan
         self.pl.update(dest, acceptor_vmid)
@@ -387,7 +405,18 @@ class MigrationEndpoint:
                              channel=chan.id, initiator=True)
 
     def consult_scheduler(self, dest: Rank) -> tuple[str, VmId | None]:
-        """Ask the scheduler for ``(exe status, vmid)`` of *dest*."""
+        """Ask the location directory for ``(exe status, vmid)`` of *dest*.
+
+        With a distributed backend configured the consult goes to the
+        directory client (which falls back to the scheduler if the
+        directory cannot answer); otherwise straight to the scheduler —
+        the paper's configuration.
+        """
+        if self.directory_client is not None:
+            self.vm.trace_record(self.ctx.name, "directory_consult",
+                                 dest=dest,
+                                 backend=self.directory_client.backend)
+            return self.directory_client.lookup(self, dest)
         token = next(self._tokens)
         self.stats.scheduler_consults += 1
         self.vm.trace_record(self.ctx.name, "scheduler_consult", dest=dest,

@@ -17,11 +17,9 @@ from repro.core.endpoint import MigrationEndpoint
 from repro.core.messages import MigrateRequest
 from repro.core.migration import run_initialization
 from repro.core.pltable import PLTable
-from repro.core.scheduler import (
-    STATUS_RUNNING,
-    SchedulerState,
-    scheduler_main,
-)
+from repro.core.scheduler import SchedulerState, scheduler_main
+from repro.directory.daemons import DirectoryCluster
+from repro.directory.spec import DirectorySpec
 from repro.util.errors import ProtocolError
 from repro.util.retry import RetryPolicy
 from repro.vm.ids import Rank, VmId
@@ -61,6 +59,13 @@ class Application:
     migration_retry_limit:
         How many times the scheduler re-issues an aborted migration
         request per rank.
+    directory:
+        Location-directory backend: ``None`` / ``"centralized"`` (the
+        paper's scheduler-resident table), ``"sharded"``, ``"chord"``,
+        or a full :class:`~repro.directory.spec.DirectorySpec`. With a
+        distributed backend the launcher spawns the directory daemons,
+        seeds them with the initial placement, attaches the scheduler's
+        publisher and gives every endpoint a lookup client.
     """
 
     def __init__(self, vm: VirtualMachine, program: Program,
@@ -71,7 +76,8 @@ class Application:
                  transport: str = "direct",
                  retry: "RetryPolicy | None" = None,
                  drain_timeout: float | None = None,
-                 migration_retry_limit: int = 2):
+                 migration_retry_limit: int = 2,
+                 directory: "DirectorySpec | str | None" = None):
         self.vm = vm
         self.program = program
         #: "direct" (connection-oriented) or "indirect" (daemon-routed)
@@ -90,6 +96,9 @@ class Application:
         self.retry = retry
         self.drain_timeout = drain_timeout
         self.migration_retry_limit = migration_retry_limit
+        self.directory_spec = DirectorySpec.coerce(directory)
+        #: spawned by start() when the backend is distributed
+        self.directory_cluster: DirectoryCluster | None = None
         self.placement = list(placement)
         self.nranks = len(placement)
         self.scheduler_host = scheduler_host
@@ -131,10 +140,24 @@ class Application:
         for rank, host in enumerate(self.placement):
             ctx = vm.spawn(host, self._rank_main, rank, name=f"p{rank}",
                            rank=rank)
-            master_pl.update(rank, ctx.vmid)
-            self.scheduler_state.status[rank] = STATUS_RUNNING
+            self.scheduler_state.directory.install(rank, ctx.vmid)
             ctxs.append(ctx)
+
+        if self.directory_spec.distributed:
+            # Spawn the directory daemons and seed the initial placement
+            # into their stores synchronously — no startup race between
+            # the first lookups and the first published updates.
+            self.directory_cluster = DirectoryCluster(
+                vm, self.directory_spec, self.scheduler_host)
+            self.directory_cluster.seed(self.scheduler_state.directory)
+            self.scheduler_state.publisher = \
+                self.directory_cluster.make_publisher()
         return self
+
+    def _directory_client(self, rank: Rank):
+        if self.directory_cluster is None:
+            return None
+        return self.directory_cluster.make_client(rank)
 
     def _rank_main(self, ctx, rank: Rank) -> None:
         endpoint = MigrationEndpoint(
@@ -144,7 +167,8 @@ class Application:
             migration_enabled=self.migratable,
             transport=self.transport,
             retry_policy=self.retry,
-            drain_timeout=self.drain_timeout)
+            drain_timeout=self.drain_timeout,
+            directory_client=self._directory_client(rank))
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         api = SnowAPI(endpoint, self.nranks,
@@ -175,7 +199,8 @@ class Application:
             arch=self.arch_for(ctx.host),
             migration_enabled=True, initializing=True,
             retry_policy=self.retry,
-            drain_timeout=self.drain_timeout)
+            drain_timeout=self.drain_timeout,
+            directory_client=self._directory_client(rank))
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         state = run_initialization(endpoint)

@@ -142,11 +142,16 @@ class LookupReply:
     """Scheduler's answer: execution status and current/new vmid.
 
     ``status`` is one of ``"running"``, ``"migrate"`` (paper Fig. 3 line
-    11 — redirect to the initialized process) or ``"terminated"``.
-    ``init_vmid`` names the currently designated initialized process for
-    the rank, if any — an initialized process waiting out a lossy state
-    transfer polls the scheduler and uses it to learn whether it is still
-    wanted (see :func:`repro.core.migration._pump_transfer`).
+    11 — redirect to the initialized process), ``"terminated"``, or —
+    from a distributed directory node only — ``"unknown"`` (no record
+    held yet; the client backs off and retries, see
+    :mod:`repro.directory.client`). ``init_vmid`` names the currently
+    designated initialized process for the rank, if any — an initialized
+    process waiting out a lossy state transfer polls the scheduler and
+    uses it to learn whether it is still wanted (see
+    :func:`repro.core.migration._pump_transfer`). ``hops`` counts
+    directory forwarding steps taken to answer (0 for the scheduler and
+    sharded nodes; the routing-cost metric for the chord backend).
     """
 
     rank: Rank
@@ -154,6 +159,7 @@ class LookupReply:
     vmid: VmId | None
     token: int
     init_vmid: VmId | None = None
+    hops: int = 0
 
 
 @dataclass(frozen=True)

@@ -18,10 +18,19 @@ __all__ = ["PLTable"]
 
 
 class PLTable:
-    """A rank → vmid mapping with explicit update semantics."""
+    """A rank → vmid mapping with explicit update and staleness semantics.
+
+    Entries never claim to be *correct* — copies go stale the moment a
+    peer migrates — but they carry an explicit staleness bit: a
+    ``conn_nack`` marks the entry stale (:meth:`invalidate`) without
+    discarding it, because the last-known location is still what the
+    retry logic must chase (a re-sent request targets it until the
+    directory answers). A subsequent :meth:`update` restores freshness.
+    """
 
     def __init__(self, entries: dict[Rank, VmId] | None = None):
         self._table: dict[Rank, VmId] = dict(entries or {})
+        self._stale: set[Rank] = set()
 
     def __contains__(self, rank: Rank) -> bool:
         return rank in self._table
@@ -39,23 +48,47 @@ class PLTable:
         except KeyError:
             raise ProtocolError(f"rank {rank} not in PL table") from None
 
+    def get(self, rank: Rank, default: VmId | None = None) -> VmId | None:
+        """Like :meth:`lookup` but returns *default* for unknown ranks."""
+        return self._table.get(rank, default)
+
     def update(self, rank: Rank, vmid: VmId) -> None:
         """Record a (new) location for *rank* (Fig. 3 line 12)."""
         self._table[rank] = vmid
+        self._stale.discard(rank)
+
+    def invalidate(self, rank: Rank) -> None:
+        """Mark *rank*'s entry stale (a ``conn_nack`` proved it wrong).
+
+        The entry itself is kept — :meth:`lookup` still returns the
+        last-known vmid so retries have a target — but :meth:`is_stale`
+        reports it until the next :meth:`update`. Idempotent; unknown
+        ranks are a no-op (there is nothing to distrust).
+        """
+        if rank in self._table:
+            self._stale.add(rank)
+
+    def is_stale(self, rank: Rank) -> bool:
+        """Has this entry been invalidated since it was last updated?"""
+        return rank in self._stale
 
     def remove(self, rank: Rank) -> None:
         self._table.pop(rank, None)
+        self._stale.discard(rank)
 
     def replace_all(self, entries: dict[Rank, VmId]) -> None:
         """Install a full snapshot (initialize(), Fig. 7 line 6)."""
         self._table = dict(entries)
+        self._stale.clear()
 
     def snapshot(self) -> dict[Rank, VmId]:
         """An independent copy of the mapping."""
         return dict(self._table)
 
     def copy(self) -> "PLTable":
-        return PLTable(self._table)
+        out = PLTable(self._table)
+        out._stale = set(self._stale)  # disproved entries stay disproved
+        return out
 
     def ranks(self) -> list[Rank]:
         return sorted(self._table)

@@ -23,7 +23,7 @@ communication state transfer, not the directory's internal structure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.messages import (
     InitAbort,
@@ -41,9 +41,14 @@ from repro.core.messages import (
     TerminateNotice,
 )
 from repro.core.pltable import PLTable
+from repro.directory.base import CentralizedDirectory, LocationRecord
+from repro.directory.messages import DirRetransmitTick, DirUpdateAck
 from repro.vm.ids import Rank, VmId
 from repro.vm.messages import ControlEnvelope
 from repro.vm.process import ProcessContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.directory.daemons import DirectoryPublisher
 
 __all__ = ["SchedulerState", "MigrationRecord", "scheduler_main",
            "STATUS_RUNNING", "STATUS_MIGRATING", "STATUS_TERMINATED"]
@@ -90,12 +95,21 @@ class SchedulerState:
     ``spawn_initialized`` is injected by the application launcher: it
     performs process initialization (spawning the migration-enabled
     executable on the destination) and returns the new process's vmid.
+
+    The master PL table, rank statuses and init designations live in a
+    :class:`~repro.directory.base.CentralizedDirectory` (``directory``):
+    the scheduler is the directory's single writer, and with a
+    distributed backend configured every mutation is also pushed to the
+    directory daemons through ``publisher``. ``status`` and ``init_vmid``
+    remain available as live dict views for callers and tests.
     """
 
     pl: PLTable
     spawn_initialized: Callable[[Rank, str], VmId]
-    status: dict[Rank, str] = field(default_factory=dict)
-    init_vmid: dict[Rank, VmId] = field(default_factory=dict)
+    directory: CentralizedDirectory | None = None
+    #: pushes every directory mutation to the distributed backend's
+    #: daemon nodes; ``None`` for the centralized backend (no daemons)
+    publisher: "DirectoryPublisher | None" = None
     migrations: list[MigrationRecord] = field(default_factory=list)
     lookups_served: int = 0
     #: how many times an aborted migration is re-requested per rank
@@ -103,11 +117,32 @@ class SchedulerState:
     #: aborted-and-retried counts, per rank
     abort_retries: dict[Rank, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        if self.directory is None:
+            self.directory = CentralizedDirectory(pl=self.pl)
+
+    @property
+    def status(self) -> dict[Rank, str]:
+        """Live view of each rank's execution status (directory-backed)."""
+        return self.directory.status
+
+    @property
+    def init_vmid(self) -> dict[Rank, VmId]:
+        """Live view of designated initialized processes (directory-backed)."""
+        return self.directory.init_vmid
+
     def current_record(self, rank: Rank) -> MigrationRecord:
         for rec in reversed(self.migrations):
             if rec.rank == rank and not rec.completed and not rec.aborted:
                 return rec
         raise LookupError(f"no open migration record for rank {rank}")
+
+
+def _publish(ctx: ProcessContext, state: SchedulerState,
+             record: LocationRecord) -> None:
+    """Push a freshly written record to the directory daemons, if any."""
+    if state.publisher is not None:
+        state.publisher.publish(ctx, record)
 
 
 def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
@@ -154,7 +189,8 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
             # migration-enabled executable on the destination machine.
             ctx.burn(PROCESS_INIT_COST)
             new_vmid = state.spawn_initialized(msg.rank, msg.dest_host)
-            state.init_vmid[msg.rank] = new_vmid
+            _publish(ctx, state,
+                     state.directory.designate_init(msg.rank, new_vmid))
             rec.new_vmid = new_vmid
             vm.trace_record(ctx.name, "initialized_process_spawned",
                             rank=msg.rank, vmid=str(new_vmid),
@@ -178,7 +214,7 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                                 msg="MigrationStart", rank=msg.rank)
                 continue
             if state.status.get(msg.rank) != STATUS_MIGRATING:
-                state.status[msg.rank] = STATUS_MIGRATING
+                _publish(ctx, state, state.directory.begin_migration(msg.rank))
                 rec.old_vmid = msg.old_vmid
                 rec.t_start = ctx.kernel.now
             new_vmid = state.init_vmid.get(msg.rank, rec.new_vmid)
@@ -198,9 +234,9 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                 continue
             if rec.t_restored == 0.0:
                 rec.t_restored = ctx.kernel.now
-                state.pl.update(msg.rank, msg.new_vmid)
-                state.status[msg.rank] = STATUS_RUNNING
-                state.init_vmid.pop(msg.rank, None)
+                _publish(ctx, state,
+                         state.directory.commit_migration(msg.rank,
+                                                          msg.new_vmid))
                 vm.trace_record(ctx.name, "restore_complete", rank=msg.rank,
                                 new_vmid=str(msg.new_vmid))
             else:
@@ -232,8 +268,8 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
             # the status already reverted and is simply re-acked.
             if state.status.get(msg.rank) == STATUS_MIGRATING \
                     or msg.rank in state.init_vmid:
-                state.status[msg.rank] = STATUS_RUNNING
-                pending = state.init_vmid.pop(msg.rank, None)
+                pending = state.init_vmid.get(msg.rank)
+                _publish(ctx, state, state.directory.abort_migration(msg.rank))
                 try:
                     rec = state.current_record(msg.rank)
                     rec.aborted = True
@@ -264,11 +300,11 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                               SchedulerAck("migration_abort", msg.rank))
 
         elif isinstance(msg, TerminateNotice):
-            state.status[msg.rank] = STATUS_TERMINATED
-            vm.trace_record(ctx.name, "rank_terminated", rank=msg.rank)
             # If a migration was pending for this rank but its process
             # finished first, release the waiting initialized process.
-            pending = state.init_vmid.pop(msg.rank, None)
+            pending = state.init_vmid.get(msg.rank)
+            _publish(ctx, state, state.directory.terminate(msg.rank))
+            vm.trace_record(ctx.name, "rank_terminated", rank=msg.rank)
             if pending is not None:
                 try:
                     rec = state.current_record(msg.rank)
@@ -281,6 +317,14 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
             if msg.ack:
                 ctx.route_control(item.src_vmid,
                                   SchedulerAck("terminate", msg.rank))
+
+        elif isinstance(msg, DirUpdateAck):
+            if state.publisher is not None:
+                state.publisher.on_ack(msg)
+
+        elif isinstance(msg, DirRetransmitTick):
+            if state.publisher is not None:
+                state.publisher.on_tick(ctx)
 
         else:
             vm.trace_record(ctx.name, "scheduler_ignored",

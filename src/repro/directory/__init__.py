@@ -1,0 +1,86 @@
+"""The pluggable location-directory subsystem.
+
+The paper's scheduler doubles as the *location service*: `connect()`
+consults it after a connection rejection, strictly on demand (Section 2).
+The paper notes that service "could equally be distributed (DNS/LDAP/
+Chord-style)" because the communication-state-transfer protocol depends
+only on the **lookup contract** — a stale belief is corrected by one
+rejected connect plus one lookup — and not on the directory's internal
+structure. This package makes that observation executable: one small
+:class:`DirectoryService` interface (lookup / install / commit-migration)
+with three interchangeable backends:
+
+* ``centralized`` — the paper's configuration, the scheduler's own master
+  PL table (default; byte-for-byte behaviour preserving);
+* ``sharded`` — the rank → vmid space consistent-hash partitioned across
+  directory daemon shards, with configurable replication and
+  shard-failover retry on the client;
+* ``chord`` — a finger-table ring: a lookup entering at any node routes
+  to the rank's successor in O(log N) traced control-message hops.
+
+Reads scale out through the backends; writes stay with the scheduler,
+which remains the single coordinator of migrations (it is the only
+writer) and *publishes* location updates to the directory nodes
+(version-stamped, acknowledged, retransmitted until applied — the
+publication layer tolerates the drop/dup/delay adversary of
+:mod:`repro.sim.faults`).
+"""
+
+from repro.directory.base import (
+    STATUS_MIGRATING,
+    STATUS_RUNNING,
+    STATUS_TERMINATED,
+    STATUS_UNKNOWN,
+    CentralizedDirectory,
+    DirectoryService,
+    LocationRecord,
+    stable_hash,
+)
+from repro.directory.cache import CacheStats, LocationCache
+from repro.directory.chordring import ChordRing
+from repro.directory.client import (
+    ChordClient,
+    DirectoryClient,
+    ShardedClient,
+)
+from repro.directory.daemons import (
+    DirectoryCluster,
+    DirectoryNode,
+    DirectoryPublisher,
+    directory_node_main,
+)
+from repro.directory.hashring import HashRing
+from repro.directory.messages import (
+    DirLookup,
+    DirRetransmitTick,
+    DirUpdate,
+    DirUpdateAck,
+)
+from repro.directory.spec import DirectorySpec
+
+__all__ = [
+    "STATUS_MIGRATING",
+    "STATUS_RUNNING",
+    "STATUS_TERMINATED",
+    "STATUS_UNKNOWN",
+    "CacheStats",
+    "CentralizedDirectory",
+    "ChordClient",
+    "ChordRing",
+    "DirLookup",
+    "DirRetransmitTick",
+    "DirUpdate",
+    "DirUpdateAck",
+    "DirectoryClient",
+    "DirectoryCluster",
+    "DirectoryNode",
+    "DirectoryPublisher",
+    "DirectoryService",
+    "DirectorySpec",
+    "HashRing",
+    "LocationCache",
+    "LocationRecord",
+    "ShardedClient",
+    "directory_node_main",
+    "stable_hash",
+]

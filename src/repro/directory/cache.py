@@ -1,0 +1,68 @@
+"""The endpoint-side location cache.
+
+Every process already keeps a PL-table copy — the paper's design — and
+that copy *is* the cache: reads hit it on every connect, and it is
+refreshed strictly on demand. What this wrapper adds is the explicit
+cache discipline and its accounting:
+
+* **negative invalidation** — a ``conn_nack`` is proof the cached entry
+  is wrong, so the entry is marked stale *before* the directory is
+  consulted (:meth:`invalidate`); no positive TTL, no background
+  refresh, no broadcast — exactly the paper's no-broadcast on-demand
+  property, preserved by construction;
+* **hit/miss/staleness counters** — the ablation's cache-effectiveness
+  numbers come from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pltable import PLTable
+from repro.vm.ids import Rank, VmId
+
+__all__ = ["CacheStats", "LocationCache"]
+
+
+@dataclass
+class CacheStats:
+    """What the cache did for one endpoint."""
+
+    hits: int = 0
+    stale_hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    refreshes: int = 0
+
+
+class LocationCache:
+    """Cache discipline over an endpoint's :class:`PLTable` copy."""
+
+    def __init__(self, pl: PLTable):
+        self.pl = pl
+        self.stats = CacheStats()
+
+    def resolve(self, rank: Rank) -> VmId | None:
+        """The location to target next, with hit accounting.
+
+        A stale entry is still returned (retries chase the last-known
+        address until the directory answers) but counted separately.
+        """
+        vmid = self.pl.get(rank)
+        if vmid is None:
+            self.stats.misses += 1
+        elif self.pl.is_stale(rank):
+            self.stats.stale_hits += 1
+        else:
+            self.stats.hits += 1
+        return vmid
+
+    def invalidate(self, rank: Rank) -> None:
+        """Negative invalidation: a conn_nack disproved this entry."""
+        self.stats.invalidations += 1
+        self.pl.invalidate(rank)
+
+    def refresh(self, rank: Rank, vmid: VmId) -> None:
+        """Install a location learned from the directory (or a hello)."""
+        self.stats.refreshes += 1
+        self.pl.update(rank, vmid)

@@ -1,0 +1,134 @@
+"""A Chord-style ring with finger tables (Stoica et al., SIGCOMM 2001).
+
+The paper name-checks "Chord-style" as one way to distribute its location
+service; this module supplies the routing structure. Every directory node
+takes a position on a 2^bits identifier circle; a rank's record lives at
+the *successor* of its hash (plus the next ``replication - 1`` distinct
+nodes for failover). A node that does not own a looked-up rank forwards
+the request to the finger-table entry closest-preceding the key, which at
+least halves the remaining circular distance — so any lookup reaches the
+owner in O(log N) hops regardless of where it enters the ring.
+
+The ring here is *static per run* (membership churn is the scheduler's
+concern — it owns spawn/retire of directory daemons); what is exercised
+is the routing: every hop is a real traced control message subject to the
+fault adversary.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.directory.base import stable_hash
+from repro.util.errors import ProtocolError
+
+__all__ = ["ChordRing"]
+
+
+class ChordRing:
+    """Finger-table routing over a static node set.
+
+    Parameters
+    ----------
+    nodes:
+        Node identifiers.
+    replication:
+        Distinct successor nodes owning each key.
+    bits:
+        Identifier-circle width (positions live in ``[0, 2^bits)``).
+    """
+
+    def __init__(self, nodes, replication: int = 1, bits: int = 32):
+        self.nodes = list(nodes)
+        if not self.nodes:
+            raise ProtocolError("a chord ring needs at least one node")
+        if replication < 1:
+            raise ProtocolError("replication must be >= 1")
+        self.replication = min(replication, len(self.nodes))
+        self.bits = bits
+        self.size = 1 << bits
+        # Deterministic positions; linear-probe any (astronomically
+        # unlikely) collision so positions stay unique.
+        taken: dict[int, object] = {}
+        self.position: dict = {}
+        for node in self.nodes:
+            pos = stable_hash(("chord-node", node), bits=bits)
+            while pos in taken:
+                pos = (pos + 1) % self.size
+            taken[pos] = node
+            self.position[node] = pos
+        self._ring = sorted(taken)  # positions in circle order
+        self._at = taken  # position -> node
+        # finger[node][i] = successor(position(node) + 2^i)
+        self.fingers: dict = {
+            node: [self._successor_pos((self.position[node] + (1 << i))
+                                       % self.size)
+                   for i in range(bits)]
+            for node in self.nodes
+        }
+
+    # -- circle primitives ---------------------------------------------------
+    def _successor_pos(self, point: int) -> int:
+        i = bisect_left(self._ring, point)
+        return self._ring[i % len(self._ring)]
+
+    def key_position(self, key: object) -> int:
+        return stable_hash(("key", key), bits=self.bits)
+
+    def successor(self, key: object):
+        """The node owning *key* (first node at/after its position)."""
+        return self._at[self._successor_pos(self.key_position(key))]
+
+    def owners(self, key: object) -> list:
+        """Successor chain: primary plus ``replication - 1`` more nodes."""
+        start = self._ring.index(self._successor_pos(self.key_position(key)))
+        return [self._at[self._ring[(start + i) % len(self._ring)]]
+                for i in range(self.replication)]
+
+    # -- routing -------------------------------------------------------------
+    def next_hop(self, node, key: object):
+        """Where *node* forwards a lookup for *key*; ``None`` if it owns it.
+
+        Standard Chord forwarding: the finger closest-preceding the key's
+        position (falling back to the immediate successor), which makes
+        strict progress around the circle every hop.
+        """
+        if node in self.owners(key):
+            return None
+        kpos = self.key_position(key)
+        npos = self.position[node]
+        dist = (kpos - npos) % self.size
+        best = None
+        best_dist = None
+        for fpos in self.fingers[node]:
+            # A usable finger lies in the circular interval (node, key]:
+            # stepping to it makes strict progress without overshooting.
+            # Among those, take the one closest to the key.
+            ahead = (fpos - npos) % self.size
+            remaining = (kpos - fpos) % self.size
+            if 0 < ahead <= dist and (best_dist is None
+                                      or remaining < best_dist):
+                best_dist = remaining
+                best = fpos
+        if best is None:
+            # No finger strictly precedes the key: the immediate
+            # successor is the owner-side neighbour; step there.
+            best = self._successor_pos((npos + 1) % self.size)
+        return self._at[best]
+
+    def route(self, start, key: object) -> list:
+        """The full node path of a lookup entering the ring at *start*.
+
+        Ends at an owner. Bounded by the node count (strict progress), in
+        practice O(log N).
+        """
+        path = [start]
+        node = start
+        for _ in range(len(self.nodes) + 1):
+            nxt = self.next_hop(node, key)
+            if nxt is None:
+                return path
+            path.append(nxt)
+            node = nxt
+        raise ProtocolError(
+            f"chord route for key {key!r} did not converge: {path}")

@@ -1,0 +1,76 @@
+"""Consistent-hash partitioning of the rank space across shards.
+
+Classic ring construction: every shard projects ``vnodes`` virtual points
+onto a 2^64 ring; a rank is owned by the first virtual point clockwise of
+its hash, and its replicas are the next *distinct* shards clockwise.
+Virtual points smooth the partition (a handful of shards with one point
+each would split the ring very unevenly), and consistent hashing keeps
+the map stable under membership change: adding a shard moves only the
+arcs it takes over — no global reshuffle of rank → shard assignments.
+
+Everything is derived from :func:`~repro.directory.base.stable_hash`, so
+the partition is identical across processes and runs (Python's builtin
+``hash`` is salted and would shuffle the directory every run).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.directory.base import stable_hash
+from repro.util.errors import ProtocolError
+
+__all__ = ["HashRing"]
+
+
+class HashRing:
+    """Maps keys to an ordered list of owning shard ids.
+
+    Parameters
+    ----------
+    nodes:
+        Shard identifiers (any hashable, typically ``range(nshards)``).
+    replication:
+        How many *distinct* shards own each key (primary + replicas).
+    vnodes:
+        Virtual points per shard on the ring.
+    """
+
+    def __init__(self, nodes, replication: int = 1, vnodes: int = 16):
+        self.nodes = list(nodes)
+        if not self.nodes:
+            raise ProtocolError("a hash ring needs at least one node")
+        if replication < 1:
+            raise ProtocolError("replication must be >= 1")
+        self.replication = min(replication, len(self.nodes))
+        self.vnodes = vnodes
+        points: list[tuple[int, object]] = []
+        for node in self.nodes:
+            for v in range(vnodes):
+                points.append((stable_hash(("vnode", node, v)), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+
+    def owners(self, key: object) -> list:
+        """The ``replication`` distinct shards owning *key*, primary first."""
+        h = stable_hash(("key", key))
+        start = bisect_right(self._points, h) % len(self._points)
+        owners: list = []
+        for i in range(len(self._points)):
+            node = self._owners[(start + i) % len(self._points)]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == self.replication:
+                    break
+        return owners
+
+    def primary(self, key: object):
+        return self.owners(key)[0]
+
+    def partition(self, keys) -> dict:
+        """node -> sorted list of keys whose primary is that node."""
+        out: dict = {n: [] for n in self.nodes}
+        for k in keys:
+            out[self.primary(k)].append(k)
+        return out

@@ -8,24 +8,75 @@ not pickled Python objects but opaque byte blobs produced by the
 machine-independent codec — the pickle layer here plays the role PVM's
 own wire encoding played, while heterogeneity of process state is handled
 by :mod:`repro.codec`.
+
+Deserialization is **restricted**: control frames are built from a small
+closed vocabulary (tuples, dicts, strings, numbers, byte blobs), so
+:func:`recv_frame` uses an allowlist unpickler that refuses to
+reconstruct anything else. A peer that injects a frame naming any other
+class — the classic ``__reduce__`` → ``os.system`` pickle gadget — gets
+:class:`UnsafeFrame` instead of code execution. Application *data*
+payloads travel inside frames too and are therefore limited to the same
+plain-data vocabulary; structured process state crosses the wire as
+opaque codec bytes, never as pickled objects.
 """
 
 from __future__ import annotations
 
+import io
 import pickle
 import socket
 import struct
 from typing import Any
 
-__all__ = ["send_frame", "recv_frame", "FrameClosed"]
+__all__ = ["send_frame", "recv_frame", "FrameClosed", "UnsafeFrame",
+           "restricted_loads", "ALLOWED_GLOBALS"]
 
 _HDR = struct.Struct(">I")
 #: refuse absurd frames (corrupt stream guard)
 MAX_FRAME = 256 * 1024 * 1024
 
+#: The complete vocabulary a wire frame may reference. Everything the mp
+#: runtime sends is built from builtins plus these; anything else is an
+#: attack or a bug, and both should fail loudly.
+ALLOWED_GLOBALS: dict[tuple[str, str], Any] = {}
+
+
+def _allow(module: str, name: str) -> None:
+    import importlib
+    obj = importlib.import_module(module)
+    for part in name.split("."):
+        obj = getattr(obj, part)
+    ALLOWED_GLOBALS[(module, name)] = obj
+
+
+# builtins that legitimate frames reference (pickle names a global for
+# these when reconstructing containers and memoryview-backed bytes)
+for _name in ("tuple", "list", "dict", "set", "frozenset", "bytes",
+              "bytearray", "complex"):
+    _allow("builtins", _name)
+
 
 class FrameClosed(Exception):
     """The peer closed the connection (clean EOF between frames)."""
+
+
+class UnsafeFrame(Exception):
+    """A frame referenced a global outside the frame vocabulary."""
+
+
+class _RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str) -> Any:
+        try:
+            return ALLOWED_GLOBALS[(module, name)]
+        except KeyError:
+            raise UnsafeFrame(
+                f"frame references forbidden global {module}.{name}"
+            ) from None
+
+
+def restricted_loads(payload: bytes) -> Any:
+    """Deserialize wire bytes, allowing only the frame vocabulary."""
+    return _RestrictedUnpickler(io.BytesIO(payload)).load()
 
 
 def send_frame(sock: socket.socket, obj: Any) -> None:
@@ -46,7 +97,11 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 
 
 def recv_frame(sock: socket.socket) -> Any:
-    """Read one frame (blocking); raises :class:`FrameClosed` on EOF."""
+    """Read one frame (blocking); raises :class:`FrameClosed` on EOF.
+
+    Frames are deserialized through the allowlist unpickler — a hostile
+    frame raises :class:`UnsafeFrame` rather than executing anything.
+    """
     try:
         hdr = _recv_exact(sock, _HDR.size)
     except FrameClosed:
@@ -54,4 +109,4 @@ def recv_frame(sock: socket.socket) -> Any:
     (length,) = _HDR.unpack(hdr)
     if length > MAX_FRAME:
         raise ValueError(f"frame of {length} bytes exceeds limit")
-    return pickle.loads(_recv_exact(sock, length))
+    return restricted_loads(_recv_exact(sock, length))

@@ -37,6 +37,9 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.codec import NATIVE, Architecture, decode, encode
+from repro.directory.chordring import ChordRing
+from repro.directory.hashring import HashRing
+from repro.directory.spec import DirectorySpec
 from repro.runtime.framing import FrameClosed, recv_frame, send_frame
 
 __all__ = ["MPCluster", "MPApi"]
@@ -58,10 +61,68 @@ def _dbg(*args: Any) -> None:
 # registry (the scheduler), runs as a thread in the launcher process
 # ---------------------------------------------------------------------------
 
+class _LogicalDirectory:
+    """Sharded / Chord view of the registry's location records.
+
+    The multiprocess runtime keeps a single registry TCP server (spawning
+    one OS daemon per directory node would test the OS, not the
+    protocol); the *partitioning* is what is exercised: records live in
+    per-node stores assigned by the same :class:`HashRing` /
+    :class:`ChordRing` structures the simulator's daemons use, every
+    lookup is routed to its serving node (walking real finger-table hops
+    for chord), and per-node counters expose the load split the ablation
+    measures. Writes are applied under the registry lock, version-stamped
+    to each owner, exactly as the simulator's publisher would converge
+    them.
+    """
+
+    def __init__(self, spec: DirectorySpec):
+        self.spec = spec
+        ids = list(range(spec.nodes))
+        if spec.backend == "sharded":
+            self.topology = HashRing(ids, replication=spec.replication,
+                                     vnodes=spec.vnodes)
+        else:
+            self.topology = ChordRing(ids, replication=spec.replication,
+                                      bits=spec.bits)
+        #: node -> rank -> {"status", "addr", "init_addr", "version"}
+        self.stores: dict[int, dict[int, dict]] = {i: {} for i in ids}
+        self.stats: dict[int, dict[str, int]] = {
+            i: {"lookups": 0, "forwards": 0, "updates": 0} for i in ids}
+        self._versions: dict[int, int] = {}
+
+    def write(self, rank: int, status: str, addr: tuple | None,
+              init_addr: tuple | None) -> None:
+        version = self._versions.get(rank, 0) + 1
+        self._versions[rank] = version
+        rec = {"status": status, "addr": addr, "init_addr": init_addr,
+               "version": version}
+        for node in self.topology.owners(rank):
+            self.stores[node][rank] = rec
+            self.stats[node]["updates"] += 1
+
+    def lookup(self, rank: int, entry: int | None = None
+               ) -> tuple[dict | None, int]:
+        """The owning node's record of *rank*, plus hops taken to it."""
+        if isinstance(self.topology, ChordRing):
+            if entry is None:
+                entry = rank % len(self.topology.nodes)
+            path = self.topology.route(entry, rank)
+            for node in path[:-1]:
+                self.stats[node]["forwards"] += 1
+            serving, hops = path[-1], len(path) - 1
+        else:
+            serving, hops = self.topology.primary(rank), 0
+        self.stats[serving]["lookups"] += 1
+        return self.stores[serving].get(rank), hops
+
+
 class _Registry:
     """Rank → address table plus migration coordination."""
 
-    def __init__(self) -> None:
+    def __init__(self, directory: "DirectorySpec | str | None" = None) -> None:
+        spec = DirectorySpec.coerce(directory)
+        self.directory = _LogicalDirectory(spec) if spec.distributed else None
         self.listener = socket.create_server(("127.0.0.1", 0))
         self.addr = self.listener.getsockname()
         self._lock = threading.Lock()
@@ -100,28 +161,37 @@ class _Registry:
                         self.locations[rank] = tuple(addr)
                         self.status[rank] = "running"
                         self.worker_ctl[rank] = conn
+                        self._dir_write(rank)
                     send_frame(conn, ("registered",))
                 elif kind == "register_init":
                     _, rank, addr = frame
                     with self._lock:
                         self.init_addr[rank] = tuple(addr)
+                        self._dir_write(rank)
                     send_frame(conn, ("registered",))
                 elif kind == "lookup":
                     _, target = frame
                     with self._lock:
-                        # a rank that has not registered yet is "starting",
-                        # not terminated — the requester retries
-                        st = self.status.get(target, "starting")
-                        if st == "migrating":
-                            addr = self.init_addr.get(target)
+                        if self.directory is not None:
+                            rec, _hops = self.directory.lookup(target)
+                            # an unknown record is "starting", never
+                            # terminated — the requester retries
+                            st = rec["status"] if rec else "starting"
+                            addr = (rec["init_addr"] if st == "migrating"
+                                    else rec["addr"]) if rec else None
                         else:
-                            addr = self.locations.get(target)
+                            st = self.status.get(target, "starting")
+                            if st == "migrating":
+                                addr = self.init_addr.get(target)
+                            else:
+                                addr = self.locations.get(target)
                     send_frame(conn, ("location", target, st, addr))
                 elif kind == "migration_start":
                     _, rank = frame
                     with self._lock:
                         self.status[rank] = "migrating"
                         addr = self.init_addr[rank]
+                        self._dir_write(rank)
                     send_frame(conn, ("new_process", addr))
                 elif kind == "restore_complete":
                     _, rank, addr = frame
@@ -130,6 +200,7 @@ class _Registry:
                         self.status[rank] = "running"
                         self.init_addr.pop(rank, None)
                         self.worker_ctl[rank] = conn
+                        self._dir_write(rank)
                         table = dict(self.locations)
                     send_frame(conn, ("pl_snapshot", table))
                 elif kind == "result":
@@ -142,10 +213,20 @@ class _Registry:
                     _, rank = frame
                     with self._lock:
                         self.status[rank] = "terminated"
+                        self._dir_write(rank)
                 else:  # pragma: no cover - protocol error guard
                     raise ValueError(f"bad registry frame {frame!r}")
         except (FrameClosed, OSError):
             return
+
+    def _dir_write(self, rank: int) -> None:
+        """Mirror the current record into the logical directory (with the
+        registry lock held)."""
+        if self.directory is None:
+            return
+        self.directory.write(rank, self.status.get(rank, "starting"),
+                             self.locations.get(rank),
+                             self.init_addr.get(rank))
 
     def signal_migrate(self, rank: int, arch_name: str) -> None:
         with self._lock:
@@ -565,12 +646,13 @@ class MPCluster:
 
     def __init__(self, program: Callable, nranks: int,
                  arch: Architecture = NATIVE,
-                 dest_arch: Architecture = NATIVE):
+                 dest_arch: Architecture = NATIVE,
+                 directory: "DirectorySpec | str | None" = None):
         self.program = program
         self.nranks = nranks
         self.arch = arch
         self.dest_arch = dest_arch
-        self.registry = _Registry()
+        self.registry = _Registry(directory=directory)
         self.registry.expected_results = nranks
         self._procs: list[mp.Process] = []
         self._incarnation: dict[int, int] = {}
@@ -639,6 +721,14 @@ class MPCluster:
             p.join(timeout=5.0)
         self.registry.close()
         return dict(self.registry.results)
+
+    def directory_stats(self) -> dict[int, dict[str, int]] | None:
+        """Per-logical-node lookup/forward/update counters, if sharded."""
+        if self.registry.directory is None:
+            return None
+        with self.registry._lock:
+            return {i: dict(s)
+                    for i, s in self.registry.directory.stats.items()}
 
     def terminate(self) -> None:
         for p in self._procs:

@@ -1,0 +1,110 @@
+"""Unit tests for wire framing, including the allowlist unpickler.
+
+The mp runtime's frames are plain-data only; a peer that sends a pickle
+naming any other global (the classic ``__reduce__`` → ``os.system``
+gadget) must get :class:`UnsafeFrame`, not code execution.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.runtime.framing import (
+    ALLOWED_GLOBALS,
+    FrameClosed,
+    UnsafeFrame,
+    recv_frame,
+    restricted_loads,
+    send_frame,
+)
+
+
+def _pair():
+    return socket.socketpair()
+
+
+def test_roundtrip_plain_data_frame():
+    a, b = _pair()
+    try:
+        obj = ("hdr", {"rank": 3, "tag": (1, 2)}, b"\x00payload",
+               [1.5, None, True], frozenset({7}))
+        t = threading.Thread(target=send_frame, args=(a, obj))
+        t.start()
+        assert recv_frame(b) == obj
+        t.join()
+    finally:
+        a.close()
+        b.close()
+
+
+def _evil_payload(canary) -> bytes:
+    """A pickle that reduces to ``os.system`` — the textbook gadget."""
+
+    class Evil:
+        def __reduce__(self):
+            import os
+            return (os.system, (f"touch {canary}",))
+
+    return pickle.dumps(Evil())
+
+
+def test_hostile_frame_is_rejected_not_executed(tmp_path):
+    canary = tmp_path / "owned"
+    payload = _evil_payload(canary)
+
+    # pickle records os.system under its real module (posix on unix)
+    with pytest.raises(UnsafeFrame, match=r"forbidden global \w+\.system"):
+        restricted_loads(payload)
+    assert not canary.exists()
+
+
+def test_hostile_frame_over_a_socket_is_rejected(tmp_path):
+    a, b = _pair()
+    try:
+        payload = _evil_payload(tmp_path / "owned")
+        a.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(UnsafeFrame):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_naming_any_class_is_rejected():
+    # even a harmless-looking class outside the vocabulary is refused
+    payload = pickle.dumps(ValueError("boom"))
+    with pytest.raises(UnsafeFrame, match="builtins.ValueError"):
+        restricted_loads(payload)
+
+
+def test_allowlist_is_containers_only():
+    assert ("builtins", "dict") in ALLOWED_GLOBALS
+    assert all(mod == "builtins" for mod, _ in ALLOWED_GLOBALS)
+    assert ("builtins", "eval") not in ALLOWED_GLOBALS
+    assert ("os", "system") not in ALLOWED_GLOBALS
+
+
+def test_oversized_frame_is_refused():
+    a, b = _pair()
+    try:
+        a.sendall(struct.pack(">I", 1 << 31))
+        with pytest.raises(ValueError, match="exceeds limit"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_eof_raises_frame_closed():
+    a, b = _pair()
+    a.close()
+    try:
+        with pytest.raises(FrameClosed):
+            recv_frame(b)
+    finally:
+        b.close()

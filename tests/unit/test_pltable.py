@@ -61,3 +61,46 @@ def test_remove_is_idempotent():
 def test_repr_mentions_entries():
     pl = PLTable({3: VmId("h", 2)})
     assert "3->h:2" in repr(pl)
+
+
+def test_invalidate_marks_stale_but_keeps_the_entry():
+    """conn_nack semantics: the last-known vmid stays usable as a retry
+    target while :meth:`is_stale` flags that it has been disproved."""
+    pl = PLTable({0: VmId("a", 1)})
+    assert not pl.is_stale(0)
+    pl.invalidate(0)
+    assert pl.is_stale(0)
+    assert pl.lookup(0) == VmId("a", 1)  # entry survives invalidation
+
+
+def test_update_clears_staleness():
+    pl = PLTable({0: VmId("a", 1)})
+    pl.invalidate(0)
+    pl.update(0, VmId("b", 2))
+    assert not pl.is_stale(0)
+    assert pl.lookup(0) == VmId("b", 2)
+
+
+def test_invalidate_unknown_rank_is_a_noop():
+    pl = PLTable()
+    pl.invalidate(7)
+    assert not pl.is_stale(7)
+
+
+def test_remove_and_replace_all_clear_staleness():
+    pl = PLTable({0: VmId("a", 1), 1: VmId("b", 1)})
+    pl.invalidate(0)
+    pl.invalidate(1)
+    pl.remove(0)
+    assert not pl.is_stale(0)
+    pl.replace_all({1: VmId("c", 1)})
+    assert not pl.is_stale(1)
+
+
+def test_copy_carries_staleness_independently():
+    pl = PLTable({0: VmId("a", 1)})
+    pl.invalidate(0)
+    other = pl.copy()
+    assert other.is_stale(0)
+    other.update(0, VmId("b", 2))
+    assert pl.is_stale(0)  # original is untouched
