@@ -1,7 +1,7 @@
 # Developer entry points. Everything runs against the in-tree sources.
 export PYTHONPATH := src
 
-.PHONY: test fast stress bench bench-directory
+.PHONY: test fast stress bench bench-directory bench-fastpath
 
 test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
 	python -m pytest -x -q
@@ -17,3 +17,6 @@ bench:  ## regenerate the paper's tables/figures (print with -s)
 
 bench-directory: ## directory-backend ablation; writes BENCH_directory.json
 	python -m pytest benchmarks/test_ablation_directory.py --benchmark-only -q -s
+
+bench-fastpath: ## migration fast path A/B ablation; writes BENCH_fastpath.json
+	python -m pytest benchmarks/test_ablation_fastpath.py --benchmark-only -q -s

@@ -34,6 +34,10 @@ _cache: dict[str, dict] = {}
 #: rank counts of the scaling sweep (directory nodes scale as ranks // 2)
 SCALES = (4, 8, 12)
 
+#: cache-effectiveness sweep: distinct peers per rank, at a fixed scale
+LOCALITY_NRANKS = 12
+LOCALITY_WINDOWS = (1, 3, 11)
+
 
 def _sweeps(nranks: int) -> int:
     """Enough full sweeps that the run comfortably outlives the staggered
@@ -41,23 +45,28 @@ def _sweeps(nranks: int) -> int:
     return max(2, math.ceil(12 / (nranks - 1)))
 
 
-def make_rotating_program(sweeps: int, results: dict):
+def make_rotating_program(sweeps: int, results: dict,
+                          window: int | None = None):
     """Rotating neighbors: round ``r`` pairs rank ``me`` with
-    ``me + 1 + (r mod (P-1))``.
+    ``me + 1 + (r mod W)`` where ``W`` defaults to ``P - 1``.
 
-    During the first sweep every (src, dst) pair connects for the first
-    time, so each round opens brand-new channels — the workload that
-    maximizes location lookups. Later sweeps reuse the (possibly
-    migrated) channels and keep the app alive under the migration burst.
+    ``W`` is the workload's *locality* knob: each rank contacts ``W``
+    distinct peers over the run. At ``W = P - 1`` (the backend-scaling
+    sweep) every sweep's round opens brand-new channels — the workload
+    that maximizes location lookups. Small ``W`` re-uses the same few
+    channels, so almost all rounds ride connections (and cached
+    locations) established up front. Round count is the same for every
+    ``W``; only the connect/lookup mix changes.
     """
 
     def program(api, state):
         me, P = api.rank, api.size
+        W = window if window is not None else P - 1
         r = state.get("r", 0)
         acc = state.setdefault("acc", 0)
         while r < sweeps * (P - 1):
-            to = (me + 1 + r % (P - 1)) % P
-            frm = (me - 1 - r % (P - 1)) % P
+            to = (me + 1 + r % W) % P
+            frm = (me - 1 - r % W) % P
             api.send(to, ("rot", me, r), tag=r, nbytes=256)
             got = api.recv(src=frm, tag=r).body
             assert got == ("rot", frm, r)
@@ -79,8 +88,8 @@ def _spec(backend: str, nranks: int) -> "DirectorySpec | None":
                          replication=2)
 
 
-def _run(backend: str, nranks: int) -> dict:
-    key = f"{backend}:{nranks}"
+def _run(backend: str, nranks: int, window: int | None = None) -> dict:
+    key = f"{backend}:{nranks}:{window or 'full'}"
     if key in _cache:
         return _cache[key]
     vm = VirtualMachine()
@@ -91,7 +100,7 @@ def _run(backend: str, nranks: int) -> dict:
         vm.add_host(f"s{k}")  # migration destinations
     vm.add_host("sched")
     results: dict = {}
-    prog = make_rotating_program(_sweeps(nranks), results)
+    prog = make_rotating_program(_sweeps(nranks), results, window=window)
     app = Application(vm, prog, placement=[f"h{i}" for i in range(nranks)],
                       scheduler_host="sched",
                       directory=_spec(backend, nranks))
@@ -101,15 +110,18 @@ def _run(backend: str, nranks: int) -> dict:
     for k, rank in enumerate(migrators):
         app.migrate_at(0.003 + 0.003 * k, rank, f"s{k}")
     app.run()
-    expected = sum(range(nranks))
+    W = window if window is not None else nranks - 1
+    rounds = _sweeps(nranks) * (nranks - 1)
     for me in range(nranks):
-        assert results[me] == _sweeps(nranks) * (expected - me)
+        assert results[me] == sum((me - 1 - r % W) % nranks
+                                  for r in range(rounds))
     check_invariants(vm, app,
                      expect_migrations=len(migrators)).raise_if_failed()
     report = directory_report(vm, app)
     out = {
         "backend": backend,
         "nranks": nranks,
+        "window": W,
         "nodes": 0 if backend == "centralized" else _spec(backend,
                                                           nranks).nodes,
         "makespan": vm.kernel.now,
@@ -129,11 +141,20 @@ def _run(backend: str, nranks: int) -> dict:
 
 
 def _persist() -> None:
-    rows = [_cache[k] for k in sorted(_cache)]
+    full = [_cache[k] for k in sorted(_cache) if k.endswith(":full")]
+    loc = sorted((_cache[k] for k in _cache if not k.endswith(":full")),
+                 key=lambda r: r["window"])
     _BENCH_PATH.write_text(json.dumps(
         {"ablation": "directory-backends",
          "workload": "rotating-neighbor sweep, every rank migrates",
-         "scales": list(SCALES), "results": rows}, indent=2) + "\n")
+         "scales": list(SCALES), "results": full,
+         "locality": {
+             "workload": "same sweep with the peer window W as the "
+                         "locality knob: each rank contacts W distinct "
+                         "peers over the same number of rounds",
+             "nranks": LOCALITY_NRANKS,
+             "results": loc,
+         }}, indent=2) + "\n")
 
 
 def _table(rows: list[dict]) -> str:
@@ -193,13 +214,51 @@ def test_abl5_chord_routes_in_log_hops(benchmark):
     assert top["mean_hops"] > 0
 
 
+def test_abl5_cache_locality(benchmark):
+    """LocationCache effectiveness tracks communication locality.
+
+    Fixed scale, the peer window W as the knob. Location lookups happen
+    on fresh connects only (established channels migrate *with* their
+    process), so a high-locality rank resolves a handful of peers once
+    and then rides its channels; a low-locality rank keeps opening
+    first-contact channels throughout the migration burst, where cached
+    locations go stale and conn_nacks force invalidation + directory
+    consults.
+    """
+    runs = benchmark.pedantic(
+        lambda: [_run("sharded", LOCALITY_NRANKS, window=w)
+                 for w in LOCALITY_WINDOWS],
+        rounds=1, iterations=1)
+    print("\nABL-5  LocationCache by workload locality "
+          f"(sharded, {LOCALITY_NRANKS} ranks):")
+    print(format_table(
+        ("peers/rank", "hits", "stale", "misses", "hit rate",
+         "invalidations", "directory consults"),
+        [(r["window"], r["cache"]["hits"], r["cache"]["stale_hits"],
+          r["cache"]["misses"],
+          f"{r['cache']['hits'] / max(1, sum(r['cache'][k] for k in ('hits', 'stale_hits', 'misses'))):.1%}",
+          r["cache"]["invalidations"], r["consults"]) for r in runs]))
+    lookups = [sum(r["cache"][k] for k in ("hits", "stale_hits", "misses"))
+               for r in runs]
+    # lower locality -> more first-contact connects -> more lookups
+    assert lookups == sorted(lookups) and lookups[-1] > 2 * lookups[0]
+    # lower locality -> more connects land after a peer moved -> more
+    # negative invalidations and directory consults
+    invals = [r["cache"]["invalidations"] for r in runs]
+    assert invals[-1] > invals[0]
+    assert runs[-1]["consults"] > runs[0]["consults"]
+
+
 def test_abl5_persist_bench_json(benchmark):
     """Write BENCH_directory.json from the full backend x scale sweep."""
     benchmark.pedantic(
-        lambda: [_run(b, n) for b in ("centralized", "sharded", "chord")
-                 for n in SCALES],
+        lambda: ([_run(b, n) for b in ("centralized", "sharded", "chord")
+                  for n in SCALES]
+                 + [_run("sharded", LOCALITY_NRANKS, window=w)
+                    for w in LOCALITY_WINDOWS]),
         rounds=1, iterations=1)
     _persist()
     data = json.loads(_BENCH_PATH.read_text())
     assert len(data["results"]) == 3 * len(SCALES)
+    assert len(data["locality"]["results"]) == len(LOCALITY_WINDOWS)
     print(f"\nABL-5  wrote {_BENCH_PATH}")

@@ -1,6 +1,12 @@
 """Trace analysis: migration timing breakdowns and space-time diagrams."""
 
 from repro.analysis.directory import DirectoryLoadReport, directory_report
+from repro.analysis.fastpath import (
+    codec_throughput,
+    frame_roundtrip,
+    measure_migration,
+    migration_latency,
+)
 from repro.analysis.invariants import (
     InvariantReport,
     InvariantViolation,
@@ -28,8 +34,12 @@ __all__ = [
     "MessageFlight",
     "RunReport",
     "TrafficReport",
+    "codec_throughput",
     "dumps_trace",
+    "frame_roundtrip",
     "load_trace",
+    "measure_migration",
+    "migration_latency",
     "loads_trace",
     "run_report",
     "save_trace",

@@ -1,0 +1,252 @@
+"""Fast-path A/B measurements: pipelined migration, codec, wire framing.
+
+The perf counterpart of :mod:`repro.analysis.metrics`: each helper runs
+(or reads) the same workload with the fast path on and off so the two
+modes can be compared like-for-like —
+
+* :func:`migration_latency` — virtual-time ``migration_start`` →
+  ``migration_commit`` window from a run's trace;
+* :func:`measure_migration` — one 2-rank A/B run with an ndarray-bearing
+  state of a chosen size, returning the latency and a digest of the
+  restored payload (byte-identical across modes by construction);
+* :func:`codec_throughput` — wall-clock encode/decode MB/s of the
+  vectorized codec vs. the reference scalar codec on heterogeneous
+  (byte-swapped) state;
+* :func:`frame_roundtrip` — wall-clock frame round-trip rate of the
+  ``sendmsg``/``recv_into`` framing vs. the copy-per-frame legacy path.
+
+Virtual-time numbers are deterministic; wall-clock numbers (codec,
+framing) are hardware-dependent and reported as ratios.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.codec import NATIVE, SPARC32, decode, encode
+
+__all__ = ["migration_latency", "measure_migration", "codec_throughput",
+           "frame_roundtrip", "numpy_state"]
+
+#: ping-pong rounds of the A/B migration workload
+_ROUNDS = 24
+
+
+# ---------------------------------------------------------------------------
+# trace analysis
+# ---------------------------------------------------------------------------
+
+def migration_latency(vm, rank=None) -> float:
+    """End-to-end latency of the (first) migration of *rank*, in virtual
+    seconds: source-side ``migration_start`` to destination-side
+    ``migration_commit``."""
+    start = commit = None
+    for ev in vm.trace.events:
+        if rank is not None and ev.detail.get("rank") != rank:
+            continue
+        if ev.kind == "migration_start" and start is None:
+            start = ev.time
+        elif ev.kind == "migration_commit" and commit is None:
+            commit = ev.time
+    if start is None or commit is None:
+        raise ValueError("trace holds no completed migration")
+    return commit - start
+
+
+# ---------------------------------------------------------------------------
+# A/B migration run (virtual time)
+# ---------------------------------------------------------------------------
+
+def numpy_state(nbytes: int) -> dict:
+    """An ndarray-bearing state dict of roughly *nbytes* of payload.
+
+    Mixed dtypes across six arrays (so every byte-swap width is hit),
+    plus ordinary Python containers standing in for the solver metadata
+    a real rank would carry alongside its grids.
+    """
+    per = max(1, nbytes // 6 // 8)  # six arrays of ~8*per bytes each
+    nlog = min(1000, max(4, nbytes // 64))
+    return {
+        "u64": (np.arange(per, dtype=np.uint64) * 2654435761) & 0xFFFF,
+        "f64": np.linspace(0.0, 1.0, per),
+        "i32": np.arange(per * 2, dtype=np.int32),
+        "c128": np.arange(max(1, per // 2), dtype=np.complex128) * (1 - 2j),
+        "f32": np.arange(per * 2, dtype=np.float32),
+        "u16": np.arange(per * 4, dtype=np.uint16),
+        "log": [("step", i, i * 0.5) for i in range(nlog)],
+        "params": {"alpha": 0.1, "name": "fastpath-ab", "dims": (8, 8, 8)},
+    }
+
+
+def _digest(state: dict) -> str:
+    h = hashlib.sha256()
+    for key in ("u64", "f64", "i32", "c128", "f32", "u16"):
+        h.update(np.ascontiguousarray(state[key]).tobytes())
+    h.update(repr(state["log"]).encode())
+    return h.hexdigest()
+
+
+def _ab_program(nbytes: int, digests: list):
+    """2-rank ping-pong whose rank 1 carries *nbytes* of ndarray state.
+
+    Rank 1 records a payload digest every time it (re)starts with a
+    restored state — the destination incarnation's entry proves the
+    transferred bytes survived the chosen wire path unchanged.
+    """
+
+    def program(api, state):
+        if api.rank == 1:
+            if "u64" not in state:
+                state.update(numpy_state(nbytes))
+            digests.append(_digest(state))
+        i = state.get("i", 0)
+        while i < _ROUNDS:
+            if api.rank == 0:
+                api.send(1, ("ping", i), tag=i)
+                assert api.recv(src=1, tag=i).body == ("pong", i)
+            else:
+                assert api.recv(src=0, tag=i).body == ("ping", i)
+                api.send(0, ("pong", i), tag=i)
+            i += 1
+            state["i"] = i
+            api.compute(1e-3)
+            api.poll_migration(state)
+
+    return program
+
+
+def measure_migration(nbytes: int, fastpath: bool,
+                      migrate_at: float = 4e-3) -> dict:
+    """Run one migration carrying *nbytes* of state; report its cost.
+
+    Returns ``latency`` (virtual migration window), ``makespan`` and the
+    restored payload's ``digest``. The same seed state is rebuilt for
+    both modes, so equal digests mean byte-identical decoded state.
+    """
+    from repro import Application, VirtualMachine
+
+    vm = VirtualMachine()
+    for h in ("h0", "h1", "h2", "sched"):
+        vm.add_host(h)
+    digests: list = []
+    app = Application(vm, _ab_program(nbytes, digests),
+                      placement=["h0", "h1"], scheduler_host="sched",
+                      fastpath=fastpath)
+    app.start()
+    app.migrate_at(migrate_at, 1, "h2")
+    app.run()
+    assert len(digests) == 2 and digests[0] == digests[1], \
+        "payload changed across the migration"
+    out = {
+        "nbytes": nbytes,
+        "fastpath": fastpath,
+        "latency": migration_latency(vm, rank=1),
+        "makespan": vm.kernel.now,
+        "digest": digests[-1],
+    }
+    vm.shutdown()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# codec throughput (wall clock)
+# ---------------------------------------------------------------------------
+
+def codec_throughput(nbytes: int, fastpath: bool, arch=NATIVE,
+                     repeats: int = 5) -> dict:
+    """Best-of-*repeats* encode/decode throughput in MB/s.
+
+    *arch* defaults to the native target (the common same-order case,
+    where the codec cost is pure copying); pass big-endian
+    :data:`~repro.codec.SPARC32` to measure the heterogeneous byte-swap
+    path instead (the paper's Table 2 scenario). One untimed warmup pass
+    faults the pages in; each timed pass starts from a collected heap.
+    Returns the encoded blob's digest so A/B runs can assert
+    byte-identical output.
+    """
+    import gc
+
+    state = numpy_state(nbytes)
+    blob = encode(state, arch, fastpath=fastpath)  # warmup
+    best_enc = best_dec = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        blob = encode(state, arch, fastpath=fastpath)
+        best_enc = min(best_enc, time.perf_counter() - t0)
+    restored = decode(blob, fastpath=fastpath)  # warmup
+    for _ in range(repeats):
+        gc.collect()
+        t0 = time.perf_counter()
+        restored = decode(blob, fastpath=fastpath)
+        best_dec = min(best_dec, time.perf_counter() - t0)
+    assert _digest(restored) == _digest(state)
+    mb = len(blob) / 1e6
+    return {
+        "nbytes": nbytes,
+        "fastpath": fastpath,
+        "arch": arch.name,
+        "encoded_nbytes": len(blob),
+        "encode_mb_s": mb / best_enc,
+        "decode_mb_s": mb / best_dec,
+        "digest": hashlib.sha256(blob).hexdigest(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# wire framing round-trip rate (wall clock)
+# ---------------------------------------------------------------------------
+
+def frame_roundtrip(payload_nbytes: int, fastpath: bool,
+                    nframes: int = 200) -> dict:
+    """Sequential frame round-trips over a socketpair, frames/s.
+
+    The echo side always mirrors the requester's mode, so the number
+    isolates the framing implementation, not a mixed pipeline.
+    """
+    from repro.runtime.framing import (
+        FrameReader,
+        recv_frame,
+        send_frame,
+        send_frame_fast,
+    )
+
+    a, b = socket.socketpair()
+    send = send_frame_fast if fastpath else send_frame
+
+    def echo() -> None:
+        try:
+            if fastpath:
+                reader = FrameReader(b)
+                while True:
+                    send_frame_fast(b, reader.read_frame())
+            while True:
+                send_frame(b, recv_frame(b))
+        except Exception:
+            return
+
+    t = threading.Thread(target=echo, daemon=True)
+    t.start()
+    payload = ("data", 1, 0, b"\xa5" * payload_nbytes)
+    reader = FrameReader(a) if fastpath else None
+    try:
+        t0 = time.perf_counter()
+        for _ in range(nframes):
+            send(a, payload)
+            got = reader.read_frame() if fastpath else recv_frame(a)
+            assert got == payload
+        elapsed = time.perf_counter() - t0
+    finally:
+        a.close()
+        b.close()
+    return {
+        "payload_nbytes": payload_nbytes,
+        "fastpath": fastpath,
+        "frames_s": nframes / elapsed,
+        "mb_s": nframes * payload_nbytes / elapsed / 1e6,
+    }

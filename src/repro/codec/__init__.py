@@ -7,8 +7,14 @@ preserved.
 """
 
 from repro.codec.arch import ARM64, MIPS32, NATIVE, SPARC32, X86_64, Architecture
-from repro.codec.memgraph import decode, encode, encoded_size, peek_arch
-from repro.codec.xdr import Reader, Writer
+from repro.codec.memgraph import (
+    decode,
+    encode,
+    encode_parts,
+    encoded_size,
+    peek_arch,
+)
+from repro.codec.xdr import Reader, ReferenceReader, ReferenceWriter, Writer
 
 __all__ = [
     "ARM64",
@@ -16,11 +22,14 @@ __all__ = [
     "MIPS32",
     "NATIVE",
     "Reader",
+    "ReferenceReader",
+    "ReferenceWriter",
     "SPARC32",
     "Writer",
     "X86_64",
     "decode",
     "encode",
+    "encode_parts",
     "encoded_size",
     "peek_arch",
 ]

@@ -20,6 +20,17 @@ Python-level state:
 This is what the migration protocol ships as "execution and memory state":
 the application's declared state dict goes through :func:`encode` on the
 source host and :func:`decode` on the destination.
+
+Two implementations share the wire format byte-for-byte:
+
+* the default **fast path** appends array buffers and nested node bodies
+  as zero-copy parts (one final join, or none at all via
+  :func:`encode_parts`, which the chunked migration pipeline slices into
+  ``state_chunk`` frames) and decodes through ``memoryview`` slices with
+  one whole-buffer byte-order conversion per array;
+* ``fastpath=False`` routes through :class:`ReferenceWriter` /
+  :class:`ReferenceReader` — the original copy-per-field code, kept as
+  the A/B baseline for benchmarks and regression bisection.
 """
 
 from __future__ import annotations
@@ -29,10 +40,10 @@ from typing import Any
 import numpy as np
 
 from repro.codec.arch import NATIVE, Architecture
-from repro.codec.xdr import Reader, Writer
+from repro.codec.xdr import Reader, ReferenceReader, ReferenceWriter, Writer
 from repro.util.errors import CodecError
 
-__all__ = ["encode", "decode", "encoded_size", "peek_arch"]
+__all__ = ["encode", "encode_parts", "decode", "encoded_size", "peek_arch"]
 
 _MAGIC = b"SNOWMEM1"
 
@@ -64,8 +75,9 @@ _OK_DTYPE_KINDS = frozenset("biufc")
 
 
 class _Encoder:
-    def __init__(self, arch: Architecture):
+    def __init__(self, arch: Architecture, fast: bool = True):
         self.arch = arch
+        self.fast = fast
         self.ids: dict[int, int] = {}  # id(obj) -> node number
         self.nodes: list[Any] = []  # node number -> object
         # Hold references so ids stay valid during encoding even if the
@@ -83,7 +95,7 @@ class _Encoder:
             self._pins.append(obj)
         return nid
 
-    def write_value(self, w: Writer, obj: Any) -> None:
+    def write_value(self, w, obj: Any) -> None:
         """Write one value: a leaf inline, an identity object as a REF."""
         if obj is None:
             w.u8(_T_NONE)
@@ -138,13 +150,13 @@ class _Encoder:
                 "declare migratable state using plain containers, scalars "
                 "and numpy arrays")
 
-    def _write_dtype(self, w: Writer, dtype: np.dtype) -> None:
+    def _write_dtype(self, w, dtype: np.dtype) -> None:
         if dtype.kind not in _OK_DTYPE_KINDS:
             raise CodecError(f"unsupported ndarray dtype {dtype}")
         w.string(dtype.kind)
         w.varint(dtype.itemsize)
 
-    def write_node(self, w: Writer, obj: Any) -> None:
+    def write_node(self, w, obj: Any) -> None:
         """Write one graph node's kind and contents."""
         if isinstance(obj, list):
             w.u8(_N_LIST)
@@ -174,12 +186,20 @@ class _Encoder:
                 w.varint(dim)
             # Re-order the payload into the *source architecture's* byte
             # order — the self-describing part of heterogeneity support.
+            # ascontiguousarray does the whole-buffer byte swap in one
+            # vectorized pass (or returns the original array untouched if
+            # it is already contiguous in the target order).
             if obj.dtype.kind in "iufc" and obj.dtype.itemsize > 1:
                 payload = np.ascontiguousarray(
                     obj, dtype=obj.dtype.newbyteorder(self.arch.struct_order))
             else:
                 payload = np.ascontiguousarray(obj)
-            w.raw(payload.tobytes())
+            if self.fast:
+                # zero copy: the writer pins the (possibly temporary)
+                # converted array via its buffer
+                w.raw_buffer(memoryview(payload).cast("B"))
+            else:
+                w.raw(payload.tobytes())
         else:  # pragma: no cover - guarded by _NODE_TYPES
             raise CodecError(f"not a node type: {type(obj).__name__}")
 
@@ -192,28 +212,48 @@ def _canonical_set_order(items) -> list:
         raise CodecError(f"cannot canonicalize set: {exc}") from exc
 
 
-def encode(obj: Any, arch: Architecture = NATIVE) -> bytes:
-    """Encode *obj* into the machine-independent memory-graph format.
-
-    The root value is written first; graph nodes are appended as they are
-    discovered (node ids are allocated before descending into children, so
-    cycles terminate).
-    """
-    enc = _Encoder(arch)
+def _encode_writer(obj: Any, arch: Architecture) -> Writer:
+    """Fast-path encode into a part-list Writer (no join performed)."""
+    enc = _Encoder(arch, fast=True)
     root = Writer(arch)
     enc.write_value(root, obj)
     # Node payloads: written in discovery order; new nodes may be appended
     # while we write (children of children), so iterate by index.
-    bodies: list[bytes] = []
+    bodies: list[Writer] = []
     i = 0
     while i < len(enc.nodes):
         w = Writer(arch)
         enc.write_node(w, enc.nodes[i])
-        bodies.append(w.getvalue())
+        bodies.append(w)
         i += 1
 
     head = Writer(arch)
-    head._parts.append(_MAGIC)
+    head.put(_MAGIC)
+    head.string(arch.name)
+    head.u8(0 if arch.endian == "little" else 1)
+    head.u8(arch.word_bits)
+    head.varint(len(bodies))
+    for body in bodies:
+        head.raw_parts(body)
+    head.raw_parts(root)
+    return head
+
+
+def _reference_encode(obj: Any, arch: Architecture) -> bytes:
+    """The original (seed) encode: join-per-node, copy-per-payload."""
+    enc = _Encoder(arch, fast=False)
+    root = ReferenceWriter(arch)
+    enc.write_value(root, obj)
+    bodies: list[bytes] = []
+    i = 0
+    while i < len(enc.nodes):
+        w = ReferenceWriter(arch)
+        enc.write_node(w, enc.nodes[i])
+        bodies.append(w.getvalue())
+        i += 1
+
+    head = ReferenceWriter(arch)
+    head.put(_MAGIC)
     head.string(arch.name)
     head.u8(0 if arch.endian == "little" else 1)
     head.u8(arch.word_bits)
@@ -224,12 +264,38 @@ def encode(obj: Any, arch: Architecture = NATIVE) -> bytes:
     return head.getvalue()
 
 
-def peek_arch(data: bytes) -> Architecture:
+def encode(obj: Any, arch: Architecture = NATIVE, *, fastpath: bool = True) -> bytes:
+    """Encode *obj* into the machine-independent memory-graph format.
+
+    The root value is written first; graph nodes are appended as they are
+    discovered (node ids are allocated before descending into children, so
+    cycles terminate). Both paths produce byte-identical output;
+    ``fastpath=False`` selects the reference (copy-heavy) implementation.
+    """
+    if not fastpath:
+        return _reference_encode(obj, arch)
+    return _encode_writer(obj, arch).getvalue()
+
+
+def encode_parts(obj: Any, arch: Architecture = NATIVE) -> list:
+    """Encode *obj* into a list of bytes-like parts without joining.
+
+    ``b"".join(parts)`` equals ``encode(obj, arch)`` exactly. The chunked
+    migration pipeline slices these parts into ``state_chunk`` frames, so
+    a multi-megabyte array buffer is never copied into one flat blob on
+    the source host. Parts may be ``memoryview`` objects pinning live
+    array buffers — consume them before mutating the encoded state.
+    """
+    return _encode_writer(obj, arch)._parts
+
+
+def peek_arch(data) -> Architecture:
     """Read the architecture that produced an encoded blob."""
-    if data[:8] != _MAGIC:
+    mv = data if isinstance(data, memoryview) else memoryview(data)
+    if bytes(mv[:8]) != _MAGIC:
         raise CodecError("bad magic: not a SNOW memory-graph blob")
     # The header fields after the magic are endian-free (varint/u8/utf8).
-    r = Reader(data[8:], NATIVE)
+    r = Reader(mv[8:], NATIVE)
     name = r.string()
     endian = "little" if r.u8() == 0 else "big"
     word_bits = r.u8()
@@ -237,9 +303,11 @@ def peek_arch(data: bytes) -> Architecture:
 
 
 class _Decoder:
-    def __init__(self, node_blobs: list[bytes], arch: Architecture):
+    def __init__(self, node_blobs: list, arch: Architecture,
+                 reader_cls=Reader):
         self.arch = arch
         self.blobs = node_blobs
+        self.reader_cls = reader_cls
         self.shells: list[Any] = [None] * len(node_blobs)
         self.filled = [False] * len(node_blobs)
         self._make_shells()
@@ -263,7 +331,7 @@ class _Decoder:
             else:
                 raise CodecError(f"bad node kind {kind}")
 
-    def read_value(self, r: Reader) -> Any:
+    def read_value(self, r) -> Any:
         tag = r.u8()
         if tag == _T_NONE:
             return None
@@ -297,7 +365,7 @@ class _Decoder:
             return self.shells[nid]
         raise CodecError(f"bad value tag {tag}")
 
-    def _read_dtype(self, r: Reader) -> np.dtype:
+    def _read_dtype(self, r) -> np.dtype:
         kind = r.string()
         itemsize = r.varint()
         base = np.dtype(f"{kind}{itemsize}")
@@ -309,7 +377,7 @@ class _Decoder:
         if self.filled[nid]:
             return
         self.filled[nid] = True
-        r = Reader(self.blobs[nid], self.arch)
+        r = self.reader_cls(self.blobs[nid], self.arch)
         kind = r.u8()
         shell = self.shells[nid]
         if kind == _N_LIST:
@@ -332,7 +400,10 @@ class _Decoder:
             dtype = self._read_dtype(r)
             ndim = r.varint()
             shape = tuple(r.varint() for _ in range(ndim))
-            raw = r.raw()
+            # fast Reader hands back a zero-copy view; frombuffer wraps it
+            # without copying, astype does the single vectorized
+            # byte-order conversion into freshly owned native memory
+            raw = r.raw_view() if isinstance(r, Reader) else r.raw()
             arr = np.frombuffer(raw, dtype=dtype).reshape(shape)
             # convert to the *native* byte order of the decoding machine;
             # astype (not ascontiguousarray) keeps 0-dim shapes intact
@@ -341,18 +412,44 @@ class _Decoder:
             raise CodecError(f"bad node kind {kind}")
 
 
-def decode(data: bytes) -> Any:
-    """Decode a blob produced by :func:`encode` (on any architecture)."""
+def decode(data, *, fastpath: bool = True) -> Any:
+    """Decode a blob produced by :func:`encode` (on any architecture).
+
+    Accepts ``bytes``, ``bytearray`` or ``memoryview``; the fast path
+    never copies node payloads out of *data* until the final per-array
+    native-order conversion.
+    """
+    if not fastpath:
+        return _reference_decode(bytes(data))
     src_arch = peek_arch(data)
-    r = Reader(data[8:], src_arch)
+    mv = data if isinstance(data, memoryview) else memoryview(data)
+    r = Reader(mv[8:], src_arch)
     r.string()  # arch name (already peeked)
+    r.u8()
+    r.u8()
+    nblobs = r.varint()
+    blobs = [r.raw_view() for _ in range(nblobs)]
+    root_blob = r.raw_view()
+    dec = _Decoder(blobs, src_arch, reader_cls=Reader)
+    root_reader = Reader(root_blob, src_arch)
+    value = dec.read_value(root_reader)
+    if not root_reader.exhausted:
+        raise CodecError("trailing bytes after root value")
+    return value
+
+
+def _reference_decode(data: bytes) -> Any:
+    """The original (seed) decode: every slice is a fresh bytes copy."""
+    src_arch = peek_arch(data)
+    r = ReferenceReader(data[8:], src_arch)
+    r.string()
     r.u8()
     r.u8()
     nblobs = r.varint()
     blobs = [r.raw() for _ in range(nblobs)]
     root_blob = r.raw()
-    dec = _Decoder(blobs, src_arch)
-    root_reader = Reader(root_blob, src_arch)
+    dec = _Decoder(blobs, src_arch, reader_cls=ReferenceReader)
+    root_reader = ReferenceReader(root_blob, src_arch)
     value = dec.read_value(root_reader)
     if not root_reader.exhausted:
         raise CodecError("trailing bytes after root value")
@@ -363,6 +460,7 @@ def encoded_size(obj: Any, arch: Architecture = NATIVE) -> int:
     """Size in bytes of the machine-independent encoding of *obj*.
 
     Used by the protocol layer to charge realistic wire and CPU costs for
-    application payloads and state transfers.
+    application payloads and state transfers. The fast path makes this a
+    no-join, no-copy size computation.
     """
-    return len(encode(obj, arch))
+    return len(_encode_writer(obj, arch))

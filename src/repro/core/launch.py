@@ -18,6 +18,7 @@ from repro.core.messages import MigrateRequest
 from repro.core.migration import run_initialization
 from repro.core.pltable import PLTable
 from repro.core.scheduler import SchedulerState, scheduler_main
+from repro.core.streaming import DEFAULT_CHUNK_BYTES
 from repro.directory.daemons import DirectoryCluster
 from repro.directory.spec import DirectorySpec
 from repro.util.errors import ProtocolError
@@ -66,6 +67,15 @@ class Application:
         distributed backend the launcher spawns the directory daemons,
         seeds them with the initial placement, attaches the scheduler's
         publisher and gives every endpoint a lookup client.
+    fastpath:
+        ``True`` (default) migrates state via the pipelined chunked
+        transfer (collection, network and restore overlap in virtual
+        time). ``False`` reproduces the strictly sequential Fig. 5 flow
+        — the A/B baseline for ``BENCH_fastpath.json`` and for
+        bisecting fast-path regressions.
+    chunk_bytes:
+        ``state_chunk`` payload size for the fast path; ``None`` uses
+        :data:`~repro.core.streaming.DEFAULT_CHUNK_BYTES`.
     """
 
     def __init__(self, vm: VirtualMachine, program: Program,
@@ -77,7 +87,9 @@ class Application:
                  retry: "RetryPolicy | None" = None,
                  drain_timeout: float | None = None,
                  migration_retry_limit: int = 2,
-                 directory: "DirectorySpec | str | None" = None):
+                 directory: "DirectorySpec | str | None" = None,
+                 fastpath: bool = True,
+                 chunk_bytes: int | None = None):
         self.vm = vm
         self.program = program
         #: "direct" (connection-oriented) or "indirect" (daemon-routed)
@@ -95,6 +107,9 @@ class Application:
                 "restore_version requires a checkpoint_store")
         self.retry = retry
         self.drain_timeout = drain_timeout
+        self.fastpath = fastpath
+        self.chunk_bytes = (DEFAULT_CHUNK_BYTES if chunk_bytes is None
+                            else chunk_bytes)
         self.migration_retry_limit = migration_retry_limit
         self.directory_spec = DirectorySpec.coerce(directory)
         #: spawned by start() when the backend is distributed
@@ -168,7 +183,8 @@ class Application:
             transport=self.transport,
             retry_policy=self.retry,
             drain_timeout=self.drain_timeout,
-            directory_client=self._directory_client(rank))
+            directory_client=self._directory_client(rank),
+            fastpath=self.fastpath, chunk_bytes=self.chunk_bytes)
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         api = SnowAPI(endpoint, self.nranks,
@@ -200,7 +216,8 @@ class Application:
             migration_enabled=True, initializing=True,
             retry_policy=self.retry,
             drain_timeout=self.drain_timeout,
-            directory_client=self._directory_client(rank))
+            directory_client=self._directory_client(rank),
+            fastpath=self.fastpath, chunk_bytes=self.chunk_bytes)
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         state = run_initialization(endpoint)

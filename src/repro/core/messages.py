@@ -28,6 +28,7 @@ __all__ = [
     "EndOfMessage",
     "RecvListTransfer",
     "ExeMemState",
+    "StateChunk",
     "LookupRequest",
     "LookupReply",
     "MigrateRequest",
@@ -124,6 +125,28 @@ class ExeMemState:
     blob: bytes
     nbytes: int
     src_arch: str
+
+
+@dataclass
+class StateChunk:
+    """One slice of the machine-independent state (migration fast path).
+
+    The pipelined transfer ships the :class:`ExeMemState` payload as a
+    FIFO sequence of these, starting while the channel drain is still in
+    progress; the concatenation of all chunk parts is byte-identical to
+    the blob the non-pipelined path would have sent. Marked protocol
+    control because a drain-timeout abort can legitimately strand chunks
+    at a terminating initialized process — the retry re-sends the whole
+    stream on a fresh channel, so no state is lost.
+    """
+
+    seq: int
+    parts: tuple
+    nbytes: int
+    last: bool
+    total_nbytes: int
+    src_arch: str
+    protocol_control = True
 
 
 # -- scheduler RPCs --------------------------------------------------------------

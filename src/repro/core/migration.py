@@ -39,8 +39,10 @@ from repro.core.messages import (
     RestoreComplete,
     SchedulerAck,
     SIG_DISCONNECT,
+    StateChunk,
 )
 from repro.core.sizes import CONTROL_PAYLOAD_BYTES, MESSAGE_HEADER_BYTES
+from repro.core.streaming import ChunkSource
 from repro.sim.kernel import TIMEOUT
 from repro.sim.trace import KIND_TIMEOUT
 from repro.util.errors import MigrationError
@@ -84,6 +86,32 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     # (dispatch nacks them in the MIGRATING state).
     vm.daemon(ctx.host).reject_future_conn_reqs(ctx.vmid.pid)
 
+    # Fast path: the transfer channel opens *now* (the initialized process
+    # already exists) so state collection can interleave with the drain —
+    # whenever the mailbox is idle, the next state_chunk is collected and
+    # shipped instead of just waiting on in-transit messages. Collection,
+    # network transfer and destination-side restore then overlap in
+    # virtual time; the chunk stream is byte-identical to the single blob
+    # the sequential path sends.
+    xfer: Channel | None = None
+    source: ChunkSource | None = None
+    collect_seconds = 0.0
+    if ep.fastpath:
+        xfer = vm.create_channel(ctx.vmid, new_vmid)
+        source = ChunkSource(state, ep.arch, ep.chunk_bytes)
+
+    def send_next_chunk() -> None:
+        nonlocal collect_seconds
+        chunk = source.next_chunk()
+        costs = vm.costs
+        seconds = chunk.nbytes * costs.state_collect_per_byte
+        if chunk.seq == 0:
+            seconds += costs.state_fixed
+        t0 = kernel.now
+        ctx.burn(seconds)
+        collect_seconds += kernel.now - t0
+        xfer.send(ctx, chunk, chunk.nbytes)
+
     # Line 5: coordinate every connected peer — disconnection signal plus
     # peer_migrating as our last message on each channel.
     t_coord0 = kernel.now
@@ -116,11 +144,19 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         if drain_deadline is not None:
             remaining = drain_deadline - kernel.now
             if remaining <= 0:
-                _abort_migration(ep, waiting)
+                _abort_migration(ep, waiting, xfer)
                 return
+        if source is not None and not source.exhausted \
+                and not len(ctx.mailbox):
+            # Nothing to drain right now: spend the wait collecting and
+            # shipping state instead of idling (the pipelined overlap).
+            # Messages arriving during the chunk's burn are picked up on
+            # the next iteration.
+            send_next_chunk()
+            continue
         item = ctx.next_message(timeout=remaining)
         if item is TIMEOUT:
-            _abort_migration(ep, waiting)
+            _abort_migration(ep, waiting, xfer)
             return
         ep.dispatch(item)
     ep._drain_waiting = None
@@ -135,25 +171,38 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
 
     # Line 8: forward the received-message-list to the new process over a
     # direct transfer channel.
-    xfer = vm.create_channel(ctx.vmid, new_vmid)
+    if xfer is None:
+        xfer = vm.create_channel(ctx.vmid, new_vmid)
     messages = ep.recvlist.take_all()
     list_nbytes = sum(m.nbytes for m in messages) + MESSAGE_HEADER_BYTES
     xfer.send(ctx, RecvListTransfer(messages, list_nbytes), list_nbytes)
     vm.trace_record(ctx.name, "recvlist_sent", count=len(messages),
                     nbytes=list_nbytes)
 
-    # Line 9: collect execution and memory state into the
-    # machine-independent representation (refs [10, 11]).
-    t_collect0 = kernel.now
-    blob = encode(state, ep.arch)
-    costs = vm.costs
-    ctx.burn(costs.state_fixed + len(blob) * costs.state_collect_per_byte)
-    vm.trace_record(ctx.name, "collect_done", nbytes=len(blob),
-                    seconds=kernel.now - t_collect0)
-
-    # Line 10: ship it.
-    xfer.send(ctx, ExeMemState(blob, len(blob), ep.arch.name), len(blob))
-    vm.trace_record(ctx.name, "state_sent", nbytes=len(blob))
+    if source is None:
+        # Lines 9-10 sequential (fastpath=False): collect execution and
+        # memory state into the machine-independent representation
+        # (refs [10, 11]), then ship it as one blob.
+        t_collect0 = kernel.now
+        blob = encode(state, ep.arch, fastpath=False)
+        costs = vm.costs
+        ctx.burn(costs.state_fixed + len(blob) * costs.state_collect_per_byte)
+        vm.trace_record(ctx.name, "collect_done", nbytes=len(blob),
+                        seconds=kernel.now - t_collect0)
+        xfer.send(ctx, ExeMemState(blob, len(blob), ep.arch.name), len(blob))
+        vm.trace_record(ctx.name, "state_sent", nbytes=len(blob))
+    else:
+        # Lines 9-10 pipelined: ship whatever the drain did not already
+        # cover. collect_done marks the end of collection as before —
+        # with the pipeline most of the transfer is already in flight or
+        # delivered by now, which is where the latency win comes from.
+        while not source.exhausted:
+            send_next_chunk()
+        vm.trace_record(ctx.name, "collect_done",
+                        nbytes=source.total_nbytes,
+                        seconds=collect_seconds, nchunks=source.nchunks)
+        vm.trace_record(ctx.name, "state_sent", nbytes=source.total_nbytes,
+                        nchunks=source.nchunks)
 
     # Line 11: the migrating process terminates; the initialized process
     # resumes execution.
@@ -162,7 +211,8 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     ctx.terminate()
 
 
-def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]") -> None:
+def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]",
+                     xfer: Channel | None = None) -> None:
     """Drain timeout expired: revert to normal execution (hardened mode).
 
     Undoes Fig. 5 lines 4-5: the endpoint returns to NORMAL, the local
@@ -171,10 +221,16 @@ def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]") -> None:
     already coordinated are *not* resurrected — peer_migrating was their
     last message, both sides have closed them, and future sends simply
     reconnect; no data was lost because everything in transit was drained
-    into the received-message-list, which this process keeps.
+    into the received-message-list, which this process keeps. State chunks
+    the fast path already shipped are abandoned with the transfer channel
+    (dropped as protocol control at the exiting initialized process); a
+    retried migration re-encodes and re-sends from scratch on a fresh
+    channel to the fresh initialized process.
     """
     ctx = ep.ctx
     vm = ep.vm
+    if xfer is not None:
+        xfer.close_end(ctx.vmid)
     vm.trace_record(ctx.name, KIND_TIMEOUT, what="migration_drain",
                     waiting=sorted(waiting),
                     pending_grants=ep.pending_grant_count())
@@ -229,15 +285,30 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     vm.trace_record(ctx.name, "recvlist_received",
                     count=len(transfer.messages))
 
-    # Line 4: receive the execution and memory state.
-    env = _pump_transfer(ep, ExeMemState)
-    payload: ExeMemState = env.payload
-    vm.trace_record(ctx.name, "state_received", nbytes=payload.nbytes,
-                    src_arch=payload.src_arch)
-    t_restore0 = kernel.now
-    state = decode(payload.blob)
-    costs = vm.costs
-    ctx.burn(costs.state_fixed + payload.nbytes * costs.state_restore_per_byte)
+    # Line 4: receive the execution and memory state — either the single
+    # ExeMemState blob (sequential path) or the tail of a state_chunk
+    # stream whose restore cost was charged chunk-by-chunk as it arrived
+    # (pipelined path; chunks may have been absorbed since before the
+    # recvlist transfer landed).
+    result = _receive_state(ep)
+    restore_prepaid = 0.0
+    if isinstance(result, Envelope):
+        payload: ExeMemState = result.payload
+        vm.trace_record(ctx.name, "state_received", nbytes=payload.nbytes,
+                        src_arch=payload.src_arch)
+        t_restore0 = kernel.now
+        state = decode(payload.blob, fastpath=ep.fastpath)
+        costs = vm.costs
+        ctx.burn(costs.state_fixed
+                 + payload.nbytes * costs.state_restore_per_byte)
+    else:
+        asm = result
+        vm.trace_record(ctx.name, "state_received", nbytes=asm.total_nbytes,
+                        src_arch=asm.src_arch, nchunks=asm.nchunks)
+        t_restore0 = kernel.now
+        state = decode(asm.assemble())
+        restore_prepaid = asm.restore_seconds
+        ep._chunk_assembler = None
     if not isinstance(state, dict):
         raise MigrationError(
             f"restored state is {type(state).__name__}, expected dict")
@@ -250,7 +321,7 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     snapshot: PLSnapshot = reply_env.msg
     ep.pl.replace_all(snapshot.table)
     vm.trace_record(ctx.name, "restore_done",
-                    seconds=kernel.now - t_restore0,
+                    seconds=restore_prepaid + (kernel.now - t_restore0),
                     old_vmid=str(snapshot.old_vmid))
 
     # The PL snapshot proves the scheduler booked restore_complete, so an
@@ -276,7 +347,27 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     return state
 
 
-def _pump_transfer(ep: MigrationEndpoint, payload_type: type) -> Envelope:
+def _receive_state(ep: MigrationEndpoint):
+    """Wait for the full state: a blob envelope or a complete chunk stream.
+
+    Returns the :class:`~repro.vm.messages.Envelope` carrying an
+    :class:`ExeMemState`, or the endpoint's completed
+    :class:`~repro.core.streaming.ChunkAssembler`. Chunks that arrived
+    while earlier waits were pumping have already been absorbed by
+    dispatch, so the stream may be complete before we even start.
+    """
+    asm = ep._chunk_assembler
+    if asm is not None and asm.complete:
+        return asm
+    env = _pump_transfer(ep, ExeMemState, accept_chunk_tail=True)
+    if isinstance(env.payload, StateChunk):
+        ep.dispatch(env)  # absorb the final chunk; the assembler completes
+        return ep._chunk_assembler
+    return env
+
+
+def _pump_transfer(ep: MigrationEndpoint, payload_type: type,
+                   accept_chunk_tail: bool = False) -> Envelope:
     """Wait for a state-transfer payload, honouring scheduler aborts.
 
     If the scheduler reports the migrating rank terminated before starting
@@ -295,8 +386,12 @@ def _pump_transfer(ep: MigrationEndpoint, payload_type: type) -> Envelope:
     token_box: list[int | None] = [None]
 
     def pred(it: Any) -> bool:
-        if isinstance(it, Envelope) and isinstance(it.payload, payload_type):
-            return True
+        if isinstance(it, Envelope):
+            if isinstance(it.payload, payload_type):
+                return True
+            if accept_chunk_tail and isinstance(it.payload, StateChunk) \
+                    and it.payload.last:
+                return True
         if isinstance(it, ControlEnvelope):
             if isinstance(it.msg, InitAbort):
                 return True

@@ -10,10 +10,25 @@ but have not yet been consumed by the application. It exists because:
 * on the initialized process, the migrating process's forwarded list is
   *prepended* ("ListA is read before ListB") — the mechanism behind the
   ordering proof of Theorem 3.
+
+Implementation: instead of the paper-literal linear scan, messages are
+indexed by ``(src, tag)`` into per-key FIFO queues ordered by a global
+arrival sequence number. An exact-match ``find`` is O(1); a wildcard
+``find`` takes the minimum head sequence over the candidate keys (the
+distinct keys for one src/tag, not the stored messages), so a receive on
+a hot channel no longer degrades with how many unrelated messages are
+buffered. Delivery order is *identical* to the linear scan: the oldest
+matching message wins, everything else keeps its place.
+
+:attr:`total_scanned` still reports what the paper's linear scan *would*
+have touched (the matched message's position, or the full length on a
+miss) — it drives the Table 1 list-search cost model and must not change
+meaning just because the search got faster.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from typing import Iterable, Iterator
 
@@ -27,7 +42,17 @@ class ReceivedMessageList:
     """Ordered store of undelivered :class:`DataMessage` objects."""
 
     def __init__(self) -> None:
-        self._items: deque[DataMessage] = deque()
+        #: arrival sequence -> message, for every live entry
+        self._by_seq: dict[int, DataMessage] = {}
+        #: live sequences in FIFO (ascending) order
+        self._live: list[int] = []
+        #: (src, tag) -> FIFO of live sequences for that key
+        self._key_q: dict[tuple, deque[int]] = {}
+        #: src -> keys seen for it; tag -> keys seen for it (wildcards)
+        self._src_keys: dict[Rank, set[tuple]] = {}
+        self._tag_keys: dict[int, set[tuple]] = {}
+        self._next_seq = 0
+        self._min_seq = 0
         #: total messages ever appended (protocol accounting)
         self.total_appended = 0
         #: entries scanned by find() calls (drives the list-search cost and
@@ -35,14 +60,27 @@ class ReceivedMessageList:
         self.total_scanned = 0
 
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._live)
 
     def __iter__(self) -> Iterator[DataMessage]:
-        return iter(self._items)
+        return (self._by_seq[s] for s in self._live)
+
+    def _insert(self, seq: int, msg: DataMessage) -> None:
+        self._by_seq[seq] = msg
+        key = (msg.src, msg.tag)
+        q = self._key_q.get(key)
+        if q is None:
+            q = self._key_q[key] = deque()
+            self._src_keys.setdefault(msg.src, set()).add(key)
+            self._tag_keys.setdefault(msg.tag, set()).add(key)
+        q.append(seq)
 
     def append(self, msg: DataMessage) -> None:
         """Store a newly arrived (but unwanted or drained) message."""
-        self._items.append(msg)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._live.append(seq)
+        self._insert(seq, msg)
         self.total_appended += 1
 
     def prepend_all(self, msgs: Iterable[DataMessage]) -> None:
@@ -50,30 +88,85 @@ class ReceivedMessageList:
 
         Fig. 7 line 3: contents of the migrating process's
         received-message-list go in front of the local one, so messages
-        captured in transit are consumed before anything newer.
+        captured in transit are consumed before anything newer. The batch
+        gets sequence numbers below every existing entry; within the
+        batch, original order is kept.
         """
-        self._items.extendleft(reversed(list(msgs)))
+        batch = list(msgs)
+        if not batch:
+            return
+        base = self._min_seq - len(batch)
+        self._min_seq = base
+        seqs = list(range(base, base + len(batch)))
+        # Per-key queues must stay sorted: the new seqs precede everything
+        # live, and keys may interleave, so rebuild the affected queues.
+        affected: dict[tuple, list[int]] = {}
+        for seq, msg in zip(seqs, batch):
+            self._by_seq[seq] = msg
+            affected.setdefault((msg.src, msg.tag), []).append(seq)
+        for key, new_seqs in affected.items():
+            q = self._key_q.get(key)
+            if q is None:
+                self._key_q[key] = deque(new_seqs)
+                self._src_keys.setdefault(key[0], set()).add(key)
+                self._tag_keys.setdefault(key[1], set()).add(key)
+            else:
+                q.extendleft(reversed(new_seqs))
+        self._live[:0] = seqs
+
+    def _candidate_keys(self, src: Rank | None, tag: int | None):
+        if src is not ANY:
+            return self._src_keys.get(src, ())
+        return self._tag_keys.get(tag, ())
 
     def find(self, src: Rank | None = ANY, tag: int | None = ANY
              ) -> DataMessage | None:
         """Remove and return the oldest message matching ``(src, tag)``.
 
         Returns ``None`` when no stored message matches. Scan cost is
-        recorded in :attr:`total_scanned`.
+        recorded in :attr:`total_scanned` as the equivalent linear-scan
+        work (position of the match, or full length on a miss).
         """
-        for i, msg in enumerate(self._items):
-            if msg.matches(src, tag):
-                self.total_scanned += i + 1
-                del self._items[i]
-                return msg
-        self.total_scanned += len(self._items)
-        return None
+        key = None
+        if src is not ANY and tag is not ANY:
+            if (src, tag) in self._key_q:
+                key = (src, tag)
+        elif src is ANY and tag is ANY:
+            if self._live:
+                head = self._live[0]
+                msg = self._by_seq[head]
+                key = (msg.src, msg.tag)
+        else:
+            best = None
+            for k in self._candidate_keys(src, tag):
+                head = self._key_q[k][0]
+                if best is None or head < best:
+                    best = head
+                    key = k
+        if key is None:
+            self.total_scanned += len(self._live)
+            return None
+        q = self._key_q[key]
+        seq = q.popleft()
+        if not q:
+            del self._key_q[key]
+            self._src_keys[key[0]].discard(key)
+            self._tag_keys[key[1]].discard(key)
+        msg = self._by_seq.pop(seq)
+        idx = bisect_left(self._live, seq)
+        del self._live[idx]
+        self.total_scanned += idx + 1
+        return msg
 
     def take_all(self) -> list[DataMessage]:
         """Remove and return everything (migrate() shipping the list)."""
-        out = list(self._items)
-        self._items.clear()
+        out = [self._by_seq[s] for s in self._live]
+        self._by_seq.clear()
+        self._live.clear()
+        self._key_q.clear()
+        self._src_keys.clear()
+        self._tag_keys.clear()
         return out
 
     def __repr__(self) -> str:
-        return f"<ReceivedMessageList n={len(self._items)}>"
+        return f"<ReceivedMessageList n={len(self._live)}>"

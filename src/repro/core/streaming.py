@@ -1,0 +1,147 @@
+"""Incremental state collection and chunked transfer (migration fast path).
+
+The paper's Tables 1-2 show migration cost dominated by three sequential
+stages: collect the machine-independent state, ship it, restore it. The
+fast path turns that sequence into a pipeline: :class:`ChunkSource` slices
+the zero-copy part list from :func:`repro.codec.encode_parts` into
+``state_chunk`` frames that the migrating process collects-and-sends one
+at a time — interleaved with the channel drain, and with the network and
+the destination's restore work proceeding concurrently in virtual time.
+:class:`ChunkAssembler` is the destination side: it absorbs chunks as they
+arrive (charging restore cost per chunk) and joins the payload exactly
+once when the last chunk lands.
+
+The chunk stream is bytewise identical to the single
+:class:`~repro.core.messages.ExeMemState` blob of the non-pipelined path:
+``assemble()`` returns the same bytes ``encode(state, arch)`` would have
+produced, so the decoded state cannot differ between modes.
+
+Chunks ride the same reliable FIFO transfer channel as the
+received-message-list, and they are *protocol-control* payloads: when a
+drain timeout aborts a migration after some chunks were already shipped,
+the stranded chunks at the terminating initialized process are dropped as
+benign control traffic (the retry re-encodes and re-sends everything on a
+fresh channel), so Theorem 2's no-data-loss check is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.codec import Architecture, encode_parts
+from repro.core.messages import StateChunk
+from repro.util.errors import MigrationError
+
+__all__ = ["ChunkSource", "ChunkAssembler", "DEFAULT_CHUNK_BYTES"]
+
+#: default state_chunk payload size — small enough that drain traffic is
+#: never stalled behind a chunk for long, large enough that per-chunk
+#: fixed costs (send_fixed, per-message dispatch) stay negligible
+DEFAULT_CHUNK_BYTES = 256 * 1024
+
+
+class ChunkSource:
+    """Slices one encoded state into :class:`StateChunk` payloads.
+
+    Encoding happens eagerly (the state must be captured at one point in
+    virtual time — the paper's collect step), but into zero-copy parts:
+    large array buffers are never flattened on the source host, only
+    sliced into per-chunk ``memoryview`` groups.
+    """
+
+    def __init__(self, state: Any, arch: Architecture,
+                 chunk_bytes: int = DEFAULT_CHUNK_BYTES):
+        if chunk_bytes <= 0:
+            raise MigrationError(f"chunk_bytes must be positive: {chunk_bytes}")
+        self.arch = arch
+        self.chunk_bytes = chunk_bytes
+        groups: list[tuple[tuple, int]] = []
+        cur: list = []
+        cur_n = 0
+        total = 0
+        for part in encode_parts(state, arch):
+            mv = part if isinstance(part, memoryview) else memoryview(part)
+            n = mv.nbytes
+            total += n
+            off = 0
+            while off < n:
+                take = min(chunk_bytes - cur_n, n - off)
+                if off == 0 and take == n:
+                    cur.append(part)  # whole part fits — keep it intact
+                else:
+                    cur.append(mv[off:off + take])
+                cur_n += take
+                off += take
+                if cur_n == chunk_bytes:
+                    groups.append((tuple(cur), cur_n))
+                    cur = []
+                    cur_n = 0
+        if cur or not groups:
+            groups.append((tuple(cur), cur_n))
+        self.total_nbytes = total
+        self._groups = groups
+        self._next = 0
+
+    @property
+    def nchunks(self) -> int:
+        return len(self._groups)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._next >= len(self._groups)
+
+    def next_chunk(self) -> StateChunk:
+        """The next chunk frame, in order; ``last`` set on the final one."""
+        i = self._next
+        if i >= len(self._groups):
+            raise MigrationError("chunk source exhausted")
+        self._next = i + 1
+        parts, nbytes = self._groups[i]
+        return StateChunk(seq=i, parts=parts, nbytes=nbytes,
+                          last=self._next == len(self._groups),
+                          total_nbytes=self.total_nbytes,
+                          src_arch=self.arch.name)
+
+
+class ChunkAssembler:
+    """Destination-side reassembly of a :class:`ChunkSource` stream.
+
+    The transfer channel is FIFO, so chunks arrive in sequence; a gap or
+    duplicate means a protocol bug, not a network condition, and raises.
+    """
+
+    def __init__(self) -> None:
+        self._parts: list = []
+        self.nbytes = 0
+        self.nchunks = 0
+        self.complete = False
+        self.total_nbytes: int | None = None
+        self.src_arch: str | None = None
+        #: virtual seconds of restore cost charged while absorbing chunks
+        self.restore_seconds = 0.0
+
+    def add(self, chunk: StateChunk) -> None:
+        if self.complete:
+            raise MigrationError(
+                f"state chunk {chunk.seq} after the stream completed")
+        if chunk.seq != self.nchunks:
+            raise MigrationError(
+                f"state chunk out of order: got {chunk.seq}, "
+                f"expected {self.nchunks}")
+        self._parts.extend(chunk.parts)
+        self.nbytes += chunk.nbytes
+        self.nchunks += 1
+        if chunk.last:
+            if chunk.total_nbytes != self.nbytes:
+                raise MigrationError(
+                    f"state stream truncated: got {self.nbytes} bytes, "
+                    f"header said {chunk.total_nbytes}")
+            self.total_nbytes = chunk.total_nbytes
+            self.src_arch = chunk.src_arch
+            self.complete = True
+
+    def assemble(self) -> bytes:
+        """Join the received parts into the full blob (the one copy)."""
+        if not self.complete:
+            raise MigrationError("state stream incomplete")
+        return b"".join(self._parts)

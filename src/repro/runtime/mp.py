@@ -37,10 +37,18 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.codec import NATIVE, Architecture, decode, encode
+from repro.core.streaming import ChunkSource
 from repro.directory.chordring import ChordRing
 from repro.directory.hashring import HashRing
 from repro.directory.spec import DirectorySpec
-from repro.runtime.framing import FrameClosed, recv_frame, send_frame
+from repro.runtime.framing import (
+    FrameBatcher,
+    FrameClosed,
+    FrameReader,
+    recv_frame,
+    send_frame,
+    send_frame_fast,
+)
 
 __all__ = ["MPCluster", "MPApi"]
 
@@ -252,12 +260,19 @@ class _StoredMessage:
 
 
 class _PeerLink:
-    """One TCP connection to a peer, with its reader thread."""
+    """One TCP connection to a peer, with its reader thread.
 
-    def __init__(self, sock: socket.socket, rank: int, inbox: queue.Queue):
+    ``fastpath`` switches both directions to the zero-copy framing
+    (``sendmsg`` scatter-gather out, ``recv_into`` reader in); the wire
+    format is unchanged, so a fast link interoperates with a legacy one.
+    """
+
+    def __init__(self, sock: socket.socket, rank: int, inbox: queue.Queue,
+                 fastpath: bool = False):
         self.sock = sock
         self.rank = rank
         self.open = True
+        self.fastpath = fastpath
         self._wlock = threading.Lock()
         self._reader = threading.Thread(
             target=self._read_loop, args=(inbox,), daemon=True)
@@ -265,6 +280,10 @@ class _PeerLink:
 
     def _read_loop(self, inbox: queue.Queue) -> None:
         try:
+            if self.fastpath:
+                reader = FrameReader(self.sock)
+                while True:
+                    inbox.put(("peer", self.rank, reader.read_frame()))
             while True:
                 inbox.put(("peer", self.rank, recv_frame(self.sock)))
         except (FrameClosed, OSError):
@@ -274,7 +293,10 @@ class _PeerLink:
 
     def send(self, frame: Any) -> None:
         with self._wlock:
-            send_frame(self.sock, frame)
+            if self.fastpath:
+                send_frame_fast(self.sock, frame)
+            else:
+                send_frame(self.sock, frame)
 
     def close(self) -> None:
         self.open = False
@@ -327,12 +349,14 @@ class _Worker:
 
     def __init__(self, rank: int, nranks: int, registry_addr: tuple,
                  program: Callable, initializing: bool,
-                 arch: Architecture, incarnation: int):
+                 arch: Architecture, incarnation: int,
+                 fastpath: bool = True):
         self.rank = rank
         self.nranks = nranks
         self.program = program
         self.arch = arch
         self.incarnation = incarnation
+        self.fastpath = fastpath
         self.inbox: queue.Queue = queue.Queue()
         self.links: dict[int, _PeerLink] = {}
         self.recvlist: list[_StoredMessage] = []
@@ -380,11 +404,13 @@ class _Worker:
                     continue
                 peer_rank = hello[1]
                 self.inbox.put(("new_link", peer_rank,
-                                _PeerLink(conn, peer_rank, self.inbox)))
+                                _PeerLink(conn, peer_rank, self.inbox,
+                                          self.fastpath)))
             elif hello[0] == "state_transfer":
                 # the migrating process's transfer connection; its frames
-                # (recvlist, state) flow into the inbox like peer frames
-                _PeerLink(conn, hello[1], self.inbox)
+                # (recvlist, state/state_chunk) flow into the inbox like
+                # peer frames
+                _PeerLink(conn, hello[1], self.inbox, self.fastpath)
             else:
                 conn.close()
 
@@ -428,7 +454,7 @@ class _Worker:
                     if ack[0] != "hello_ack":
                         raise OSError(f"bad handshake {ack!r}")
                     sock.settimeout(None)
-                    link = _PeerLink(sock, dest, self.inbox)
+                    link = _PeerLink(sock, dest, self.inbox, self.fastpath)
                     self.links[dest] = link
                     return link
                 except (OSError, FrameClosed):
@@ -558,11 +584,27 @@ class _Worker:
         # execution/memory state
         xfer = socket.create_connection(tuple(new_addr),
                                         timeout=_CONNECT_TIMEOUT)
-        send_frame(xfer, ("state_transfer", self.rank))
-        send_frame(xfer, ("recvlist",
-                          [(m.src, m.tag, m.body) for m in self.recvlist]))
-        blob = encode(state, self.arch)
-        send_frame(xfer, ("state", blob))
+        if self.fastpath:
+            # chunked stream: the destination starts absorbing while we
+            # are still encoding; small leading frames (handshake,
+            # recvlist) coalesce with the first chunk into one sendmsg
+            batch = FrameBatcher(xfer)
+            batch.add(("state_transfer", self.rank))
+            batch.add(("recvlist",
+                       [(m.src, m.tag, m.body) for m in self.recvlist]))
+            source = ChunkSource(state, self.arch)
+            while not source.exhausted:
+                c = source.next_chunk()
+                batch.add(("state_chunk", c.seq, b"".join(c.parts),
+                           c.last, c.total_nbytes))
+            batch.flush()
+        else:
+            send_frame(xfer, ("state_transfer", self.rank))
+            send_frame(xfer, ("recvlist",
+                              [(m.src, m.tag, m.body)
+                               for m in self.recvlist]))
+            blob = encode(state, self.arch, fastpath=False)
+            send_frame(xfer, ("state", blob))
         xfer.close()
         _dbg(f"rank {self.rank}: state shipped; exiting source process")
         raise _Migrated()
@@ -577,22 +619,25 @@ class _Migrated(BaseException):
 # ---------------------------------------------------------------------------
 
 def _worker_main(rank: int, nranks: int, registry_addr: tuple,
-                 program: Callable, pl: dict, arch: Architecture) -> None:
+                 program: Callable, pl: dict, arch: Architecture,
+                 fastpath: bool = True) -> None:
     w = _Worker(rank, nranks, registry_addr, program, initializing=False,
-                arch=arch, incarnation=0)
+                arch=arch, incarnation=0, fastpath=fastpath)
     w.pl = dict(pl)
     _run_program(w, {})
 
 
 def _init_main(rank: int, nranks: int, registry_addr: tuple,
                program: Callable, arch: Architecture,
-               incarnation: int) -> None:
+               incarnation: int, fastpath: bool = True) -> None:
     w = _Worker(rank, nranks, registry_addr, program, initializing=True,
-                arch=arch, incarnation=incarnation)
+                arch=arch, incarnation=incarnation, fastpath=fastpath)
     # Fig. 7: accept connections from the start; wait for the transfer.
-    transfer_link: list = []
+    # The state arrives either as one legacy ("state", blob) frame or as
+    # an ordered run of ("state_chunk", seq, data, last, total) frames.
     recvlist_a = None
     state_blob = None
+    chunks: list = []
     while state_blob is None:
         item = w.inbox.get(timeout=_CONNECT_TIMEOUT)
         kind, peer, payload = item
@@ -600,6 +645,19 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
             recvlist_a = payload[1]
         elif kind == "peer" and payload[0] == "state":
             state_blob = payload[1]
+        elif kind == "peer" and payload[0] == "state_chunk":
+            _, seq, data, last, total = payload
+            if seq != len(chunks):
+                raise ValueError(
+                    f"state chunk {seq} out of order (expected "
+                    f"{len(chunks)}); transfer channel is not FIFO?")
+            chunks.append(data)
+            if last:
+                state_blob = b"".join(chunks)
+                if len(state_blob) != total:
+                    raise ValueError(
+                        f"state stream truncated: got {len(state_blob)} "
+                        f"of {total} bytes")
         else:
             w._dispatch(item)
     # prepend ListA in front of whatever arrived on new connections
@@ -647,11 +705,15 @@ class MPCluster:
     def __init__(self, program: Callable, nranks: int,
                  arch: Architecture = NATIVE,
                  dest_arch: Architecture = NATIVE,
-                 directory: "DirectorySpec | str | None" = None):
+                 directory: "DirectorySpec | str | None" = None,
+                 fastpath: bool = True):
         self.program = program
         self.nranks = nranks
         self.arch = arch
         self.dest_arch = dest_arch
+        #: zero-copy framing + chunked state transfer; False reproduces
+        #: the original copy-per-frame wire path (A/B baseline)
+        self.fastpath = fastpath
         self.registry = _Registry(directory=directory)
         self.registry.expected_results = nranks
         self._procs: list[mp.Process] = []
@@ -663,7 +725,7 @@ class MPCluster:
             p = self._ctx.Process(
                 target=_worker_main,
                 args=(rank, self.nranks, self.registry.addr, self.program,
-                      {}, self.arch),
+                      {}, self.arch, self.fastpath),
                 daemon=True)
             p.start()
             self._procs.append(p)
@@ -698,7 +760,7 @@ class MPCluster:
         p = self._ctx.Process(
             target=_init_main,
             args=(rank, self.nranks, self.registry.addr, self.program,
-                  self.dest_arch, inc),
+                  self.dest_arch, inc, self.fastpath),
             daemon=True)
         p.start()
         self._procs.append(p)
