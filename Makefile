@@ -1,7 +1,7 @@
 # Developer entry points. Everything runs against the in-tree sources.
 export PYTHONPATH := src
 
-.PHONY: test fast stress bench bench-directory bench-fastpath
+.PHONY: test fast stress bench bench-directory bench-fastpath obs-smoke
 
 test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
 	python -m pytest -x -q
@@ -20,3 +20,6 @@ bench-directory: ## directory-backend ablation; writes BENCH_directory.json
 
 bench-fastpath: ## migration fast path A/B ablation; writes BENCH_fastpath.json
 	python -m pytest benchmarks/test_ablation_fastpath.py --benchmark-only -q -s
+
+obs-smoke: ## real mp migration with event collection on; validates the JSONL artifact
+	REPRO_OBS_SMOKE=1 python -m pytest tests/integration/test_obs_mp.py -q

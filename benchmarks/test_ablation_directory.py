@@ -92,7 +92,8 @@ def _run(backend: str, nranks: int, window: int | None = None) -> dict:
     key = f"{backend}:{nranks}:{window or 'full'}"
     if key in _cache:
         return _cache[key]
-    vm = VirtualMachine()
+    from repro.obs import MetricsRegistry
+    vm = VirtualMachine(metrics=MetricsRegistry())
     migrators = list(range(nranks))  # every rank relocates once
     for i in range(nranks):
         vm.add_host(f"h{i}")
@@ -118,6 +119,11 @@ def _run(backend: str, nranks: int, window: int | None = None) -> dict:
     check_invariants(vm, app,
                      expect_migrations=len(migrators)).raise_if_failed()
     report = directory_report(vm, app)
+    # The endpoint cache counters live in the metrics registry; the
+    # report's per-endpoint aggregation must agree with the registry's
+    # cluster-wide sums — one source of truth, computed one way.
+    for field, total in report.cache.items():
+        assert vm.metrics.sum(f"cache.{field}") == total, field
     out = {
         "backend": backend,
         "nranks": nranks,

@@ -18,6 +18,14 @@ from repro.analysis.metrics import (
     makespan,
     migration_breakdown,
 )
+from repro.analysis.obs import (
+    chunk_throughput,
+    drain_stragglers,
+    events_from_trace,
+    load_obs_events,
+    phase_breakdown,
+    render_obs_report,
+)
 from repro.analysis.persist import dumps_trace, load_trace, loads_trace, save_trace
 from repro.analysis.report import RunReport, run_report
 from repro.analysis.spacetime import MessageFlight, message_flights, render_spacetime
@@ -34,13 +42,19 @@ __all__ = [
     "MessageFlight",
     "RunReport",
     "TrafficReport",
+    "chunk_throughput",
     "codec_throughput",
+    "drain_stragglers",
     "dumps_trace",
+    "events_from_trace",
     "frame_roundtrip",
+    "load_obs_events",
     "load_trace",
     "measure_migration",
     "migration_latency",
     "loads_trace",
+    "phase_breakdown",
+    "render_obs_report",
     "run_report",
     "save_trace",
     "traffic_report",

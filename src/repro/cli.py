@@ -52,6 +52,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("theorems", help="quick no-loss/ordering check with a "
                                     "migrating receiver")
+
+    obs = sub.add_parser("obs", help="observability: collect a migration "
+                                     "JSONL artifact / render its report")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_run = obs_sub.add_parser(
+        "run", help="run a real 2-process migration with event collection "
+                    "on and write the merged JSONL artifact")
+    obs_run.add_argument("--out", metavar="PATH", default="obs_events.jsonl",
+                         help="artifact path (default: %(default)s)")
+    obs_run.add_argument("--rounds", type=int, default=40,
+                         help="ping-pong rounds around the migration")
+    obs_run.add_argument("--payload-kib", type=int, default=256,
+                         help="state ballast carried by the migrating rank")
+    obs_run.add_argument("--sample-every", type=int, default=0,
+                         help="emit every Nth send/recv event "
+                              "(0 = per-message events off, the default)")
+    obs_run.add_argument("--no-report", action="store_true",
+                         help="write the artifact only, skip the report")
+    obs_rep = obs_sub.add_parser(
+        "report", help="render the migration-window report from an artifact")
+    obs_rep.add_argument("artifact", help="JSONL artifact from 'obs run' "
+                                          "(or MPCluster.write_obs_jsonl)")
+    obs_rep.add_argument("--from-trace", action="store_true",
+                         help="artifact is a simulator trace saved with "
+                              "'repro mg --save-trace' — lift its obs "
+                              "events instead")
     return p
 
 
@@ -195,6 +221,66 @@ def _cmd_theorems(_: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _obs_demo_program(api, state):
+    """Ping-pong with state ballast: exercises drain, chunked transfer
+    and restore so the artifact has every migration phase in it."""
+    rounds = state["rounds"]
+    if "ballast" not in state:
+        state["ballast"] = b"\xa5" * state.pop("ballast_nbytes")
+    i = state.get("i", 0)
+    while i < rounds:
+        if api.rank == 0:
+            api.send(1, ("ping", i), tag=i)
+            api.recv(src=1, tag=i)
+        else:
+            api.recv(src=0, tag=i)
+            api.send(0, ("pong", i), tag=i)
+        i += 1
+        state["i"] = i
+        api.compute(0.002)
+        api.poll_migration(state)
+    return {"rounds": i, "incarnation": api.incarnation}
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.analysis import load_obs_events, render_obs_report
+
+    if args.obs_command == "report":
+        if args.from_trace:
+            from repro.analysis import events_from_trace, load_trace
+            events = events_from_trace(load_trace(args.artifact))
+        else:
+            events = load_obs_events(args.artifact)
+        print(render_obs_report(events))
+        return 0
+
+    import time
+
+    from repro.obs import ObsConfig
+    from repro.runtime import MPCluster
+
+    cluster = MPCluster(
+        _obs_demo_program, nranks=2,
+        init_states=[{"rounds": args.rounds,
+                      "ballast_nbytes": args.payload_kib * 1024}
+                     for _ in range(2)],
+        obs=ObsConfig(sample_every=args.sample_every))
+    try:
+        cluster.start()
+        time.sleep(0.2)
+        cluster.migrate(1)
+        results = cluster.join(timeout=120)
+        count = cluster.write_obs_jsonl(args.out)
+    finally:
+        cluster.terminate()
+    assert results[1]["incarnation"] == 1, "migration did not complete"
+    print(f"wrote {count} events to {args.out}")
+    if not args.no_report:
+        print()
+        print(render_obs_report(load_obs_events(args.out)))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return {
@@ -202,4 +288,5 @@ def main(argv: Sequence[str] | None = None) -> int:
         "compare": _cmd_compare,
         "balance": _cmd_balance,
         "theorems": _cmd_theorems,
+        "obs": _cmd_obs,
     }[args.command](args)

@@ -178,9 +178,15 @@ class MigrationEndpoint:
         ctx.rank = rank
         self.scheduler_vmid = scheduler_vmid
         self.pl = pl.copy()
+        #: optional repro.obs.MetricsRegistry shared VM-wide; when set,
+        #: cache/lookup/consult counters and the recvlist scan histogram
+        #: are registered there (labelled by actor) instead of living
+        #: only in per-endpoint stats objects
+        self.metrics = getattr(ctx.vm, "metrics", None)
         #: cache discipline over the PL copy: negative invalidation on
         #: conn_nack, hit/miss accounting for the directory ablation
-        self.cache = LocationCache(self.pl)
+        self.cache = LocationCache(self.pl, metrics=self.metrics,
+                                   actor=ctx.name)
         self.directory_client = directory_client
         self.arch = arch
         self.migration_enabled = migration_enabled
@@ -203,6 +209,17 @@ class MigrationEndpoint:
         #: the paper's ``Closed_conn`` coordination counter (Figs. 4, 6)
         self.closed_conn = 0
         self.stats = EndpointStats()
+        if self.metrics is not None:
+            from repro.obs.metrics import POW2_BUCKETS
+            self._m_consults = self.metrics.counter(
+                "endpoint.scheduler_consults", actor=ctx.name)
+            self._m_sent = self.metrics.counter(
+                "endpoint.msgs_sent", actor=ctx.name)
+            self._m_recv = self.metrics.counter(
+                "endpoint.msgs_recv", actor=ctx.name)
+            self.recvlist.scan_hook = self.metrics.histogram(
+                "endpoint.recvlist_scan", bounds=POW2_BUCKETS,
+                actor=ctx.name).record
 
         self.migration_requested = False
         #: set by migration code while draining; ChannelHello arrivals
@@ -262,6 +279,8 @@ class MigrationEndpoint:
                 self.connected[dest].send(self.ctx, msg, nbytes)
             self.stats.messages_sent += 1
             self.stats.bytes_sent += nbytes
+            if self.metrics is not None:
+                self._m_sent.inc()
             self.vm.trace_record(self.ctx.name, "snow_send", dest=dest,
                                  tag=tag, nbytes=nbytes)
         finally:
@@ -285,6 +304,8 @@ class MigrationEndpoint:
                 if msg is not None:
                     self.stats.messages_received += 1
                     self.stats.bytes_received += msg.nbytes
+                    if self.metrics is not None:
+                        self._m_recv.inc()
                     self.vm.trace_record(self.ctx.name, "snow_recv",
                                          src=msg.src, tag=msg.tag,
                                          nbytes=msg.nbytes,
@@ -435,6 +456,8 @@ class MigrationEndpoint:
             return self.directory_client.lookup(self, dest)
         token = next(self._tokens)
         self.stats.scheduler_consults += 1
+        if self.metrics is not None:
+            self._m_consults.inc()
         self.vm.trace_record(self.ctx.name, "scheduler_consult", dest=dest,
                              token=token)
         item = self.request_reply(

@@ -16,6 +16,13 @@ the paper's Tables 1-2 and Figures 10-13):
 ``collect_done``, ``state_sent``, ``migration_source_done`` on the source;
 ``init_start``, ``recvlist_received``, ``state_received``,
 ``restore_done``, ``migration_commit`` on the destination.
+
+In addition, the migration lifecycle is bracketed by ``span_start`` /
+``span_end`` events carrying the frozen phase names of
+:mod:`repro.obs.events` (``freeze``, ``reject``, ``drain``,
+``transfer`` on the source; ``restore``, ``commit`` on the
+destination) — the same vocabulary the multiprocess runtime writes
+into its JSONL artifacts, so one report renderer serves both.
 """
 
 from __future__ import annotations
@@ -72,6 +79,7 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     t_start = kernel.now
     vm.trace_record(ctx.name, "migration_start", rank=ep.rank,
                     old_vmid=str(ctx.vmid))
+    vm.trace_record(ctx.name, "span_start", phase="freeze", rank=ep.rank)
 
     # Lines 2-3: inform the scheduler and obtain the initialized process's
     # vmid (the scheduler created it before signalling us).
@@ -80,10 +88,14 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         lambda m: isinstance(m, NewProcessReply) and m.rank == ep.rank)
     new_vmid = reply_env.msg.new_vmid
     ep.state = MIGRATING
+    vm.trace_record(ctx.name, "span_end", phase="freeze", rank=ep.rank,
+                    seconds=kernel.now - t_start)
 
     # Line 4: the local daemon rejects conn_reqs arriving beyond this
     # point; requests already in our mailbox are rejected as we drain
     # (dispatch nacks them in the MIGRATING state).
+    t_reject0 = kernel.now
+    vm.trace_record(ctx.name, "span_start", phase="reject", rank=ep.rank)
     vm.daemon(ctx.host).reject_future_conn_reqs(ctx.vmid.pid)
 
     # Fast path: the transfer channel opens *now* (the initialized process
@@ -115,6 +127,7 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     # Line 5: coordinate every connected peer — disconnection signal plus
     # peer_migrating as our last message on each channel.
     t_coord0 = kernel.now
+    vm.trace_record(ctx.name, "span_start", phase="drain", rank=ep.rank)
     waiting: set[Rank] = set()
     ep._drain_waiting = waiting
 
@@ -168,9 +181,13 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     t_coord = kernel.now - t_coord0
     vm.trace_record(ctx.name, "coordinate_done", seconds=t_coord,
                     captured=ep.stats.captured_in_transit)
+    vm.trace_record(ctx.name, "span_end", phase="drain", rank=ep.rank,
+                    seconds=t_coord)
 
     # Line 8: forward the received-message-list to the new process over a
     # direct transfer channel.
+    t_xfer0 = kernel.now
+    vm.trace_record(ctx.name, "span_start", phase="transfer", rank=ep.rank)
     if xfer is None:
         xfer = vm.create_channel(ctx.vmid, new_vmid)
     messages = ep.recvlist.take_all()
@@ -204,8 +221,13 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         vm.trace_record(ctx.name, "state_sent", nbytes=source.total_nbytes,
                         nchunks=source.nchunks)
 
+    vm.trace_record(ctx.name, "span_end", phase="transfer", rank=ep.rank,
+                    seconds=kernel.now - t_xfer0)
+
     # Line 11: the migrating process terminates; the initialized process
     # resumes execution.
+    vm.trace_record(ctx.name, "span_end", phase="reject", rank=ep.rank,
+                    seconds=kernel.now - t_reject0)
     vm.trace_record(ctx.name, "migration_source_done",
                     total_seconds=kernel.now - t_start)
     ctx.terminate()
@@ -272,6 +294,8 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     kernel = ep.kernel
     vm.trace_record(ctx.name, "init_start", rank=ep.rank,
                     vmid=str(ctx.vmid))
+    t_init0 = kernel.now
+    vm.trace_record(ctx.name, "span_start", phase="restore", rank=ep.rank)
 
     # Line 1 is implicit: the endpoint was constructed in the INITIALIZING
     # state and grants every conn_req from the start; data arriving on
@@ -323,6 +347,12 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     vm.trace_record(ctx.name, "restore_done",
                     seconds=restore_prepaid + (kernel.now - t_restore0),
                     old_vmid=str(snapshot.old_vmid))
+    # The restore span covers the whole receive+decode window (list and
+    # state transfer included), matching the mp runtime's restore phase.
+    vm.trace_record(ctx.name, "span_end", phase="restore", rank=ep.rank,
+                    seconds=kernel.now - t_init0)
+    t_commit0 = kernel.now
+    vm.trace_record(ctx.name, "span_start", phase="commit", rank=ep.rank)
 
     # The PL snapshot proves the scheduler booked restore_complete, so an
     # abort is no longer possible: grants held back while initializing
@@ -342,6 +372,8 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
             and it.msg.kind == "migration_commit" and it.msg.rank == ep.rank,
             what="migration_commit")
     vm.trace_record(ctx.name, "migration_commit", rank=ep.rank)
+    vm.trace_record(ctx.name, "span_end", phase="commit", rank=ep.rank,
+                    seconds=kernel.now - t_commit0)
 
     # Line 8: restore process state — the caller resumes the program.
     return state

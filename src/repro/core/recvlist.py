@@ -58,6 +58,10 @@ class ReceivedMessageList:
         #: entries scanned by find() calls (drives the list-search cost and
         #: the "modified vs original" overhead measurement of Table 1)
         self.total_scanned = 0
+        #: optional per-find observer, called with each find's equivalent
+        #: linear-scan length (the observability layer points this at a
+        #: histogram's ``record``)
+        self.scan_hook = None
 
     def __len__(self) -> int:
         return len(self._live)
@@ -145,6 +149,8 @@ class ReceivedMessageList:
                     key = k
         if key is None:
             self.total_scanned += len(self._live)
+            if self.scan_hook is not None:
+                self.scan_hook(len(self._live))
             return None
         q = self._key_q[key]
         seq = q.popleft()
@@ -156,6 +162,8 @@ class ReceivedMessageList:
         idx = bisect_left(self._live, seq)
         del self._live[idx]
         self.total_scanned += idx + 1
+        if self.scan_hook is not None:
+            self.scan_hook(idx + 1)
         return msg
 
     def take_all(self) -> list[DataMessage]:

@@ -19,9 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.pltable import PLTable
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.vm.ids import Rank, VmId
 
 __all__ = ["CacheStats", "LocationCache"]
+
+_FIELDS = ("hits", "stale_hits", "misses", "invalidations", "refreshes")
 
 
 @dataclass
@@ -36,11 +39,28 @@ class CacheStats:
 
 
 class LocationCache:
-    """Cache discipline over an endpoint's :class:`PLTable` copy."""
+    """Cache discipline over an endpoint's :class:`PLTable` copy.
 
-    def __init__(self, pl: PLTable):
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, the
+    counters live *in the registry* (``cache.hits{actor=...}`` etc.) and
+    :attr:`stats` is a derived view — one source of truth, whether the
+    numbers are read per-endpoint by the ablation report or cluster-wide
+    through a metrics snapshot.
+    """
+
+    def __init__(self, pl: PLTable, metrics: MetricsRegistry | None = None,
+                 actor: str = ""):
         self.pl = pl
-        self.stats = CacheStats()
+        if metrics is not None:
+            self._counters = {f: metrics.counter(f"cache.{f}", actor=actor)
+                              for f in _FIELDS}
+        else:
+            self._counters = {f: Counter(f"cache.{f}", {}) for f in _FIELDS}
+
+    @property
+    def stats(self) -> CacheStats:
+        """Dataclass view of the counters (cheap; built on read)."""
+        return CacheStats(**{f: c.value for f, c in self._counters.items()})
 
     def resolve(self, rank: Rank) -> VmId | None:
         """The location to target next, with hit accounting.
@@ -50,19 +70,19 @@ class LocationCache:
         """
         vmid = self.pl.get(rank)
         if vmid is None:
-            self.stats.misses += 1
+            self._counters["misses"].inc()
         elif self.pl.is_stale(rank):
-            self.stats.stale_hits += 1
+            self._counters["stale_hits"].inc()
         else:
-            self.stats.hits += 1
+            self._counters["hits"].inc()
         return vmid
 
     def invalidate(self, rank: Rank) -> None:
         """Negative invalidation: a conn_nack disproved this entry."""
-        self.stats.invalidations += 1
+        self._counters["invalidations"].inc()
         self.pl.invalidate(rank)
 
     def refresh(self, rank: Rank, vmid: VmId) -> None:
         """Install a location learned from the directory (or a hello)."""
-        self.stats.refreshes += 1
+        self._counters["refreshes"].inc()
         self.pl.update(rank, vmid)

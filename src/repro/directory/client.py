@@ -112,6 +112,8 @@ class DirectoryClient:
         self._count(ep, "dir_fallbacks")
         token = next(ep._tokens)
         ep.stats.scheduler_consults += 1
+        if getattr(ep, "metrics", None) is not None:
+            ep._m_consults.inc()
         ep.vm.trace_record(ep.ctx.name, "dir_fallback", rank=rank,
                            token=token)
         item = ep.request_reply(
@@ -127,6 +129,9 @@ class DirectoryClient:
     @staticmethod
     def _count(ep, key: str, amount: float = 1) -> None:
         ep.stats.extra[key] = ep.stats.extra.get(key, 0) + amount
+        metrics = getattr(ep, "metrics", None)
+        if metrics is not None:
+            metrics.counter(f"client.{key}", actor=ep.ctx.name).inc(amount)
 
 
 class ShardedClient(DirectoryClient):

@@ -1,0 +1,63 @@
+"""Unified observability: metrics, migration-phase spans, event collection.
+
+The paper evaluates its protocols with XPVM space-time views and
+per-phase migration cost breakdowns (Figs. 10-13, Tables 1-2). The
+simulator reproduces that through :mod:`repro.sim.trace`; this package
+extends the same discipline to the *real* multiprocess runtime and puts
+both behind one vocabulary:
+
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  fixed-bucket histograms, cheap enough for hot paths (one guarded
+  attribute increment when enabled, nothing when not);
+* :mod:`repro.obs.events` — the frozen event/phase vocabulary shared by
+  both runtimes, plus the JSONL artifact schema and its validator;
+* :mod:`repro.obs.recorder` — the span/event recording interface: the
+  sim backend stamps *virtual* time and feeds the existing
+  :class:`~repro.sim.trace.Trace`; the mp backend stamps wall time into
+  a per-process buffer that is batched over the control channel;
+* :mod:`repro.obs.collector` — the mp-side glue: worker configuration,
+  per-rank event buffering, and the registry-side merge that turns the
+  per-rank streams into one time-ordered JSONL artifact.
+
+``repro obs`` (see :mod:`repro.cli`) renders a migration-window report
+— per-phase breakdown, per-chunk transfer throughput, per-peer drain
+arrivals — from that artifact; :mod:`repro.analysis.obs` holds the
+loader/aggregator it is built on.
+"""
+
+from repro.obs.collector import ObsConfig, RegistryCollector, WorkerObs
+from repro.obs.events import (
+    EVENT_KINDS,
+    PHASES,
+    encode_jsonl_line,
+    validate_record,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    POW2_BUCKETS,
+    TIME_BUCKETS_S,
+)
+from repro.obs.recorder import NullRecorder, Recorder, Span, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "ObsConfig",
+    "PHASES",
+    "POW2_BUCKETS",
+    "Recorder",
+    "RegistryCollector",
+    "Span",
+    "TIME_BUCKETS_S",
+    "TraceRecorder",
+    "WorkerObs",
+    "encode_jsonl_line",
+    "validate_record",
+]

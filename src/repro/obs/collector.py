@@ -1,0 +1,144 @@
+"""Cross-process event collection for the multiprocess runtime.
+
+Worker side, a :class:`WorkerObs` bundles the per-process pieces: a
+:class:`~repro.obs.recorder.BufferRecorder` (wall-clock events), a
+:class:`~repro.obs.metrics.MetricsRegistry` (hot-path counters), and the
+sampling discipline for per-message events. The worker ships batches as
+``("obs", rank, actor, events, snapshot_or_None)`` frames on its
+*existing* registry control connection — no extra socket, and the frames
+are plain data for the allowlist unpickler.
+
+Registry side, a :class:`RegistryCollector` merges the per-rank streams:
+events accumulate tagged with their actor, metric snapshots fold into
+one cluster-wide registry, and :meth:`write_jsonl` emits the
+time-ordered artifact that ``repro obs report`` and
+:mod:`repro.analysis.obs` consume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs.events import encode_jsonl_line
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import BufferRecorder, Span
+
+__all__ = ["ObsConfig", "WorkerObs", "RegistryCollector"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What the mp runtime collects. Constructed in the launcher and
+    inherited by worker processes (fork).
+
+    ``sample_every`` governs per-*message* events only (``send`` /
+    ``recv``): 0 (default) records none — steady-state traffic is then
+    visible through counters alone, which is what keeps the enabled-mode
+    overhead inside the fastpath benchmark's 3%% budget; ``N > 0``
+    records every Nth message.
+    """
+
+    enabled: bool = True
+    sample_every: int = 0
+    flush_every: int = 512
+
+    @classmethod
+    def coerce(cls, value: "ObsConfig | bool | None") -> "ObsConfig | None":
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, cls):
+            return value if value.enabled else None
+        raise TypeError(f"obs must be ObsConfig | bool | None, "
+                        f"got {type(value).__name__}")
+
+
+class WorkerObs:
+    """Per-worker observability state (one OS process, one incarnation)."""
+
+    def __init__(self, config: ObsConfig, rank: int, actor: str,
+                 send_batch: Callable[[tuple], None]):
+        self.config = config
+        self.rank = rank
+        self.actor = actor
+        #: writes one ("obs", ...) frame on the worker's ctl connection
+        self._send_batch = send_batch
+        self.metrics = MetricsRegistry()
+        self.recorder = BufferRecorder(
+            actor, flush_every=config.flush_every,
+            on_full=lambda _rec: self.flush())
+        self._msg_seq = 0
+
+    # -- recording ---------------------------------------------------------
+    def event(self, kind: str, **fields: Any) -> None:
+        self.recorder.event(kind, **fields)
+
+    def span(self, phase: str, **fields: Any) -> Span:
+        return self.recorder.span(phase, rank=self.rank, **fields)
+
+    def sample_message(self) -> bool:
+        """True when this message should emit a per-message event."""
+        n = self.config.sample_every
+        if n <= 0:
+            return False
+        self._msg_seq += 1
+        return self._msg_seq % n == 0
+
+    # -- shipping ----------------------------------------------------------
+    def flush(self, final: bool = False) -> None:
+        """Ship buffered events (and, when *final*, the metrics) upstream.
+
+        Called from the worker's protocol thread only — the ctl socket
+        write must not interleave with RPCs.
+        """
+        events = self.recorder.drain()
+        snapshot = self.metrics.snapshot() if final else None
+        if not events and snapshot is None:
+            return
+        try:
+            self._send_batch(("obs", self.rank, self.actor, events, snapshot))
+        except OSError:
+            return  # registry gone (teardown); diagnostics are best-effort
+
+
+class RegistryCollector:
+    """Registry-side merge of every worker's streams."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: (ts, actor, kind, fields), unsorted until read
+        self._events: list[tuple[float, str, str, dict]] = []
+        self.metrics = MetricsRegistry()
+
+    def absorb(self, frame: tuple) -> None:
+        """Fold one ``("obs", rank, actor, events, snapshot)`` frame."""
+        _, _rank, actor, events, snapshot = frame
+        with self._lock:
+            for ts, kind, fields in events:
+                self._events.append((ts, actor, kind, fields))
+        if snapshot is not None:
+            self.metrics.merge_snapshot(snapshot)
+
+    def record(self, actor: str, kind: str, **fields: Any) -> None:
+        """Registry-originated event (e.g. the observed migration window)."""
+        with self._lock:
+            self._events.append((time.time(), actor, kind, fields))
+
+    def events(self) -> list[dict]:
+        """Every collected event as a JSONL-shaped dict, time-ordered."""
+        with self._lock:
+            rows = sorted(self._events)
+        return [{"ts": ts, "actor": actor, "kind": kind, **fields}
+                for ts, actor, kind, fields in rows]
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the merged artifact; returns the number of records."""
+        records = self.events()
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in records:
+                fh.write(encode_jsonl_line(rec) + "\n")
+        return len(records)

@@ -1,0 +1,109 @@
+"""The frozen observability vocabulary and the JSONL artifact schema.
+
+Both runtimes — the virtual-time simulator and the real multiprocess
+backend — emit the *same* event kinds and phase names, so one report
+renderer (:mod:`repro.analysis.obs`) and one invariant vocabulary serve
+both. Like the ``KIND_*`` constants of :mod:`repro.sim.trace`, these
+sets are public API: the stress suite, the JSONL validator and the
+``repro obs`` report all key on the exact strings, so renames are
+breaking changes and the vocabulary is kept as literal frozen sets
+(``tests/unit/test_obs.py`` pins them).
+
+JSONL artifact schema — one JSON object per line::
+
+    {"ts": <number>, "actor": "<p1|p1.m1|registry>", "kind": "<EVENT_KINDS>",
+     ...kind-specific fields...}
+
+``ts`` is wall-clock (``time.time()``) in the mp runtime and virtual
+seconds in the simulator; within one artifact all timestamps share a
+clock, so sorting by ``ts`` yields the merged cross-process stream.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["PHASES", "EVENT_KINDS", "SPAN_KINDS", "validate_record",
+           "encode_jsonl_line", "decode_jsonl_line"]
+
+#: The migration lifecycle phases, in execution order. Source side runs
+#: ``freeze`` (poll-point interception until the scheduler has produced
+#: the new process), opens the connection-rejection window (``reject``),
+#: drains in-transit messages (``drain``) and ships state (``transfer``);
+#: the destination restores (``restore``) and commits (``commit``).
+PHASES: frozenset[str] = frozenset({
+    "freeze", "reject", "drain", "transfer", "restore", "commit",
+})
+
+#: Execution-order ranking for report rendering (not part of the frozen
+#: contract — the *names* are).
+PHASE_ORDER = ("freeze", "reject", "drain", "transfer", "restore", "commit")
+
+#: Paired span delimiters. ``span_start`` carries ``phase`` (+ ``rank``);
+#: ``span_end`` repeats them and adds ``seconds``.
+SPAN_KINDS: frozenset[str] = frozenset({"span_start", "span_end"})
+
+#: Every event kind an obs artifact may contain.
+EVENT_KINDS: frozenset[str] = frozenset({
+    # migration lifecycle
+    "span_start",        # phase=<PHASES> rank=<int> [span=<int>]
+    "span_end",          # phase=<PHASES> rank=<int> seconds=<float>
+    "drain_peer",        # peer=<int> last=<eom|peer_migrating> rank=<int>
+    "state_chunk",       # seq=<int> nbytes=<int> last=<bool> rank=<int>
+    "migration_window",  # rank=<int> seconds=<float>  (registry-observed)
+    # steady state (sampled / low rate)
+    "send",              # dest=<int> tag=<int>
+    "recv",              # src=<int> tag=<int>
+    "connect",           # dest=<int> attempts=<int> seconds=<float>
+    "lookup",            # dest=<int> status=<str>
+    "retry",             # what=<str>
+    # free-form annotation (tooling, registry milestones)
+    "mark",              # text=<str>
+})
+
+_REQUIRED: dict[str, tuple[str, ...]] = {
+    "span_start": ("phase", "rank"),
+    "span_end": ("phase", "rank", "seconds"),
+    "drain_peer": ("peer", "last"),
+    "state_chunk": ("seq", "nbytes"),
+    "migration_window": ("rank", "seconds"),
+    "send": ("dest",),
+    "recv": ("src",),
+    "connect": ("dest",),
+    "lookup": ("dest", "status"),
+    "retry": ("what",),
+    "mark": (),
+}
+
+
+def validate_record(rec: Any) -> str | None:
+    """Schema check of one decoded JSONL record; ``None`` when valid,
+    else a human-readable reason."""
+    if not isinstance(rec, dict):
+        return f"record is {type(rec).__name__}, expected object"
+    for field, types in (("ts", (int, float)), ("actor", (str,)),
+                         ("kind", (str,))):
+        if field not in rec:
+            return f"missing required field {field!r}"
+        if not isinstance(rec[field], types) or isinstance(rec[field], bool):
+            return f"field {field!r} has type {type(rec[field]).__name__}"
+    kind = rec["kind"]
+    if kind not in EVENT_KINDS:
+        return f"unknown event kind {kind!r}"
+    for field in _REQUIRED[kind]:
+        if field not in rec:
+            return f"{kind} record missing field {field!r}"
+    if kind in SPAN_KINDS and rec["phase"] not in PHASES:
+        return f"{kind} names unknown phase {rec['phase']!r}"
+    return None
+
+
+def encode_jsonl_line(rec: dict) -> str:
+    """One artifact line (no trailing newline); keys sorted for stable
+    diffs."""
+    return json.dumps(rec, sort_keys=True, separators=(",", ":"))
+
+
+def decode_jsonl_line(line: str) -> dict:
+    return json.loads(line)

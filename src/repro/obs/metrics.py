@@ -1,0 +1,230 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Built for hot paths: recording into an already-created instrument is an
+attribute increment (plus a bisect for histograms); instrument *lookup*
+is the only dict access, so call sites create their instruments once and
+keep the reference. There is deliberately no locking on record — every
+instrument in this codebase has a single writer (one protocol thread, or
+one reader thread), while creation and snapshotting go through the
+registry lock.
+
+Snapshots are plain data (lists of dicts), safe for the mp runtime's
+allowlist unpickler, and re-mergeable: the registry process folds every
+worker's final snapshot into one cluster-wide view with
+:meth:`MetricsRegistry.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "POW2_BUCKETS", "TIME_BUCKETS_S"]
+
+#: Default histogram bounds for sizes/lengths: powers of two, 1 .. 1 MiB.
+POW2_BUCKETS: tuple[float, ...] = tuple(2 ** i for i in range(0, 21))
+
+#: Default histogram bounds for durations in seconds: 1 µs .. 100 s.
+TIME_BUCKETS_S: tuple[float, ...] = tuple(
+    m * 10.0 ** e for e in range(-6, 2) for m in (1.0, 2.5, 5.0))
+
+
+class Counter:
+    """A monotonically increasing count (messages, bytes, retries)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "labels": self.labels,
+                "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (queue depth, live links)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "labels": self.labels,
+                "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket distribution (scan lengths, chunk latencies).
+
+    ``bounds`` are the inclusive upper edges of each bucket; values above
+    the last bound land in the implicit overflow bucket. Recording is a
+    ``bisect`` into the precomputed bounds plus three attribute updates —
+    no allocation, no percentile math until :meth:`as_dict`.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "total",
+                 "vmin", "vmax")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict[str, Any],
+                 bounds: Iterable[float] = POW2_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds) or not self.bounds:
+            raise ValueError(f"histogram bounds must be sorted, non-empty: "
+                             f"{self.bounds!r}")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def record(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge containing the q-quantile (0 < q <= 1)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return (self.bounds[i] if i < len(self.bounds)
+                        else self.vmax)
+        return self.vmax
+
+    def as_dict(self) -> dict:
+        return {"type": "histogram", "name": self.name, "labels": self.labels,
+                "bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "total": self.total,
+                "min": self.vmin if self.count else None,
+                "max": self.vmax if self.count else None}
+
+
+def _key(name: str, labels: dict[str, Any]) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Factory and store for named, labelled instruments.
+
+    ``registry.counter("mp.msgs_sent", rank=3)`` returns the same
+    :class:`Counter` every call, so hot paths hoist the lookup::
+
+        c = registry.counter("mp.bytes_out", rank=rank)
+        ...
+        c.inc(nbytes)        # the hot path touches only the instrument
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple, Any] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any], **kwargs) -> Any:
+        key = _key(name, labels)
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = self._instruments[key] = cls(name, labels, **kwargs)
+            elif type(inst) is not cls:
+                raise TypeError(
+                    f"{name} already registered as {type(inst).__name__}")
+            return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, bounds: Iterable[float] = POW2_BUCKETS,
+                  **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=bounds)
+
+    # -- read side ---------------------------------------------------------
+    def snapshot(self) -> list[dict]:
+        """Plain-data dump of every instrument (stable order)."""
+        with self._lock:
+            insts = sorted(self._instruments.items(), key=lambda kv: kv[0])
+        return [inst.as_dict() for _, inst in insts]
+
+    def merge_snapshot(self, snapshot: list[dict]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last writer wins — snapshots arrive in completion order).
+        """
+        for rec in snapshot:
+            labels = dict(rec["labels"])
+            if rec["type"] == "counter":
+                self.counter(rec["name"], **labels).inc(rec["value"])
+            elif rec["type"] == "gauge":
+                self.gauge(rec["name"], **labels).set(rec["value"])
+            elif rec["type"] == "histogram":
+                h = self.histogram(rec["name"], bounds=rec["bounds"],
+                                   **labels)
+                if list(h.bounds) != list(rec["bounds"]):
+                    raise ValueError(
+                        f"histogram {rec['name']} bucket mismatch")
+                for i, c in enumerate(rec["counts"]):
+                    h.counts[i] += c
+                h.count += rec["count"]
+                h.total += rec["total"]
+                if rec["count"]:
+                    h.vmin = min(h.vmin, rec["min"])
+                    h.vmax = max(h.vmax, rec["max"])
+            else:
+                raise ValueError(f"unknown instrument type {rec['type']!r}")
+
+    def value(self, name: str, **labels: Any) -> Any:
+        """Current value of a counter/gauge (0 if never created)."""
+        inst = self._instruments.get(_key(name, labels))
+        return 0 if inst is None else inst.value
+
+    def find(self, name: str) -> list[Any]:
+        """Every instrument registered under *name*, any labels."""
+        with self._lock:
+            return [inst for (n, _), inst in sorted(self._instruments.items())
+                    if n == name]
+
+    def sum(self, name: str) -> float:
+        """Sum of a counter family across all label sets."""
+        return sum(inst.value for inst in self.find(name))

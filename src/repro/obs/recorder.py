@@ -1,0 +1,175 @@
+"""Span/event recording interfaces shared by both runtimes.
+
+A *recorder* accepts ``event(kind, **fields)`` calls and hands out
+:class:`Span` context managers for the migration phases. Three
+implementations:
+
+* :class:`NullRecorder` — the disabled default: every operation is a
+  no-op and ``enabled`` is ``False`` so hot paths can skip even argument
+  construction;
+* :class:`TraceRecorder` — the simulator backend: events go into the
+  existing :class:`repro.sim.trace.Trace`, which stamps the kernel's
+  *virtual* clock; spans become paired ``span_start`` / ``span_end``
+  trace events with the frozen phase names, so sim traces and mp JSONL
+  artifacts speak the same vocabulary;
+* :class:`BufferRecorder` — the mp backend: events are appended to an
+  in-process buffer with wall-clock timestamps and flushed in batches by
+  the owner (:mod:`repro.obs.collector` ships them over the control
+  channel).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.obs.events import EVENT_KINDS, PHASES
+
+__all__ = ["Recorder", "NullRecorder", "Span", "TraceRecorder",
+           "BufferRecorder"]
+
+
+class Span:
+    """One phase of the migration lifecycle, as a context manager.
+
+    Records ``span_start`` on entry and ``span_end`` (with ``seconds``)
+    on exit; :meth:`close` allows explicit ends where ``with`` nesting
+    does not match the control flow (e.g. a span that ends inside an
+    exception unwinding the worker).
+    """
+
+    __slots__ = ("_rec", "phase", "fields", "t0", "closed")
+
+    def __init__(self, rec: "Recorder", phase: str, fields: dict[str, Any]):
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}")
+        self._rec = rec
+        self.phase = phase
+        self.fields = fields
+        self.t0 = rec.now()
+        self.closed = False
+        rec.event("span_start", phase=phase, **fields)
+
+    def close(self, **extra: Any) -> float:
+        """End the span; returns its duration in the recorder's clock."""
+        if self.closed:
+            return 0.0
+        self.closed = True
+        seconds = self._rec.now() - self.t0
+        self._rec.event("span_end", phase=self.phase, seconds=seconds,
+                        **self.fields, **extra)
+        return seconds
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    phase = ""
+    t0 = 0.0
+    closed = True
+
+    def close(self, **extra: Any) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Recorder:
+    """Interface: subclasses implement :meth:`now` and :meth:`event`."""
+
+    enabled = True
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def event(self, kind: str, **fields: Any) -> None:
+        raise NotImplementedError
+
+    def span(self, phase: str, **fields: Any) -> Span:
+        return Span(self, phase, fields)
+
+
+class NullRecorder(Recorder):
+    """Observability off: every call is a no-op."""
+
+    enabled = False
+
+    def now(self) -> float:
+        return 0.0
+
+    def event(self, kind: str, **fields: Any) -> None:
+        return None
+
+    def span(self, phase: str, **fields: Any) -> Span:
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}")
+        return _NULL_SPAN  # type: ignore[return-value]
+
+
+class TraceRecorder(Recorder):
+    """Feed the simulator's :class:`~repro.sim.trace.Trace`.
+
+    The trace stamps its own clock (the kernel's virtual time); *actor*
+    is bound at construction like every other trace call site.
+    """
+
+    def __init__(self, trace, actor: str):
+        self.trace = trace
+        self.actor = actor
+
+    def now(self) -> float:
+        clock = self.trace._clock
+        return clock.now if clock is not None else 0.0
+
+    def event(self, kind: str, **fields: Any) -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown obs event kind {kind!r}")
+        self.trace.record(self.actor, kind, **fields)
+
+
+class BufferRecorder(Recorder):
+    """Buffer events with wall-clock timestamps; the owner flushes.
+
+    Events are plain tuples ``(ts, kind, fields)`` — safe for the mp
+    wire's allowlist unpickler. ``on_full`` is invoked (with the
+    recorder) once ``flush_every`` events accumulate; sampling of
+    per-message events is the *caller's* job via :meth:`sampled` so the
+    common case (sampling off) costs one integer compare.
+    """
+
+    def __init__(self, actor: str, flush_every: int = 512,
+                 on_full: Callable[["BufferRecorder"], None] | None = None,
+                 clock: Callable[[], float] = time.time):
+        self.actor = actor
+        self.buffer: list[tuple[float, str, dict]] = []
+        self.flush_every = flush_every
+        self.on_full = on_full
+        self._clock = clock
+
+    def now(self) -> float:
+        return self._clock()
+
+    def event(self, kind: str, **fields: Any) -> None:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown obs event kind {kind!r}")
+        self.buffer.append((self._clock(), kind, fields))
+        if len(self.buffer) >= self.flush_every and self.on_full is not None:
+            self.on_full(self)
+
+    def drain(self) -> list[tuple[float, str, dict]]:
+        """Take the buffered events (oldest first)."""
+        out, self.buffer = self.buffer, []
+        return out

@@ -37,7 +37,7 @@ import struct
 from typing import Any
 
 __all__ = ["send_frame", "recv_frame", "send_frame_fast", "FrameReader",
-           "FrameBatcher", "FrameClosed", "UnsafeFrame",
+           "FrameBatcher", "FrameStats", "FrameClosed", "UnsafeFrame",
            "restricted_loads", "ALLOWED_GLOBALS"]
 
 _HDR = struct.Struct(">I")
@@ -65,6 +65,33 @@ for _name in ("tuple", "list", "dict", "set", "frozenset", "bytes",
     _allow("builtins", _name)
 
 
+class FrameStats:
+    """Per-connection wire accounting (single writer: the owning thread).
+
+    ``frames_out``/``bytes_out`` count what left through this object,
+    ``frames_in``/``bytes_in`` what arrived; for a :class:`FrameBatcher`,
+    ``flushes`` counts the ``sendmsg`` calls actually issued, so
+    ``frames_out - flushes`` is the number of syscalls coalescing saved.
+    """
+
+    __slots__ = ("frames_out", "bytes_out", "frames_in", "bytes_in",
+                 "flushes")
+
+    def __init__(self) -> None:
+        self.frames_out = 0
+        self.bytes_out = 0
+        self.frames_in = 0
+        self.bytes_in = 0
+        self.flushes = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def add(self, other: "FrameStats") -> None:
+        for name in self.__slots__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
 class FrameClosed(Exception):
     """The peer closed the connection (clean EOF between frames)."""
 
@@ -89,10 +116,18 @@ def restricted_loads(payload) -> Any:
     return _RestrictedUnpickler(io.BytesIO(payload)).load()
 
 
-def send_frame(sock: socket.socket, obj: Any) -> None:
-    """Serialize *obj* and write it as one frame (blocking)."""
+def send_frame(sock: socket.socket, obj: Any,
+               stats: "FrameStats | None" = None) -> int:
+    """Serialize *obj* and write it as one frame (blocking); returns the
+    wire bytes written (header included)."""
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_HDR.pack(len(payload)) + payload)
+    nbytes = _HDR.size + len(payload)
+    if stats is not None:
+        stats.frames_out += 1
+        stats.bytes_out += nbytes
+        stats.flushes += 1
+    return nbytes
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -106,7 +141,8 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(buf)
 
 
-def recv_frame(sock: socket.socket) -> Any:
+def recv_frame(sock: socket.socket,
+               stats: "FrameStats | None" = None) -> Any:
     """Read one frame (blocking); raises :class:`FrameClosed` on EOF.
 
     Frames are deserialized through the allowlist unpickler — a hostile
@@ -119,7 +155,11 @@ def recv_frame(sock: socket.socket) -> Any:
     (length,) = _HDR.unpack(hdr)
     if length > MAX_FRAME:
         raise ValueError(f"frame of {length} bytes exceeds limit")
-    return restricted_loads(_recv_exact(sock, length))
+    obj = restricted_loads(_recv_exact(sock, length))
+    if stats is not None:
+        stats.frames_in += 1
+        stats.bytes_in += _HDR.size + length
+    return obj
 
 
 # ---------------------------------------------------------------------------
@@ -154,19 +194,27 @@ def _sendmsg_all(sock: socket.socket, buffers: list) -> None:
 _SMALL_SEND = 16 * 1024
 
 
-def send_frame_fast(sock: socket.socket, obj: Any) -> None:
+def send_frame_fast(sock: socket.socket, obj: Any,
+                    stats: "FrameStats | None" = None) -> int:
     """Like :func:`send_frame` without the header+payload concatenation.
 
     The 4-byte header and the pickled payload go out as one
     scatter-gather ``sendmsg`` — for multi-megabyte state frames this
     skips a full extra copy of the payload. Small frames still use one
     ``sendall``: copying a few KB is cheaper than building an iovec.
+    Returns the wire bytes written (header included).
     """
     payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     if len(payload) < _SMALL_SEND:
         sock.sendall(_HDR.pack(len(payload)) + payload)
     else:
         _sendmsg_all(sock, [_HDR.pack(len(payload)), payload])
+    nbytes = _HDR.size + len(payload)
+    if stats is not None:
+        stats.frames_out += 1
+        stats.bytes_out += nbytes
+        stats.flushes += 1
+    return nbytes
 
 
 class FrameBatcher:
@@ -180,17 +228,26 @@ class FrameBatcher:
     frames sent one by one.
     """
 
-    def __init__(self, sock: socket.socket, limit: int = 64 * 1024):
+    def __init__(self, sock: socket.socket, limit: int = 64 * 1024,
+                 stats: "FrameStats | None" = None):
         self._sock = sock
         self._limit = limit
         self._pending: list = []
         self._nbytes = 0
+        self.stats = stats
+
+    def __len__(self) -> int:
+        """Queued-but-unflushed frame count."""
+        return len(self._pending) // 2
 
     def add(self, obj: Any) -> None:
         payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
         self._pending.append(_HDR.pack(len(payload)))
         self._pending.append(payload)
         self._nbytes += _HDR.size + len(payload)
+        if self.stats is not None:
+            self.stats.frames_out += 1
+            self.stats.bytes_out += _HDR.size + len(payload)
         if self._nbytes >= self._limit:
             self.flush()
 
@@ -199,6 +256,8 @@ class FrameBatcher:
             _sendmsg_all(self._sock, self._pending)
             self._pending = []
             self._nbytes = 0
+            if self.stats is not None:
+                self.stats.flushes += 1
 
 
 class FrameReader:
@@ -212,8 +271,10 @@ class FrameReader:
     unpickler.
     """
 
-    def __init__(self, sock: socket.socket, bufsize: int = 64 * 1024):
+    def __init__(self, sock: socket.socket, bufsize: int = 64 * 1024,
+                 stats: "FrameStats | None" = None):
         self._sock = sock
+        self.stats = stats
         self._buf = bytearray(bufsize)
         # cached export of _buf; recreated only when the buffer grows
         # (mutating contents through a live export is fine, resizing is
@@ -260,4 +321,7 @@ class FrameReader:
         self._start = body_start + length
         if self._start == self._end:
             self._start = self._end = 0
+        if self.stats is not None:
+            self.stats.frames_in += 1
+            self.stats.bytes_in += _HDR.size + length
         return obj

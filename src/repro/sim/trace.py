@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-__all__ = ["TraceEvent", "Trace",
+__all__ = ["TraceEvent", "Trace", "KINDS",
            "KIND_RETRY", "KIND_TIMEOUT", "KIND_FAULT_DROP", "KIND_FAULT_DUP",
            "KIND_FAULT_DELAY"]
 
@@ -29,6 +29,15 @@ KIND_FAULT_DROP = "fault_drop"
 KIND_FAULT_DUP = "fault_dup"
 #: The fault layer added extra latency (jitter or a host pause window).
 KIND_FAULT_DELAY = "fault_delay"
+
+#: The named ``KIND_*`` vocabulary, as a frozen set. Analysis code and the
+#: observability layer (:mod:`repro.obs.events`) key on the literal
+#: strings; ``tests/unit/test_obs.py`` pins this set so a rename cannot
+#: slip through unnoticed.
+KINDS: frozenset[str] = frozenset({
+    KIND_RETRY, KIND_TIMEOUT, KIND_FAULT_DROP, KIND_FAULT_DUP,
+    KIND_FAULT_DELAY,
+})
 
 
 @dataclass(frozen=True)

@@ -46,10 +46,14 @@ class VirtualMachine:
                  costs: CommCosts = DEFAULT_COSTS,
                  default_link: LinkSpec = ETHERNET_100M,
                  trace: Trace | None = None,
-                 fault_plan: "FaultPlan | None" = None):
+                 fault_plan: "FaultPlan | None" = None,
+                 metrics: "Any | None" = None):
         self.kernel = kernel if kernel is not None else Kernel()
         self.trace = trace if trace is not None else Trace(clock=self.kernel)
         self.kernel.trace = self.trace
+        #: optional repro.obs.MetricsRegistry; endpoints and caches
+        #: mirror their counters into it when present (see repro.obs)
+        self.metrics = metrics
         self.costs = costs
         self.network = Network(self.kernel, default_link=default_link,
                                trace=self.trace)

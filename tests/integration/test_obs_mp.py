@@ -1,0 +1,147 @@
+"""Cross-process observability: a real MPCluster run produces a valid,
+complete JSONL artifact.
+
+Each test spawns actual OS processes; the workers batch events over
+their control connections and the registry merges the per-rank streams.
+``REPRO_OBS_SMOKE=1`` (the ``make obs-smoke`` / CI job) additionally
+runs the sampled-traffic variant and leaves the artifact where the
+workflow can upload it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import load_obs_events, phase_breakdown, render_obs_report
+from repro.obs import ObsConfig, PHASES, validate_record
+from repro.runtime import MPCluster
+
+SMOKE = bool(os.environ.get("REPRO_OBS_SMOKE"))
+
+
+def _pingpong(api, state):
+    rounds = 60
+    i = state.get("i", 0)
+    while i < rounds:
+        if api.rank == 0:
+            api.send(1, ("ping", i), tag=i)
+            api.recv(src=1, tag=i)
+        else:
+            api.recv(src=0, tag=i)
+            api.send(0, ("pong", i), tag=i)
+        i += 1
+        state["i"] = i
+        api.compute(0.002)
+        api.poll_migration(state)
+    return {"rounds": i, "incarnation": api.incarnation}
+
+
+def _run_migrating_cluster(obs):
+    cluster = MPCluster(_pingpong, nranks=2, obs=obs)
+    try:
+        cluster.start()
+        time.sleep(0.1)
+        cluster.migrate(1)
+        results = cluster.join(timeout=60)
+        return cluster, results
+    finally:
+        cluster.terminate()
+
+
+def test_mp_obs_artifact_schema_and_spans(tmp_path):
+    cluster, results = _run_migrating_cluster(obs=True)
+    assert results[1]["incarnation"] == 1
+
+    path = tmp_path / "obs_events.jsonl"
+    n = cluster.write_obs_jsonl(str(path))
+    assert n > 0
+
+    # every line is valid against the frozen schema
+    with open(path) as fh:
+        records = [json.loads(line) for line in fh]
+    assert len(records) == n
+    for rec in records:
+        assert validate_record(rec) is None, rec
+    # the merged stream is time-ordered
+    stamps = [r["ts"] for r in records]
+    assert stamps == sorted(stamps)
+
+    # the migration produced the full span lifecycle: source phases from
+    # the migrating incarnation, restore/commit from the new one
+    breakdown = phase_breakdown(records)
+    assert set(breakdown.get("p1", ())) == {"freeze", "reject", "drain",
+                                            "transfer"}
+    assert set(breakdown.get("p1.m1", ())) == {"restore", "commit"}
+    assert all(phase in PHASES
+               for phases in breakdown.values() for phase in phases)
+
+    # the registry observed the end-to-end window, and it bounds the
+    # source-side phase spans from above
+    windows = cluster.migration_windows()
+    assert len(windows) == 1 and windows[0]["rank"] == 1
+    assert windows[0]["seconds"] > 0
+
+    # drain coordination left per-peer arrival markers
+    drains = [r for r in records if r["kind"] == "drain_peer"]
+    assert {r["peer"] for r in drains} == {0}
+    assert all(r["last"] in ("eom", "peer_migrating", "closed")
+               for r in drains)
+
+
+def test_mp_obs_metrics_merge_cluster_wide():
+    cluster, results = _run_migrating_cluster(obs=ObsConfig())
+    assert results[0]["rounds"] == 60
+    snap = cluster.metrics_snapshot()
+    by_name = {}
+    for rec in snap:
+        by_name.setdefault(rec["name"], []).append(rec)
+    # both ranks sent and received every round (plus protocol traffic)
+    reg = cluster.registry.collector.metrics
+    assert reg.sum("mp.msgs_sent") >= 120
+    assert reg.sum("mp.msgs_recv") >= 120
+    # the framing counters made it across, and coalescing saved syscalls
+    assert reg.sum("mp.frames_out") > 0
+    assert reg.sum("mp.bytes_out") > 0
+    assert reg.sum("mp.link_flushes") <= reg.sum("mp.frames_out")
+    # directory counters flow through the same registry (one source of
+    # truth with directory_stats)
+    assert "mp.msgs_sent" in by_name
+
+
+def test_mp_obs_off_costs_nothing_and_raises_on_read():
+    cluster, results = _run_migrating_cluster(obs=None)
+    assert results[1]["incarnation"] == 1
+    assert cluster.obs is None
+    with pytest.raises(RuntimeError):
+        cluster.obs_events()
+    # the migration window is stamped regardless (A/B fairness)
+    assert len(cluster.migration_windows()) == 1
+
+
+def test_mp_obs_report_renders_from_artifact(tmp_path):
+    cluster, results = _run_migrating_cluster(obs=True)
+    path = tmp_path / "obs_events.jsonl"
+    cluster.write_obs_jsonl(str(path))
+    report = render_obs_report(load_obs_events(path))
+    assert "migration phase breakdown" in report
+    assert "drain arrivals for p1" in report
+    for phase in ("freeze", "drain", "transfer", "restore", "commit"):
+        assert phase in report
+
+
+@pytest.mark.skipif(not SMOKE, reason="REPRO_OBS_SMOKE=1 only")
+def test_mp_obs_smoke_sampled_artifact():
+    """The CI smoke: sampled per-message events on, artifact at repo root."""
+    out = os.environ.get("REPRO_OBS_ARTIFACT", "obs_events.jsonl")
+    cluster, results = _run_migrating_cluster(
+        obs=ObsConfig(sample_every=5))
+    assert results[1]["incarnation"] == 1
+    n = cluster.write_obs_jsonl(out)
+    events = load_obs_events(out)  # strict: schema-validates every line
+    assert len(events) == n
+    assert any(e["kind"] in ("send", "recv") for e in events)
+    print(render_obs_report(events))

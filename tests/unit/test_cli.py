@@ -64,3 +64,63 @@ def test_mg_svg_output(tmp_path, capsys):
                  str(out_file)]) == 0
     import xml.etree.ElementTree as ET
     ET.fromstring(out_file.read_text())
+
+
+def test_parser_obs_run_defaults():
+    args = build_parser().parse_args(["obs", "run"])
+    assert args.command == "obs" and args.obs_command == "run"
+    assert args.out == "obs_events.jsonl"
+    assert args.sample_every == 0  # per-message events off by default
+    assert not args.no_report
+
+
+def test_parser_obs_report():
+    args = build_parser().parse_args(
+        ["obs", "report", "events.jsonl", "--from-trace"])
+    assert args.obs_command == "report"
+    assert args.artifact == "events.jsonl" and args.from_trace
+
+
+def test_parser_obs_requires_subcommand():
+    import pytest
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["obs"])
+
+
+def test_obs_report_command(tmp_path, capsys):
+    from repro.obs.events import encode_jsonl_line
+    records = [
+        {"ts": 1.0, "actor": "p1", "kind": "span_start", "phase": "drain",
+         "rank": 1},
+        {"ts": 1.2, "actor": "p1", "kind": "drain_peer", "peer": 0,
+         "last": "eom", "rank": 1},
+        {"ts": 1.3, "actor": "p1", "kind": "span_end", "phase": "drain",
+         "rank": 1, "seconds": 0.3},
+        {"ts": 1.4, "actor": "registry", "kind": "migration_window",
+         "rank": 1, "seconds": 0.9},
+    ]
+    path = tmp_path / "events.jsonl"
+    path.write_text("".join(encode_jsonl_line(r) + "\n" for r in records))
+    assert main(["obs", "report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "drain" in out and "migration windows" in out
+    assert "straggler: peer 0" in out
+
+
+def test_obs_report_rejects_malformed_artifact(tmp_path):
+    import pytest
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"ts": 1.0, "actor": "p1", "kind": "warp_drive"}\n')
+    with pytest.raises(ValueError, match="unknown event kind"):
+        main(["obs", "report", str(path)])
+
+
+def test_obs_report_from_sim_trace(tmp_path, capsys):
+    trace_file = tmp_path / "run.trace"
+    assert main(["mg", "--n", "16", "--hetero",
+                 "--save-trace", str(trace_file)]) == 0
+    capsys.readouterr()
+    assert main(["obs", "report", str(trace_file), "--from-trace"]) == 0
+    out = capsys.readouterr().out
+    assert "migration phase breakdown" in out
+    assert "restore" in out

@@ -1,0 +1,264 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Includes the frozen-vocabulary pins: the phase names, event kinds and
+sim-trace ``KIND_*`` strings are public API keyed on by the JSONL
+validator, the report renderer and the stress suite — this file spells
+them out as literal sets so a rename fails a test instead of silently
+producing artifacts nothing can read.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    MetricsRegistry,
+    NullRecorder,
+    ObsConfig,
+    PHASES,
+    RegistryCollector,
+    WorkerObs,
+    validate_record,
+)
+from repro.obs.events import (
+    PHASE_ORDER,
+    SPAN_KINDS,
+    decode_jsonl_line,
+    encode_jsonl_line,
+)
+from repro.obs.metrics import POW2_BUCKETS
+from repro.obs.recorder import BufferRecorder, TraceRecorder
+from repro.sim.trace import KINDS as TRACE_KINDS, Trace
+
+
+# -- frozen vocabulary (satellite: renames are breaking changes) -----------
+
+def test_phases_are_frozen():
+    assert PHASES == frozenset(
+        {"freeze", "reject", "drain", "transfer", "restore", "commit"})
+    assert tuple(PHASE_ORDER) == ("freeze", "reject", "drain", "transfer",
+                                  "restore", "commit")
+    assert set(PHASE_ORDER) == set(PHASES)
+
+
+def test_event_kinds_are_frozen():
+    assert EVENT_KINDS == frozenset({
+        "span_start", "span_end", "drain_peer", "state_chunk",
+        "migration_window", "send", "recv", "connect", "lookup", "retry",
+        "mark"})
+    assert SPAN_KINDS == frozenset({"span_start", "span_end"})
+    assert SPAN_KINDS <= EVENT_KINDS
+
+
+def test_sim_trace_kinds_are_frozen():
+    assert TRACE_KINDS == frozenset(
+        {"retry", "timeout", "fault_drop", "fault_dup", "fault_delay"})
+
+
+# -- metrics registry ------------------------------------------------------
+
+def test_counter_and_gauge_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("mp.msgs_sent", rank=1)
+    c.inc()
+    c.inc(4)
+    assert reg.value("mp.msgs_sent", rank=1) == 5
+    assert reg.counter("mp.msgs_sent", rank=1) is c  # same instrument
+    assert reg.value("mp.msgs_sent", rank=2) == 0    # never created
+    g = reg.gauge("mp.links", rank=1)
+    g.set(3)
+    g.dec()
+    assert g.value == 2
+
+
+def test_registry_rejects_kind_confusion():
+    reg = MetricsRegistry()
+    reg.counter("x", rank=0)
+    with pytest.raises(TypeError):
+        reg.gauge("x", rank=0)
+
+
+def test_histogram_buckets_and_quantile():
+    reg = MetricsRegistry()
+    h = reg.histogram("scan", bounds=(1, 2, 4, 8))
+    for v in (1, 1, 3, 9):
+        h.record(v)
+    assert h.count == 4
+    assert h.counts == [2, 0, 1, 0, 1]  # <=1, <=2, <=4, <=8, overflow
+    assert h.vmin == 1 and h.vmax == 9
+    assert h.mean == pytest.approx(3.5)
+    assert h.quantile(0.5) == 1
+    assert h.quantile(1.0) == 9  # overflow bucket reports observed max
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("bad", bounds=(4, 2, 1))
+
+
+def test_snapshot_merge_adds_counters_and_buckets():
+    a, b, merged = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    a.counter("n", rank=0).inc(2)
+    a.histogram("h", bounds=(1, 2)).record(1)
+    b.counter("n", rank=1).inc(3)
+    b.histogram("h", bounds=(1, 2)).record(5)
+    for reg in (a, b):
+        merged.merge_snapshot(reg.snapshot())
+    assert merged.sum("n") == 5
+    h = merged.histogram("h", bounds=(1, 2))
+    assert h.count == 2 and h.counts == [1, 0, 1]
+    assert h.vmin == 1 and h.vmax == 5
+    # merging the same snapshot again keeps adding (caller dedupes)
+    merged.merge_snapshot(a.snapshot())
+    assert merged.sum("n") == 7
+
+
+def test_snapshot_is_plain_data():
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.histogram("h", bounds=POW2_BUCKETS).record(3)
+    for rec in reg.snapshot():
+        assert type(rec) is dict
+        for v in rec.values():
+            assert isinstance(v, (str, int, float, dict, list, type(None)))
+
+
+# -- recorders and spans ---------------------------------------------------
+
+def test_null_recorder_is_inert():
+    rec = NullRecorder()
+    assert not rec.enabled
+    rec.event("send", dest=1)
+    span = rec.span("freeze")
+    assert span.close() == 0.0
+
+
+def test_span_rejects_unknown_phase():
+    with pytest.raises(ValueError):
+        NullRecorder().span("warmup")  # not in PHASES
+
+
+def test_trace_recorder_feeds_sim_trace():
+    trace = Trace()
+    rec = TraceRecorder(trace, actor="p0")
+    with rec.span("freeze", rank=0):
+        pass
+    rec.event("drain_peer", peer=1, last="eom")
+    kinds = [ev.kind for ev in trace.events]
+    assert kinds == ["span_start", "span_end", "drain_peer"]
+    end = trace.first("span_end")
+    assert end.detail["phase"] == "freeze"
+    assert "seconds" in end.detail
+    with pytest.raises(ValueError):
+        rec.event("bogus_kind")
+
+
+def test_buffer_recorder_flushes_on_full():
+    batches = []
+    rec = BufferRecorder("p0", flush_every=3,
+                         on_full=lambda r: batches.append(r.drain()))
+    for i in range(7):
+        rec.event("mark", text=str(i))
+    assert [len(b) for b in batches] == [3, 3]
+    assert len(rec.drain()) == 1  # the remainder
+    assert rec.drain() == []
+
+
+def test_span_double_close_records_once():
+    trace = Trace()
+    rec = TraceRecorder(trace, actor="p0")
+    span = rec.span("commit", rank=2)
+    first = span.close(extra_field=1)
+    assert span.close() == 0.0 and first >= 0.0
+    assert len(trace.filter(kind="span_end")) == 1
+
+
+# -- worker/registry collection -------------------------------------------
+
+def test_obs_config_coerce():
+    assert ObsConfig.coerce(None) is None
+    assert ObsConfig.coerce(False) is None
+    assert ObsConfig.coerce(True) == ObsConfig()
+    cfg = ObsConfig(sample_every=7)
+    assert ObsConfig.coerce(cfg) is cfg
+    assert ObsConfig.coerce(ObsConfig(enabled=False)) is None
+    with pytest.raises(TypeError):
+        ObsConfig.coerce(1)
+
+
+def test_sampling_disabled_by_default():
+    obs = WorkerObs(ObsConfig(), rank=0, actor="p0", send_batch=lambda f: None)
+    assert not any(obs.sample_message() for _ in range(100))
+
+
+def test_sampling_every_nth():
+    obs = WorkerObs(ObsConfig(sample_every=4), rank=0, actor="p0",
+                    send_batch=lambda f: None)
+    hits = [obs.sample_message() for _ in range(12)]
+    assert hits.count(True) == 3
+
+
+def test_worker_to_collector_round_trip(tmp_path):
+    frames = []
+    obs = WorkerObs(ObsConfig(), rank=1, actor="p1",
+                    send_batch=frames.append)
+    obs.metrics.counter("mp.msgs_sent", rank=1).inc(9)
+    span = obs.span("drain")
+    obs.event("drain_peer", peer=0, last="eom", rank=1)
+    span.close(peers=1)
+    obs.flush(final=True)
+
+    collector = RegistryCollector()
+    for frame in frames:
+        assert frame[0] == "obs"
+        collector.absorb(frame)
+    collector.record("registry", "migration_window", rank=1, seconds=0.5)
+
+    events = collector.events()
+    assert [e["kind"] for e in events[:3]] == ["span_start", "drain_peer",
+                                               "span_end"]
+    assert events[-1]["kind"] == "migration_window"
+    assert all(validate_record(e) is None for e in events)
+    assert collector.metrics.value("mp.msgs_sent", rank=1) == 9
+
+    path = tmp_path / "events.jsonl"
+    n = collector.write_jsonl(str(path))
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == n == len(events)
+    assert all(validate_record(decode_jsonl_line(l)) is None for l in lines)
+
+
+# -- JSONL schema ----------------------------------------------------------
+
+def test_validate_record_accepts_good_records():
+    assert validate_record({"ts": 1.0, "actor": "p0", "kind": "span_end",
+                            "phase": "drain", "rank": 0,
+                            "seconds": 0.1}) is None
+    assert validate_record({"ts": 2, "actor": "registry",
+                            "kind": "mark", "text": "hi"}) is None
+
+
+@pytest.mark.parametrize("rec,why", [
+    ("nope", "not an object"),
+    ({"actor": "p0", "kind": "mark"}, "missing ts"),
+    ({"ts": True, "actor": "p0", "kind": "mark"}, "bool ts"),
+    ({"ts": 1.0, "actor": "p0", "kind": "launch"}, "unknown kind"),
+    ({"ts": 1.0, "actor": "p0", "kind": "span_start", "phase": "warmup",
+      "rank": 0}, "unknown phase"),
+    ({"ts": 1.0, "actor": "p0", "kind": "state_chunk", "seq": 0},
+     "missing nbytes"),
+])
+def test_validate_record_rejects(rec, why):
+    assert validate_record(rec) is not None, why
+
+
+def test_jsonl_line_round_trip():
+    rec = {"ts": 1.25, "actor": "p1.m1", "kind": "state_chunk", "seq": 3,
+           "nbytes": 4096, "last": False}
+    line = encode_jsonl_line(rec)
+    assert "\n" not in line
+    assert decode_jsonl_line(line) == rec
+    assert not math.isnan(decode_jsonl_line(line)["ts"])
