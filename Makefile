@@ -1,7 +1,7 @@
 # Developer entry points. Everything runs against the in-tree sources.
 export PYTHONPATH := src
 
-.PHONY: test fast stress bench bench-directory bench-fastpath obs-smoke
+.PHONY: test fast stress bench bench-directory bench-fastpath obs-smoke shard-smoke
 
 test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
 	python -m pytest -x -q
@@ -23,3 +23,6 @@ bench-fastpath: ## migration fast path A/B ablation; writes BENCH_fastpath.json
 
 obs-smoke: ## real mp migration with event collection on; validates the JSONL artifact
 	REPRO_OBS_SMOKE=1 python -m pytest tests/integration/test_obs_mp.py -q
+
+shard-smoke: ## SIGKILL a live shard daemon during an mp migration workload
+	REPRO_SHARD_SMOKE=1 python -m pytest tests/stress/test_shard_crash_mp.py -q

@@ -78,6 +78,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="artifact is a simulator trace saved with "
                               "'repro mg --save-trace' — lift its obs "
                               "events instead")
+
+    d = sub.add_parser(
+        "directory",
+        help="out-of-process directory shard daemons: run a migration "
+             "workload against real shard processes, optionally crashing "
+             "one mid-run and churning the membership")
+    d.add_argument("--backend", choices=("sharded", "chord"),
+                   default="sharded")
+    d.add_argument("--nodes", type=int, default=4,
+                   help="shard daemon count (default: %(default)s)")
+    d.add_argument("--replication", type=int, default=2,
+                   help="owners per record (default: %(default)s)")
+    d.add_argument("--rounds", type=int, default=40,
+                   help="ping-pong rounds around the migration")
+    d.add_argument("--kill", type=int, metavar="NODE", default=None,
+                   help="SIGKILL this shard daemon right before the "
+                        "migration and restart it afterwards (crash-stop "
+                        "demo: lookups fail over, nothing is lost)")
+    d.add_argument("--churn", action="store_true",
+                   help="after the workload, join one shard and remove it "
+                        "again, printing the verified record handoff "
+                        "(sharded only)")
     return p
 
 
@@ -281,6 +303,78 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_directory(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.directory.spec import DirectorySpec
+    from repro.runtime import MPCluster
+    from repro.util.errors import ProtocolError
+
+    if args.churn and args.backend != "sharded":
+        print("--churn needs --backend sharded (chord rings are static)")
+        return 2
+    if args.kill is not None and not 0 <= args.kill < args.nodes:
+        print(f"--kill {args.kill} is not a shard id (0..{args.nodes - 1})")
+        return 2
+    try:
+        spec = DirectorySpec(backend=args.backend, nodes=args.nodes,
+                             replication=args.replication, daemons=True)
+    except ProtocolError as exc:
+        print(exc)
+        return 2
+    cluster = MPCluster(
+        _obs_demo_program, nranks=2,
+        init_states=[{"rounds": args.rounds, "ballast_nbytes": 64 * 1024}
+                     for _ in range(2)],
+        directory=spec, obs=True)
+    try:
+        cluster.start()
+        time.sleep(0.05)
+        if args.kill is not None:
+            cluster.directory_kill(args.kill)
+            print(f"shard {args.kill} SIGKILLed "
+                  f"({cluster.directory_live_shards()}/{args.nodes} live)")
+        cluster.migrate(1)
+        if args.kill is not None:
+            time.sleep(0.2)  # let lookups fail over while it is down
+            cluster.directory_restart(args.kill)
+            print(f"shard {args.kill} restarted and re-seeded "
+                  f"({cluster.directory_live_shards()}/{args.nodes} live)")
+        if args.churn:
+            joined = cluster.directory_join()
+            print(f"shard {joined.node_id} joined: {len(joined.moved)} "
+                  f"records handed over, verified record-by-record: "
+                  f"{joined.complete}")
+            left = cluster.directory_leave(joined.node_id)
+            print(f"shard {left.node_id} left: {len(left.moved)} records "
+                  f"handed back, verified: {left.complete}")
+        # poll the live daemons before join() tears the host down
+        cluster.registry.daemon_host.flush(timeout=5.0)
+        stats = cluster.directory_stats() or {}
+        results = cluster.join(timeout=120)
+        print()
+        print(format_table(
+            ("shard", "lookups", "forwards", "updates", "ignored",
+             "unknown"),
+            [(str(i),) + (("dead",) * 5 if s is None else
+                          tuple(str(s[k]) for k in
+                                ("lookups", "forwards", "updates",
+                                 "updates_ignored", "unknown")))
+             for i, s in sorted(stats.items())]))
+        snap = {r["name"]: r["value"] for r in cluster.metrics_snapshot()
+                if r["name"].startswith("dir.") and not r["labels"]}
+        print(f"publishes={snap.get('dir.publishes', 0)} "
+              f"acks={snap.get('dir.publish_acks', 0)} "
+              f"retransmits={snap.get('dir.publish_retransmits', 0)} "
+              f"restarts={snap.get('dir.daemon_restarts', 0)} "
+              f"handoff_records={snap.get('dir.handoff_records', 0)}")
+    finally:
+        cluster.terminate()
+    ok = results[1]["incarnation"] == 1
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     return {
@@ -289,4 +383,5 @@ def main(argv: Sequence[str] | None = None) -> int:
         "balance": _cmd_balance,
         "theorems": _cmd_theorems,
         "obs": _cmd_obs,
+        "directory": _cmd_directory,
     }[args.command](args)

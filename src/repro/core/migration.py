@@ -157,7 +157,9 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         if drain_deadline is not None:
             remaining = drain_deadline - kernel.now
             if remaining <= 0:
-                _abort_migration(ep, waiting, xfer)
+                _abort_migration(ep, waiting, xfer,
+                                 span_t0={"reject": t_reject0,
+                                          "drain": t_coord0})
                 return
         if source is not None and not source.exhausted \
                 and not len(ctx.mailbox):
@@ -169,7 +171,9 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
             continue
         item = ctx.next_message(timeout=remaining)
         if item is TIMEOUT:
-            _abort_migration(ep, waiting, xfer)
+            _abort_migration(ep, waiting, xfer,
+                             span_t0={"reject": t_reject0,
+                                      "drain": t_coord0})
             return
         ep.dispatch(item)
     ep._drain_waiting = None
@@ -234,7 +238,8 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
 
 
 def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]",
-                     xfer: Channel | None = None) -> None:
+                     xfer: Channel | None = None,
+                     span_t0: "dict[str, float] | None" = None) -> None:
     """Drain timeout expired: revert to normal execution (hardened mode).
 
     Undoes Fig. 5 lines 4-5: the endpoint returns to NORMAL, the local
@@ -248,11 +253,24 @@ def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]",
     (dropped as protocol control at the exiting initialized process); a
     retried migration re-encodes and re-sends from scratch on a fresh
     channel to the fresh initialized process.
+
+    ``span_t0`` maps still-open phase spans (``reject``, ``drain``) to
+    their start times: each gets an explicit ``span_end`` carrying
+    ``aborted=True``, so every ``span_start`` in a trace is balanced even
+    on the abort path and span consumers need no timeout heuristics.
     """
     ctx = ep.ctx
     vm = ep.vm
+    kernel = ep.kernel
     if xfer is not None:
         xfer.close_end(ctx.vmid)
+    # close open phase spans innermost-first (drain opened after reject)
+    for phase in ("drain", "reject"):
+        if span_t0 is not None and phase in span_t0:
+            vm.trace_record(ctx.name, "span_end", phase=phase,
+                            rank=ep.rank,
+                            seconds=kernel.now - span_t0[phase],
+                            aborted=True)
     vm.trace_record(ctx.name, KIND_TIMEOUT, what="migration_drain",
                     waiting=sorted(waiting),
                     pending_grants=ep.pending_grant_count())
@@ -303,7 +321,8 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
 
     # Lines 2-3: receive the migrating process's list (ListA), then insert
     # it *in front of* the local list so it is consumed first.
-    env = _pump_transfer(ep, RecvListTransfer)
+    env = _pump_transfer(ep, RecvListTransfer,
+                         span_t0={"restore": t_init0})
     transfer: RecvListTransfer = env.payload
     ep.recvlist.prepend_all(transfer.messages)
     vm.trace_record(ctx.name, "recvlist_received",
@@ -314,7 +333,7 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     # stream whose restore cost was charged chunk-by-chunk as it arrived
     # (pipelined path; chunks may have been absorbed since before the
     # recvlist transfer landed).
-    result = _receive_state(ep)
+    result = _receive_state(ep, span_t0={"restore": t_init0})
     restore_prepaid = 0.0
     if isinstance(result, Envelope):
         payload: ExeMemState = result.payload
@@ -379,7 +398,8 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     return state
 
 
-def _receive_state(ep: MigrationEndpoint):
+def _receive_state(ep: MigrationEndpoint,
+                   span_t0: "dict[str, float] | None" = None):
     """Wait for the full state: a blob envelope or a complete chunk stream.
 
     Returns the :class:`~repro.vm.messages.Envelope` carrying an
@@ -391,7 +411,8 @@ def _receive_state(ep: MigrationEndpoint):
     asm = ep._chunk_assembler
     if asm is not None and asm.complete:
         return asm
-    env = _pump_transfer(ep, ExeMemState, accept_chunk_tail=True)
+    env = _pump_transfer(ep, ExeMemState, accept_chunk_tail=True,
+                         span_t0=span_t0)
     if isinstance(env.payload, StateChunk):
         ep.dispatch(env)  # absorb the final chunk; the assembler completes
         return ep._chunk_assembler
@@ -399,12 +420,16 @@ def _receive_state(ep: MigrationEndpoint):
 
 
 def _pump_transfer(ep: MigrationEndpoint, payload_type: type,
-                   accept_chunk_tail: bool = False) -> Envelope:
+                   accept_chunk_tail: bool = False,
+                   span_t0: "dict[str, float] | None" = None) -> Envelope:
     """Wait for a state-transfer payload, honouring scheduler aborts.
 
     If the scheduler reports the migrating rank terminated before starting
     its migration (:class:`InitAbort`), the initialized process exits —
-    there is nothing to restore.
+    there is nothing to restore. ``span_t0`` carries the caller's open
+    phase spans (the ``restore`` span): when the wait ends in an abort,
+    each gets an explicit ``span_end`` with ``aborted=True`` before the
+    process terminates, keeping every trace span balanced.
 
     In hardened mode the wait also survives a *lost* abort notice: when
     nothing arrives for a while, the initialized process polls the
@@ -432,6 +457,14 @@ def _pump_transfer(ep: MigrationEndpoint, payload_type: type,
                 return True
         return False
 
+    def abort_spans() -> None:
+        if span_t0 is None:
+            return
+        for phase, t0 in span_t0.items():
+            ep.vm.trace_record(ep.ctx.name, "span_end", phase=phase,
+                               rank=ep.rank,
+                               seconds=ep.kernel.now - t0, aborted=True)
+
     while True:
         item = ep.pump_until(pred, timeout=interval)
         if item is TIMEOUT:
@@ -446,6 +479,7 @@ def _pump_transfer(ep: MigrationEndpoint, payload_type: type,
             continue
         if isinstance(item, ControlEnvelope):
             if isinstance(item.msg, InitAbort):
+                abort_spans()
                 ep.vm.trace_record(ep.ctx.name, "init_aborted",
                                    reason=item.msg.reason)
                 ep.ctx.terminate()
@@ -454,6 +488,7 @@ def _pump_transfer(ep: MigrationEndpoint, payload_type: type,
             if reply.status == "terminated" \
                     or reply.init_vmid != ep.ctx.vmid:
                 # We are no longer the designated initialized process.
+                abort_spans()
                 ep.vm.trace_record(ep.ctx.name, "init_aborted",
                                    reason="superseded"
                                    if reply.status != "terminated"

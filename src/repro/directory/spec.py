@@ -43,6 +43,13 @@ class DirectorySpec:
         Hosts to place directory daemons on, round-robin. Empty means
         "reuse the scheduler's host" — fine for the simulator, where
         placement only affects latency accounting.
+    daemons:
+        Multiprocess runtime only: run each directory node as a
+        standalone OS process with its own listening socket
+        (:mod:`repro.runtime.mp_directory`), so shard crash-stop
+        failure, restart and membership churn happen for real. The
+        simulator ignores this flag (its nodes are always daemon
+        processes — in virtual time). Requires a distributed backend.
     """
 
     backend: str = "centralized"
@@ -51,6 +58,7 @@ class DirectorySpec:
     vnodes: int = 16
     bits: int = 32
     hosts: tuple[str, ...] = field(default=())
+    daemons: bool = False
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -61,6 +69,10 @@ class DirectorySpec:
             raise ProtocolError("directory needs at least one node")
         if self.replication < 1:
             raise ProtocolError("replication must be >= 1")
+        if self.daemons and self.backend == "centralized":
+            raise ProtocolError(
+                "daemons=True needs a distributed backend "
+                "(sharded or chord)")
 
     @property
     def distributed(self) -> bool:

@@ -9,5 +9,12 @@
 
 from repro.runtime.framing import FrameClosed, recv_frame, send_frame
 from repro.runtime.mp import MPApi, MPCluster
+from repro.runtime.mp_directory import (
+    DaemonClientConfig,
+    DirectoryDaemonHost,
+    MPDirectoryClient,
+)
 
-__all__ = ["FrameClosed", "MPApi", "MPCluster", "recv_frame", "send_frame"]
+__all__ = ["DaemonClientConfig", "DirectoryDaemonHost", "FrameClosed",
+           "MPApi", "MPCluster", "MPDirectoryClient", "recv_frame",
+           "send_frame"]

@@ -38,7 +38,7 @@ from typing import Any
 
 __all__ = ["send_frame", "recv_frame", "send_frame_fast", "FrameReader",
            "FrameBatcher", "FrameStats", "FrameClosed", "UnsafeFrame",
-           "restricted_loads", "ALLOWED_GLOBALS"]
+           "restricted_loads", "allow_frame_global", "ALLOWED_GLOBALS"]
 
 _HDR = struct.Struct(">I")
 #: refuse absurd frames (corrupt stream guard)
@@ -50,7 +50,15 @@ MAX_FRAME = 256 * 1024 * 1024
 ALLOWED_GLOBALS: dict[tuple[str, str], Any] = {}
 
 
-def _allow(module: str, name: str) -> None:
+def allow_frame_global(module: str, name: str) -> None:
+    """Admit ``module.name`` into the frame vocabulary.
+
+    Subsystems that put their own (plain-data) message classes on the
+    wire — e.g. the out-of-process directory daemons speaking
+    :mod:`repro.directory.messages` — register them here at import time.
+    Everything else stays forbidden; the allowlist grows only by
+    explicit, reviewable calls.
+    """
     import importlib
     obj = importlib.import_module(module)
     for part in name.split("."):
@@ -62,7 +70,7 @@ def _allow(module: str, name: str) -> None:
 # these when reconstructing containers and memoryview-backed bytes)
 for _name in ("tuple", "list", "dict", "set", "frozenset", "bytes",
               "bytearray", "complex"):
-    _allow("builtins", _name)
+    allow_frame_global("builtins", _name)
 
 
 class FrameStats:

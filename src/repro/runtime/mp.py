@@ -54,6 +54,11 @@ from repro.runtime.framing import (
     send_frame,
     send_frame_fast,
 )
+from repro.runtime.mp_directory import (
+    DaemonClientConfig,
+    DirectoryDaemonHost,
+    MPDirectoryClient,
+)
 
 __all__ = ["MPCluster", "MPApi"]
 
@@ -96,9 +101,10 @@ def _configure_logging() -> None:
 class _LogicalDirectory:
     """Sharded / Chord view of the registry's location records.
 
-    The multiprocess runtime keeps a single registry TCP server (spawning
-    one OS daemon per directory node would test the OS, not the
-    protocol); the *partitioning* is what is exercised: records live in
+    The default mp directory keeps a single registry TCP server (pass
+    ``DirectorySpec(..., daemons=True)`` for real out-of-process shard
+    daemons — :mod:`repro.runtime.mp_directory`); here the
+    *partitioning* is what is exercised: records live in
     per-node stores assigned by the same :class:`HashRing` /
     :class:`ChordRing` structures the simulator's daemons use, every
     lookup is routed to its serving node (walking real finger-table hops
@@ -166,10 +172,18 @@ class _Registry:
     def __init__(self, directory: "DirectorySpec | str | None" = None,
                  obs: ObsConfig | None = None) -> None:
         spec = DirectorySpec.coerce(directory)
+        self.spec = spec
         self.collector = RegistryCollector() if obs is not None else None
         metrics = self.collector.metrics if self.collector else None
+        #: daemons=True: records live in out-of-process shard daemons
+        #: (repro.runtime.mp_directory); the registry keeps its in-memory
+        #: maps as the authoritative scheduler-fallback view and the
+        #: ("lookup",) ctl frame answers from those
+        self.daemon_host = (DirectoryDaemonHost(spec, metrics=metrics)
+                            if spec.distributed and spec.daemons else None)
         self.directory = (_LogicalDirectory(spec, metrics=metrics)
-                          if spec.distributed else None)
+                          if spec.distributed and not spec.daemons
+                          else None)
         # migration-window bookkeeping is always on (two clock reads per
         # migration) so the obs-on/obs-off A/B measures identical spans
         self._mig_t0: dict[int, float] = {}
@@ -266,6 +280,12 @@ class _Registry:
                             "registry", "migration_window",
                             rank=window["rank"], seconds=window["seconds"])
                     send_frame(conn, ("pl_snapshot", table))
+                elif kind == "dir_membership":
+                    # a worker asking for the daemon-shard membership
+                    # view (after a scheduler fallback, to catch churn)
+                    host = self.daemon_host
+                    send_frame(conn, ("dir_membership",
+                                      host.membership() if host else None))
                 elif kind == "obs":
                     # one-way event/metric batch from a worker
                     if self.collector is not None:
@@ -287,13 +307,19 @@ class _Registry:
             return
 
     def _dir_write(self, rank: int) -> None:
-        """Mirror the current record into the logical directory (with the
-        registry lock held)."""
-        if self.directory is None:
-            return
-        self.directory.write(rank, self.status.get(rank, "starting"),
-                             self.locations.get(rank),
-                             self.init_addr.get(rank))
+        """Mirror the current record into the directory (with the
+        registry lock held): the in-registry logical shards, or — with
+        daemons — a non-blocking publish to the shard processes (the
+        host's publisher thread retransmits until every owner acks)."""
+        if self.directory is not None:
+            self.directory.write(rank, self.status.get(rank, "starting"),
+                                 self.locations.get(rank),
+                                 self.init_addr.get(rank))
+        if self.daemon_host is not None:
+            self.daemon_host.publish(rank,
+                                     self.status.get(rank, "starting"),
+                                     self.locations.get(rank),
+                                     self.init_addr.get(rank))
 
     def signal_migrate(self, rank: int, arch_name: str) -> None:
         with self._lock:
@@ -305,6 +331,8 @@ class _Registry:
             self.listener.close()
         except OSError:
             pass
+        if self.daemon_host is not None:
+            self.daemon_host.close()
 
 
 # ---------------------------------------------------------------------------
@@ -447,7 +475,8 @@ class _Worker:
     def __init__(self, rank: int, nranks: int, registry_addr: tuple,
                  program: Callable, initializing: bool,
                  arch: Architecture, incarnation: int,
-                 fastpath: bool = True, obs: ObsConfig | None = None):
+                 fastpath: bool = True, obs: ObsConfig | None = None,
+                 dir_cfg: DaemonClientConfig | None = None):
         self.rank = rank
         self.nranks = nranks
         self.program = program
@@ -493,6 +522,23 @@ class _Worker:
         send_frame(self.ctl, (kind, rank, self.addr))
         threading.Thread(target=self._ctl_loop, daemon=True).start()
         self._await_ctl("registered")
+
+        # out-of-process directory: lookups consult the shard daemons
+        # (replica walk / entry rotation over real sockets) and fall
+        # back to the registry's authoritative ("lookup",) answer only
+        # once the ladder is spent
+        self.dir_client: MPDirectoryClient | None = None
+        if dir_cfg is not None:
+            on_count = None
+            if self.obs is not None:
+                counters = {
+                    key: self.obs.metrics.counter(f"mp.{key}", rank=rank)
+                    for key in ("dir_lookups", "dir_failovers",
+                                "dir_unknown", "dir_fallbacks")}
+                on_count = lambda key, n: counters[key].inc(n)
+            self.dir_client = MPDirectoryClient(
+                dir_cfg, salt=rank, fallback=self._scheduler_lookup,
+                refresh=self._fetch_membership, on_count=on_count)
 
     # -- observability -----------------------------------------------------
     def _send_obs_batch(self, batch: tuple) -> None:
@@ -580,6 +626,24 @@ class _Worker:
         send_frame(self.ctl, request)
         return self._await_ctl(reply_kind)
 
+    def _scheduler_lookup(self, dest: int) -> tuple:
+        """The directory client's last-resort rung: ask the scheduler."""
+        _, _, status, addr = self._rpc(("lookup", dest), "location")
+        return status, addr
+
+    def _fetch_membership(self) -> DaemonClientConfig | None:
+        """Pull the current shard membership (post-fallback refresh)."""
+        frame = self._rpc(("dir_membership",), "dir_membership")
+        return (DaemonClientConfig(**frame[1])
+                if frame[1] is not None else None)
+
+    def _lookup(self, dest: int) -> tuple:
+        """Resolve *dest* — shard daemons first when configured, the
+        registry otherwise. Returns ``(status, addr)``."""
+        if self.dir_client is not None:
+            return self.dir_client.lookup(dest)
+        return self._scheduler_lookup(dest)
+
     # -- connection management ----------------------------------------------
     def _connect(self, dest: int) -> _PeerLink:
         addr = self.pl.get(dest)
@@ -618,8 +682,9 @@ class _Worker:
                             sock.close()
                         except OSError:
                             pass
-                    # refused / unacked / stale address: consult the registry
-            _, _, status, new_addr = self._rpc(("lookup", dest), "location")
+                    # refused / unacked / stale address: consult the
+                    # directory (shard daemons, or the registry)
+            status, new_addr = self._lookup(dest)
             log.debug("rank %d: lookup(%d) -> %s %s",
                       self.rank, dest, status, new_addr)
             if obs is not None:
@@ -846,10 +911,12 @@ def _worker_main(rank: int, nranks: int, registry_addr: tuple,
                  program: Callable, pl: dict, arch: Architecture,
                  fastpath: bool = True,
                  obs: ObsConfig | None = None,
-                 state: dict | None = None) -> None:
+                 state: dict | None = None,
+                 dir_cfg: DaemonClientConfig | None = None) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=False,
-                arch=arch, incarnation=0, fastpath=fastpath, obs=obs)
+                arch=arch, incarnation=0, fastpath=fastpath, obs=obs,
+                dir_cfg=dir_cfg)
     w.pl = dict(pl)
     _run_program(w, dict(state) if state else {})
 
@@ -857,11 +924,12 @@ def _worker_main(rank: int, nranks: int, registry_addr: tuple,
 def _init_main(rank: int, nranks: int, registry_addr: tuple,
                program: Callable, arch: Architecture,
                incarnation: int, fastpath: bool = True,
-               obs: ObsConfig | None = None) -> None:
+               obs: ObsConfig | None = None,
+               dir_cfg: DaemonClientConfig | None = None) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=True,
                 arch=arch, incarnation=incarnation, fastpath=fastpath,
-                obs=obs)
+                obs=obs, dir_cfg=dir_cfg)
     # Fig. 7: accept connections from the start; wait for the transfer.
     # The state arrives either as one legacy ("state", blob) frame or as
     # an ordered run of ("state_chunk", seq, data, last, total) frames.
@@ -968,13 +1036,20 @@ class MPCluster:
         self._incarnation: dict[int, int] = {}
         self._ctx = mp.get_context("fork")
 
+    def _dir_cfg(self) -> DaemonClientConfig | None:
+        """Shard-daemon membership to hand a process being spawned."""
+        host = self.registry.daemon_host
+        return host.client_config() if host is not None else None
+
     def start(self) -> "MPCluster":
+        dir_cfg = self._dir_cfg()
         for rank in range(self.nranks):
             state = self.init_states[rank] if self.init_states else None
             p = self._ctx.Process(
                 target=_worker_main,
                 args=(rank, self.nranks, self.registry.addr, self.program,
-                      {}, self.arch, self.fastpath, self.obs, state),
+                      {}, self.arch, self.fastpath, self.obs, state,
+                      dir_cfg),
                 daemon=True)
             p.start()
             self._procs.append(p)
@@ -1009,7 +1084,8 @@ class MPCluster:
         p = self._ctx.Process(
             target=_init_main,
             args=(rank, self.nranks, self.registry.addr, self.program,
-                  self.dest_arch, inc, self.fastpath, self.obs),
+                  self.dest_arch, inc, self.fastpath, self.obs,
+                  self._dir_cfg()),
             daemon=True)
         p.start()
         self._procs.append(p)
@@ -1034,16 +1110,51 @@ class MPCluster:
         return dict(self.registry.results)
 
     def directory_stats(self) -> dict[int, dict[str, int]] | None:
-        """Per-logical-node lookup/forward/update counters, if sharded.
+        """Per-directory-node lookup/forward/update counters.
 
-        Derived from the directory's metrics registry — the same
-        counters ``metrics_snapshot()`` exposes as ``dir.*`` — so the
-        two views cannot drift.
+        Logical (in-registry) shards: derived from the directory's
+        metrics registry — the same counters ``metrics_snapshot()``
+        exposes as ``dir.*`` — so the two views cannot drift. Daemon
+        shards: each live daemon is polled over its own socket
+        (unreachable daemons report ``None``).
         """
+        host = self.registry.daemon_host
+        if host is not None:
+            return host.poll_stats()
         if self.registry.directory is None:
             return None
         with self.registry._lock:
             return self.registry.directory.stats()
+
+    # -- shard-daemon control (daemons=True) --------------------------------
+    def _daemon_host(self) -> DirectoryDaemonHost:
+        host = self.registry.daemon_host
+        if host is None:
+            raise RuntimeError(
+                "no shard daemons; construct MPCluster(directory="
+                "DirectorySpec(backend='sharded', daemons=True))")
+        return host
+
+    def directory_kill(self, node_id: int) -> None:
+        """SIGKILL one shard daemon (crash-stop; membership unchanged)."""
+        self._daemon_host().kill(node_id)
+
+    def directory_restart(self, node_id: int) -> None:
+        """Respawn a killed shard at its old address and re-seed it."""
+        self._daemon_host().restart(node_id)
+
+    def directory_join(self):
+        """Add a shard daemon, handing over records before the ring
+        flips; returns the :class:`MembershipChange`."""
+        return self._daemon_host().join()
+
+    def directory_leave(self, node_id: int):
+        """Remove a shard daemon after handing its records over."""
+        return self._daemon_host().leave(node_id)
+
+    def directory_live_shards(self) -> int | None:
+        host = self.registry.daemon_host
+        return host.live_count() if host is not None else None
 
     def migration_windows(self) -> list[dict]:
         """Registry-observed migration windows (always collected):

@@ -1,0 +1,347 @@
+"""The directory client's failover ladder against real sockets.
+
+The sim fault adversary exercises the replica-walk / entry-rotation /
+scheduler-fallback ladder in virtual time; these tests drive the mp
+client (:class:`repro.runtime.mp_directory.MPDirectoryClient`) against
+*real* failure modes on real TCP sockets:
+
+* **connection refused** — the shard's port is closed (the daemon was
+  SIGKILLed and its listener died with it);
+* **half-open peer** — the shard accepts and reads but never replies
+  (process wedged after ``accept``), costing the client one bounded
+  reply timeout;
+* **slow accept** — the listener's backlog is saturated, so the connect
+  itself times out instead of being refused.
+
+Each pathology is played by a scripted shard with a real listening
+socket; healthy replicas are played by real daemon processes or by the
+scripted shard in ``serve`` mode speaking the same
+``DirLookup``/``LookupReply`` wire messages.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.core.messages import LookupReply
+from repro.directory.hashring import HashRing
+from repro.directory.messages import DirLookup
+from repro.directory.spec import DirectorySpec
+from repro.runtime.framing import FrameClosed, recv_frame, send_frame_fast
+from repro.runtime.mp_directory import (
+    DaemonClientConfig,
+    DirectoryDaemonHost,
+    MPDirectoryClient,
+)
+
+
+class ScriptedShard:
+    """A directory shard with a scripted pathology, on a real socket.
+
+    behavior:
+        ``serve`` — answer lookups from ``records`` (rank → addr);
+        ``deaf``  — accept and read, never write (half-open peer);
+        ``slow``  — sleep ``delay`` seconds before serving (slower than
+        the client's reply timeout → the walk moves on).
+    """
+
+    def __init__(self, behavior: str = "serve", records: dict | None = None,
+                 delay: float = 0.0):
+        self.behavior = behavior
+        self.records = records or {}
+        self.delay = delay
+        self.hits = 0
+        self._listener = socket.create_server(("127.0.0.1", 0), backlog=8)
+        self.addr = self._listener.getsockname()
+        self._threads: list[threading.Thread] = []
+        t = threading.Thread(target=self._accept_loop, daemon=True)
+        t.start()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            t = threading.Thread(target=self._serve, args=(conn,),
+                                 daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                msg = recv_frame(conn)
+                self.hits += 1
+                if self.behavior == "deaf":
+                    continue  # read forever, never reply
+                if self.behavior == "slow":
+                    time.sleep(self.delay)
+                assert isinstance(msg, DirLookup)
+                addr = self.records.get(msg.rank)
+                if addr is None:
+                    reply = LookupReply(msg.rank, "unknown", None,
+                                        msg.token, hops=msg.hops)
+                else:
+                    reply = LookupReply(msg.rank, "running", addr,
+                                        msg.token, hops=msg.hops)
+                send_frame_fast(conn, reply)
+        except (FrameClosed, OSError):
+            pass
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def refused_addr() -> tuple:
+    """An address that refuses connections (bound once, then closed)."""
+    s = socket.create_server(("127.0.0.1", 0))
+    addr = s.getsockname()
+    s.close()
+    return addr
+
+
+def saturated_listener() -> tuple:
+    """A listener whose backlog is full: connects hang in SYN/accept
+    queue instead of being refused — the 'slow accept' pathology."""
+    lst = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    lst.bind(("127.0.0.1", 0))
+    lst.listen(0)
+    fillers = []
+    # fill the accept queue (listen(0) still allows a connection or two)
+    for _ in range(4):
+        f = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        f.settimeout(0.2)
+        try:
+            f.connect(lst.getsockname())
+            fillers.append(f)
+        except OSError:
+            f.close()
+            break
+    return lst, fillers
+
+
+def sharded_config(addrs: dict, epoch: int = 0,
+                   replication: int = 2) -> DaemonClientConfig:
+    return DaemonClientConfig(epoch=epoch, backend="sharded",
+                              node_ids=tuple(sorted(addrs)), addrs=addrs,
+                              replication=replication)
+
+
+RANK = 7
+
+
+def owners_of(rank: int, nodes=(0, 1, 2), replication: int = 2) -> list:
+    return HashRing(list(nodes), replication=replication).owners(rank)
+
+
+# -- replica walk over real failures ---------------------------------------
+
+def test_replica_walk_skips_refused_shard():
+    """Primary owner's port refuses (daemon SIGKILLed, listener gone):
+    the walk lands on the replica within the same round."""
+    owners = owners_of(RANK)
+    healthy = ScriptedShard(records={RANK: ("10.0.0.1", 5000)})
+    addrs = {n: refused_addr() for n in (0, 1, 2)}
+    addrs[owners[1]] = healthy.addr
+    client = MPDirectoryClient(sharded_config(addrs), salt=0,
+                               fallback=lambda r: ("running", ("fb", r)))
+    try:
+        t0 = time.time()
+        status, addr = client.lookup(RANK)
+        elapsed = time.time() - t0
+        assert (status, addr) == ("running", ("10.0.0.1", 5000))
+        # refused is immediate on loopback: no timeout was burned
+        assert elapsed < 1.0
+        assert client.stats["dir_failovers"] >= 1
+        assert client.stats["dir_fallbacks"] == 0
+    finally:
+        client.close()
+        healthy.close()
+
+
+def test_half_open_peer_costs_one_reply_timeout():
+    """Primary accepts and reads but never replies: the walk moves on
+    after the reply timeout, bounded — not hanging forever."""
+    owners = owners_of(RANK)
+    deaf = ScriptedShard(behavior="deaf")
+    healthy = ScriptedShard(records={RANK: ("10.0.0.2", 5001)})
+    addrs = {n: refused_addr() for n in (0, 1, 2)}
+    addrs[owners[0]] = deaf.addr
+    addrs[owners[1]] = healthy.addr
+    client = MPDirectoryClient(sharded_config(addrs), salt=0,
+                               reply_timeout=0.3, connect_timeout=0.3,
+                               fallback=lambda r: ("running", ("fb", r)))
+    try:
+        t0 = time.time()
+        status, addr = client.lookup(RANK)
+        elapsed = time.time() - t0
+        assert (status, addr) == ("running", ("10.0.0.2", 5001))
+        assert deaf.hits >= 1  # the deaf shard really ate the request
+        # one reply timeout + the healthy consult, with slack
+        assert elapsed < 2.0
+        assert client.stats["dir_failovers"] >= 1
+    finally:
+        client.close()
+        deaf.close()
+        healthy.close()
+
+
+def test_slow_accept_times_out_and_fails_over():
+    """Primary's backlog is saturated (accept queue full): the connect
+    itself times out and the walk continues to the replica."""
+    owners = owners_of(RANK)
+    lst, fillers = saturated_listener()
+    healthy = ScriptedShard(records={RANK: ("10.0.0.3", 5002)})
+    addrs = {n: refused_addr() for n in (0, 1, 2)}
+    addrs[owners[0]] = lst.getsockname()
+    addrs[owners[1]] = healthy.addr
+    client = MPDirectoryClient(sharded_config(addrs), salt=0,
+                               connect_timeout=0.3, reply_timeout=0.3,
+                               fallback=lambda r: ("running", ("fb", r)))
+    try:
+        t0 = time.time()
+        status, addr = client.lookup(RANK)
+        elapsed = time.time() - t0
+        assert (status, addr) == ("running", ("10.0.0.3", 5002))
+        assert elapsed < 2.0
+        assert client.stats["dir_failovers"] >= 1
+    finally:
+        client.close()
+        healthy.close()
+        for f in fillers:
+            f.close()
+        lst.close()
+
+
+def test_every_shard_dead_falls_back_to_scheduler():
+    """All owners refuse: the ladder exhausts its rounds and the
+    scheduler fallback answers authoritatively."""
+    addrs = {n: refused_addr() for n in (0, 1, 2)}
+    asked = []
+
+    def fallback(rank):
+        asked.append(rank)
+        return "running", ("scheduler", rank)
+
+    client = MPDirectoryClient(sharded_config(addrs), salt=0,
+                               fallback=fallback)
+    try:
+        status, addr = client.lookup(RANK)
+        assert (status, addr) == ("running", ("scheduler", RANK))
+        assert asked == [RANK]
+        assert client.stats["dir_fallbacks"] == 1
+        # every owner was tried in every round before giving up
+        assert client.stats["dir_failovers"] >= len(owners_of(RANK))
+    finally:
+        client.close()
+
+
+def test_unknown_answers_back_off_then_fall_back():
+    """Live shards that answer ``unknown`` (restarted empty, update in
+    flight) trigger the backoff rounds, then the scheduler."""
+    empty = [ScriptedShard(records={}) for _ in range(3)]
+    addrs = {n: empty[n].addr for n in (0, 1, 2)}
+    client = MPDirectoryClient(sharded_config(addrs), salt=0,
+                               rounds=2, backoff=0.01,
+                               fallback=lambda r: ("running", ("fb", r)))
+    try:
+        status, addr = client.lookup(RANK)
+        assert (status, addr) == ("running", ("fb", RANK))
+        assert client.stats["dir_unknown"] >= 2  # one per round at least
+        assert client.stats["dir_fallbacks"] == 1
+    finally:
+        client.close()
+        for s in empty:
+            s.close()
+
+
+def test_fallback_refresh_adopts_newer_membership():
+    """After a scheduler fallback, the client pulls the membership view
+    and converges back to shard lookups on the new topology."""
+    addrs = {n: refused_addr() for n in (0, 1, 2)}
+    healthy = ScriptedShard(records={RANK: ("10.0.0.4", 5003)})
+    new_addrs = {n: healthy.addr for n in (0, 1, 2)}
+
+    client = MPDirectoryClient(
+        sharded_config(addrs), salt=0,
+        fallback=lambda r: ("running", ("fb", r)),
+        refresh=lambda: sharded_config(new_addrs, epoch=1))
+    try:
+        status, addr = client.lookup(RANK)  # dead ring: fallback answers
+        assert (status, addr) == ("running", ("fb", RANK))
+        assert client.epoch == 1  # refresh applied the newer view
+        status, addr = client.lookup(RANK)  # now served by the shards
+        assert (status, addr) == ("running", ("10.0.0.4", 5003))
+        assert client.stats["dir_fallbacks"] == 1
+    finally:
+        client.close()
+        healthy.close()
+
+
+def test_stale_membership_is_not_adopted():
+    addrs = {n: refused_addr() for n in (0, 1, 2)}
+    client = MPDirectoryClient(sharded_config(addrs, epoch=5), salt=0,
+                               fallback=lambda r: ("running", None))
+    try:
+        assert not client.update_membership(sharded_config(addrs, epoch=5))
+        assert not client.update_membership(sharded_config(addrs, epoch=2))
+        assert client.update_membership(sharded_config(addrs, epoch=6))
+        assert client.epoch == 6
+    finally:
+        client.close()
+
+
+# -- the ladder against real daemon processes ------------------------------
+
+def test_chord_entry_rotation_over_dead_entry():
+    """Chord: the round-robin entry node is dead — the next round enters
+    the ring one node over, whose daemon routes to the owner."""
+    spec = DirectorySpec(backend="chord", nodes=4, replication=2,
+                         daemons=True)
+    host = DirectoryDaemonHost(spec)
+    try:
+        for r in range(6):
+            host.publish(r, "running", ("127.0.0.1", 9300 + r), None)
+        assert host.flush(5.0)
+        client = host.make_client(
+            salt=0, fallback=lambda r: ("running", ("fb", r)))
+        host.kill(client.candidates(0, 0)[0])  # rank 0's round-0 entry
+        status, addr = client.lookup(0)
+        assert (status, addr) == ("running", ("127.0.0.1", 9300))
+        assert client.stats["dir_failovers"] >= 1
+        client.close()
+    finally:
+        host.close()
+
+
+def test_restarted_daemon_serves_after_reseed():
+    """Kill → restart: the fresh (empty) daemon answers ``unknown``
+    until the host re-publishes its records, then serves again."""
+    spec = DirectorySpec(backend="sharded", nodes=3, replication=1,
+                         daemons=True)
+    host = DirectoryDaemonHost(spec)
+    try:
+        for r in range(12):
+            host.publish(r, "running", ("127.0.0.1", 9400 + r), None)
+        assert host.flush(5.0)
+        victim = host.topology.primary(RANK)
+        host.kill(victim)
+        host.restart(victim)
+        assert host.flush(5.0)
+        recs = host.records_on(victim)
+        assert RANK in recs  # re-seeded with everything it owns
+        client = host.make_client(
+            salt=0, fallback=lambda r: ("running", ("fb", r)))
+        status, addr = client.lookup(RANK)
+        assert (status, addr) == ("running", ("127.0.0.1", 9400 + RANK))
+        client.close()
+    finally:
+        host.close()

@@ -115,6 +115,43 @@ def test_obs_report_rejects_malformed_artifact(tmp_path):
         main(["obs", "report", str(path)])
 
 
+def test_parser_directory_defaults():
+    args = build_parser().parse_args(["directory"])
+    assert args.command == "directory"
+    assert args.backend == "sharded" and args.nodes == 4
+    assert args.replication == 2 and args.kill is None and not args.churn
+
+
+def test_parser_directory_options():
+    args = build_parser().parse_args(
+        ["directory", "--backend", "chord", "--nodes", "6",
+         "--kill", "2", "--rounds", "10"])
+    assert args.backend == "chord" and args.nodes == 6
+    assert args.kill == 2 and args.rounds == 10
+
+
+def test_parser_directory_rejects_unknown_backend():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["directory", "--backend", "gossip"])
+
+
+def test_directory_command_validates_arguments(capsys):
+    # churn is sharded-only; a bad kill target is refused up front
+    assert main(["directory", "--backend", "chord", "--churn"]) == 2
+    assert "sharded" in capsys.readouterr().out
+    assert main(["directory", "--nodes", "3", "--kill", "7"]) == 2
+    assert "not a shard id" in capsys.readouterr().out
+
+
+def test_directory_command_runs_workload(capsys):
+    """End-to-end: a 2-rank mp workload over real shard daemons, one
+    migration, stats polled from the daemons themselves."""
+    assert main(["directory", "--nodes", "2", "--rounds", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "shard" in out and "publishes=" in out
+
+
 def test_obs_report_from_sim_trace(tmp_path, capsys):
     trace_file = tmp_path / "run.trace"
     assert main(["mg", "--n", "16", "--hetero",

@@ -85,9 +85,21 @@ def test_frame_naming_any_class_is_rejected():
         restricted_loads(payload)
 
 
-def test_allowlist_is_containers_only():
+def test_allowlist_is_containers_and_frame_vocabulary_only():
+    # the shard daemons register their message dataclasses on import
+    import repro.runtime.mp_directory  # noqa: F401
+
     assert ("builtins", "dict") in ALLOWED_GLOBALS
-    assert all(mod == "builtins" for mod, _ in ALLOWED_GLOBALS)
+    # builtins: plain containers; beyond that, only the frozen directory
+    # frame vocabulary — never a callable that can do work on load
+    extras = {(m, n) for m, n in ALLOWED_GLOBALS if m != "builtins"}
+    assert extras == {
+        ("repro.directory.messages", "DirLookup"),
+        ("repro.directory.messages", "DirUpdate"),
+        ("repro.directory.messages", "DirUpdateAck"),
+        ("repro.core.messages", "LookupReply"),
+    }
+    assert all(isinstance(obj, type) for obj in ALLOWED_GLOBALS.values())
     assert ("builtins", "eval") not in ALLOWED_GLOBALS
     assert ("os", "system") not in ALLOWED_GLOBALS
 

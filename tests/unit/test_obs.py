@@ -31,6 +31,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import POW2_BUCKETS
 from repro.obs.recorder import BufferRecorder, TraceRecorder
+from repro import Application, RetryPolicy, VirtualMachine
 from repro.sim.trace import KINDS as TRACE_KINDS, Trace
 
 
@@ -262,3 +263,78 @@ def test_jsonl_line_round_trip():
     assert "\n" not in line
     assert decode_jsonl_line(line) == rec
     assert not math.isnan(decode_jsonl_line(line)["ts"])
+
+
+# -- abort path closes its phase spans -------------------------------------
+
+def test_abort_migration_closes_open_phase_spans(kernel):
+    """A drain-timeout abort must balance the trace: the ``reject`` and
+    ``drain`` spans opened before the timeout get explicit ``span_end``
+    events carrying ``aborted=True`` (no consumer-side timeout
+    heuristics), and once the retried migration commits, every
+    ``span_start`` in the whole run has a matching ``span_end``."""
+    COUNT, STALL = 20, 0.25
+    vm = VirtualMachine(kernel)
+    for h in ("h0", "h1", "h2", "h3"):
+        vm.add_host(h)
+
+    def program(api, state):
+        if api.rank == 0:
+            i = state.get("i", 0)
+            while i < COUNT:
+                api.send(1, ("seq", i), tag=1)
+                i += 1
+                state["i"] = i
+                api.compute(0.002)
+                api.poll_migration(state)
+        else:
+            # take one message, then go deaf (signals held) for STALL —
+            # exactly the window in which rank 0 tries to migrate, so
+            # its bounded drain expires and the attempt aborts
+            if not state.get("stalled"):
+                api.recv(src=0, tag=1)
+                state["n"] = 1
+                state["stalled"] = True
+                ctx = api.endpoint.ctx
+                ctx.hold_signals()
+                api.compute(STALL)
+                ctx.release_signals()
+            while state["n"] < COUNT:
+                api.recv(src=0, tag=1)
+                state["n"] += 1
+
+    app = Application(
+        vm, program, placement=["h0", "h1"], scheduler_host="h2",
+        retry=RetryPolicy(seed=0, base=0.01, factor=2.0, cap=0.2,
+                          max_attempts=12, jitter=0.1),
+        drain_timeout=0.05, migration_retry_limit=5)
+    app.start()
+    app.migrate_at(0.02, rank=0, dest_host="h3")
+    app.run()
+
+    assert any(rec.aborted for rec in app.migrations)
+    # the spans open at abort time were closed, explicitly marked
+    assert vm.trace.count("span_end", aborted=True, phase="drain") >= 1
+    assert vm.trace.count("span_end", aborted=True, phase="reject") >= 1
+    # the aborted attempt's initialized process closes its restore span
+    # on the way out too (InitAbort)
+    assert vm.trace.count("span_end", aborted=True, phase="restore") >= 1
+    # ... and only those three phases can ever abort mid-span
+    aborted = {ev.detail["phase"]
+               for ev in vm.trace.filter(kind="span_end", aborted=True)}
+    assert aborted <= {"drain", "reject", "restore"}
+    # global balance: per (actor, phase), starts == ends
+    starts: dict[tuple, int] = {}
+    ends: dict[tuple, int] = {}
+    for ev in vm.trace.filter(kind="span_start"):
+        key = (ev.actor, ev.detail["phase"])
+        starts[key] = starts.get(key, 0) + 1
+    for ev in vm.trace.filter(kind="span_end"):
+        key = (ev.actor, ev.detail["phase"])
+        ends[key] = ends.get(key, 0) + 1
+    assert starts == ends
+    # the aborted span_end records are schema-legal JSONL
+    for ev in vm.trace.filter(kind="span_end", aborted=True):
+        rec = {"ts": ev.time, "actor": ev.actor, "kind": ev.kind,
+               **ev.detail}
+        assert validate_record(rec) is None
