@@ -1,7 +1,7 @@
 # Developer entry points. Everything runs against the in-tree sources.
 export PYTHONPATH := src
 
-.PHONY: test fast stress bench bench-directory bench-fastpath obs-smoke shard-smoke
+.PHONY: test fast stress bench bench-directory bench-fastpath bench-recovery obs-smoke shard-smoke recovery-smoke
 
 test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
 	python -m pytest -x -q
@@ -21,8 +21,14 @@ bench-directory: ## directory-backend ablation; writes BENCH_directory.json
 bench-fastpath: ## migration fast path A/B ablation; writes BENCH_fastpath.json
 	python -m pytest benchmarks/test_ablation_fastpath.py --benchmark-only -q -s
 
+bench-recovery: ## time-to-recover vs checkpoint interval; writes BENCH_recovery.json
+	python -m pytest benchmarks/test_ablation_recovery.py --benchmark-only -q -s
+
 obs-smoke: ## real mp migration with event collection on; validates the JSONL artifact
 	REPRO_OBS_SMOKE=1 python -m pytest tests/integration/test_obs_mp.py -q
 
 shard-smoke: ## SIGKILL a live shard daemon during an mp migration workload
 	REPRO_SHARD_SMOKE=1 python -m pytest tests/stress/test_shard_crash_mp.py -q
+
+recovery-smoke: ## SIGKILL a rank and a shard mid-run; digest-identical completion
+	REPRO_RECOVERY_SMOKE=1 python -m pytest tests/stress/test_crash_recovery_mp.py -q -s

@@ -41,6 +41,7 @@ __all__ = [
     "phase_breakdown",
     "chunk_throughput",
     "drain_stragglers",
+    "gauge_values",
     "render_obs_report",
 ]
 
@@ -164,6 +165,19 @@ def drain_stragglers(events: Iterable[dict]) -> dict[str, list[dict]]:
     return out
 
 
+def gauge_values(events: Iterable[dict]) -> dict[str, dict[str, float]]:
+    """``{actor: {gauge name: value}}`` from the ``gauge`` records.
+
+    The collector appends terminal gauge values to the artifact (last
+    write per (actor, name) wins), so these are end-of-run levels —
+    queue depth, live link count, live shard count."""
+    out: dict[str, dict[str, float]] = {}
+    for rec in events:
+        if rec["kind"] == "gauge":
+            out.setdefault(rec["actor"], {})[rec["name"]] = rec["value"]
+    return out
+
+
 def _fmt_s(value: float | None) -> str:
     if value is None:
         return "-"
@@ -216,6 +230,15 @@ def render_obs_report(events: list[dict]) -> str:
                          _fmt_s(c["seconds"]), rate))
         lines.append(format_table(
             ("actor", "chunks", "bytes", "spread", "rate"), rows))
+        lines.append("")
+
+    gauges = gauge_values(events)
+    if gauges:
+        names = sorted({n for per in gauges.values() for n in per})
+        lines.append("terminal gauges:")
+        rows = [(actor,) + tuple(gauges[actor].get(n, "-") for n in names)
+                for actor in sorted(gauges)]
+        lines.append(format_table(("actor",) + tuple(names), rows))
         lines.append("")
 
     stragglers = drain_stragglers(events)

@@ -25,20 +25,32 @@ coordinated-checkpointing territory of CoCheck (see
 
 from __future__ import annotations
 
+import struct
+import zlib
 from pathlib import Path
 
 from repro.codec import NATIVE, Architecture, decode, encode
 from repro.util.errors import ReproError
+from repro.util.fsio import atomic_write_bytes
 from repro.vm.ids import Rank
 
 __all__ = ["CheckpointStore", "checkpoint_state", "restore_state"]
+
+#: Disk-blob integrity header: magic, CRC-32 and length of the payload.
+#: A blob written before the header existed starts with the codec's own
+#: bytes, never this magic, so legacy files still load.
+_MAGIC = b"RPCK1\x00"
+_HEADER = struct.Struct(">6sIQ")
 
 
 class CheckpointStore:
     """Versioned per-rank checkpoint blobs, in memory or on disk.
 
     Disk layout (when *directory* is given): one file per checkpoint,
-    ``ckpt-r<rank>-v<version>.bin``, containing the codec blob.
+    ``ckpt-r<rank>-v<version>.bin``. Writes are crash-safe — payloads
+    carry a CRC-framed header and land via fsync-and-rename — so a file
+    that exists is either complete or detectably torn, never silently
+    half-written into the codec.
     """
 
     def __init__(self, directory: str | Path | None = None):
@@ -52,7 +64,9 @@ class CheckpointStore:
         if self._dir is None:
             self._mem[(rank, version)] = blob
         else:
-            (self._dir / f"ckpt-r{rank}-v{version}.bin").write_bytes(blob)
+            framed = _HEADER.pack(_MAGIC, zlib.crc32(blob), len(blob)) + blob
+            atomic_write_bytes(
+                self._dir / f"ckpt-r{rank}-v{version}.bin", framed)
 
     def load_blob(self, rank: Rank, version: int) -> bytes:
         if self._dir is None:
@@ -65,7 +79,25 @@ class CheckpointStore:
         path = self._dir / f"ckpt-r{rank}-v{version}.bin"
         if not path.exists():
             raise ReproError(f"no checkpoint file {path}")
-        return path.read_bytes()
+        data = path.read_bytes()
+        if not data.startswith(_MAGIC):
+            # A torn write of a *new-format* blob can be shorter than the
+            # magic itself; such a strict prefix must not pass as legacy.
+            if _MAGIC.startswith(data):
+                raise ReproError(f"checkpoint {path.name} is truncated")
+            return data  # legacy headerless blob
+        if len(data) < _HEADER.size:
+            raise ReproError(f"checkpoint {path.name} is truncated")
+        _magic, crc, length = _HEADER.unpack_from(data)
+        blob = data[_HEADER.size:]
+        if len(blob) != length:
+            raise ReproError(
+                f"checkpoint {path.name} is truncated: "
+                f"{len(blob)} of {length} payload bytes")
+        if zlib.crc32(blob) != crc:
+            raise ReproError(f"checkpoint {path.name} is corrupt "
+                             f"(CRC mismatch)")
+        return blob
 
     # -- catalogue ----------------------------------------------------------
     def versions(self, rank: Rank) -> list[int]:
@@ -88,6 +120,23 @@ class CheckpointStore:
             if head.isdigit():
                 out.add(int(head))
         return sorted(out)
+
+    def latest_complete_version(self, rank: Rank) -> int | None:
+        """Newest version of *rank* whose blob passes its integrity check.
+
+        This is the restore selector under crash-during-checkpoint: a
+        torn or corrupt newest file (the write the crash interrupted,
+        had it not been atomic — or a file damaged after the fact) is
+        skipped with its reason logged by the caller, and the scan walks
+        back to the newest *complete* one.
+        """
+        for version in reversed(self.versions(rank)):
+            try:
+                self.load_blob(rank, version)
+            except ReproError:
+                continue
+            return version
+        return None
 
     def latest_common_version(self, nranks: int) -> int | None:
         """Largest version every one of ``nranks`` ranks has stored.

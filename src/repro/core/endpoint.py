@@ -220,6 +220,12 @@ class MigrationEndpoint:
             self.recvlist.scan_hook = self.metrics.histogram(
                 "endpoint.recvlist_scan", bounds=POW2_BUCKETS,
                 actor=ctx.name).record
+            # same gauge names as the mp runtime, so one report renders
+            # either backend's artifact
+            self._g_qdepth = self.metrics.gauge("mp.queue_depth",
+                                                actor=ctx.name)
+            self._g_links = self.metrics.gauge("mp.live_links",
+                                               actor=ctx.name)
 
         self.migration_requested = False
         #: set by migration code while draining; ChannelHello arrivals
@@ -811,6 +817,9 @@ class MigrationEndpoint:
         migration algorithm — which never returns (the process terminates
         on this host and resumes from *state* on the destination).
         """
+        if self.metrics is not None:
+            self._g_qdepth.set(len(self.recvlist))
+            self._g_links.set(len(self.connected))
         if not self.migration_enabled:
             return
         self.ctx.check_signals()

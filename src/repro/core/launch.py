@@ -191,11 +191,16 @@ class Application:
                       checkpoint_store=self.checkpoint_store)
         if self.restore_version is not None:
             from repro.core.checkpointing import restore_state
+            t0 = self.vm.kernel.now
+            self.vm.trace_record(ctx.name, "span_start", phase="recover",
+                                 rank=rank)
             state = restore_state(self.checkpoint_store, rank,
                                   self.restore_version)
             ctx.burn(self.vm.costs.state_fixed)
             self.vm.trace_record(ctx.name, "checkpoint_restored",
                                  version=self.restore_version)
+            self.vm.trace_record(ctx.name, "span_end", phase="recover",
+                                 rank=rank, seconds=self.vm.kernel.now - t0)
         else:
             state = {}
         self.program(api, state)

@@ -1,0 +1,119 @@
+"""Durable shard state: an append-only WAL of versioned location records.
+
+A directory shard daemon that crashes and restarts used to come back
+*empty* and depend on the registry re-publishing everything it owned
+(the "re-seed"). With a WAL the shard owns its durability: every
+accepted ``DirUpdate`` is appended (and fsynced) *before* it is acked,
+so a restarted daemon replays its own log and serves its records again
+without any help from the write side.
+
+Layout inside the WAL directory::
+
+    snapshot.json     last compaction (written fsync-and-rename)
+    wal.log           length+CRC framed records appended since then
+
+Each record is the JSON array ``[rank, status, addr, init_addr,
+version]``. Replay loads the snapshot, then applies log records whose
+version is newer than what is held — the same version-checked idempotent
+apply the daemon uses on the wire, so replaying a log that overlaps the
+snapshot (compaction crashed between rename and truncate) is harmless.
+A torn tail (crash mid-append) is detected by the CRC framing and
+ignored; everything before it is intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.util.fsio import atomic_write_bytes, fsync_append, iter_crc_frames
+
+__all__ = ["DirectoryWAL"]
+
+
+def _addr(value):
+    return tuple(value) if value is not None else None
+
+
+class DirectoryWAL:
+    """One shard's durable record store (single writer: that shard)."""
+
+    def __init__(self, directory: str | Path, compact_every: int = 256,
+                 fsync: bool = True):
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.dir / "snapshot.json"
+        self.log_path = self.dir / "wal.log"
+        self.compact_every = compact_every
+        self.fsync = fsync
+        self.appended_since_compact = 0
+        self.compactions = 0
+        self._fh = open(self.log_path, "ab")
+
+    # -- write side --------------------------------------------------------
+    def append(self, rank: int, rec: tuple) -> None:
+        """Durably log ``rec = (status, addr, init_addr, version)``."""
+        status, addr, init_addr, version = rec
+        payload = json.dumps(
+            [rank, status, addr, init_addr, version]).encode()
+        fsync_append(self._fh, payload, fsync=self.fsync)
+        self.appended_since_compact += 1
+
+    def maybe_compact(self, records: dict[int, tuple]) -> bool:
+        """Compact when the log outgrew its threshold; True if it did."""
+        if self.appended_since_compact < self.compact_every:
+            return False
+        self.compact(records)
+        return True
+
+    def compact(self, records: dict[int, tuple]) -> None:
+        """Snapshot *records* and reset the log.
+
+        Ordering matters: the snapshot lands (fsync-and-rename) before
+        the log truncates, so a crash between the two replays a log that
+        merely overlaps the snapshot — version checks absorb it.
+        """
+        snap = {str(rank): list(rec) for rank, rec in records.items()}
+        atomic_write_bytes(self.snapshot_path,
+                           json.dumps({"records": snap}).encode())
+        self._fh.close()
+        self._fh = open(self.log_path, "wb")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.appended_since_compact = 0
+        self.compactions += 1
+
+    # -- replay ------------------------------------------------------------
+    def replay(self) -> dict[int, tuple]:
+        """Reconstruct ``rank -> (status, addr, init_addr, version)``."""
+        records: dict[int, tuple] = {}
+        if self.snapshot_path.exists():
+            try:
+                snap = json.loads(self.snapshot_path.read_bytes())
+            except (ValueError, OSError):
+                snap = {"records": {}}  # torn snapshot: log still replays
+            for rank, rec in snap.get("records", {}).items():
+                status, addr, init_addr, version = rec
+                records[int(rank)] = (status, _addr(addr),
+                                      _addr(init_addr), int(version))
+        try:
+            data = self.log_path.read_bytes()
+        except OSError:
+            data = b""
+        for payload in iter_crc_frames(data):
+            try:
+                rank, status, addr, init_addr, version = json.loads(payload)
+            except ValueError:
+                break  # valid CRC but unparseable: treat as torn tail
+            cur = records.get(int(rank))
+            if cur is None or version > cur[3]:
+                records[int(rank)] = (status, _addr(addr),
+                                      _addr(init_addr), int(version))
+        return records
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass

@@ -129,11 +129,30 @@ class RegistryCollector:
             self._events.append((time.time(), actor, kind, fields))
 
     def events(self) -> list[dict]:
-        """Every collected event as a JSONL-shaped dict, time-ordered."""
+        """Every collected event as a JSONL-shaped dict, time-ordered.
+
+        Terminal gauge values (``mp.queue_depth``, ``mp.live_links``,
+        ``dir.live_shards``, ...) are appended as explicit ``gauge``
+        records, so the artifact — and the ``repro obs`` report — carry
+        them without consulting the metrics side-channel."""
         with self._lock:
             rows = sorted(self._events)
-        return [{"ts": ts, "actor": actor, "kind": kind, **fields}
-                for ts, actor, kind, fields in rows]
+        out = [{"ts": ts, "actor": actor, "kind": kind, **fields}
+               for ts, actor, kind, fields in rows]
+        ts = out[-1]["ts"] if out else time.time()
+        for rec in self.metrics.snapshot():
+            if rec["type"] != "gauge":
+                continue
+            labels = rec.get("labels", {})
+            if "actor" in labels:
+                actor = str(labels["actor"])
+            elif "rank" in labels:
+                actor = f"p{labels['rank']}"
+            else:
+                actor = "registry"
+            out.append({"ts": ts, "actor": actor, "kind": "gauge",
+                        "name": rec["name"], "value": rec["value"]})
+        return out
 
     def write_jsonl(self, path: str) -> int:
         """Write the merged artifact; returns the number of records."""

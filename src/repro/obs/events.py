@@ -32,13 +32,18 @@ __all__ = ["PHASES", "EVENT_KINDS", "SPAN_KINDS", "validate_record",
 #: the new process), opens the connection-rejection window (``reject``),
 #: drains in-transit messages (``drain``) and ships state (``transfer``);
 #: the destination restores (``restore``) and commits (``commit``).
+#: ``recover`` is the launcher-observed end-to-end crash-recovery window
+#: (checkpoint load → replacement spawn → restore → commit) — recovery
+#: reuses the migration phases inside it.
 PHASES: frozenset[str] = frozenset({
     "freeze", "reject", "drain", "transfer", "restore", "commit",
+    "recover",
 })
 
 #: Execution-order ranking for report rendering (not part of the frozen
 #: contract — the *names* are).
-PHASE_ORDER = ("freeze", "reject", "drain", "transfer", "restore", "commit")
+PHASE_ORDER = ("freeze", "reject", "drain", "transfer", "restore", "commit",
+               "recover")
 
 #: Paired span delimiters. ``span_start`` carries ``phase`` (+ ``rank``);
 #: ``span_end`` repeats them and adds ``seconds``.
@@ -58,6 +63,8 @@ EVENT_KINDS: frozenset[str] = frozenset({
     "connect",           # dest=<int> attempts=<int> seconds=<float>
     "lookup",            # dest=<int> status=<str>
     "retry",             # what=<str>
+    # terminal gauge values (queue depth, live links, ...)
+    "gauge",             # name=<str> value=<number>
     # free-form annotation (tooling, registry milestones)
     "mark",              # text=<str>
 })
@@ -73,6 +80,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "connect": ("dest",),
     "lookup": ("dest", "status"),
     "retry": ("what",),
+    "gauge": ("name", "value"),
     "mark": (),
 }
 

@@ -1,0 +1,58 @@
+"""Restart policy: exponential backoff inside a sliding restart window.
+
+Deliberately tiny and pure (no clock access of its own) so the property
+tests can drive it with synthetic timestamps: the supervisor asks
+"may I restart this child now, and after what delay?" and the tracker
+answers from the restart history alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RestartPolicy", "RestartTracker"]
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Backoff and budget for one supervised child.
+
+    The *n*-th restart within ``window_s`` waits
+    ``min(base_delay * factor**n, max_delay)``; once ``max_restarts``
+    restarts have happened inside the window the child escalates to
+    permanent failure (the supervisor stops restarting and surfaces it).
+    """
+
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    max_restarts: int = 5
+    window_s: float = 60.0
+
+
+class RestartTracker:
+    """Per-child restart history evaluated against a policy."""
+
+    def __init__(self, policy: RestartPolicy):
+        self.policy = policy
+        self.history: list[float] = []
+
+    @property
+    def restarts(self) -> int:
+        return len(self.history)
+
+    def next_delay(self, now: float) -> float | None:
+        """Delay before the next restart, or ``None`` = permanent failure.
+
+        Recording is implicit: asking for a delay counts as taking the
+        restart (the supervisor always follows through or escalates).
+        """
+        p = self.policy
+        cutoff = now - p.window_s
+        self.history = [t for t in self.history if t >= cutoff]
+        if len(self.history) >= p.max_restarts:
+            return None
+        delay = min(p.base_delay * (p.factor ** len(self.history)),
+                    p.max_delay)
+        self.history.append(now)
+        return delay

@@ -1,0 +1,84 @@
+"""Recovery configuration: one frozen spec handed to ``MPCluster``.
+
+``MPCluster(recovery=RecoverySpec(...))`` turns on, per run:
+
+* **rank checkpoints** — every worker persists a wrapped
+  :class:`~repro.core.checkpointing.CheckpointStore` blob (program state
+  + communication-state epoch: per-peer sequence numbers, undelivered
+  recvlist, sender outbox) every ``checkpoint_every``-th
+  ``poll_migration`` call;
+* **exactly-once data framing** — data frames carry per-(src, dest)
+  sequence numbers so a replayed/re-executed send deduplicates at the
+  receiver (the wire format without recovery is unchanged);
+* **supervision** — the launcher-side
+  :class:`~repro.recovery.supervisor.Supervisor` watches worker exit
+  codes, heartbeat frames and shard daemons, restarting per
+  :class:`~repro.recovery.policy.RestartPolicy`;
+* **shard WAL** — directory shard daemons durably log accepted updates
+  (:mod:`repro.directory.wal`) and replay them on a supervised restart
+  instead of depending on the registry re-seed.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.recovery.policy import RestartPolicy
+
+__all__ = ["RecoverySpec", "WorkerRecoveryConfig"]
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Everything ``MPCluster(recovery=...)`` needs.
+
+    ``dir`` is the durable root (checkpoints under it, shard WALs under
+    ``<dir>/dirwal``); ``None`` allocates a temp directory for the run.
+    ``heartbeat_timeout=None`` disables liveness-by-heartbeat (exit-code
+    supervision alone); set it to catch *wedged* — not dead — ranks.
+    """
+
+    dir: str | None = None
+    checkpoint_every: int = 1
+    policy: RestartPolicy = field(default_factory=RestartPolicy)
+    supervise_shards: bool = True
+    shard_wal: bool = True
+    heartbeat_every: float = 0.25
+    heartbeat_timeout: float | None = None
+    poll_interval: float = 0.02
+
+    @classmethod
+    def coerce(cls, value: "RecoverySpec | bool | str | None"
+               ) -> "RecoverySpec | None":
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, (str, Path)):
+            return cls(dir=str(value))
+        if isinstance(value, cls):
+            return value
+        raise TypeError(f"recovery must be RecoverySpec | bool | str | "
+                        f"None, got {type(value).__name__}")
+
+    def resolve_dir(self) -> str:
+        """The durable root, creating a temp one when unset."""
+        if self.dir is not None:
+            Path(self.dir).mkdir(parents=True, exist_ok=True)
+            return str(self.dir)
+        return tempfile.mkdtemp(prefix="repro-recovery-")
+
+
+@dataclass(frozen=True)
+class WorkerRecoveryConfig:
+    """The worker-process slice of a :class:`RecoverySpec`.
+
+    Plain data, inherited over fork: where to write checkpoints, how
+    often, and the heartbeat cadence.
+    """
+
+    dir: str
+    checkpoint_every: int = 1
+    heartbeat_every: float = 0.25

@@ -24,6 +24,21 @@ interrupt a *computing* process) reduces to the poll-point check.
 
 Worker architecture mirrors the simulator: one reader thread per socket
 feeds a single inbox queue; the protocol logic is single-threaded on top.
+
+**Crash recovery** (``MPCluster(recovery=RecoverySpec(...))``) reuses
+the migration machinery as its restart path — recovery *is* a migration
+whose source is a disk checkpoint. With recovery enabled, each rank
+checkpoints a wrapper blob (program state + undelivered recvlist + a
+communication-state epoch) at poll points, data frames carry
+per-(src, dest) sequence numbers, and the connection handshake exchanges
+receive cursors so either side can replay its retained outbox after a
+reconnect. A :class:`~repro.recovery.supervisor.Supervisor` detects a
+dead rank, spawns a replacement through the ordinary ``_init_main``
+accept-from-start path, ships the checkpoint exactly as a migrating
+source would ship live state, and the directory record flips on the same
+``restore_complete``. Duplicate deliveries from replay + deterministic
+re-execution are dropped by the receiver's sequence cursor, so the
+stream stays exactly-once. See ``docs/recovery.md``.
 """
 
 from __future__ import annotations
@@ -32,6 +47,8 @@ import logging
 import multiprocessing as mp
 import os
 import queue
+import shutil
+import signal as _signal
 import socket
 import threading
 import time
@@ -39,12 +56,15 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.codec import NATIVE, Architecture, decode, encode
+from repro.core.checkpointing import CheckpointStore
 from repro.core.streaming import ChunkSource
 from repro.directory.chordring import ChordRing
 from repro.directory.hashring import HashRing
 from repro.directory.spec import DirectorySpec
 from repro.obs import MetricsRegistry, ObsConfig, RegistryCollector, WorkerObs
 from repro.obs.metrics import POW2_BUCKETS
+from repro.recovery.spec import RecoverySpec, WorkerRecoveryConfig
+from repro.recovery.supervisor import Supervisor
 from repro.runtime.framing import (
     FrameBatcher,
     FrameClosed,
@@ -61,6 +81,12 @@ from repro.runtime.mp_directory import (
 )
 
 __all__ = ["MPCluster", "MPApi"]
+
+#: Reserved keys inside shipped/checkpointed state dicts. ``__repro_comm__``
+#: rides along a live migration (the communication-state epoch must move
+#: with the rank); ``__repro_ckpt__`` marks a checkpoint wrapper blob.
+_COMM_KEY = "__repro_comm__"
+_CKPT_KEY = "__repro_ckpt__"
 
 _BACKLOG = 16
 _CONNECT_TIMEOUT = 10.0
@@ -170,7 +196,8 @@ class _Registry:
     """Rank → address table plus migration coordination."""
 
     def __init__(self, directory: "DirectorySpec | str | None" = None,
-                 obs: ObsConfig | None = None) -> None:
+                 obs: ObsConfig | None = None,
+                 dir_wal: str | None = None) -> None:
         spec = DirectorySpec.coerce(directory)
         self.spec = spec
         self.collector = RegistryCollector() if obs is not None else None
@@ -179,7 +206,8 @@ class _Registry:
         #: (repro.runtime.mp_directory); the registry keeps its in-memory
         #: maps as the authoritative scheduler-fallback view and the
         #: ("lookup",) ctl frame answers from those
-        self.daemon_host = (DirectoryDaemonHost(spec, metrics=metrics)
+        self.daemon_host = (DirectoryDaemonHost(spec, metrics=metrics,
+                                                wal_dir=dir_wal)
                             if spec.distributed and spec.daemons else None)
         self.directory = (_LogicalDirectory(spec, metrics=metrics)
                           if spec.distributed and not spec.daemons
@@ -198,6 +226,10 @@ class _Registry:
         self.results: dict[int, Any] = {}
         self.done = threading.Event()
         self.expected_results = 0
+        #: rank -> last heartbeat wall-clock (recovery-enabled runs)
+        self.heartbeats: dict[int, float] = {}
+        #: ranks/shards the supervisor gave up on; join() raises on these
+        self.permanent_failures: dict[tuple, str] = {}
         self._threads: list[threading.Thread] = []
         t = threading.Thread(target=self._accept_loop, daemon=True)
         t.start()
@@ -290,6 +322,10 @@ class _Registry:
                     # one-way event/metric batch from a worker
                     if self.collector is not None:
                         self.collector.absorb(frame)
+                elif kind == "hb":
+                    # one-way liveness beacon (recovery-enabled workers)
+                    _, rank, ts = frame
+                    self.heartbeats[rank] = ts
                 elif kind == "result":
                     _, rank, value = frame
                     with self._lock:
@@ -326,11 +362,48 @@ class _Registry:
             conn = self.worker_ctl[rank]
         send_frame(conn, ("migrate", arch_name))
 
+    # -- recovery coordination (called from the launcher/supervisor) -------
+    def begin_recovery(self, rank: int) -> None:
+        """Mark a crashed rank ``failed``: its old address stays published
+        (peers' connects fail against a dead port and retry the lookup)
+        until the replacement registers and the record flips."""
+        with self._lock:
+            self.status[rank] = "failed"
+            self.worker_ctl.pop(rank, None)
+            self.init_addr.pop(rank, None)
+            self._dir_write(rank)
+
+    def set_recovering(self, rank: int) -> None:
+        """The replacement registered: publish ``migrating`` so lookups
+        redirect to the initialized process — the same record state a
+        live migration publishes between ``migration_start`` and
+        ``restore_complete``."""
+        with self._lock:
+            if rank not in self.init_addr:
+                raise RuntimeError(
+                    f"rank {rank}: no initialized process registered")
+            self.status[rank] = "migrating"
+            self._dir_write(rank)
+
+    def fail_permanently(self, key: tuple, reason: str) -> None:
+        with self._lock:
+            self.permanent_failures[key] = reason
+        self.done.set()  # unblock join(); it raises on permanent failures
+
     def close(self) -> None:
         try:
             self.listener.close()
         except OSError:
             pass
+        # closing the ctl sockets releases workers parked for replay
+        # (recovery runs outlive their results; see _park_until_teardown)
+        with self._lock:
+            conns = list(self.worker_ctl.values())
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
         if self.daemon_host is not None:
             self.daemon_host.close()
 
@@ -371,6 +444,9 @@ class _PeerLink:
         self.open = True
         self.fastpath = fastpath
         self.stats = stats
+        #: the peer's receive cursor for us, as advertised in its hello
+        #: (recovery runs only): everything past it replays on adoption
+        self.replay_from: int | None = None
         self._batcher = (FrameBatcher(sock, stats=stats)
                          if fastpath else None)
         self._wlock = threading.Lock()
@@ -476,7 +552,8 @@ class _Worker:
                  program: Callable, initializing: bool,
                  arch: Architecture, incarnation: int,
                  fastpath: bool = True, obs: ObsConfig | None = None,
-                 dir_cfg: DaemonClientConfig | None = None):
+                 dir_cfg: DaemonClientConfig | None = None,
+                 rec_cfg: WorkerRecoveryConfig | None = None):
         self.rank = rank
         self.nranks = nranks
         self.program = program
@@ -492,6 +569,36 @@ class _Worker:
         self.pl: dict[int, tuple] = {}
         self.migrate_requested: str | None = None
         self.migrating = False
+        #: serializes ctl-socket writes: the protocol thread (RPCs, obs
+        #: batches, results) and the heartbeat thread share the socket
+        self._ctl_wlock = threading.Lock()
+
+        # -- communication-state epoch (recovery runs only) ----------------
+        self.rec = rec_cfg
+        #: src -> highest contiguous data seq delivered from src
+        self._rx_seq: dict[int, int] = {}
+        #: dest -> last data seq assigned toward dest
+        self._tx_seq: dict[int, int] = {}
+        #: dest -> retained [(seq, tag, body)] not yet known durable there
+        self._outbox: dict[int, list[tuple]] = {}
+        #: dest -> our rx cursor for dest at our last checkpoint — what a
+        #: post-crash replacement of *us* would advertise; piggybacked on
+        #: data frames so peers can prune their outboxes toward us
+        self._durable_rx: dict[int, int] = {}
+        #: src -> highest durable-rx cursor seen from src (prune marker)
+        self._peer_durable: dict[int, int] = {}
+        self._ckpt_version = 0
+        self._polls = 0
+        #: False until a restored incarnation has absorbed its comm state;
+        #: outbox replay toward freshly adopted links waits on it. An
+        #: original (non-initializing) worker starts ready: its epoch is
+        #: legitimately empty.
+        self._comm_ready = rec_cfg is None or not initializing
+        self._replay_pending: list[_PeerLink] = []
+        #: set when the registry closes our ctl socket (cluster teardown)
+        self._ctl_closed = threading.Event()
+        self._ckpt_store = (CheckpointStore(rec_cfg.dir)
+                            if rec_cfg is not None else None)
 
         self.obs: WorkerObs | None = None
         if obs is not None:
@@ -506,6 +613,12 @@ class _Worker:
             self._c_retries = m.counter("mp.connect_retries", rank=rank)
             self._h_scan = m.histogram("mp.recvlist_scan",
                                        bounds=POW2_BUCKETS, rank=rank)
+            self._g_qdepth = m.gauge("mp.queue_depth", rank=rank)
+            self._g_links = m.gauge("mp.live_links", rank=rank)
+            self._c_ckpts = m.counter("recovery.checkpoints", rank=rank)
+            self._c_dups = m.counter("recovery.dups_dropped", rank=rank)
+            self._c_replayed = m.counter("recovery.replayed_msgs",
+                                         rank=rank)
 
         # listener for incoming peer connections
         self.listener = socket.create_server(("127.0.0.1", 0),
@@ -519,9 +632,11 @@ class _Worker:
         self.ctl.settimeout(None)
         self._ctl_replies: queue.Queue = queue.Queue()
         kind = "register_init" if initializing else "register"
-        send_frame(self.ctl, (kind, rank, self.addr))
+        self._ctl_send((kind, rank, self.addr))
         threading.Thread(target=self._ctl_loop, daemon=True).start()
         self._await_ctl("registered")
+        if rec_cfg is not None:
+            threading.Thread(target=self._hb_loop, daemon=True).start()
 
         # out-of-process directory: lookups consult the shard daemons
         # (replica walk / entry rotation over real sockets) and fall
@@ -540,11 +655,29 @@ class _Worker:
                 dir_cfg, salt=rank, fallback=self._scheduler_lookup,
                 refresh=self._fetch_membership, on_count=on_count)
 
+    def _ctl_send(self, frame: tuple) -> None:
+        """Write one frame on the ctl socket (heartbeat-safe)."""
+        with self._ctl_wlock:
+            send_frame(self.ctl, frame)
+
+    def _hb_loop(self) -> None:
+        """Liveness beacon: one ``("hb", rank, ts)`` per cadence tick.
+
+        One-way (no reply lands in ``_ctl_replies``), so it coexists
+        with RPCs; the write lock keeps frames from interleaving.
+        """
+        while True:
+            time.sleep(self.rec.heartbeat_every)
+            try:
+                self._ctl_send(("hb", self.rank, time.time()))
+            except OSError:
+                return  # registry gone (teardown) or we are migrating out
+
     # -- observability -----------------------------------------------------
     def _send_obs_batch(self, batch: tuple) -> None:
-        # protocol-thread only (same discipline as _rpc): events are
-        # recorded and flushed from the thread running the program
-        send_frame(self.ctl, batch)
+        # recorded and flushed from the thread running the program; the
+        # ctl write lock orders them against heartbeats
+        self._ctl_send(batch)
 
     def _finalize_obs(self) -> None:
         """Fold wire accounting into the metrics and ship everything."""
@@ -591,13 +724,31 @@ class _Worker:
                 if self.migrating:
                     conn.close()  # reject: requester will consult registry
                     continue
+                peer_rank = hello[1]
+                # recovery handshake: a 3-tuple hello carries the peer's
+                # receive cursor for us; the ack answers with ours. The
+                # cursor read races the protocol thread only toward a
+                # *smaller* value — replay past it is dedup'd, never lost.
+                ack = (("hello_ack", self.rank,
+                        self._rx_seq.get(peer_rank, 0))
+                       if self.rec is not None and len(hello) >= 3
+                       else ("hello_ack", self.rank))
                 try:
-                    send_frame(conn, ("hello_ack", self.rank))
+                    send_frame(conn, ack)
                 except OSError:
                     continue
-                peer_rank = hello[1]
-                self.inbox.put(("new_link", peer_rank,
-                                self._make_link(conn, peer_rank)))
+                link = self._make_link(conn, peer_rank)
+                if len(hello) >= 3:
+                    link.replay_from = hello[2]
+                self.inbox.put(("new_link", peer_rank, link))
+            elif hello[0] == "replay_req":
+                # a restored peer asking us to reconnect and replay our
+                # retained outbox to it (one-shot; the connection itself
+                # carries nothing further). Keeps connection initiation
+                # sender-driven: the nudged side dials through the normal
+                # _connect handshake, so no dual-initiation link races.
+                self.inbox.put(("replay_nudge", hello[1], None))
+                conn.close()
             elif hello[0] == "state_transfer":
                 # the migrating process's transfer connection; its frames
                 # (recvlist, state/state_chunk) flow into the inbox like
@@ -616,6 +767,9 @@ class _Worker:
                     self._ctl_replies.put(frame)
         except (FrameClosed, OSError):
             return
+        finally:
+            # registry teardown: releases a parked (finished) worker
+            self._ctl_closed.set()
 
     def _await_ctl(self, kind: str) -> tuple:
         frame = self._ctl_replies.get(timeout=_CONNECT_TIMEOUT)
@@ -623,7 +777,7 @@ class _Worker:
         return frame
 
     def _rpc(self, request: tuple, reply_kind: str) -> tuple:
-        send_frame(self.ctl, request)
+        self._ctl_send(request)
         return self._await_ctl(reply_kind)
 
     def _scheduler_lookup(self, dest: int) -> tuple:
@@ -650,14 +804,20 @@ class _Worker:
         obs = self.obs
         t_start = time.time() if obs is not None else 0.0
         attempts = 0
-        for _ in range(60):
+        # recovery runs wait out supervisor backoff + replacement spawn;
+        # without recovery a dead peer is dead and the short budget holds
+        rounds = 60 if self.rec is None else 600
+        for _ in range(rounds):
             if addr is not None:
                 attempts += 1
                 sock = None
                 try:
                     sock = socket.create_connection(
                         tuple(addr), timeout=_CONNECT_TIMEOUT)
-                    send_frame(sock, ("hello", self.rank))
+                    hello = (("hello", self.rank, self._rx_seq.get(dest, 0))
+                             if self.rec is not None
+                             else ("hello", self.rank))
+                    send_frame(sock, hello)
                     # wait for the application-level acknowledgement: a
                     # migrating process never answers (its listener is
                     # closed or the accept loop is gone), so the connect
@@ -670,6 +830,9 @@ class _Worker:
                     sock.settimeout(None)
                     link = self._make_link(sock, dest)
                     self.links[dest] = link
+                    if len(ack) >= 3:
+                        link.replay_from = ack[2]
+                        self._replay_outbox(dest, link)
                     if obs is not None:
                         self._c_connects.inc()
                         self._c_retries.inc(attempts - 1)
@@ -699,6 +862,146 @@ class _Worker:
                 self.pl[dest] = addr
         raise RuntimeError(f"could not connect to rank {dest}")
 
+    # -- recovery: outbox replay and receive-side dedup ---------------------
+    def _data_frame(self, dest: int, tag: int, body: Any,
+                    seq: int) -> tuple:
+        return ("data", self.rank, tag, body, seq,
+                self._durable_rx.get(dest, 0))
+
+    def _replay_outbox(self, dest: int, link: _PeerLink) -> None:
+        """Resend retained messages past the peer's advertised cursor.
+
+        Runs on link adoption (either direction of establishment). Until
+        a restored incarnation has loaded its comm state the replay is
+        parked — replaying from an empty outbox would silently skip the
+        pre-checkpoint suffix the peer is missing.
+        """
+        if link.replay_from is None or self.rec is None:
+            return
+        if not self._comm_ready:
+            self._replay_pending.append(link)
+            return
+        replayed = 0
+        for seq, tag, body in self._outbox.get(dest, []):
+            if seq > link.replay_from:
+                link.stage(self._data_frame(dest, tag, body, seq))
+                replayed += 1
+        link.replay_from = None  # replay once per link
+        if replayed and self.obs is not None:
+            self._c_replayed.inc(replayed)
+            self.obs.event("retry", what="outbox_replay", dest=dest,
+                           count=replayed)
+
+    def _restore_comm(self, comm: dict) -> None:
+        """Adopt a shipped communication-state epoch (migration arrival
+        or checkpoint restore), then run any parked replays."""
+        self._rx_seq = {int(k): int(v)
+                        for k, v in (comm.get("rx") or {}).items()}
+        self._tx_seq = {int(k): int(v)
+                        for k, v in (comm.get("tx") or {}).items()}
+        self._durable_rx = {int(k): int(v)
+                            for k, v in (comm.get("durable_rx")
+                                         or {}).items()}
+        self._outbox = {int(k): [tuple(e) for e in v]
+                        for k, v in (comm.get("outbox") or {}).items()}
+        self._ckpt_version = int(comm.get("version", 0))
+        self._comm_ready = True
+        pending, self._replay_pending = self._replay_pending, []
+        for link in pending:
+            if link.open and self.links.get(link.rank) is link:
+                self._replay_outbox(link.rank, link)
+
+    def _request_replays(self) -> None:
+        """Nudge every peer to reconnect and replay toward us.
+
+        Replay is sender-driven (the retained outbox lives with the
+        sender, and single-initiator connects avoid link races), so a
+        sender that is idle — blocked receiving elsewhere, or finished
+        and parked — would never notice our restored incarnation exists.
+        The one-shot ``replay_req`` closes that gap; peers holding
+        nothing for us ignore it. Best-effort by design: an unreachable
+        peer is either dead (its own recovery will nudge us back) or
+        actively sending (its organic reconnect replays anyway).
+        """
+        for peer in range(self.nranks):
+            if peer == self.rank:
+                continue
+            addr = self.pl.get(peer)
+            if addr is None:
+                try:
+                    _status, addr = self._lookup(peer)
+                except (RuntimeError, OSError, FrameClosed):
+                    continue
+            if addr is None:
+                continue
+            try:
+                with socket.create_connection(
+                        tuple(addr), timeout=_CONNECT_TIMEOUT) as conn:
+                    send_frame(conn, ("replay_req", self.rank))
+            except (OSError, FrameClosed):
+                continue
+
+    def _park_until_teardown(self) -> None:
+        """Outlive our own result so retained messages stay replayable.
+
+        A finished sender's outbox is the only copy of messages a
+        crashed receiver may not have durably received; exiting would
+        destroy it. So a recovery-enabled worker keeps its accept loop
+        reachable and its inbox draining — adopting links, answering
+        replay nudges, flushing staged replays — until the registry
+        closes the ctl socket at cluster teardown.
+        """
+        while not self._ctl_closed.is_set():
+            try:
+                item = self.inbox.get(timeout=0.2)
+            except queue.Empty:
+                self._flush_links()
+                continue
+            try:
+                self._dispatch(item)
+            except (RuntimeError, ValueError):
+                log.exception("rank %d: dispatch while parked failed",
+                              self.rank)
+            self._flush_links()
+
+    def _comm_epoch(self) -> dict:
+        """The communication state that must travel with this rank."""
+        return {"rx": dict(self._rx_seq), "tx": dict(self._tx_seq),
+                "durable_rx": dict(self._durable_rx),
+                "outbox": {d: list(v) for d, v in self._outbox.items()},
+                "version": self._ckpt_version}
+
+    def _accept_data(self, src: int, seq: int | None,
+                     peer_durable: int | None) -> bool:
+        """Receive-side sequencing: True if the frame is new.
+
+        Drops anything at or below the cursor (a replay or a restarted
+        sender's deterministic re-execution); enforces contiguity above
+        it — a gap means the exactly-once invariant broke upstream, and
+        silently reordering would corrupt the program, so fail loudly.
+        """
+        if seq is None or self.rec is None:
+            return True
+        if peer_durable is not None and \
+                peer_durable > self._peer_durable.get(src, 0):
+            # the sender checkpointed through peer_durable: messages we
+            # retain for it up to that cursor can never be asked for again
+            self._peer_durable[src] = peer_durable
+            box = self._outbox.get(src)
+            if box:
+                self._outbox[src] = [e for e in box if e[0] > peer_durable]
+        rx = self._rx_seq.get(src, 0)
+        if seq <= rx:
+            if self.obs is not None:
+                self._c_dups.inc()
+            return False
+        if seq != rx + 1:
+            raise RuntimeError(
+                f"rank {self.rank}: data gap from {src}: "
+                f"got seq {seq} after {rx}")
+        self._rx_seq[src] = seq
+        return True
+
     # -- inbox dispatch ----------------------------------------------------
     def _dispatch(self, item: tuple, drain_waiting: set | None = None) -> None:
         kind, peer, payload = item
@@ -711,6 +1014,20 @@ class _Worker:
                 payload.send(("peer_migrating", self.rank))
                 payload.close()
                 drain_waiting.add(peer)
+            else:
+                self._replay_outbox(peer, payload)
+        elif kind == "replay_nudge":
+            # a restored peer cannot be dialed into (replay is
+            # sender-driven); it asks us to re-establish instead. Only
+            # worth a connect when we retain messages it may be missing.
+            link = self.links.get(peer)
+            if (self.rec is not None and self._outbox.get(peer)
+                    and (link is None or not link.open)):
+                try:
+                    self._connect(peer)
+                except (RuntimeError, OSError):
+                    log.warning("rank %d: replay reconnect to %d failed",
+                                self.rank, peer)
         elif kind == "peer_closed":
             link = self.links.get(peer)
             if link is not None and (payload is None or link is payload):
@@ -730,8 +1047,13 @@ class _Worker:
         elif kind == "peer":
             fkind = payload[0]
             if fkind == "data":
-                _, src, tag, body = payload
-                self.recvlist.append(_StoredMessage(src, tag, body))
+                if len(payload) == 4:
+                    _, src, tag, body = payload
+                    seq = peer_durable = None
+                else:
+                    _, src, tag, body, seq, peer_durable = payload
+                if self._accept_data(src, seq, peer_durable):
+                    self.recvlist.append(_StoredMessage(src, tag, body))
             elif fkind == "peer_migrating":
                 link = self.links.pop(peer, None)
                 if link is not None:
@@ -759,10 +1081,33 @@ class _Worker:
 
     # -- the API operations ---------------------------------------------------
     def send(self, dest: int, body: Any, tag: int = 0) -> None:
-        link = self.links.get(dest)
-        if link is None or not link.open:
-            link = self._connect(dest)
-        link.stage(("data", self.rank, tag, body))
+        if self.rec is None:
+            frame = ("data", self.rank, tag, body)
+        else:
+            seq = self._tx_seq.get(dest, 0) + 1
+            self._tx_seq[dest] = seq
+            box = self._outbox.setdefault(dest, [])
+            # a restored rank re-executes sends it already retained: the
+            # regenerated message is byte-equal by determinism, so the
+            # outbox keeps the original entry
+            if not box or seq > box[-1][0]:
+                box.append((seq, tag, body))
+            frame = self._data_frame(dest, tag, body, seq)
+        for attempt in range(3):
+            link = self.links.get(dest)
+            if link is None or not link.open:
+                link = self._connect(dest)
+            try:
+                link.stage(frame)
+                break
+            except OSError:
+                # a crashed peer RSTs mid-write. Without recovery that
+                # peer is gone for good — surface the error; with it,
+                # reconnect (blocking on the replacement) and let the
+                # handshake replay cover whatever the dead link ate.
+                link.open = False
+                if self.rec is None or attempt == 2:
+                    raise
         if self.obs is not None:
             self._c_sent.inc()
             if self.obs.sample_message():
@@ -786,6 +1131,8 @@ class _Worker:
                 # must leave first, or two ranks could deadlock waiting
                 # on each other's batcher
                 self._flush_links()
+                if self.obs is not None:
+                    self._update_gauges()
                 item = self.inbox.get()
             self._dispatch(item)
 
@@ -799,8 +1146,47 @@ class _Worker:
             except queue.Empty:
                 break
             self._dispatch(item)
+        if self.obs is not None:
+            self._update_gauges()
+        if self.rec is not None:
+            self._polls += 1
+            if self._polls % max(1, self.rec.checkpoint_every) == 0:
+                self._checkpoint(state)
         if self.migrate_requested is not None:
             self._migrate(state)
+
+    def _update_gauges(self) -> None:
+        """Steady-state levels, refreshed at poll/recv points."""
+        self._g_qdepth.set(self.inbox.qsize() + len(self.recvlist))
+        self._g_links.set(sum(1 for l in self.links.values() if l.open))
+
+    # -- checkpointing (recovery runs) --------------------------------------
+    def _checkpoint(self, state: dict) -> None:
+        """Persist a restart point: program state + undelivered recvlist
+        + the communication-state epoch, as one wrapper blob.
+
+        A poll point is message-consistent *for this rank*: everything
+        delivered is in ``state``/``recvlist``, everything sent is in the
+        outbox. Recovery restores the rank alone — no global snapshot
+        line — and the sequence cursors reconcile the channels, in the
+        style of sender-retained message logging.
+        """
+        self._ckpt_version += 1
+        wrapper = {
+            _CKPT_KEY: 1,
+            "state": state,
+            "recvlist": [(m.src, m.tag, m.body) for m in self.recvlist],
+            **self._comm_epoch(),
+            "version": self._ckpt_version,
+        }
+        blob = encode(wrapper, self.arch)
+        self._ckpt_store.save_blob(self.rank, self._ckpt_version, blob)
+        # the checkpoint is durable: our receive cursors are now what a
+        # replacement of us would advertise — piggyback them so peers
+        # prune their outboxes toward us
+        self._durable_rx = dict(self._rx_seq)
+        if self.obs is not None:
+            self._c_ckpts.inc()
 
     # -- migration (Fig. 5) -------------------------------------------------
     def _span(self, phase: str):
@@ -855,6 +1241,11 @@ class _Worker:
         # transfer the received-message-list and the machine-independent
         # execution/memory state
         transfer = self._span("transfer")
+        if self.rec is not None:
+            # the communication-state epoch migrates with the rank: the
+            # new incarnation must keep the cursors or peers' replays
+            # would double-deliver past a reset receive counter
+            state = {**state, _COMM_KEY: self._comm_epoch()}
         xfer = socket.create_connection(tuple(new_addr),
                                         timeout=_CONNECT_TIMEOUT)
         nchunks = 0
@@ -912,11 +1303,12 @@ def _worker_main(rank: int, nranks: int, registry_addr: tuple,
                  fastpath: bool = True,
                  obs: ObsConfig | None = None,
                  state: dict | None = None,
-                 dir_cfg: DaemonClientConfig | None = None) -> None:
+                 dir_cfg: DaemonClientConfig | None = None,
+                 rec_cfg: WorkerRecoveryConfig | None = None) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=False,
                 arch=arch, incarnation=0, fastpath=fastpath, obs=obs,
-                dir_cfg=dir_cfg)
+                dir_cfg=dir_cfg, rec_cfg=rec_cfg)
     w.pl = dict(pl)
     _run_program(w, dict(state) if state else {})
 
@@ -925,11 +1317,12 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
                program: Callable, arch: Architecture,
                incarnation: int, fastpath: bool = True,
                obs: ObsConfig | None = None,
-               dir_cfg: DaemonClientConfig | None = None) -> None:
+               dir_cfg: DaemonClientConfig | None = None,
+               rec_cfg: WorkerRecoveryConfig | None = None) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=True,
                 arch=arch, incarnation=incarnation, fastpath=fastpath,
-                obs=obs, dir_cfg=dir_cfg)
+                obs=obs, dir_cfg=dir_cfg, rec_cfg=rec_cfg)
     # Fig. 7: accept connections from the start; wait for the transfer.
     # The state arrives either as one legacy ("state", blob) frame or as
     # an ordered run of ("state_chunk", seq, data, last, total) frames.
@@ -937,6 +1330,9 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
     recvlist_a = None
     state_blob = None
     chunks: list = []
+    #: recovery runs park early data frames: their sequence numbers can
+    #: only be judged once the restored receive cursors are in place
+    deferred: list[tuple] = []
     while state_blob is None:
         item = w.inbox.get(timeout=_CONNECT_TIMEOUT)
         kind, peer, payload = item
@@ -957,11 +1353,35 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
                     raise ValueError(
                         f"state stream truncated: got {len(state_blob)} "
                         f"of {total} bytes")
+        elif rec_cfg is not None and kind == "peer" and payload[0] == "data":
+            deferred.append(item)
+        elif rec_cfg is not None and kind == "replay_nudge":
+            # our outbox only exists after the restore below; a nudge
+            # honoured now would find nothing to replay and be lost
+            deferred.append(item)
         else:
             w._dispatch(item)
-    # prepend ListA in front of whatever arrived on new connections
-    w.recvlist = [_StoredMessage(*t) for t in recvlist_a] + w.recvlist
     state = decode(state_blob)
+    ckpt_list: list = []
+    if isinstance(state, dict) and state.get(_CKPT_KEY):
+        # recovery: the "source" was a checkpoint wrapper, not a live
+        # process — unwrap it into program state + retained recvlist +
+        # communication epoch (Fig. 7 restore, fed from disk)
+        wrapper = state
+        state = wrapper["state"]
+        ckpt_list = [_StoredMessage(*t) for t in wrapper["recvlist"]]
+        w._restore_comm(wrapper)
+    elif isinstance(state, dict) and _COMM_KEY in state:
+        # live migration in a recovery-enabled run: the epoch rides in
+        # the state dict under a reserved key
+        w._restore_comm(state.pop(_COMM_KEY))
+    # the retained (checkpoint) list precedes ListA, which precedes
+    # anything that arrived on fresh connections — arrival order
+    w.recvlist = (ckpt_list
+                  + [_StoredMessage(*t) for t in recvlist_a]
+                  + w.recvlist)
+    for item in deferred:
+        w._dispatch(item)
     if restore is not None:
         restore.close(nbytes=len(state_blob), chunks=len(chunks) or 1)
     log.debug("init rank %d: state restored (%d bytes)",
@@ -971,6 +1391,11 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
     w.pl = {r: tuple(a) for r, a in frame[1].items()}
     if commit is not None:
         commit.close()
+    if rec_cfg is not None:
+        # ask every peer to reconnect and replay: idle or finished
+        # senders hold messages the dead incarnation never durably
+        # received and would otherwise never dial the replacement
+        w._request_replays()
     _run_program(w, state)
 
 
@@ -980,23 +1405,45 @@ def _run_program(w: _Worker, state: dict) -> None:
         result = w.program(api, state)
     except _Migrated:
         return
-    for link in w.links.values():
-        if link.open:
-            try:
-                link.send(("eom", w.rank))
-            except OSError:
-                pass
-            link.close()
+    if w.rec is None:
+        for link in w.links.values():
+            if link.open:
+                try:
+                    link.send(("eom", w.rank))
+                except OSError:
+                    pass
+                link.close()
+    else:
+        # recovery runs: links stay open and the process parks below —
+        # our outbox must remain replayable for a peer that crashes (or
+        # is already restoring) after we finished
+        w._flush_links()
     # final event/metric batch must precede the result frame: once every
     # rank has reported, the launcher may tear the registry down
     w._finalize_obs()
-    send_frame(w.ctl, ("result", w.rank, result))
-    send_frame(w.ctl, ("terminated", w.rank))
+    w._ctl_send(("result", w.rank, result))
+    w._ctl_send(("terminated", w.rank))
+    if w.rec is not None:
+        w._park_until_teardown()
 
 
 # ---------------------------------------------------------------------------
 # launcher
 # ---------------------------------------------------------------------------
+
+@dataclass
+class _Member:
+    """One spawned child process of the cluster.
+
+    ``superseded`` marks an incarnation a newer process has replaced
+    (migration or recovery): the supervisor must not resurrect it when
+    its exit code lands."""
+
+    rank: int
+    proc: mp.Process
+    role: str = "worker"  # "worker" | "init"
+    superseded: bool = False
+
 
 class MPCluster:
     """Launch and steer a multiprocess computation.
@@ -1008,6 +1455,11 @@ class MPCluster:
         time.sleep(0.2)
         cluster.migrate(1)
         results = cluster.join()
+
+    With ``recovery=RecoverySpec(...)`` (or ``recovery=True``) the run is
+    crash-tolerant: ranks checkpoint at poll points, a supervisor thread
+    restarts crashed ranks from their newest complete checkpoint through
+    the migration path, and directory shard daemons persist a WAL.
     """
 
     def __init__(self, program: Callable, nranks: int,
@@ -1016,7 +1468,8 @@ class MPCluster:
                  directory: "DirectorySpec | str | None" = None,
                  fastpath: bool = True,
                  obs: "ObsConfig | bool | None" = None,
-                 init_states: "list[dict] | None" = None):
+                 init_states: "list[dict] | None" = None,
+                 recovery: "RecoverySpec | bool | str | None" = None):
         _configure_logging()
         self.program = program
         self.nranks = nranks
@@ -1030,16 +1483,46 @@ class MPCluster:
         #: observability: True / ObsConfig enables event collection and
         #: worker metrics, merged at the registry (see repro.obs)
         self.obs = ObsConfig.coerce(obs)
-        self.registry = _Registry(directory=directory, obs=self.obs)
+        #: crash recovery: supervision + checkpoints + durable directory
+        self.recovery = RecoverySpec.coerce(recovery)
+        self._recovery_root: str | None = None
+        self._recovery_tmp = False
+        self._rec_cfg: WorkerRecoveryConfig | None = None
+        dir_wal: str | None = None
+        if self.recovery is not None:
+            self._recovery_root = self.recovery.resolve_dir()
+            self._recovery_tmp = self.recovery.dir is None
+            self._rec_cfg = WorkerRecoveryConfig(
+                dir=os.path.join(self._recovery_root, "ckpt"),
+                checkpoint_every=self.recovery.checkpoint_every,
+                heartbeat_every=self.recovery.heartbeat_every)
+            spec = DirectorySpec.coerce(directory)
+            if self.recovery.shard_wal and spec.distributed and spec.daemons:
+                dir_wal = os.path.join(self._recovery_root, "dirwal")
+        self.registry = _Registry(directory=directory, obs=self.obs,
+                                  dir_wal=dir_wal)
         self.registry.expected_results = nranks
         self._procs: list[mp.Process] = []
         self._incarnation: dict[int, int] = {}
         self._ctx = mp.get_context("fork")
+        self._members: list[_Member] = []
+        self._mlock = threading.Lock()
+        self.supervisor: Supervisor | None = None
 
     def _dir_cfg(self) -> DaemonClientConfig | None:
         """Shard-daemon membership to hand a process being spawned."""
         host = self.registry.daemon_host
         return host.client_config() if host is not None else None
+
+    def _track(self, rank: int, proc: mp.Process, role: str) -> None:
+        with self._mlock:
+            self._members.append(_Member(rank, proc, role))
+
+    def _supersede(self, rank: int) -> None:
+        with self._mlock:
+            for m in self._members:
+                if m.rank == rank:
+                    m.superseded = True
 
     def start(self) -> "MPCluster":
         dir_cfg = self._dir_cfg()
@@ -1049,18 +1532,26 @@ class MPCluster:
                 target=_worker_main,
                 args=(rank, self.nranks, self.registry.addr, self.program,
                       {}, self.arch, self.fastpath, self.obs, state,
-                      dir_cfg),
+                      dir_cfg, self._rec_cfg),
                 daemon=True)
             p.start()
             self._procs.append(p)
+            self._track(rank, p, "worker")
         # wait until every rank registered
         deadline = time.time() + _CONNECT_TIMEOUT
         while time.time() < deadline:
             with self.registry._lock:
                 if len(self.registry.locations) == self.nranks:
-                    return self
+                    break
             time.sleep(0.01)
-        raise RuntimeError("workers failed to register")
+        else:
+            raise RuntimeError("workers failed to register")
+        if self.recovery is not None:
+            metrics = (self.registry.collector.metrics
+                       if self.registry.collector is not None else None)
+            self.supervisor = Supervisor(self, self.recovery,
+                                         metrics=metrics).start()
+        return self
 
     def migrate(self, rank: int) -> None:
         """Move *rank* into a brand-new OS process.
@@ -1081,14 +1572,16 @@ class MPCluster:
             raise RuntimeError(f"rank {rank} is not in a migratable state")
         inc = self._incarnation.get(rank, 0) + 1
         self._incarnation[rank] = inc
+        self._supersede(rank)
         p = self._ctx.Process(
             target=_init_main,
             args=(rank, self.nranks, self.registry.addr, self.program,
                   self.dest_arch, inc, self.fastpath, self.obs,
-                  self._dir_cfg()),
+                  self._dir_cfg(), self._rec_cfg),
             daemon=True)
         p.start()
         self._procs.append(p)
+        self._track(rank, p, "init")
         # wait for the initialized process to register, then signal
         deadline = time.time() + _CONNECT_TIMEOUT
         while time.time() < deadline:
@@ -1100,13 +1593,181 @@ class MPCluster:
             raise RuntimeError("initialized process failed to register")
         self.registry.signal_migrate(rank, self.dest_arch.name)
 
+    # -- crash recovery ------------------------------------------------------
+    def members(self) -> list[_Member]:
+        """Snapshot of every spawned child (supervisor scan surface)."""
+        with self._mlock:
+            return list(self._members)
+
+    def live_member(self, rank: int) -> _Member | None:
+        """The newest non-superseded member for *rank*, if any."""
+        with self._mlock:
+            for m in reversed(self._members):
+                if m.rank == rank and not m.superseded:
+                    return m
+        return None
+
+    def rank_status(self, rank: int) -> str:
+        with self.registry._lock:
+            return self.registry.status.get(rank, "starting")
+
+    def heartbeats(self) -> dict[int, float]:
+        return dict(self.registry.heartbeats)
+
+    def note_permanent_failure(self, key: tuple, reason: str) -> None:
+        self.registry.fail_permanently(key, reason)
+
+    def kill_rank(self, rank: int) -> int:
+        """SIGKILL the live incarnation of *rank* (crash injection for
+        tests and demos); returns the killed pid."""
+        member = self.live_member(rank)
+        if member is None or member.proc.pid is None:
+            raise RuntimeError(f"rank {rank} has no live process")
+        pid = member.proc.pid
+        os.kill(pid, _signal.SIGKILL)
+        return pid
+
+    def checkpoint_store(self) -> CheckpointStore:
+        """The run's durable checkpoint store (read-side: tests, CLI)."""
+        if self._rec_cfg is None:
+            raise RuntimeError(
+                "recovery is off; construct MPCluster(recovery=True)")
+        return CheckpointStore(self._rec_cfg.dir)
+
+    def recovery_report(self) -> dict:
+        """Supervisor restart/backoff/escalation summary."""
+        if self.supervisor is None:
+            raise RuntimeError(
+                "recovery is off; construct MPCluster(recovery=True)")
+        return self.supervisor.report()
+
+    def recover_rank(self, rank: int) -> dict:
+        """Restart a crashed *rank* from its newest complete checkpoint.
+
+        This **is** the migration path (Fig. 7) with a disk blob where
+        the live source would be: spawn an initialized replacement
+        (accepting from the start), publish it as ``migrating`` so peer
+        lookups redirect, ship the checkpoint wrapper over an ordinary
+        ``state_transfer`` connection with an *empty* ListA (the
+        retained receive-list lives inside the wrapper), and let
+        ``restore_complete`` flip the record to ``running``. Peers find
+        the replacement through the normal failed-connect → lookup
+        ladder; the sequence-number replay/dedup protocol makes message
+        delivery exactly-once across the crash.
+
+        Normally called by the :class:`Supervisor`; callable directly
+        for tests. Returns ``{rank, version, incarnation, seconds,
+        nbytes}``.
+        """
+        if self._rec_cfg is None:
+            raise RuntimeError(
+                "recovery is off; construct MPCluster(recovery=True)")
+        t0 = time.time()
+        collector = self.registry.collector
+        if collector is not None:
+            collector.record("registry", "span_start",
+                             phase="recover", rank=rank)
+        store = CheckpointStore(self._rec_cfg.dir)
+        version = store.latest_complete_version(rank)
+        if version is None:
+            # crashed before its first durable checkpoint: restart from
+            # the initial program state with an empty communication
+            # epoch. Peers replay their full outboxes (nothing was ever
+            # acknowledged durable) and the rank's re-executed sends
+            # deduplicate at the receivers.
+            init = (self.init_states[rank]
+                    if self.init_states else None) or {}
+            wrapper = {_CKPT_KEY: 1, "state": dict(init), "recvlist": [],
+                       "rx": {}, "tx": {}, "durable_rx": {}, "outbox": {},
+                       "version": 0}
+            blob = encode(wrapper, self.dest_arch)
+        else:
+            blob = store.load_blob(rank, version)
+        self.registry.begin_recovery(rank)
+        self._supersede(rank)
+        inc = self._incarnation.get(rank, 0) + 1
+        self._incarnation[rank] = inc
+        p = self._ctx.Process(
+            target=_init_main,
+            args=(rank, self.nranks, self.registry.addr, self.program,
+                  self.dest_arch, inc, self.fastpath, self.obs,
+                  self._dir_cfg(), self._rec_cfg),
+            daemon=True)
+        p.start()
+        self._procs.append(p)
+        self._track(rank, p, "init")
+        deadline = time.time() + _CONNECT_TIMEOUT
+        while time.time() < deadline:
+            with self.registry._lock:
+                addr = self.registry.init_addr.get(rank)
+            if addr is not None:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError(
+                f"replacement for rank {rank} failed to register")
+        self.registry.set_recovering(rank)
+        # ship the checkpoint exactly as a migrating source ships live
+        # state (same frames, same transfer connection)
+        xfer = socket.create_connection(tuple(addr),
+                                        timeout=_CONNECT_TIMEOUT)
+        try:
+            send_frame(xfer, ("state_transfer", -1))
+            send_frame(xfer, ("recvlist", []))
+            send_frame(xfer, ("state", blob))
+        finally:
+            xfer.close()
+        # wait for restore_complete to flip the record back to running
+        deadline = time.time() + _CONNECT_TIMEOUT
+        while time.time() < deadline:
+            with self.registry._lock:
+                committed = (self.registry.status.get(rank) == "running"
+                             and rank not in self.registry.init_addr)
+            if committed:
+                break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError(f"rank {rank} recovery did not commit")
+        self.registry.heartbeats[rank] = time.time()
+        seconds = time.time() - t0
+        if collector is not None:
+            collector.record("registry", "span_end", phase="recover",
+                             rank=rank, seconds=seconds)
+        log.info("rank %d recovered from checkpoint v%s in %.3fs "
+                 "(incarnation %d)", rank, version or 0, seconds, inc)
+        return {"rank": rank, "version": version or 0, "incarnation": inc,
+                "seconds": seconds, "nbytes": len(blob)}
+
+    def _cleanup_recovery_dir(self) -> None:
+        if self._recovery_tmp and self._recovery_root is not None:
+            shutil.rmtree(self._recovery_root, ignore_errors=True)
+            self._recovery_root = None
+
     def join(self, timeout: float = 60.0) -> dict[int, Any]:
-        """Wait for every rank's result; returns rank → program return."""
+        """Wait for every rank's result; returns rank → program return.
+
+        Raises ``RuntimeError`` when the supervisor escalated a child to
+        permanent failure (restart budget exhausted)."""
         if not self.registry.done.wait(timeout):
             raise TimeoutError("cluster did not finish in time")
+        with self.registry._lock:
+            failures = dict(self.registry.permanent_failures)
+        if failures:
+            detail = "; ".join(f"{k[0]} {k[1]}: {v}"
+                               for k, v in failures.items())
+            self.terminate()
+            raise RuntimeError(f"permanent failure: {detail}")
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        if self.recovery is not None:
+            # parked workers exit when their ctl sockets close — the
+            # registry must come down before their processes can join
+            self.registry.close()
         for p in self._procs:
             p.join(timeout=5.0)
-        self.registry.close()
+        if self.recovery is None:
+            self.registry.close()
+        self._cleanup_recovery_dir()
         return dict(self.registry.results)
 
     def directory_stats(self) -> dict[int, dict[str, int]] | None:
@@ -1183,7 +1844,10 @@ class MPCluster:
         return self._collector().write_jsonl(path)
 
     def terminate(self) -> None:
+        if self.supervisor is not None:
+            self.supervisor.stop()
         for p in self._procs:
             if p.is_alive():
                 p.terminate()
         self.registry.close()
+        self._cleanup_recovery_dir()

@@ -56,6 +56,7 @@ from repro.directory.chordring import ChordRing
 from repro.directory.hashring import HashRing
 from repro.directory.messages import DirLookup, DirUpdate, DirUpdateAck
 from repro.directory.spec import DirectorySpec
+from repro.directory.wal import DirectoryWAL
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.framing import (
     FrameClosed,
@@ -147,13 +148,19 @@ def _daemon_reply(records: dict, rank: int, token: int,
 
 def shard_daemon_main(node_id: int, listeners: dict[int, socket.socket],
                       backend: str, node_ids: tuple, peer_addrs: dict,
-                      replication: int, vnodes: int, bits: int) -> None:
+                      replication: int, vnodes: int, bits: int,
+                      wal_dir: str | None = None) -> None:
     """Entry point of one directory shard daemon (forked OS process).
 
     ``listeners`` maps node id → listening socket as inherited over
     fork; every listener except our own is closed immediately, so a
     SIGKILLed sibling's port really dies with it (a held fd would keep
     accepting into a void).
+
+    With *wal_dir* the shard is durable: accepted updates are appended
+    (and fsynced) to a :class:`~repro.directory.wal.DirectoryWAL`
+    *before* the ack goes out, and a restart replays the log — the shard
+    comes back serving its records without the registry re-seed.
     """
     listener = listeners[node_id]
     for other_id, other in listeners.items():
@@ -167,10 +174,12 @@ def shard_daemon_main(node_id: int, listeners: dict[int, socket.socket],
                               vnodes, bits)
     chord = isinstance(topology, ChordRing)
     lock = threading.Lock()
+    wal = DirectoryWAL(wal_dir) if wal_dir else None
     #: rank -> (status, addr, init_addr, version)
-    records: dict[int, tuple] = {}
+    records: dict[int, tuple] = wal.replay() if wal is not None else {}
     stats = {"lookups": 0, "forwards": 0, "updates": 0,
-             "updates_ignored": 0, "unknown": 0}
+             "updates_ignored": 0, "unknown": 0,
+             "replayed": len(records), "compactions": 0}
 
     def forward_lookup(next_node: int, msg: DirLookup) -> LookupReply:
         """Chord hop: relay the lookup to *next_node*, wait, hand back.
@@ -222,6 +231,13 @@ def shard_daemon_main(node_id: int, listeners: dict[int, socket.socket],
                         if cur is None or frame.version > cur[3]:
                             records[frame.rank] = rec
                             stats["updates"] += 1
+                            if wal is not None:
+                                # durability before acknowledgement: the
+                                # write side may prune its retransmit
+                                # state the moment the ack lands
+                                wal.append(frame.rank, rec)
+                                if wal.maybe_compact(records):
+                                    stats["compactions"] = wal.compactions
                         else:
                             stats["updates_ignored"] += 1
                         held = records[frame.rank][3]
@@ -357,11 +373,15 @@ class DirectoryDaemonHost:
     """
 
     def __init__(self, spec: DirectorySpec,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 wal_dir: str | None = None):
         if not spec.distributed:
             raise ProtocolError(
                 "daemon host needs a distributed backend")
         self.spec = spec
+        #: durable-shard root: each daemon logs to ``<wal_dir>/shard-<id>``
+        #: and a supervised restart replays instead of re-seeding
+        self.wal_dir = wal_dir
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._ctx = mp.get_context("fork")
         self._lock = threading.RLock()
@@ -386,6 +406,7 @@ class DirectoryDaemonHost:
         self._c_retx = self.metrics.counter("dir.publish_retransmits")
         self._c_restarts = self.metrics.counter("dir.daemon_restarts")
         self._c_handoff = self.metrics.counter("dir.handoff_records")
+        self._c_replayed = self.metrics.counter("recovery.replayed_records")
 
         # spawn: bind every listener first so each daemon knows the full
         # peer address map (chord forwards need it), then fork
@@ -414,11 +435,13 @@ class DirectoryDaemonHost:
     def _fork(self, node_id: int,
               listeners: dict[int, socket.socket]) -> None:
         spec = self.spec
+        shard_wal = (os.path.join(self.wal_dir, f"shard-{node_id}")
+                     if self.wal_dir is not None else None)
         p = self._ctx.Process(
             target=shard_daemon_main,
             args=(node_id, listeners, spec.backend, tuple(self.node_ids),
                   dict(self.addrs), spec.replication, spec.vnodes,
-                  spec.bits),
+                  spec.bits, shard_wal),
             daemon=True)
         p.start()
         self._procs[node_id] = p
@@ -446,13 +469,20 @@ class DirectoryDaemonHost:
         self._g_live.dec()
         log.debug("shard %d SIGKILLed", node_id)
 
-    def restart(self, node_id: int) -> None:
-        """Respawn a killed shard at its old address and re-seed it.
+    def restart(self, node_id: int, reseed: bool | None = None) -> int:
+        """Respawn a killed shard at its old address; returns the number
+        of records it replayed from its WAL (0 without one).
 
-        The fresh daemon starts *empty* — it answers ``unknown`` until
-        the re-published records land, which the version check makes
-        idempotent against anything the publisher was still retrying.
+        Without a WAL the fresh daemon starts *empty* — it answers
+        ``unknown`` until the re-seeded records land, which the version
+        check makes idempotent against anything the publisher was still
+        retrying. With a WAL the daemon replays its own log, so the
+        re-seed is skipped (*reseed* defaults to ``wal_dir is None``;
+        pass ``True``/``False`` to force either path — the stress suite
+        pins that a WAL restart converges with the re-seed disabled).
         """
+        if reseed is None:
+            reseed = self.wal_dir is None
         with self._lock:
             if node_id not in self._dead:
                 raise ProtocolError(f"shard {node_id} is not dead")
@@ -474,11 +504,53 @@ class DirectoryDaemonHost:
         listener.close()
         self._c_restarts.inc()
         self._g_live.inc()
-        with self._cond:
-            for rank, rec in owned.items():
-                self._pending[(rank, node_id)] = self._make_update(
-                    rank, rec, node_id)
-            self._cond.notify()
+        if reseed:
+            with self._cond:
+                for rank, rec in owned.items():
+                    self._pending[(rank, node_id)] = self._make_update(
+                        rank, rec, node_id)
+                self._cond.notify()
+        replayed = self._poll_replayed(node_id)
+        if replayed:
+            self._c_replayed.inc(replayed)
+        return replayed
+
+    def _poll_replayed(self, node_id: int) -> int:
+        """Best-effort read of a freshly restarted shard's replay count."""
+        with self._lock:
+            addr = self.addrs.get(node_id)
+        if addr is None or self.wal_dir is None:
+            return 0
+        deadline = time.time() + 2.0
+        while time.time() < deadline:
+            try:
+                with socket.create_connection(
+                        tuple(addr), timeout=CONNECT_TIMEOUT) as conn:
+                    conn.settimeout(REPLY_TIMEOUT)
+                    send_frame_fast(conn, ("stats",))
+                    _kind, _nid, stats = recv_frame(conn)
+                return int(stats.get("replayed", 0))
+            except (OSError, FrameClosed, UnsafeFrame, ValueError):
+                time.sleep(0.02)
+        return 0
+
+    def reap_dead(self) -> list[int]:
+        """Member shards whose process died *without* :meth:`kill`.
+
+        Marks them dead (so :meth:`restart` applies) and returns the
+        newly discovered node ids — the supervisor's shard scan.
+        """
+        newly: list[int] = []
+        with self._lock:
+            for node_id, p in self._procs.items():
+                if (node_id in self._dead or node_id not in self.node_ids
+                        or p.exitcode is None):
+                    continue
+                self._dead.add(node_id)
+                newly.append(node_id)
+        for _ in newly:
+            self._g_live.dec()
+        return newly
 
     # -- write path (the registry is the single writer) --------------------
     def publish(self, rank: int, status: str, addr: tuple | None,

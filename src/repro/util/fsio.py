@@ -1,0 +1,86 @@
+"""Durable small-file I/O shared by the recovery subsystem.
+
+Two primitives cover every durable write in the package:
+
+* :func:`atomic_write_bytes` — the classic fsync-and-rename: the payload
+  lands in a same-directory temp file, is fsynced, and is renamed over
+  the target, so a crash at any instant leaves either the old complete
+  file or the new complete file — never a torn one. The directory entry
+  is fsynced too, or the rename itself could be lost.
+* :func:`crc_frame` / :func:`iter_crc_frames` — the append-only record
+  format of the WALs: ``>II`` (length, CRC-32) followed by the payload.
+  A crash mid-append leaves a truncated or corrupt *tail*; replay
+  consumes records until the first frame that fails its length or CRC
+  check and ignores the rest, which is exactly the torn-tail semantics
+  an append-only log needs.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["atomic_write_bytes", "crc_frame", "iter_crc_frames",
+           "fsync_append"]
+
+_HEADER = struct.Struct(">II")  # payload length, CRC-32 of payload
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Write *data* to *path* so the file is always complete on disk."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        dfd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds; rename is still atomic
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dfd)
+
+
+def crc_frame(payload: bytes) -> bytes:
+    """One length+CRC framed record, ready to append."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def fsync_append(fh, payload: bytes, fsync: bool = True) -> None:
+    """Append one framed record to an open binary file handle."""
+    fh.write(crc_frame(payload))
+    fh.flush()
+    if fsync:
+        os.fsync(fh.fileno())
+
+
+def iter_crc_frames(data: bytes) -> Iterator[bytes]:
+    """Yield complete, CRC-valid payloads; stop at the first torn one."""
+    off = 0
+    size = len(data)
+    while off + _HEADER.size <= size:
+        length, crc = _HEADER.unpack_from(data, off)
+        start = off + _HEADER.size
+        end = start + length
+        if end > size:
+            return  # truncated tail (crash mid-append)
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return  # corrupt tail
+        yield payload
+        off = end

@@ -1,0 +1,191 @@
+"""Supervised crash recovery on the real multiprocess runtime.
+
+Recovery *is* migration-from-disk: the supervisor spawns a replacement
+through the same ``register_init`` / accept-from-start path a live
+migration uses, ships the newest complete checkpoint (program state plus
+the communication-state epoch) over a plain socket, and flips the
+registry record; peers converge through the normal conn_nack →
+scheduler-consult ladder. These tests pin the end-to-end paths — restore
+from checkpoint, restart from scratch, heartbeat detection of a frozen
+rank, permanent-failure escalation — with exactly-once delivery asserted
+on the surviving receiver.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.recovery import RecoverySpec, RestartPolicy
+from repro.runtime import MPCluster
+
+COUNT = 40
+
+
+def _relay(api, state):
+    """rank 0 -> rank 1 -> rank 2, tagged so receives are deterministic."""
+    i = state.get("i", 0)
+    if api.rank == 0:
+        while i < COUNT:
+            api.send(1, i, tag=i)
+            i += 1
+            state["i"] = i
+            api.compute(0.002)
+            api.poll_migration(state)
+        return {"sent": i, "incarnation": api.incarnation}
+    if api.rank == 1:
+        while i < COUNT:
+            api.send(2, api.recv(src=0, tag=i).body, tag=i)
+            i += 1
+            state["i"] = i
+            api.compute(0.002)
+            api.poll_migration(state)
+        return {"relayed": i, "incarnation": api.incarnation}
+    got = state.setdefault("got", [])
+    while i < COUNT:
+        got.append(api.recv(src=1, tag=i).body)
+        i += 1
+        state["i"] = i
+        api.poll_migration(state)
+    return {"got": got, "incarnation": api.incarnation}
+
+
+def _wait_for_checkpoint(cluster, rank, version, timeout=20.0):
+    store = cluster.checkpoint_store()
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        v = store.latest_complete_version(rank)
+        if v is not None and v >= version:
+            return v
+        time.sleep(0.005)
+    raise AssertionError(f"rank {rank} never reached ckpt v{version}")
+
+
+def test_rank_recovers_from_checkpoint():
+    cluster = MPCluster(_relay, nranks=3, obs=True,
+                        recovery=RecoverySpec(checkpoint_every=2))
+    try:
+        cluster.start()
+        _wait_for_checkpoint(cluster, 1, 2)
+        cluster.kill_rank(1)
+        results = cluster.join(timeout=60)
+    finally:
+        cluster.terminate()
+    # exactly once, in order, despite the mid-stream SIGKILL
+    assert results[2]["got"] == list(range(COUNT))
+    assert results[1]["incarnation"] == 1  # the replacement finished
+    rep = cluster.recovery_report()
+    assert rep["restarts"] == 1 and not rep["permanent_failures"]
+    assert rep["events"][0]["kind"] == "rank"
+
+
+def test_rank_recovers_from_scratch_before_first_checkpoint():
+    # a huge interval ensures no checkpoint exists when the kill lands:
+    # the replacement restarts from the version-0 empty wrapper and the
+    # peers' dedup absorbs every regenerated message
+    cluster = MPCluster(_relay, nranks=3, obs=True,
+                        recovery=RecoverySpec(checkpoint_every=10_000))
+    try:
+        cluster.start()
+        time.sleep(0.05)
+        cluster.kill_rank(1)
+        results = cluster.join(timeout=60)
+    finally:
+        cluster.terminate()
+    assert results[2]["got"] == list(range(COUNT))
+    assert results[1]["incarnation"] == 1
+    assert cluster.recovery_report()["restarts"] == 1
+
+
+def test_recovery_observability_and_metrics():
+    cluster = MPCluster(_relay, nranks=3, obs=True,
+                        recovery=RecoverySpec(checkpoint_every=2))
+    try:
+        cluster.start()
+        _wait_for_checkpoint(cluster, 1, 2)
+        cluster.kill_rank(1)
+        results = cluster.join(timeout=60)
+        events = cluster.obs_events()
+        snap = {m["name"]: m["value"] for m in cluster.metrics_snapshot()
+                if not m["labels"]}
+    finally:
+        cluster.terminate()
+    assert results[2]["got"] == list(range(COUNT))
+    # the launcher-observed recover span brackets the whole restart
+    spans = [e for e in events if e["kind"] == "span_end"
+             and e["phase"] == "recover"]
+    assert spans and spans[0]["rank"] == 1 and spans[0]["seconds"] > 0
+    assert snap["sup.restarts"] == 1
+    assert snap["sup.backoff_ms"] >= 50
+    # the queue-depth / live-links gauges surface in the merged stream
+    gauges = {(e["actor"], e["name"]) for e in events
+              if e["kind"] == "gauge"}
+    assert any(name == "mp.queue_depth" for _a, name in gauges)
+    assert any(name == "mp.live_links" for _a, name in gauges)
+
+
+def test_heartbeat_detects_frozen_rank():
+    # SIGSTOP freezes the whole process (program *and* heartbeat thread);
+    # the supervisor must notice the stale beacon, SIGKILL the zombie and
+    # let the exit-code path run the normal recovery
+    cluster = MPCluster(
+        _relay, nranks=3, obs=True,
+        recovery=RecoverySpec(checkpoint_every=2, heartbeat_every=0.05,
+                              heartbeat_timeout=0.5))
+    try:
+        cluster.start()
+        _wait_for_checkpoint(cluster, 1, 2)
+        member = cluster.live_member(1)
+        os.kill(member.proc.pid, signal.SIGSTOP)
+        results = cluster.join(timeout=60)
+    finally:
+        cluster.terminate()
+    assert results[2]["got"] == list(range(COUNT))
+    assert results[1]["incarnation"] == 1
+    assert cluster.recovery_report()["restarts"] == 1
+
+
+def test_permanent_failure_escalates_and_join_raises():
+    def _always_crashes(api, state):
+        if api.rank == 1:
+            api.compute(0.01)
+            os._exit(3)  # crash loop: every incarnation dies the same way
+        # rank 0 blocks forever on the doomed peer, so only escalation
+        # can end this run
+        if api.rank == 0:
+            api.recv(src=1)
+        return {}
+
+    cluster = MPCluster(
+        _always_crashes, nranks=2, obs=True,
+        recovery=RecoverySpec(
+            checkpoint_every=10_000,
+            policy=RestartPolicy(base_delay=0.01, max_delay=0.05,
+                                 max_restarts=2, window_s=30.0)))
+    try:
+        cluster.start()
+        with pytest.raises(RuntimeError, match="permanent failure"):
+            cluster.join(timeout=60)
+        rep = cluster.recovery_report()
+    finally:
+        cluster.terminate()
+    assert "rank/1" in rep["permanent_failures"]
+    assert rep["restarts"] == 2  # the budget, then escalation
+
+
+def test_recovery_disabled_keeps_legacy_wire_format():
+    # without a RecoverySpec the cluster must not grow any recovery
+    # machinery: no supervisor, no checkpoint store, 4-tuple data frames
+    cluster = MPCluster(_relay, nranks=3)
+    try:
+        cluster.start()
+        results = cluster.join(timeout=60)
+    finally:
+        cluster.terminate()
+    assert results[2]["got"] == list(range(COUNT))
+    assert cluster.supervisor is None
+    with pytest.raises(RuntimeError, match="recovery"):
+        cluster.checkpoint_store()

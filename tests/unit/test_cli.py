@@ -152,6 +152,26 @@ def test_directory_command_runs_workload(capsys):
     assert "shard" in out and "publishes=" in out
 
 
+def test_parser_recover_defaults():
+    args = build_parser().parse_args(["recover"])
+    assert args.command == "recover"
+    assert args.count == 60 and args.checkpoint_every == 2
+    assert args.rank == 1 and not args.kill_shard and args.dir is None
+
+
+def test_parser_recover_options():
+    args = build_parser().parse_args(
+        ["recover", "--count", "80", "--checkpoint-every", "4",
+         "--rank", "2", "--kill-shard", "--dir", "/tmp/x"])
+    assert args.count == 80 and args.checkpoint_every == 4
+    assert args.rank == 2 and args.kill_shard and args.dir == "/tmp/x"
+
+
+def test_recover_command_validates_rank(capsys):
+    assert main(["recover", "--rank", "5"]) == 2
+    assert "not a relay rank" in capsys.readouterr().out
+
+
 def test_obs_report_from_sim_trace(tmp_path, capsys):
     trace_file = tmp_path / "run.trace"
     assert main(["mg", "--n", "16", "--hetero",

@@ -39,9 +39,10 @@ from repro.sim.trace import KINDS as TRACE_KINDS, Trace
 
 def test_phases_are_frozen():
     assert PHASES == frozenset(
-        {"freeze", "reject", "drain", "transfer", "restore", "commit"})
+        {"freeze", "reject", "drain", "transfer", "restore", "commit",
+         "recover"})
     assert tuple(PHASE_ORDER) == ("freeze", "reject", "drain", "transfer",
-                                  "restore", "commit")
+                                  "restore", "commit", "recover")
     assert set(PHASE_ORDER) == set(PHASES)
 
 
@@ -49,7 +50,7 @@ def test_event_kinds_are_frozen():
     assert EVENT_KINDS == frozenset({
         "span_start", "span_end", "drain_peer", "state_chunk",
         "migration_window", "send", "recv", "connect", "lookup", "retry",
-        "mark"})
+        "gauge", "mark"})
     assert SPAN_KINDS == frozenset({"span_start", "span_end"})
     assert SPAN_KINDS <= EVENT_KINDS
 

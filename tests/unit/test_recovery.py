@@ -1,0 +1,190 @@
+"""Units for the crash-recovery building blocks.
+
+Policy/tracker (pure, synthetic clocks), the recovery spec coercions,
+the durable-I/O primitives (atomic write, CRC framing), the directory
+WAL (append / replay / compaction / torn tails) and the checkpoint
+store's integrity header. The end-to-end supervised-restart paths live
+in ``tests/integration/test_recovery_mp.py`` and the stress suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.checkpointing import CheckpointStore
+from repro.directory.wal import DirectoryWAL
+from repro.recovery import RecoverySpec, RestartPolicy, RestartTracker
+from repro.recovery.spec import WorkerRecoveryConfig
+from repro.util.errors import ReproError
+from repro.util.fsio import atomic_write_bytes, crc_frame, iter_crc_frames
+
+
+# -- restart policy / tracker ----------------------------------------------
+
+def test_tracker_backoff_is_exponential_and_capped():
+    t = RestartTracker(RestartPolicy(base_delay=0.1, factor=2.0,
+                                     max_delay=0.5, max_restarts=10))
+    delays = [t.next_delay(float(i)) for i in range(5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]  # capped at max_delay
+
+
+def test_tracker_escalates_after_window_budget():
+    t = RestartTracker(RestartPolicy(max_restarts=3, window_s=60.0))
+    assert all(t.next_delay(1.0 * i) is not None for i in range(3))
+    assert t.next_delay(3.0) is None  # 4th inside the window: permanent
+    assert t.next_delay(4.0) is None  # and it stays permanent
+
+
+def test_tracker_window_expiry_resets_budget():
+    t = RestartTracker(RestartPolicy(base_delay=0.05, max_restarts=2,
+                                     window_s=10.0))
+    assert t.next_delay(0.0) is not None
+    assert t.next_delay(1.0) is not None
+    assert t.next_delay(2.0) is None
+    # both restarts age out of the window: budget (and backoff) reset
+    assert t.next_delay(20.0) == pytest.approx(0.05)
+
+
+# -- spec coercion ---------------------------------------------------------
+
+def test_recovery_spec_coerce_variants(tmp_path):
+    assert RecoverySpec.coerce(None) is None
+    assert RecoverySpec.coerce(False) is None
+    assert RecoverySpec.coerce(True) == RecoverySpec()
+    spec = RecoverySpec.coerce(str(tmp_path / "durable"))
+    assert spec.dir == str(tmp_path / "durable")
+    assert RecoverySpec.coerce(spec) is spec
+    with pytest.raises(TypeError):
+        RecoverySpec.coerce(42)
+
+
+def test_recovery_spec_resolve_dir(tmp_path):
+    explicit = RecoverySpec(dir=str(tmp_path / "r"))
+    assert explicit.resolve_dir() == str(tmp_path / "r")
+    assert (tmp_path / "r").is_dir()  # created on resolve
+    temp = RecoverySpec().resolve_dir()
+    assert os.path.isdir(temp)
+    os.rmdir(temp)
+
+
+def test_worker_recovery_config_is_plain_data(tmp_path):
+    cfg = WorkerRecoveryConfig(dir=str(tmp_path), checkpoint_every=3)
+    assert cfg.checkpoint_every == 3 and cfg.heartbeat_every == 0.25
+
+
+# -- durable I/O primitives -------------------------------------------------
+
+def test_atomic_write_leaves_no_temp_file(tmp_path):
+    target = tmp_path / "blob.bin"
+    atomic_write_bytes(target, b"abc")
+    atomic_write_bytes(target, b"defgh")  # overwrite is atomic too
+    assert target.read_bytes() == b"defgh"
+    assert list(tmp_path.iterdir()) == [target]
+
+
+def test_crc_frames_roundtrip_and_stop_at_torn_tail():
+    payloads = [b"one", b"", b"three"]
+    data = b"".join(crc_frame(p) for p in payloads)
+    assert list(iter_crc_frames(data)) == payloads
+    # truncated tail: the partial frame disappears, the rest survives
+    assert list(iter_crc_frames(data + crc_frame(b"tail")[:-2])) == payloads
+    # corrupt tail: flip a payload byte of the last frame
+    bad = bytearray(data)
+    bad[-1] ^= 0xFF
+    assert list(iter_crc_frames(bytes(bad))) == payloads[:-1]
+
+
+# -- directory WAL ----------------------------------------------------------
+
+def _rec(version, status="running", addr=("127.0.0.1", 1)):
+    return (status, addr, None, version)
+
+
+def test_wal_replay_applies_newest_version(tmp_path):
+    wal = DirectoryWAL(tmp_path)
+    wal.append(0, _rec(1))
+    wal.append(0, _rec(3))
+    wal.append(1, _rec(2, status="migrating"))
+    wal.append(0, _rec(2))  # stale: version check must ignore it
+    wal.close()
+    records = DirectoryWAL(tmp_path).replay()
+    assert records[0] == ("running", ("127.0.0.1", 1), None, 3)
+    assert records[1][0] == "migrating" and records[1][3] == 2
+
+
+def test_wal_compaction_snapshot_plus_overlapping_log(tmp_path):
+    wal = DirectoryWAL(tmp_path, compact_every=2)
+    wal.append(0, _rec(1))
+    wal.append(1, _rec(1))
+    assert wal.maybe_compact({0: _rec(1), 1: _rec(1)})
+    assert wal.compactions == 1
+    # post-compaction appends land in the fresh log; replay merges both
+    wal.append(0, _rec(2))
+    wal.close()
+    records = DirectoryWAL(tmp_path).replay()
+    assert records[0][3] == 2 and records[1][3] == 1
+
+
+def test_wal_replay_tolerates_torn_tail_and_snapshot(tmp_path):
+    wal = DirectoryWAL(tmp_path)
+    wal.append(0, _rec(1))
+    wal.append(1, _rec(4))
+    wal.close()
+    # crash mid-append: garbage tail bytes after the last full frame
+    with open(tmp_path / "wal.log", "ab") as fh:
+        fh.write(b"\x00\x00\x00\x99partial")
+    (tmp_path / "snapshot.json").write_text('{"records": {"0"')  # torn
+    records = DirectoryWAL(tmp_path).replay()
+    assert records == {0: _rec(1), 1: _rec(4)}
+
+
+# -- checkpoint store integrity header --------------------------------------
+
+def test_store_header_roundtrip_and_latest_complete(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save_blob(0, 1, b"v1")
+    store.save_blob(0, 2, b"v2")
+    assert store.load_blob(0, 2) == b"v2"
+    assert store.latest_complete_version(0) == 2
+
+
+def test_store_restore_skips_truncated_blob(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save_blob(3, 1, b"good")
+    store.save_blob(3, 2, b"interrupted" * 10)
+    path = tmp_path / "ckpt-r3-v2.bin"
+    path.write_bytes(path.read_bytes()[:-5])  # torn payload
+    with pytest.raises(ReproError, match="truncated"):
+        store.load_blob(3, 2)
+    assert store.latest_complete_version(3) == 1
+
+
+def test_store_restore_skips_corrupt_blob(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save_blob(0, 1, b"good")
+    store.save_blob(0, 2, b"damaged-later")
+    path = tmp_path / "ckpt-r0-v2.bin"
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # bit rot inside the payload
+    path.write_bytes(bytes(data))
+    with pytest.raises(ReproError, match="corrupt"):
+        store.load_blob(0, 2)
+    assert store.latest_complete_version(0) == 1
+
+
+def test_store_legacy_headerless_blob_still_loads(tmp_path):
+    store = CheckpointStore(tmp_path)
+    (tmp_path / "ckpt-r0-v1.bin").write_bytes(b"pre-header blob")
+    assert store.load_blob(0, 1) == b"pre-header blob"
+    assert store.latest_complete_version(0) == 1
+
+
+def test_store_all_versions_bad_means_no_restore_point(tmp_path):
+    store = CheckpointStore(tmp_path)
+    store.save_blob(0, 1, b"x" * 64)
+    path = tmp_path / "ckpt-r0-v1.bin"
+    path.write_bytes(path.read_bytes()[:10])
+    assert store.latest_complete_version(0) is None
