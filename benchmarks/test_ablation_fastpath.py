@@ -16,7 +16,12 @@ Three measurements, each run with ``fastpath=True`` and ``False``:
 * **frame round-trip rate** (wall clock): the ``sendmsg``/``recv_into``
   framing vs. the copy-per-frame legacy wire path.
 
-A fourth A/B measures the observability layer itself: the real
+A fourth A/B drives the **adaptive chunk controller** against the fixed
+256 KiB default (virtual time, deterministic): a fast-link arm where
+adaptive must never lose, and a 10 Mbit/s slow-link arm where the fixed
+chunk un-pipelines a small state and the AIMD floor wins outright.
+
+A fifth A/B measures the observability layer itself: the real
 multiprocess migration window (registry-stamped ``migration_start`` →
 ``restore_complete`` wall clock, identical instrumentation either way)
 with event collection on vs. off — the obs acceptance bar is <= 3%
@@ -39,6 +44,7 @@ from repro.analysis.fastpath import (
     measure_migration,
 )
 from repro.codec import NATIVE, SPARC32
+from repro.sim.network import ETHERNET_10M
 from repro.util.text import format_table
 
 _BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_fastpath.json"
@@ -57,9 +63,19 @@ FRAME_SIZES = ((1 << 16,) if SMOKE else (1 << 12, 1 << 16, 1 << 20))
 #: state ballast for the obs-overhead mp migration (acceptance: 64 MiB)
 OBS_STATE_NBYTES = (1 << 20) if SMOKE else (64 << 20)
 
+#: adaptive-vs-fixed arms: (label, state bytes, LinkSpec or None).
+#: The slow arm is the pipeline-granularity case the controller exists
+#: for — on a 10 Mbit/s link a fixed 256 KiB chunk swallows the whole
+#: 160 KiB state in one frame, i.e. the transfer is not pipelined at
+#: all; the 8 KiB floor keeps ~20 chunks in flight. Virtual time, so
+#: both arms are deterministic.
+ADAPTIVE_ARMS = ((("fast-link", 1 << 20, None),) if SMOKE else
+                 (("fast-link", 64 << 20, None),
+                  ("slow-link", 160 << 10, ETHERNET_10M)))
+
 _results: dict[str, list] = {"migration": [], "codec": [],
                              "codec_hetero": [], "framing": [],
-                             "obs_overhead": []}
+                             "obs_overhead": [], "adaptive": []}
 
 
 def _migration_rows() -> list[dict]:
@@ -75,6 +91,26 @@ def _migration_rows() -> list[dict]:
                 "digest_match": slow["digest"] == fast["digest"],
             })
     return _results["migration"]
+
+
+def _adaptive_rows() -> list[dict]:
+    """AIMD chunk sizing vs. the fixed 256 KiB default, per link arm."""
+    if not _results["adaptive"]:
+        for label, nbytes, link in ADAPTIVE_ARMS:
+            fixed = measure_migration(nbytes, fastpath=True, link=link)
+            adaptive = measure_migration(nbytes, fastpath=True,
+                                         chunk_bytes="adaptive", link=link)
+            _results["adaptive"].append({
+                "arm": label,
+                "nbytes": nbytes,
+                "latency_fixed": fixed["latency"],
+                "latency_adaptive": adaptive["latency"],
+                "improvement":
+                    1 - adaptive["latency"] / fixed["latency"],
+                "digest_match": fixed["digest"] == adaptive["digest"],
+                "controller": adaptive.get("controller") or {},
+            })
+    return _results["adaptive"]
 
 
 def _codec_ab(nbytes: int, arch) -> dict:
@@ -225,10 +261,10 @@ def _obs_overhead_rows() -> list[dict]:
 
 
 def _persist() -> None:
-    mig, codec, hetero, framing, obs = (
+    mig, codec, hetero, framing, obs, adaptive = (
         _results["migration"], _results["codec"],
         _results["codec_hetero"], _results["framing"],
-        _results["obs_overhead"])
+        _results["obs_overhead"], _results["adaptive"])
     top = max(mig, key=lambda r: r["nbytes"])
     summary = {
         "migration_reduction_at_largest": top["reduction"],
@@ -236,8 +272,11 @@ def _persist() -> None:
         "min_codec_encode_speedup": min(r["encode_speedup"] for r in codec),
         "min_codec_decode_speedup": min(r["decode_speedup"] for r in codec),
         "all_digests_match": all(r["digest_match"]
-                                 for r in mig + codec + hetero),
+                                 for r in mig + codec + hetero + adaptive),
     }
+    if adaptive:
+        summary["adaptive_improvement_by_arm"] = {
+            r["arm"]: r["improvement"] for r in adaptive}
     if obs:
         summary["obs_overhead_at_largest"] = obs[0]["overhead"]
         summary["obs_window_nbytes"] = obs[0]["nbytes"]
@@ -250,7 +289,7 @@ def _persist() -> None:
                      "A/B on the real mp migration window",
          "summary": summary, "migration": mig, "codec": codec,
          "codec_heterogeneous": hetero, "framing": framing,
-         "obs_overhead": obs},
+         "obs_overhead": obs, "adaptive": adaptive},
         indent=2) + "\n")
 
 
@@ -324,6 +363,31 @@ def test_abl6_migration_latency(benchmark):
             f"only {top['reduction']:.1%} at 64 MB"
 
 
+def test_abl6_adaptive_chunks(benchmark):
+    """AIMD chunk sizing: never worse on the fast link, a real win on
+    the slow link where the fixed default un-pipelines the transfer."""
+    rows = benchmark.pedantic(_adaptive_rows, rounds=1, iterations=1)
+    print("\nABL-6  adaptive vs fixed 256 KiB chunks (virtual time):")
+    print(format_table(
+        ("arm", "state", "fixed(s)", "adaptive(s)", "improvement",
+         "chunk min..max"),
+        [(r["arm"], f"{r['nbytes'] >> 10} KiB",
+          f"{r['latency_fixed']:.4f}", f"{r['latency_adaptive']:.4f}",
+          f"{r['improvement']:.1%}",
+          f"{r['controller'].get('chunk_bytes_min', '?')}.."
+          f"{r['controller'].get('chunk_bytes_max', '?')}")
+         for r in rows]))
+    for r in rows:
+        assert r["digest_match"], r
+        # deterministic virtual time: adaptive must never lose
+        assert r["improvement"] >= 0.0, r
+        # the controller really moved (or pinned the floor on purpose)
+        assert r["controller"].get("chunk_bytes_min", 0) >= 8 * 1024
+    if not SMOKE:
+        slow = next(r for r in rows if r["arm"] == "slow-link")
+        assert slow["improvement"] >= 0.15, slow
+
+
 def test_abl6_obs_overhead(benchmark):
     """Event collection costs <= 3% of the real mp migration window."""
     rows = benchmark.pedantic(_obs_overhead_rows, rounds=1, iterations=1)
@@ -342,7 +406,7 @@ def test_abl6_persist_bench_json(benchmark):
     """Write BENCH_fastpath.json from the full A/B sweep."""
     benchmark.pedantic(
         lambda: (_migration_rows(), _codec_rows(), _codec_hetero_rows(),
-                 _framing_rows(), _obs_overhead_rows()),
+                 _framing_rows(), _obs_overhead_rows(), _adaptive_rows()),
         rounds=1, iterations=1)
     _persist()
     data = json.loads(_BENCH_PATH.read_text())

@@ -11,7 +11,11 @@ fixed point mid-stream and letting the supervisor restore it from disk:
   interval) against the no-recovery baseline: what the durability
   costs when nothing goes wrong;
 * **correctness oracle on every arm** — the sink's received digest must
-  equal the fault-free baseline's, crash or no crash.
+  equal the fault-free baseline's, crash or no crash;
+* **delta vs. full checkpoints** — cumulative bytes written over a
+  version history whose large state is mostly unchanged, full-blob mode
+  against incremental (``delta_checkpoints=True``) mode, with the
+  restored final version digest-asserted identical on both arms.
 
 Persists everything to ``BENCH_recovery.json`` at the repo root (the
 ``make bench-recovery`` artifact). ``REPRO_RECOVERY_SMOKE=1`` shrinks
@@ -109,7 +113,12 @@ def _run(recovery: RecoverySpec | None, kill: bool) -> dict:
 
 
 _results: dict[str, list | str | None] = {
-    "recover": [], "overhead": [], "baseline": None}
+    "recover": [], "overhead": [], "baseline": None, "delta": []}
+
+#: delta-vs-full arm: large mostly-unchanged state (acceptance: 64 MiB),
+#: a small mutating dict rides along; versions written per arm
+DELTA_STATE_NBYTES = (1 << 20) if SMOKE else (64 << 20)
+DELTA_VERSIONS = 8
 
 
 def _baseline() -> dict:
@@ -156,6 +165,46 @@ def _overhead_rows() -> list[dict]:
     return _results["overhead"]
 
 
+def _delta_state(version: int):
+    import numpy as np
+    return {
+        "weights": np.zeros(DELTA_STATE_NBYTES // 8, dtype=np.float64),
+        "iter": version,
+        "counters": {f"c{i}": version * 1000 + i for i in range(20)},
+    }
+
+
+def _delta_rows() -> list[dict]:
+    """Bytes-on-disk A/B: full checkpoints vs. the delta chain."""
+    if not _results["delta"]:
+        import hashlib
+
+        from repro.core.checkpointing import (
+            CheckpointStore, checkpoint_state)
+
+        row = {"nbytes": DELTA_STATE_NBYTES, "versions": DELTA_VERSIONS}
+        for mode, delta in (("full", False), ("delta", True)):
+            root = tempfile.mkdtemp(prefix=f"repro-bench-{mode}-")
+            try:
+                store = CheckpointStore(os.path.join(root, "ckpt"),
+                                        delta=delta)
+                written = 0
+                for v in range(1, DELTA_VERSIONS + 1):
+                    written += checkpoint_state(store, 0, v,
+                                                _delta_state(v))
+                reader = CheckpointStore(os.path.join(root, "ckpt"))
+                assert reader.latest_complete_version(0) == DELTA_VERSIONS
+                blob = reader.load_blob(0, DELTA_VERSIONS)
+                row[f"bytes_{mode}"] = written
+                row[f"digest_{mode}"] = hashlib.sha256(blob).hexdigest()
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+        row["reduction_x"] = row["bytes_full"] / row["bytes_delta"]
+        row["digest_identical"] = row["digest_full"] == row["digest_delta"]
+        _results["delta"].append(row)
+    return _results["delta"]
+
+
 def _persist() -> None:
     rec, over = _results["recover"], _results["overhead"]
     summary = {
@@ -165,12 +214,18 @@ def _persist() -> None:
             r["digest_identical"] for r in rec + over),
         "baseline_makespan_s": _baseline()["makespan_s"],
     }
+    delta = _results["delta"]
+    if delta:
+        summary["delta_bytes_reduction_x"] = delta[0]["reduction_x"]
+        summary["delta_restore_identical"] = delta[0]["digest_identical"]
     _BENCH_PATH.write_text(json.dumps(
         {"ablation": "crash-recovery", "smoke": SMOKE,
          "workload": f"3-rank tagged relay, {COUNT} messages, SIGKILL of "
                      "the relay rank mid-stream; supervised restore from "
-                     "the newest complete checkpoint",
-         "summary": summary, "recover": rec, "overhead": over},
+                     "the newest complete checkpoint; delta-vs-full "
+                     "checkpoint bytes on a mostly-unchanged large state",
+         "summary": summary, "recover": rec, "overhead": over,
+         "delta": delta},
         indent=2) + "\n")
 
 
@@ -210,9 +265,27 @@ def test_abl7_checkpoint_overhead(benchmark):
         assert r["digest_identical"], r
 
 
+def test_abl7_delta_checkpoint_bytes(benchmark):
+    """Delta mode writes >= 5x fewer bytes on mostly-unchanged state
+    and the restored final version is byte-identical to full mode."""
+    rows = benchmark.pedantic(_delta_rows, rounds=1, iterations=1)
+    print("\nABL-7  checkpoint bytes written, full vs delta "
+          f"({DELTA_VERSIONS} versions):")
+    print(format_table(
+        ("state", "full bytes", "delta bytes", "reduction", "restore"),
+        [(f"{r['nbytes'] >> 20} MiB", f"{r['bytes_full']:,}",
+          f"{r['bytes_delta']:,}", f"{r['reduction_x']:.1f}x",
+          "ok" if r["digest_identical"] else "DRIFT")
+         for r in rows]))
+    for r in rows:
+        assert r["digest_identical"], r
+        assert r["reduction_x"] >= 5.0, r
+
+
 def test_abl7_persist_bench_json(benchmark):
     """Write BENCH_recovery.json from the full A/B sweep."""
-    benchmark.pedantic(lambda: (_recover_rows(), _overhead_rows()),
+    benchmark.pedantic(lambda: (_recover_rows(), _overhead_rows(),
+                                _delta_rows()),
                        rounds=1, iterations=1)
     _persist()
     data = json.loads(_BENCH_PATH.read_text())

@@ -121,22 +121,30 @@ def _ab_program(nbytes: int, digests: list):
 
 
 def measure_migration(nbytes: int, fastpath: bool,
-                      migrate_at: float = 4e-3) -> dict:
+                      migrate_at: float = 4e-3,
+                      chunk_bytes=None, link=None) -> dict:
     """Run one migration carrying *nbytes* of state; report its cost.
 
     Returns ``latency`` (virtual migration window), ``makespan`` and the
     restored payload's ``digest``. The same seed state is rebuilt for
     both modes, so equal digests mean byte-identical decoded state.
+
+    ``chunk_bytes`` is forwarded to :class:`~repro.core.launch.
+    Application` (fixed int, ``"adaptive"``, or a policy); ``link`` is an
+    optional :class:`~repro.sim.network.LinkSpec` installed as the
+    default for every host pair — the adaptive-vs-fixed sweep runs the
+    same workload across link speeds this way.
     """
     from repro import Application, VirtualMachine
 
-    vm = VirtualMachine()
+    vm = VirtualMachine() if link is None else VirtualMachine(
+        default_link=link)
     for h in ("h0", "h1", "h2", "sched"):
         vm.add_host(h)
     digests: list = []
     app = Application(vm, _ab_program(nbytes, digests),
                       placement=["h0", "h1"], scheduler_host="sched",
-                      fastpath=fastpath)
+                      fastpath=fastpath, chunk_bytes=chunk_bytes)
     app.start()
     app.migrate_at(migrate_at, 1, "h2")
     app.run()
@@ -149,6 +157,13 @@ def measure_migration(nbytes: int, fastpath: bool,
         "makespan": vm.kernel.now,
         "digest": digests[-1],
     }
+    if chunk_bytes is not None:
+        out["chunk_bytes"] = (chunk_bytes if isinstance(chunk_bytes, int)
+                              else "adaptive")
+        for ev in vm.trace.events:
+            if ev.kind == "state_sent" and "chunk_bytes_last" in ev.detail:
+                out["controller"] = {k: v for k, v in ev.detail.items()
+                                     if k.startswith("chunk_")}
     vm.shutdown()
     return out
 

@@ -73,6 +73,100 @@ _NODE_TYPES = (list, dict, set, bytearray, np.ndarray)
 # dtype kinds the ndarray path accepts (byte-order handled explicitly)
 _OK_DTYPE_KINDS = frozenset("biufc")
 
+# ---------------------------------------------------------------------------
+# nested/ragged fast paths
+# ---------------------------------------------------------------------------
+# An ndarray node's entire header — kind byte, dtype, shape, payload
+# length prefix — is a pure function of (dtype kind, itemsize, shape),
+# and every field in it is endian-free (u8/varint/utf-8), so one cached
+# bytes object serves all architectures. A dict/list of many arrays then
+# costs two part appends per array instead of a fresh Writer and ~8
+# appends each.
+_ND_HEADER_CACHE: dict[tuple, bytes] = {}
+_ND_HEADER_CACHE_MAX = 4096
+
+#: minimum run of same-type scalars in a list/tuple before the
+#: vectorized matrix encoder beats per-item dispatch
+_VEC_MIN_RUN = 32
+#: largest magnitude the vectorized int encoder handles (fits uint64);
+#: anything bigger falls back to the per-item bigint path
+_VEC_INT_MAX = (1 << 64) - 1
+
+
+def _ndarray_header(dtype: np.dtype, shape: tuple, nbytes: int) -> bytes:
+    key = (dtype.kind, dtype.itemsize, shape)
+    header = _ND_HEADER_CACHE.get(key)
+    if header is None:
+        out = bytearray([_N_NDARRAY])
+        kind_raw = dtype.kind.encode()
+        out.append(len(kind_raw))
+        out += kind_raw
+        _append_varint(out, dtype.itemsize)
+        _append_varint(out, len(shape))
+        for dim in shape:
+            _append_varint(out, dim)
+        _append_varint(out, nbytes)
+        header = bytes(out)
+        if len(_ND_HEADER_CACHE) >= _ND_HEADER_CACHE_MAX:
+            _ND_HEADER_CACHE.clear()
+        _ND_HEADER_CACHE[key] = header
+    return header
+
+
+def _append_varint(out: bytearray, v: int) -> None:
+    while True:
+        byte = v & 0x7F
+        v >>= 7
+        if v:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _pack_float_run(vals: list, order: str) -> bytes:
+    """``[_T_FLOAT, f64] * n`` as one (n, 9) uint8 matrix, one tobytes."""
+    n = len(vals)
+    arr = np.array(vals, dtype=np.dtype("f8").newbyteorder(order))
+    m = np.empty((n, 9), dtype=np.uint8)
+    m[:, 0] = _T_FLOAT
+    m[:, 1:] = arr.view(np.uint8).reshape(n, 8)
+    return m.tobytes()
+
+
+def _pack_int_run(vals: list, endian: str) -> bytes:
+    """``[_T_INT, sign, nbytes, magnitude...] * n``, ragged, vectorized.
+
+    Each record is 3 header bytes plus 1-8 magnitude bytes in *endian*
+    order — exactly what per-item :meth:`Writer.bigint` writes (``nbytes``
+    is at most 8, so its varint is the byte itself). The records are
+    carved out of a full (n, 11) matrix by a boolean gather: row-major
+    ``m[mask]`` concatenates each row's valid bytes in order.
+    """
+    n = len(vals)
+    mag = np.fromiter((v if v >= 0 else -v for v in vals),
+                      dtype=np.uint64, count=n)
+    nb = np.ones(n, dtype=np.uint8)
+    for k in range(1, 8):
+        nb += (mag >= (1 << (8 * k))).astype(np.uint8)
+    m = np.empty((n, 11), dtype=np.uint8)
+    m[:, 0] = _T_INT
+    m[:, 1] = np.fromiter((1 if v < 0 else 0 for v in vals),
+                          dtype=np.uint8, count=n)
+    m[:, 2] = nb
+    col = np.arange(11, dtype=np.uint8)
+    if endian == "little":
+        # little-endian magnitude = the low nb bytes, already leading
+        m[:, 3:] = mag.astype("<u8").view(np.uint8).reshape(n, 8)
+        mask = col[None, :] < (3 + nb)[:, None]
+    else:
+        # big-endian magnitude = the trailing nb bytes of the 8-byte
+        # representation; the gather keeps column order, so selecting
+        # the tail yields [tag, sign, nb, magnitude...] per row
+        m[:, 3:] = mag.astype(">u8").view(np.uint8).reshape(n, 8)
+        mask = (col[None, :] < 3) | (col[None, :] >= (11 - nb)[:, None])
+    return m[mask].tobytes()
+
 
 class _Encoder:
     def __init__(self, arch: Architecture, fast: bool = True):
@@ -136,8 +230,7 @@ class _Encoder:
         elif isinstance(obj, tuple):
             w.u8(_T_TUPLE)
             w.varint(len(obj))
-            for item in obj:
-                self.write_value(w, item)
+            self.write_items(w, obj)
         elif isinstance(obj, frozenset):
             w.u8(_T_FROZENSET)
             items = _canonical_set_order(obj)
@@ -156,13 +249,52 @@ class _Encoder:
         w.string(dtype.kind)
         w.varint(dtype.itemsize)
 
+    def write_items(self, w, items) -> None:
+        """Write a value sequence, batching homogeneous scalar runs.
+
+        The fast path scans for runs of plain floats / plain ints
+        (``type`` checks, so bools and subclasses keep their own
+        encodings) and emits each long run as one vectorized matrix —
+        byte-identical to per-item dispatch. This is what makes ragged
+        containers (lists of lists of numbers) cheap: every inner list
+        body is mostly one or two such runs.
+        """
+        if not self.fast or len(items) < _VEC_MIN_RUN:
+            for item in items:
+                self.write_value(w, item)
+            return
+        i, n = 0, len(items)
+        while i < n:
+            t = type(items[i])
+            if t is float or t is int:
+                j = i + 1
+                while j < n and type(items[j]) is t:
+                    j += 1
+                if j - i >= _VEC_MIN_RUN:
+                    run = items[i:j] if isinstance(items, list) \
+                        else list(items[i:j])
+                    if t is float:
+                        w.put(_pack_float_run(run, self.arch.struct_order))
+                        i = j
+                        continue
+                    if all(-_VEC_INT_MAX <= v <= _VEC_INT_MAX
+                           for v in run):
+                        w.put(_pack_int_run(run, self.arch.endian))
+                        i = j
+                        continue
+                for k in range(i, j):
+                    self.write_value(w, items[k])
+                i = j
+                continue
+            self.write_value(w, items[i])
+            i += 1
+
     def write_node(self, w, obj: Any) -> None:
         """Write one graph node's kind and contents."""
         if isinstance(obj, list):
             w.u8(_N_LIST)
             w.varint(len(obj))
-            for item in obj:
-                self.write_value(w, item)
+            self.write_items(w, obj)
         elif isinstance(obj, dict):
             w.u8(_N_DICT)
             w.varint(len(obj))
@@ -173,17 +305,13 @@ class _Encoder:
             w.u8(_N_SET)
             items = _canonical_set_order(obj)
             w.varint(len(items))
-            for item in items:
-                self.write_value(w, item)
+            self.write_items(w, items)
         elif isinstance(obj, bytearray):
             w.u8(_N_BYTEARRAY)
             w.raw(bytes(obj))
         elif isinstance(obj, np.ndarray):
-            w.u8(_N_NDARRAY)
-            self._write_dtype(w, obj.dtype)
-            w.varint(obj.ndim)
-            for dim in obj.shape:
-                w.varint(dim)
+            if obj.dtype.kind not in _OK_DTYPE_KINDS:
+                raise CodecError(f"unsupported ndarray dtype {obj.dtype}")
             # Re-order the payload into the *source architecture's* byte
             # order — the self-describing part of heterogeneity support.
             # ascontiguousarray does the whole-buffer byte swap in one
@@ -195,10 +323,19 @@ class _Encoder:
             else:
                 payload = np.ascontiguousarray(obj)
             if self.fast:
-                # zero copy: the writer pins the (possibly temporary)
-                # converted array via its buffer
-                w.raw_buffer(memoryview(payload).cast("B"))
+                # the whole node header (kind, dtype, shape, payload
+                # length) comes from the cache as one bytes object; the
+                # payload view splices in zero-copy — two appends total,
+                # no per-node Writer
+                w.put(_ndarray_header(obj.dtype, obj.shape,
+                                      payload.nbytes))
+                w.put_buffer(memoryview(payload).cast("B"))
             else:
+                w.u8(_N_NDARRAY)
+                self._write_dtype(w, obj.dtype)
+                w.varint(obj.ndim)
+                for dim in obj.shape:
+                    w.varint(dim)
                 w.raw(payload.tobytes())
         else:  # pragma: no cover - guarded by _NODE_TYPES
             raise CodecError(f"not a node type: {type(obj).__name__}")

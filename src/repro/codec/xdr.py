@@ -159,6 +159,17 @@ class Writer:
         self._parts.append(buf)
         self._nbytes += n
 
+    def put_buffer(self, buf: memoryview) -> None:
+        """Append a C-contiguous buffer with no length prefix, zero copy.
+
+        Unlike :meth:`put` (which snapshots non-``bytes`` input), the
+        view goes into the part list as-is — the splice primitive for
+        callers that already wrote the length themselves, e.g. the
+        memory-graph encoder's cached ndarray node headers.
+        """
+        self._parts.append(buf)
+        self._nbytes += buf.nbytes
+
     def raw_parts(self, other: "Writer") -> None:
         """Length-prefixed splice of another writer's parts, zero copy.
 

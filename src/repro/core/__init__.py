@@ -9,6 +9,7 @@ Layering (bottom-up): :mod:`repro.core.messages` (wire types),
 :mod:`repro.core.api` / :mod:`repro.core.launch` (user-facing surface).
 """
 
+from repro.core.adaptive import AdaptiveChunkPolicy
 from repro.core.api import Program, SnowAPI
 from repro.core.autopoll import make_migratable, migratable
 from repro.core.balancer import BalancerDecision, LoadBalancer
@@ -28,6 +29,7 @@ from repro.core.scheduler import MigrationRecord, SchedulerState, scheduler_main
 
 __all__ = [
     "ANY",
+    "AdaptiveChunkPolicy",
     "Application",
     "BalancerDecision",
     "CheckpointStore",

@@ -1,0 +1,178 @@
+"""Bandwidth-aware chunk sizing for the pipelined state transfer.
+
+The fast path (PR 3) ships migration state as ``state_chunk`` frames of a
+fixed 256 KiB. That one constant cannot suit both ends of the paper's
+hardware table: on a fast link large chunks amortize per-frame overhead,
+while on a slow or jittery link a large chunk parks the pipeline — the
+whole collect/ship/restore overlap the fast path exists for degenerates
+back to the sequential path whenever the chunk is a significant fraction
+of the state (a 256 KiB state in one 256 KiB chunk is *not pipelined at
+all*).
+
+:class:`ChunkController` closes the loop AIMD-style, the congestion
+discipline TCP uses: every shipped chunk reports its **ship latency** —
+virtual send-to-arrival time in the simulator (which includes link-queue
+wait, the true congestion signal), wall-clock socket hand-off time in the
+multiprocess runtime (which includes kernel-buffer backpressure). While
+latency stays inside the per-chunk budget the next chunk grows (doubling
+until the first backoff — slow start — then additively); the first over-
+budget chunk multiplies the size down. Floor and ceiling bound the size
+in both directions, and everything is a deterministic function of the
+observation sequence, so virtual-time runs reproduce exactly.
+
+The controller is transport-agnostic: :class:`~repro.core.streaming.
+ChunkSource` accepts it (or any object with ``next_size()``) in place of
+the fixed ``chunk_bytes`` integer; both the simulator's migration
+(:mod:`repro.core.migration`) and the mp runtime's ``_migrate`` feed
+observations back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.streaming import DEFAULT_CHUNK_BYTES
+from repro.util.errors import MigrationError
+
+__all__ = ["AdaptiveChunkPolicy", "ChunkController", "coerce_chunk_bytes"]
+
+
+@dataclass(frozen=True)
+class AdaptiveChunkPolicy:
+    """Tuning knobs for one :class:`ChunkController`.
+
+    ``latency_budget`` is the per-chunk ship-latency target: the largest
+    chunk the link can carry inside the budget is the size that keeps
+    the pipeline granular enough to overlap collect/ship/restore without
+    paying per-frame fixed costs on every few KiB. The defaults suit
+    both runtimes: an 8 KiB floor keeps even a 10 Mbit/s simulated link
+    pipelined, slow start reaches socket-efficient sizes on a real
+    loopback within a handful of chunks.
+    """
+
+    floor: int = 8 * 1024
+    ceiling: int = 4 * 1024 * 1024
+    #: first chunk size; ``None`` starts at the floor (pessimistic start:
+    #: a slow link never sees an oversized probe chunk)
+    initial: int | None = None
+    #: additive increase per in-budget chunk after slow start;
+    #: ``None`` uses the floor
+    step: int | None = None
+    #: multiplicative decrease on an over-budget chunk
+    backoff: float = 0.5
+    #: per-chunk ship-latency target, seconds
+    latency_budget: float = 6e-3
+
+    def __post_init__(self) -> None:
+        if self.floor <= 0:
+            raise MigrationError(f"chunk floor must be positive: {self.floor}")
+        if self.ceiling < self.floor:
+            raise MigrationError(
+                f"chunk ceiling {self.ceiling} below floor {self.floor}")
+        if self.initial is not None and \
+                not self.floor <= self.initial <= self.ceiling:
+            raise MigrationError(
+                f"initial chunk size {self.initial} outside "
+                f"[{self.floor}, {self.ceiling}]")
+        if not 0.0 < self.backoff < 1.0:
+            raise MigrationError(
+                f"backoff must be in (0, 1): {self.backoff}")
+        if self.latency_budget <= 0:
+            raise MigrationError(
+                f"latency budget must be positive: {self.latency_budget}")
+
+
+class ChunkController:
+    """AIMD chunk sizing driven by per-chunk ship-latency observations.
+
+    One controller serves one transfer (a fresh one is built per
+    migration attempt, so a retry after an abort starts from the policy's
+    initial size again). ``next_size()`` may be called any number of
+    times between observations — the size only moves on ``observe()``.
+    """
+
+    def __init__(self, policy: AdaptiveChunkPolicy | None = None):
+        self.policy = policy or AdaptiveChunkPolicy()
+        p = self.policy
+        self._size = p.initial if p.initial is not None else p.floor
+        self._step = p.step if p.step is not None else p.floor
+        #: doubling until the first backoff (slow start), additive after
+        self._slow_start = True
+        # -- stats (tests, obs span attributes, bench reports) -----------
+        self.nobserved = 0
+        self.growths = 0
+        self.backoffs = 0
+        self.min_size = self._size
+        self.max_size = self._size
+        self.last_latency: float | None = None
+
+    def next_size(self) -> int:
+        return self._size
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def observe(self, nbytes: int, latency: float) -> None:
+        """Feed back one shipped chunk: its size and its ship latency.
+
+        Latency at or under the budget grows the next chunk (doubling in
+        slow start, ``+step`` after); over budget cuts it multiplicatively
+        and ends slow start. The result is always clamped to
+        ``[floor, ceiling]``.
+        """
+        p = self.policy
+        self.nobserved += 1
+        self.last_latency = latency
+        if latency <= p.latency_budget:
+            grown = (self._size * 2 if self._slow_start
+                     else self._size + self._step)
+            new = min(p.ceiling, grown)
+            if new > self._size:
+                self.growths += 1
+            self._size = new
+        else:
+            self._slow_start = False
+            new = max(p.floor, int(self._size * p.backoff))
+            if new < self._size:
+                self.backoffs += 1
+            self._size = new
+        self.min_size = min(self.min_size, self._size)
+        self.max_size = max(self.max_size, self._size)
+
+    def stats(self) -> dict:
+        """Controller summary for span attributes and bench artifacts."""
+        return {
+            "chunk_bytes_last": self._size,
+            "chunk_bytes_min": self.min_size,
+            "chunk_bytes_max": self.max_size,
+            "chunk_growths": self.growths,
+            "chunk_backoffs": self.backoffs,
+        }
+
+
+def coerce_chunk_bytes(value) -> "int | AdaptiveChunkPolicy":
+    """Normalize a user-facing ``chunk_bytes`` setting.
+
+    ``None`` → the fixed default, an ``int`` → that fixed size,
+    ``"adaptive"`` → a default :class:`AdaptiveChunkPolicy`, a policy →
+    itself. The result is what :class:`~repro.core.endpoint.
+    MigrationEndpoint` / the mp worker store and what the migration code
+    turns into a controller per transfer.
+    """
+    if value is None:
+        return DEFAULT_CHUNK_BYTES
+    if isinstance(value, AdaptiveChunkPolicy):
+        return value
+    if isinstance(value, str):
+        if value == "adaptive":
+            return AdaptiveChunkPolicy()
+        raise MigrationError(
+            f"chunk_bytes string must be 'adaptive', got {value!r}")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise MigrationError(
+            f"chunk_bytes must be int | 'adaptive' | AdaptiveChunkPolicy "
+            f"| None, got {type(value).__name__}")
+    if value <= 0:
+        raise MigrationError(f"chunk_bytes must be positive: {value}")
+    return value

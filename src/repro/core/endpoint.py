@@ -150,7 +150,9 @@ class MigrationEndpoint:
         the strictly sequential drain → encode → single-blob send of
         the paper's Fig. 5 (the A/B baseline).
     chunk_bytes:
-        ``state_chunk`` payload size for the fast path.
+        ``state_chunk`` payload size for the fast path: a fixed int, or
+        an :class:`~repro.core.adaptive.AdaptiveChunkPolicy` to size
+        chunks AIMD-style from observed per-chunk ship latency.
     """
 
     def __init__(self, ctx: ProcessContext, rank: Rank,
@@ -163,7 +165,7 @@ class MigrationEndpoint:
                  drain_timeout: float | None = None,
                  directory_client=None,
                  fastpath: bool = True,
-                 chunk_bytes: int = DEFAULT_CHUNK_BYTES):
+                 chunk_bytes=DEFAULT_CHUNK_BYTES):
         if transport not in ("direct", "indirect"):
             raise ProtocolError(f"unknown transport {transport!r}")
         if transport == "indirect" and migration_enabled:

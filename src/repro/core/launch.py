@@ -12,13 +12,13 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.codec import NATIVE, Architecture
+from repro.core.adaptive import coerce_chunk_bytes
 from repro.core.api import Program, SnowAPI
 from repro.core.endpoint import MigrationEndpoint
 from repro.core.messages import MigrateRequest
 from repro.core.migration import run_initialization
 from repro.core.pltable import PLTable
 from repro.core.scheduler import SchedulerState, scheduler_main
-from repro.core.streaming import DEFAULT_CHUNK_BYTES
 from repro.directory.daemons import DirectoryCluster
 from repro.directory.spec import DirectorySpec
 from repro.util.errors import ProtocolError
@@ -75,7 +75,10 @@ class Application:
         bisecting fast-path regressions.
     chunk_bytes:
         ``state_chunk`` payload size for the fast path; ``None`` uses
-        :data:`~repro.core.streaming.DEFAULT_CHUNK_BYTES`.
+        :data:`~repro.core.streaming.DEFAULT_CHUNK_BYTES`, an int fixes
+        the size, ``"adaptive"`` (or an :class:`~repro.core.adaptive.
+        AdaptiveChunkPolicy`) sizes chunks AIMD-style from observed
+        per-chunk ship latency on the transfer link.
     """
 
     def __init__(self, vm: VirtualMachine, program: Program,
@@ -89,7 +92,7 @@ class Application:
                  migration_retry_limit: int = 2,
                  directory: "DirectorySpec | str | None" = None,
                  fastpath: bool = True,
-                 chunk_bytes: int | None = None):
+                 chunk_bytes=None):
         self.vm = vm
         self.program = program
         #: "direct" (connection-oriented) or "indirect" (daemon-routed)
@@ -108,8 +111,7 @@ class Application:
         self.retry = retry
         self.drain_timeout = drain_timeout
         self.fastpath = fastpath
-        self.chunk_bytes = (DEFAULT_CHUNK_BYTES if chunk_bytes is None
-                            else chunk_bytes)
+        self.chunk_bytes = coerce_chunk_bytes(chunk_bytes)
         self.migration_retry_limit = migration_retry_limit
         self.directory_spec = DirectorySpec.coerce(directory)
         #: spawned by start() when the backend is distributed

@@ -48,6 +48,7 @@ from repro.core.messages import (
     SIG_DISCONNECT,
     StateChunk,
 )
+from repro.core.adaptive import AdaptiveChunkPolicy, ChunkController
 from repro.core.sizes import CONTROL_PAYLOAD_BYTES, MESSAGE_HEADER_BYTES
 from repro.core.streaming import ChunkSource
 from repro.sim.kernel import TIMEOUT
@@ -107,10 +108,17 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     # the sequential path sends.
     xfer: Channel | None = None
     source: ChunkSource | None = None
+    controller: ChunkController | None = None
     collect_seconds = 0.0
     if ep.fastpath:
         xfer = vm.create_channel(ctx.vmid, new_vmid)
-        source = ChunkSource(state, ep.arch, ep.chunk_bytes)
+        sizer = ep.chunk_bytes
+        if isinstance(sizer, AdaptiveChunkPolicy):
+            # a fresh controller per migration attempt: a retry after an
+            # abort starts from the policy's initial size again
+            controller = ChunkController(sizer)
+            sizer = controller
+        source = ChunkSource(state, ep.arch, sizer)
 
     def send_next_chunk() -> None:
         nonlocal collect_seconds
@@ -122,7 +130,12 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         t0 = kernel.now
         ctx.burn(seconds)
         collect_seconds += kernel.now - t0
-        xfer.send(ctx, chunk, chunk.nbytes)
+        arrival = xfer.send(ctx, chunk, chunk.nbytes)
+        if controller is not None:
+            # ship latency in virtual time, link-queue wait included —
+            # a backed-up transfer link reads as high latency and the
+            # controller backs the chunk size off toward the floor
+            controller.observe(chunk.nbytes, max(0.0, arrival - kernel.now))
 
     # Line 5: coordinate every connected peer — disconnection signal plus
     # peer_migrating as our last message on each channel.
@@ -219,11 +232,13 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         # delivered by now, which is where the latency win comes from.
         while not source.exhausted:
             send_next_chunk()
+        extra = controller.stats() if controller is not None else {}
         vm.trace_record(ctx.name, "collect_done",
                         nbytes=source.total_nbytes,
-                        seconds=collect_seconds, nchunks=source.nchunks)
+                        seconds=collect_seconds, nchunks=source.nchunks,
+                        **extra)
         vm.trace_record(ctx.name, "state_sent", nbytes=source.total_nbytes,
-                        nchunks=source.nchunks)
+                        nchunks=source.nchunks, **extra)
 
     vm.trace_record(ctx.name, "span_end", phase="transfer", rank=ep.rank,
                     seconds=kernel.now - t_xfer0)

@@ -11,10 +11,18 @@ the destination's restore work proceeding concurrently in virtual time.
 arrive (charging restore cost per chunk) and joins the payload exactly
 once when the last chunk lands.
 
+Chunk sizing is a *policy*: the source slices lazily, asking its size
+provider — a fixed integer, or anything with a ``next_size()`` method
+such as :class:`repro.core.adaptive.ChunkController` — how large the
+*next* chunk should be just before cutting it. The adaptive controller
+feeds per-chunk ship latencies back between cuts, so a slow link gets
+small pipeline-friendly chunks and a fast one gets large amortized ones.
+
 The chunk stream is bytewise identical to the single
 :class:`~repro.core.messages.ExeMemState` blob of the non-pipelined path:
 ``assemble()`` returns the same bytes ``encode(state, arch)`` would have
-produced, so the decoded state cannot differ between modes.
+produced, so the decoded state cannot differ between modes. (Chunk
+*boundaries* never affect the assembled bytes — only the framing.)
 
 Chunks ride the same reliable FIFO transfer channel as the
 received-message-list, and they are *protocol-control* payloads: when a
@@ -46,59 +54,88 @@ class ChunkSource:
     Encoding happens eagerly (the state must be captured at one point in
     virtual time — the paper's collect step), but into zero-copy parts:
     large array buffers are never flattened on the source host, only
-    sliced into per-chunk ``memoryview`` groups.
+    sliced into per-chunk ``memoryview`` groups — and the slicing itself
+    is lazy, one chunk per :meth:`next_chunk`, sized by the provider at
+    the moment of the cut.
+
+    ``parts`` lets a caller that already holds the encoded part list
+    (e.g. the delta-checkpoint path, which encodes and hashes the same
+    state for its manifest) hand it over instead of encoding twice.
     """
 
-    def __init__(self, state: Any, arch: Architecture,
-                 chunk_bytes: int = DEFAULT_CHUNK_BYTES):
-        if chunk_bytes <= 0:
-            raise MigrationError(f"chunk_bytes must be positive: {chunk_bytes}")
+    def __init__(self, state: Any = None, arch: Architecture = None,
+                 chunk_bytes=DEFAULT_CHUNK_BYTES, *, parts: list | None = None):
+        if arch is None:
+            raise MigrationError("ChunkSource requires an architecture")
+        self._sizer = None
+        if hasattr(chunk_bytes, "next_size"):
+            self._sizer = chunk_bytes
+        elif not isinstance(chunk_bytes, int) or chunk_bytes <= 0:
+            raise MigrationError(
+                f"chunk_bytes must be a positive int or a size provider: "
+                f"{chunk_bytes!r}")
         self.arch = arch
         self.chunk_bytes = chunk_bytes
-        groups: list[tuple[tuple, int]] = []
-        cur: list = []
-        cur_n = 0
+        if parts is None:
+            parts = encode_parts(state, arch)
+        mvs: list[tuple[Any, "memoryview", int]] = []
         total = 0
-        for part in encode_parts(state, arch):
+        for part in parts:
             mv = part if isinstance(part, memoryview) else memoryview(part)
             n = mv.nbytes
             total += n
-            off = 0
-            while off < n:
-                take = min(chunk_bytes - cur_n, n - off)
-                if off == 0 and take == n:
-                    cur.append(part)  # whole part fits — keep it intact
-                else:
-                    cur.append(mv[off:off + take])
-                cur_n += take
-                off += take
-                if cur_n == chunk_bytes:
-                    groups.append((tuple(cur), cur_n))
-                    cur = []
-                    cur_n = 0
-        if cur or not groups:
-            groups.append((tuple(cur), cur_n))
+            if n:
+                mvs.append((part, mv, n))
         self.total_nbytes = total
-        self._groups = groups
-        self._next = 0
+        self._mvs = mvs
+        self._pi = 0   # index of the part the cursor is in
+        self._off = 0  # byte offset within that part
+        self._sent = 0 # bytes emitted so far
+        self._seq = 0
+        self._done = False
 
     @property
     def nchunks(self) -> int:
-        return len(self._groups)
+        """Chunks emitted so far (the final count once exhausted)."""
+        return self._seq
 
     @property
     def exhausted(self) -> bool:
-        return self._next >= len(self._groups)
+        return self._done
+
+    def _next_size(self) -> int:
+        if self._sizer is None:
+            return self.chunk_bytes
+        size = self._sizer.next_size()
+        if not isinstance(size, int) or size <= 0:
+            raise MigrationError(f"size provider returned {size!r}")
+        return size
 
     def next_chunk(self) -> StateChunk:
         """The next chunk frame, in order; ``last`` set on the final one."""
-        i = self._next
-        if i >= len(self._groups):
+        if self._done:
             raise MigrationError("chunk source exhausted")
-        self._next = i + 1
-        parts, nbytes = self._groups[i]
-        return StateChunk(seq=i, parts=parts, nbytes=nbytes,
-                          last=self._next == len(self._groups),
+        target = self._next_size()
+        cur: list = []
+        cur_n = 0
+        while cur_n < target and self._pi < len(self._mvs):
+            part, mv, n = self._mvs[self._pi]
+            take = min(target - cur_n, n - self._off)
+            if self._off == 0 and take == n:
+                cur.append(part)  # whole part fits — keep it intact
+            else:
+                cur.append(mv[self._off:self._off + take])
+            cur_n += take
+            self._off += take
+            if self._off == n:
+                self._pi += 1
+                self._off = 0
+        self._sent += cur_n
+        seq = self._seq
+        self._seq = seq + 1
+        self._done = self._sent >= self.total_nbytes
+        return StateChunk(seq=seq, parts=tuple(cur), nbytes=cur_n,
+                          last=self._done,
                           total_nbytes=self.total_nbytes,
                           src_arch=self.arch.name)
 

@@ -48,6 +48,11 @@ class RecoverySpec:
     heartbeat_every: float = 0.25
     heartbeat_timeout: float | None = None
     poll_interval: float = 0.02
+    #: incremental checkpoints: diff the encoded part list against the
+    #: previous version and write only changed parts (plus a manifest);
+    #: every ``delta_max_chain``-th write is self-contained (compaction)
+    delta_checkpoints: bool = False
+    delta_max_chain: int = 8
 
     @classmethod
     def coerce(cls, value: "RecoverySpec | bool | str | None"
@@ -82,3 +87,5 @@ class WorkerRecoveryConfig:
     dir: str
     checkpoint_every: int = 1
     heartbeat_every: float = 0.25
+    delta_checkpoints: bool = False
+    delta_max_chain: int = 8

@@ -55,9 +55,14 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.codec import NATIVE, Architecture, decode, encode
+from repro.codec import NATIVE, Architecture, decode, encode, encode_parts
+from repro.core.adaptive import (
+    AdaptiveChunkPolicy,
+    ChunkController,
+    coerce_chunk_bytes,
+)
 from repro.core.checkpointing import CheckpointStore
-from repro.core.streaming import ChunkSource
+from repro.core.streaming import DEFAULT_CHUNK_BYTES, ChunkSource
 from repro.directory.chordring import ChordRing
 from repro.directory.hashring import HashRing
 from repro.directory.spec import DirectorySpec
@@ -553,13 +558,16 @@ class _Worker:
                  arch: Architecture, incarnation: int,
                  fastpath: bool = True, obs: ObsConfig | None = None,
                  dir_cfg: DaemonClientConfig | None = None,
-                 rec_cfg: WorkerRecoveryConfig | None = None):
+                 rec_cfg: WorkerRecoveryConfig | None = None,
+                 chunk_bytes=DEFAULT_CHUNK_BYTES):
         self.rank = rank
         self.nranks = nranks
         self.program = program
         self.arch = arch
         self.incarnation = incarnation
         self.fastpath = fastpath
+        #: fixed int or AdaptiveChunkPolicy (one controller per migration)
+        self.chunk_bytes = chunk_bytes
         self.inbox: queue.Queue = queue.Queue()
         self.links: dict[int, _PeerLink] = {}
         #: every FrameStats handed to a link, including replaced links —
@@ -587,6 +595,9 @@ class _Worker:
         self._durable_rx: dict[int, int] = {}
         #: src -> highest durable-rx cursor seen from src (prune marker)
         self._peer_durable: dict[int, int] = {}
+        #: src -> durable cursor we last *explicitly* acked to src; the
+        #: ack tick only fires for cursors that advanced past this
+        self._acked_durable: dict[int, int] = {}
         self._ckpt_version = 0
         self._polls = 0
         #: False until a restored incarnation has absorbed its comm state;
@@ -597,8 +608,10 @@ class _Worker:
         self._replay_pending: list[_PeerLink] = []
         #: set when the registry closes our ctl socket (cluster teardown)
         self._ctl_closed = threading.Event()
-        self._ckpt_store = (CheckpointStore(rec_cfg.dir)
-                            if rec_cfg is not None else None)
+        self._ckpt_store = (
+            CheckpointStore(rec_cfg.dir, delta=rec_cfg.delta_checkpoints,
+                            delta_max_chain=rec_cfg.delta_max_chain)
+            if rec_cfg is not None else None)
 
         self.obs: WorkerObs | None = None
         if obs is not None:
@@ -615,6 +628,8 @@ class _Worker:
                                        bounds=POW2_BUCKETS, rank=rank)
             self._g_qdepth = m.gauge("mp.queue_depth", rank=rank)
             self._g_links = m.gauge("mp.live_links", rank=rank)
+            self._g_outbox = m.gauge("mp.outbox_len", rank=rank)
+            self._g_chunk = m.gauge("mp.chunk_bytes", rank=rank)
             self._c_ckpts = m.counter("recovery.checkpoints", rank=rank)
             self._c_dups = m.counter("recovery.dups_dropped", rank=rank)
             self._c_replayed = m.counter("recovery.replayed_msgs",
@@ -1074,6 +1089,20 @@ class _Worker:
                     if self.obs is not None:
                         self.obs.event("drain_peer", peer=peer,
                                        last="eom", rank=self.rank)
+            elif fkind == "ack":
+                # explicit durable-rx ack (the checkpoint tick): the peer
+                # has durably received our messages through *cursor*, so
+                # the retained suffix up to it can never be replayed —
+                # prune. This is what bounds outbox growth for flows the
+                # data-frame piggyback never covers (pure producers).
+                _, src, cursor = payload
+                if self.rec is not None and \
+                        cursor > self._peer_durable.get(src, 0):
+                    self._peer_durable[src] = cursor
+                    box = self._outbox.get(src)
+                    if box:
+                        self._outbox[src] = [e for e in box
+                                             if e[0] > cursor]
             else:
                 raise ValueError(f"bad peer frame {payload!r}")
         else:  # pragma: no cover
@@ -1159,6 +1188,7 @@ class _Worker:
         """Steady-state levels, refreshed at poll/recv points."""
         self._g_qdepth.set(self.inbox.qsize() + len(self.recvlist))
         self._g_links.set(sum(1 for l in self.links.values() if l.open))
+        self._g_outbox.set(sum(len(v) for v in self._outbox.values()))
 
     # -- checkpointing (recovery runs) --------------------------------------
     def _checkpoint(self, state: dict) -> None:
@@ -1179,14 +1209,46 @@ class _Worker:
             **self._comm_epoch(),
             "version": self._ckpt_version,
         }
-        blob = encode(wrapper, self.arch)
-        self._ckpt_store.save_blob(self.rank, self._ckpt_version, blob)
+        if self._ckpt_store.delta:
+            self._ckpt_store.save_parts(self.rank, self._ckpt_version,
+                                        encode_parts(wrapper, self.arch))
+        else:
+            blob = encode(wrapper, self.arch)
+            self._ckpt_store.save_blob(self.rank, self._ckpt_version, blob)
         # the checkpoint is durable: our receive cursors are now what a
         # replacement of us would advertise — piggyback them so peers
         # prune their outboxes toward us
         self._durable_rx = dict(self._rx_seq)
         if self.obs is not None:
             self._c_ckpts.inc()
+        self._ack_tick()
+
+    def _ack_tick(self) -> None:
+        """Tell senders their messages are durably received.
+
+        The piggyback on data frames only reaches peers we *send to*; in
+        a one-directional flow the producer never hears its consumer's
+        durable cursor, so its outbox grows until this explicit ack
+        lands. Fired right after each checkpoint, only for cursors that
+        advanced since the last tick — a quiescent channel costs no
+        frames.
+        """
+        staged = False
+        for src, cursor in self._durable_rx.items():
+            if cursor <= self._acked_durable.get(src, 0):
+                continue
+            link = self.links.get(src)
+            if link is None or not link.open:
+                continue
+            try:
+                link.stage(("ack", self.rank, cursor))
+            except OSError:
+                link.open = False
+                continue
+            self._acked_durable[src] = cursor
+            staged = True
+        if staged:
+            self._flush_links()
 
     # -- migration (Fig. 5) -------------------------------------------------
     def _span(self, phase: str):
@@ -1241,7 +1303,29 @@ class _Worker:
         # transfer the received-message-list and the machine-independent
         # execution/memory state
         transfer = self._span("transfer")
-        if self.rec is not None:
+        ctrl_stats: dict = {}
+        parts = None
+        list_a = [(m.src, m.tag, m.body) for m in self.recvlist]
+        if self.rec is not None and self.fastpath \
+                and self._ckpt_store.delta:
+            # delta store on: the pre-departure encode doubles as the
+            # rank's final durable checkpoint — one encode and one hash
+            # pass serve both, and the wrapper (state + recvlist + comm
+            # epoch, exactly what recover_rank ships) goes on the wire,
+            # so ListA travels inside it
+            self._ckpt_version += 1
+            wrapper = {
+                _CKPT_KEY: 1,
+                "state": state,
+                "recvlist": list_a,
+                **self._comm_epoch(),
+                "version": self._ckpt_version,
+            }
+            parts = encode_parts(wrapper, self.arch)
+            self._ckpt_store.save_parts(self.rank, self._ckpt_version,
+                                        parts)
+            list_a = []
+        elif self.rec is not None:
             # the communication-state epoch migrates with the rank: the
             # new incarnation must keep the cursors or peers' replays
             # would double-deliver past a reset receive counter
@@ -1255,19 +1339,43 @@ class _Worker:
             # recvlist) coalesce with the first chunk into one sendmsg
             batch = FrameBatcher(xfer)
             batch.add(("state_transfer", self.rank))
-            batch.add(("recvlist",
-                       [(m.src, m.tag, m.body) for m in self.recvlist]))
-            source = ChunkSource(state, self.arch)
+            batch.add(("recvlist", list_a))
+            sizer = self.chunk_bytes
+            controller = None
+            if isinstance(sizer, AdaptiveChunkPolicy):
+                controller = ChunkController(sizer)
+                sizer = controller
+            if parts is None:
+                source = ChunkSource(state, self.arch, sizer)
+            else:
+                source = ChunkSource(arch=self.arch, chunk_bytes=sizer,
+                                     parts=parts)
             while not source.exhausted:
                 c = source.next_chunk()
                 data = b"".join(c.parts)
-                batch.add(("state_chunk", c.seq, data, c.last,
-                           c.total_nbytes))
+                if controller is None:
+                    batch.add(("state_chunk", c.seq, data, c.last,
+                               c.total_nbytes))
+                else:
+                    # adaptive: flush per chunk and feed the wall-clock
+                    # hand-off time back — a full kernel buffer (slow
+                    # reader or slow wire) blocks the flush, reads as
+                    # high latency and shrinks the next chunk
+                    t0 = time.perf_counter()
+                    batch.add(("state_chunk", c.seq, data, c.last,
+                               c.total_nbytes))
+                    batch.flush()
+                    controller.observe(len(data),
+                                       time.perf_counter() - t0)
+                    if obs is not None:
+                        self._g_chunk.set(controller.size)
                 nchunks += 1
                 if obs is not None:
                     obs.event("state_chunk", seq=c.seq, nbytes=len(data),
                               last=c.last, rank=self.rank)
             batch.flush()
+            if controller is not None:
+                ctrl_stats = controller.stats()
         else:
             send_frame(xfer, ("state_transfer", self.rank))
             send_frame(xfer, ("recvlist",
@@ -1281,7 +1389,7 @@ class _Worker:
                           last=True, rank=self.rank)
         xfer.close()
         if transfer is not None:
-            transfer.close(chunks=nchunks)
+            transfer.close(chunks=nchunks, **ctrl_stats)
         if reject is not None:
             reject.close()
         log.debug("rank %d: state shipped; exiting source process",
@@ -1304,11 +1412,12 @@ def _worker_main(rank: int, nranks: int, registry_addr: tuple,
                  obs: ObsConfig | None = None,
                  state: dict | None = None,
                  dir_cfg: DaemonClientConfig | None = None,
-                 rec_cfg: WorkerRecoveryConfig | None = None) -> None:
+                 rec_cfg: WorkerRecoveryConfig | None = None,
+                 chunk_bytes=DEFAULT_CHUNK_BYTES) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=False,
                 arch=arch, incarnation=0, fastpath=fastpath, obs=obs,
-                dir_cfg=dir_cfg, rec_cfg=rec_cfg)
+                dir_cfg=dir_cfg, rec_cfg=rec_cfg, chunk_bytes=chunk_bytes)
     w.pl = dict(pl)
     _run_program(w, dict(state) if state else {})
 
@@ -1318,11 +1427,13 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
                incarnation: int, fastpath: bool = True,
                obs: ObsConfig | None = None,
                dir_cfg: DaemonClientConfig | None = None,
-               rec_cfg: WorkerRecoveryConfig | None = None) -> None:
+               rec_cfg: WorkerRecoveryConfig | None = None,
+               chunk_bytes=DEFAULT_CHUNK_BYTES) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=True,
                 arch=arch, incarnation=incarnation, fastpath=fastpath,
-                obs=obs, dir_cfg=dir_cfg, rec_cfg=rec_cfg)
+                obs=obs, dir_cfg=dir_cfg, rec_cfg=rec_cfg,
+                chunk_bytes=chunk_bytes)
     # Fig. 7: accept connections from the start; wait for the transfer.
     # The state arrives either as one legacy ("state", blob) frame or as
     # an ordered run of ("state_chunk", seq, data, last, total) frames.
@@ -1469,7 +1580,8 @@ class MPCluster:
                  fastpath: bool = True,
                  obs: "ObsConfig | bool | None" = None,
                  init_states: "list[dict] | None" = None,
-                 recovery: "RecoverySpec | bool | str | None" = None):
+                 recovery: "RecoverySpec | bool | str | None" = None,
+                 chunk_bytes=None):
         _configure_logging()
         self.program = program
         self.nranks = nranks
@@ -1483,6 +1595,8 @@ class MPCluster:
         #: observability: True / ObsConfig enables event collection and
         #: worker metrics, merged at the registry (see repro.obs)
         self.obs = ObsConfig.coerce(obs)
+        #: fixed chunk size (int), ``"adaptive"``, or an AdaptiveChunkPolicy
+        self.chunk_bytes = coerce_chunk_bytes(chunk_bytes)
         #: crash recovery: supervision + checkpoints + durable directory
         self.recovery = RecoverySpec.coerce(recovery)
         self._recovery_root: str | None = None
@@ -1495,7 +1609,9 @@ class MPCluster:
             self._rec_cfg = WorkerRecoveryConfig(
                 dir=os.path.join(self._recovery_root, "ckpt"),
                 checkpoint_every=self.recovery.checkpoint_every,
-                heartbeat_every=self.recovery.heartbeat_every)
+                heartbeat_every=self.recovery.heartbeat_every,
+                delta_checkpoints=self.recovery.delta_checkpoints,
+                delta_max_chain=self.recovery.delta_max_chain)
             spec = DirectorySpec.coerce(directory)
             if self.recovery.shard_wal and spec.distributed and spec.daemons:
                 dir_wal = os.path.join(self._recovery_root, "dirwal")
@@ -1532,7 +1648,7 @@ class MPCluster:
                 target=_worker_main,
                 args=(rank, self.nranks, self.registry.addr, self.program,
                       {}, self.arch, self.fastpath, self.obs, state,
-                      dir_cfg, self._rec_cfg),
+                      dir_cfg, self._rec_cfg, self.chunk_bytes),
                 daemon=True)
             p.start()
             self._procs.append(p)
@@ -1577,7 +1693,7 @@ class MPCluster:
             target=_init_main,
             args=(rank, self.nranks, self.registry.addr, self.program,
                   self.dest_arch, inc, self.fastpath, self.obs,
-                  self._dir_cfg(), self._rec_cfg),
+                  self._dir_cfg(), self._rec_cfg, self.chunk_bytes),
             daemon=True)
         p.start()
         self._procs.append(p)
@@ -1691,7 +1807,7 @@ class MPCluster:
             target=_init_main,
             args=(rank, self.nranks, self.registry.addr, self.program,
                   self.dest_arch, inc, self.fastpath, self.obs,
-                  self._dir_cfg(), self._rec_cfg),
+                  self._dir_cfg(), self._rec_cfg, self.chunk_bytes),
             daemon=True)
         p.start()
         self._procs.append(p)

@@ -71,12 +71,15 @@ class Channel:
     def messages_sent_by(self, vmid: VmId) -> int:
         return self._msgs_sent.get(vmid, 0)
 
-    def send(self, src: "ProcessContext", payload: Any, nbytes: int) -> None:
+    def send(self, src: "ProcessContext", payload: Any, nbytes: int) -> float:
         """Buffered-mode send of *payload* from endpoint *src*.
 
         Charges the sender the software copy cost (scaled by its host CPU
         speed), then hands the bytes to the network; delivery enqueues an
-        :class:`Envelope` in the peer's mailbox on arrival.
+        :class:`Envelope` in the peer's mailbox on arrival. Returns the
+        scheduled arrival (virtual) time — ``arrival - now`` is the ship
+        latency including link-queue wait, which is what the adaptive
+        chunk controller feeds on. The sender does not wait for it.
         """
         if not self.is_open_for(src.vmid):
             raise ChannelClosedError(
@@ -91,7 +94,7 @@ class Channel:
         self.vm.trace_record(src.name, "chan_send", channel=self.id,
                              dst=str(dst_vmid), nbytes=nbytes,
                              payload=type(payload).__name__)
-        self.vm.network.deliver(
+        return self.vm.network.deliver(
             src.vmid.host, dst_vmid.host, nbytes,
             lambda: self._arrive(dst_vmid, env), service="chan")
 

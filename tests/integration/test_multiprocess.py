@@ -201,3 +201,42 @@ def test_mp_concurrent_migrations_of_two_ranks():
     for rank in range(3):
         left = (rank - 1) % 3
         assert results[rank]["got"] == [(left, i) for i in range(45)]
+
+
+def _bigstate_stream(api, state):
+    """_seq_stream with ~2 MiB of rank-0 state so an adaptive-chunk
+    migration runs the controller through multiple growth rounds."""
+    if api.rank == 0:
+        state.setdefault("blob", bytes(2 * 1024 * 1024))
+    return _seq_stream(api, state)
+
+
+def test_mp_adaptive_chunks_migration(tmp_path):
+    """chunk_bytes="adaptive" end-to-end: the AIMD controller sizes the
+    state_chunk frames of a real socket migration, its stats land on the
+    transfer span, and delivery is unaffected."""
+    import json
+
+    cluster = MPCluster(_bigstate_stream, nranks=2, obs=True,
+                        chunk_bytes="adaptive")
+    try:
+        cluster.start()
+        time.sleep(0.05)
+        cluster.migrate(0)
+        results = cluster.join(timeout=60)
+        path = tmp_path / "obs.jsonl"
+        cluster.write_obs_jsonl(str(path))
+    finally:
+        cluster.terminate()
+    assert results[1]["got"] == list(range(80))
+    spans = [json.loads(line) for line in path.read_text().splitlines()
+             if '"transfer"' in line]
+    done = [s for s in spans if s.get("kind") == "span_end"
+            and s.get("phase") == "transfer"]
+    assert done, "no transfer span in the obs artifact"
+    s = done[0]
+    # controller stats rode along on the span
+    assert s["chunk_bytes_min"] >= 8 * 1024
+    assert s["chunk_bytes_max"] <= 4 * 1024 * 1024
+    assert s["chunk_bytes_max"] > s["chunk_bytes_min"]  # it actually adapted
+    assert s["chunks"] >= 3

@@ -1,0 +1,144 @@
+"""Unit tests for the AIMD chunk-size controller.
+
+The controller is a pure, deterministic function of its observation
+sequence, so every discipline the migration paths rely on — slow-start
+doubling, additive increase after the first backoff, multiplicative
+decrease, floor/ceiling clamps — is pinned here without any transport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import (
+    AdaptiveChunkPolicy,
+    ChunkController,
+    coerce_chunk_bytes,
+)
+from repro.codec import NATIVE
+from repro.core.streaming import DEFAULT_CHUNK_BYTES, ChunkSource
+from repro.util.errors import MigrationError
+
+FAST = 1e-6     # far under any budget
+SLOW = 1e3      # far over any budget
+
+
+def test_starts_at_floor_by_default():
+    c = ChunkController()
+    assert c.next_size() == AdaptiveChunkPolicy().floor
+    # size does not move without an observation
+    assert c.next_size() == c.next_size() == c.size
+
+
+def test_slow_start_doubles_until_ceiling():
+    p = AdaptiveChunkPolicy(floor=1024, ceiling=16 * 1024)
+    c = ChunkController(p)
+    seen = []
+    for _ in range(6):
+        seen.append(c.next_size())
+        c.observe(seen[-1], FAST)
+    # 1K -> 2K -> 4K -> 8K -> 16K, then clamped at the ceiling
+    assert seen == [1024, 2048, 4096, 8192, 16384, 16384]
+    assert c.max_size == p.ceiling
+    assert c.backoffs == 0
+
+
+def test_backoff_is_multiplicative_and_ends_slow_start():
+    p = AdaptiveChunkPolicy(floor=1024, ceiling=1024 * 1024, backoff=0.5)
+    c = ChunkController(p)
+    for _ in range(4):                       # 1K -> 16K by doubling
+        c.observe(c.next_size(), FAST)
+    assert c.size == 16 * 1024
+    c.observe(c.next_size(), SLOW)
+    assert c.size == 8 * 1024                # cut by the backoff factor
+    assert c.backoffs == 1
+    # growth after a backoff is additive (+step == +floor), not doubling
+    c.observe(c.next_size(), FAST)
+    assert c.size == 8 * 1024 + 1024
+
+
+def test_floor_holds_under_sustained_congestion():
+    p = AdaptiveChunkPolicy(floor=8 * 1024, ceiling=64 * 1024)
+    c = ChunkController(p)
+    for _ in range(10):
+        c.observe(c.next_size(), SLOW)
+    assert c.size == p.floor
+    assert c.min_size == p.floor
+    # further over-budget chunks at the floor are not counted as backoffs
+    n = c.backoffs
+    c.observe(c.next_size(), SLOW)
+    assert c.backoffs == n
+
+
+def test_determinism_same_observations_same_sizes():
+    lat = [FAST, FAST, SLOW, FAST, SLOW, SLOW, FAST, FAST]
+
+    def run():
+        c = ChunkController(AdaptiveChunkPolicy(floor=4096))
+        sizes = []
+        for x in lat:
+            sizes.append(c.next_size())
+            c.observe(sizes[-1], x)
+        return sizes, c.stats()
+
+    assert run() == run()
+
+
+def test_stats_keys_and_counters():
+    c = ChunkController(AdaptiveChunkPolicy(floor=1024, ceiling=8192))
+    c.observe(c.next_size(), FAST)   # growth
+    c.observe(c.next_size(), SLOW)   # backoff
+    s = c.stats()
+    assert set(s) == {"chunk_bytes_last", "chunk_bytes_min",
+                      "chunk_bytes_max", "chunk_growths", "chunk_backoffs"}
+    assert s["chunk_growths"] == 1 and s["chunk_backoffs"] == 1
+    assert s["chunk_bytes_min"] == 1024 and s["chunk_bytes_max"] == 2048
+    assert s["chunk_bytes_last"] == c.size
+
+
+def test_policy_validation():
+    with pytest.raises(MigrationError):
+        AdaptiveChunkPolicy(floor=0)
+    with pytest.raises(MigrationError):
+        AdaptiveChunkPolicy(floor=4096, ceiling=1024)
+    with pytest.raises(MigrationError):
+        AdaptiveChunkPolicy(initial=2048, floor=4096)
+    with pytest.raises(MigrationError):
+        AdaptiveChunkPolicy(backoff=1.0)
+    with pytest.raises(MigrationError):
+        AdaptiveChunkPolicy(latency_budget=0.0)
+
+
+def test_initial_and_step_overrides():
+    p = AdaptiveChunkPolicy(floor=1024, ceiling=64 * 1024,
+                            initial=4096, step=512)
+    c = ChunkController(p)
+    assert c.next_size() == 4096
+    c.observe(4096, SLOW)                    # leave slow start
+    c.observe(c.next_size(), FAST)
+    assert c.size == 2048 + 512              # additive uses the step
+
+
+def test_coerce_chunk_bytes_variants():
+    assert coerce_chunk_bytes(None) == DEFAULT_CHUNK_BYTES
+    assert coerce_chunk_bytes(4096) == 4096
+    assert coerce_chunk_bytes("adaptive") == AdaptiveChunkPolicy()
+    p = AdaptiveChunkPolicy(floor=1024)
+    assert coerce_chunk_bytes(p) is p
+    for bad in ("auto", 0, -1, True, 1.5, [4096]):
+        with pytest.raises(MigrationError):
+            coerce_chunk_bytes(bad)
+
+
+def test_chunk_source_accepts_controller():
+    """ChunkSource duck-types the controller as a size provider."""
+    c = ChunkController(AdaptiveChunkPolicy(floor=1024, ceiling=4096))
+    src = ChunkSource({"x": bytes(10_000)}, NATIVE, chunk_bytes=c)
+    sizes = []
+    while not src.exhausted:
+        chunk = src.next_chunk()
+        sizes.append(chunk.nbytes)
+        c.observe(chunk.nbytes, FAST)        # always in budget -> grow
+    # growth between chunks means the source asked the controller anew
+    assert sizes[0] <= 1024 and len(sizes) >= 3
+    assert any(b > a for a, b in zip(sizes, sizes[1:]))

@@ -188,3 +188,88 @@ def test_store_all_versions_bad_means_no_restore_point(tmp_path):
     path = tmp_path / "ckpt-r0-v1.bin"
     path.write_bytes(path.read_bytes()[:10])
     assert store.latest_complete_version(0) is None
+
+
+# -- delta (incremental) checkpoints ----------------------------------------
+
+def _parts(*blobs):
+    return [bytes(b) for b in blobs]
+
+
+def test_delta_store_writes_only_changed_parts(tmp_path):
+    store = CheckpointStore(tmp_path, delta=True)
+    big, small = b"A" * 50_000, b"s" * 100
+    first = store.save_parts(0, 1, _parts(big, small))
+    second = store.save_parts(0, 2, _parts(big, b"t" * 100))
+    assert first > 50_000                  # self-contained cold start
+    assert second < 1_000                  # only the small part shipped
+    assert store.last_parts_changed == 1
+    assert store.load_blob(0, 2) == big + b"t" * 100
+
+
+def test_delta_compaction_at_max_chain(tmp_path):
+    store = CheckpointStore(tmp_path, delta=True, delta_max_chain=3)
+    big = b"B" * 20_000
+    sizes = [store.save_parts(0, v, _parts(big, bytes([v])))
+             for v in range(1, 8)]
+    # v1 self-contained, v2-v3 deltas, v4 compacts, v5-v6 deltas, v7 compacts
+    assert sizes[0] > 20_000 and sizes[3] > 20_000 and sizes[6] > 20_000
+    for i in (1, 2, 4, 5):
+        assert sizes[i] < 1_000
+    for v in range(1, 8):
+        assert store.load_blob(0, v) == big + bytes([v])
+
+
+def test_delta_reader_needs_no_part_cache(tmp_path):
+    writer = CheckpointStore(tmp_path, delta=True)
+    writer.save_parts(3, 1, _parts(b"x" * 1000, b"y"))
+    writer.save_parts(3, 2, _parts(b"x" * 1000, b"z"))
+    # a plain (non-delta) store in a fresh process still reads both
+    reader = CheckpointStore(tmp_path)
+    assert reader.load_blob(3, 2) == b"x" * 1000 + b"z"
+    assert reader.latest_complete_version(3) == 2
+
+
+def test_delta_in_memory_store(tmp_path):
+    store = CheckpointStore(delta=True)
+    store.save_parts(0, 1, _parts(b"m" * 500))
+    store.save_parts(0, 2, _parts(b"m" * 500))
+    assert store.last_parts_changed == 0
+    assert store.load_blob(0, 2) == b"m" * 500
+
+
+def test_delta_checkpoint_state_roundtrip(tmp_path):
+    from repro.core.checkpointing import checkpoint_state, restore_state
+    store = CheckpointStore(tmp_path, delta=True)
+    state = {"i": 1, "blob": b"Q" * 30_000}
+    n1 = checkpoint_state(store, 0, 1, state)
+    state["i"] = 2
+    n2 = checkpoint_state(store, 0, 2, state)
+    assert n2 < n1 / 5                     # mostly-unchanged state shrinks
+    assert restore_state(store, 0, 2) == state
+
+
+def test_delta_corrupt_base_fails_dependent_version(tmp_path):
+    store = CheckpointStore(tmp_path, delta=True)
+    store.save_parts(0, 1, _parts(b"c" * 5_000))
+    store.save_parts(0, 2, _parts(b"c" * 5_000))     # delta on v1
+    path = tmp_path / "ckpt-r0-v1.bin"
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    reader = CheckpointStore(tmp_path)
+    with pytest.raises(ReproError):
+        reader.load_blob(0, 2)
+    assert reader.latest_complete_version(0) is None
+
+
+def test_delta_max_chain_validation(tmp_path):
+    with pytest.raises(ReproError):
+        CheckpointStore(tmp_path, delta=True, delta_max_chain=0)
+
+
+def test_worker_recovery_config_delta_fields(tmp_path):
+    cfg = WorkerRecoveryConfig(dir=str(tmp_path), delta_checkpoints=True,
+                               delta_max_chain=4)
+    assert cfg.delta_checkpoints and cfg.delta_max_chain == 4
+    assert WorkerRecoveryConfig(dir=str(tmp_path)).delta_checkpoints is False
