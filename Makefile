@@ -1,7 +1,7 @@
 # Developer entry points. Everything runs against the in-tree sources.
 export PYTHONPATH := src
 
-.PHONY: test fast stress bench bench-directory bench-fastpath bench-recovery obs-smoke shard-smoke recovery-smoke
+.PHONY: test fast stress bench bench-directory bench-fastpath bench-recovery obs-smoke obs-svg shard-smoke recovery-smoke
 
 test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
 	python -m pytest -x -q
@@ -24,8 +24,13 @@ bench-fastpath: ## migration fast path A/B ablation; writes BENCH_fastpath.json
 bench-recovery: ## time-to-recover vs checkpoint interval; writes BENCH_recovery.json
 	python -m pytest benchmarks/test_ablation_recovery.py --benchmark-only -q -s
 
-obs-smoke: ## real mp migration with event collection on; validates the JSONL artifact
+obs-smoke: ## real mp migration with event collection on; validates the JSONL artifact and its space-time SVG
 	REPRO_OBS_SMOKE=1 python -m pytest tests/integration/test_obs_mp.py -q
+
+obs-svg: ## run a real mp migration and render the clock-aligned space-time SVG
+	python -m repro obs run --out obs_events.jsonl --no-report
+	python -m repro obs svg obs_events.jsonl --out obs_spacetime.svg
+	python -c "import xml.etree.ElementTree as ET; ET.fromstring(open('obs_spacetime.svg').read()); print('obs_spacetime.svg: well-formed XML')"
 
 shard-smoke: ## SIGKILL a live shard daemon during an mp migration workload
 	REPRO_SHARD_SMOKE=1 python -m pytest tests/stress/test_shard_crash_mp.py -q

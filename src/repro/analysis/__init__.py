@@ -29,6 +29,13 @@ from repro.analysis.obs import (
 from repro.analysis.persist import dumps_trace, load_trace, loads_trace, save_trace
 from repro.analysis.report import RunReport, run_report
 from repro.analysis.spacetime import MessageFlight, message_flights, render_spacetime
+from repro.analysis.spacetime_svg import (
+    lane_of,
+    obs_flights,
+    phase_bars,
+    render_obs_spacetime_svg,
+    save_obs_spacetime_svg,
+)
 from repro.analysis.svg import render_spacetime_svg, save_spacetime_svg
 from repro.analysis.traffic import LinkTraffic, TrafficReport, traffic_report
 
@@ -63,7 +70,12 @@ __all__ = [
     "makespan",
     "message_flights",
     "migration_breakdown",
+    "lane_of",
+    "obs_flights",
+    "phase_bars",
+    "render_obs_spacetime_svg",
     "render_spacetime",
     "render_spacetime_svg",
+    "save_obs_spacetime_svg",
     "save_spacetime_svg",
 ]

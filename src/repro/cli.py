@@ -78,6 +78,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="artifact is a simulator trace saved with "
                               "'repro mg --save-trace' — lift its obs "
                               "events instead")
+    obs_svg = obs_sub.add_parser(
+        "svg", help="render the space-time SVG (lanes per rank, phase "
+                    "bars, migration windows, message flights) from an "
+                    "artifact")
+    obs_svg.add_argument("artifact", help="JSONL artifact from 'obs run' "
+                                          "(or MPCluster.write_obs_jsonl)")
+    obs_svg.add_argument("--out", metavar="PATH",
+                         default="obs_spacetime.svg",
+                         help="SVG output path (default: %(default)s)")
+    obs_svg.add_argument("--from-trace", action="store_true",
+                         help="artifact is a simulator trace saved with "
+                              "'repro mg --save-trace' — lift its obs "
+                              "events instead")
+    obs_svg.add_argument("--no-align", action="store_true",
+                         help="skip the clock-offset alignment pass")
+    obs_svg.add_argument("--width", type=int, default=900,
+                         help="diagram width in pixels")
+    obs_watch = obs_sub.add_parser(
+        "watch", help="run the demo migration with live metric streaming "
+                      "on and tail the merged live view during the run")
+    obs_watch.add_argument("--rounds", type=int, default=400,
+                           help="ping-pong rounds around the migration")
+    obs_watch.add_argument("--payload-kib", type=int, default=256,
+                           help="state ballast carried by the migrating "
+                                "rank")
+    obs_watch.add_argument("--interval", type=float, default=0.1,
+                           help="worker live-flush period in seconds "
+                                "(default: %(default)s)")
+    obs_watch.add_argument("--out", metavar="PATH", default=None,
+                           help="also write the final JSONL artifact here")
 
     d = sub.add_parser(
         "directory",
@@ -284,17 +314,99 @@ def _obs_demo_program(api, state):
     return {"rounds": i, "incarnation": api.incarnation}
 
 
+def _load_obs_artifact(args: argparse.Namespace) -> list[dict]:
+    from repro.analysis import load_obs_events
+
+    if getattr(args, "from_trace", False):
+        from repro.analysis import events_from_trace, load_trace
+        return events_from_trace(load_trace(args.artifact))
+    return load_obs_events(args.artifact)
+
+
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    import threading
+    import time
+
+    from repro.analysis import load_obs_events, render_obs_report
+    from repro.obs import ObsConfig
+    from repro.runtime import MPCluster
+
+    cluster = MPCluster(
+        _obs_demo_program, nranks=2,
+        init_states=[{"rounds": args.rounds,
+                      "ballast_nbytes": args.payload_kib * 1024}
+                     for _ in range(2)],
+        obs=ObsConfig(flush_seconds=args.interval))
+    done = threading.Event()
+    box: dict = {}
+
+    def _join() -> None:
+        try:
+            box["results"] = cluster.join(timeout=300)
+        finally:
+            done.set()
+
+    try:
+        cluster.start()
+        threading.Thread(target=_join, daemon=True).start()
+        t0 = time.time()
+        migrated = False
+        ticks = 0
+        while not done.wait(args.interval):
+            now = time.time() - t0
+            if not migrated and now > 4 * args.interval:
+                cluster.migrate(1)
+                migrated = True
+                print(f"[{now:7.3f}s] migrate(1) signalled")
+            view = cluster.obs_live()
+            if not view:
+                continue
+            ticks += 1
+            parts = []
+            for actor, info in view.items():
+                g = info["gauges"]
+                parts.append(
+                    f"{actor}: q={g.get('mp.queue_depth', 0)} "
+                    f"out={g.get('mp.outbox_len', 0)} "
+                    f"links={g.get('mp.live_links', 0)} "
+                    f"chunkB={g.get('mp.chunk_bytes', 0)}")
+            print(f"[{now:7.3f}s] " + "  |  ".join(parts))
+        results = box.get("results")
+        if args.out:
+            count = cluster.write_obs_jsonl(args.out)
+            print(f"\nwrote {count} events to {args.out}")
+            print()
+            print(render_obs_report(load_obs_events(args.out)))
+    finally:
+        cluster.terminate()
+    ok = (results is not None and migrated
+          and results[1]["incarnation"] == 1 and ticks > 0)
+    print(f"\nlive ticks seen: {ticks}, migration completed: "
+          f"{bool(results) and results[1]['incarnation'] == 1}")
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.analysis import load_obs_events, render_obs_report
 
     if args.obs_command == "report":
-        if args.from_trace:
-            from repro.analysis import events_from_trace, load_trace
-            events = events_from_trace(load_trace(args.artifact))
-        else:
-            events = load_obs_events(args.artifact)
-        print(render_obs_report(events))
+        print(render_obs_report(_load_obs_artifact(args)))
         return 0
+
+    if args.obs_command == "svg":
+        from repro.analysis import save_obs_spacetime_svg
+        events = _load_obs_artifact(args)
+        save_obs_spacetime_svg(events, args.out,
+                               align=not args.no_align,
+                               width=args.width,
+                               title=f"space-time: {args.artifact}")
+        print(f"wrote space-time diagram ({len(events)} events) "
+              f"to {args.out}")
+        return 0
+
+    if args.obs_command == "watch":
+        return _cmd_obs_watch(args)
 
     import time
 

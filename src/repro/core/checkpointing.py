@@ -81,7 +81,8 @@ class CheckpointStore:
     """
 
     def __init__(self, directory: str | Path | None = None, *,
-                 delta: bool = False, delta_max_chain: int = 8):
+                 delta: bool = False, delta_max_chain: int = 8,
+                 delta_gc: bool = True):
         self._dir = Path(directory) if directory is not None else None
         if self._dir is not None:
             self._dir.mkdir(parents=True, exist_ok=True)
@@ -89,6 +90,13 @@ class CheckpointStore:
         #: incremental mode: :meth:`save_parts` diffs against the rank's
         #: previous version and writes only changed parts
         self.delta = delta
+        #: garbage-collect superseded chain files at compaction points:
+        #: after each durable self-contained write, versions older than
+        #: the *previous* compaction point are deleted (one full chain
+        #: window is retained so peers lagging a version still find a
+        #: common recovery line). The new file is fsynced and renamed
+        #: before any unlink — a crash mid-GC only leaves extra files.
+        self.delta_gc = delta_gc
         if delta_max_chain < 1:
             raise ReproError(
                 f"delta_max_chain must be >= 1: {delta_max_chain}")
@@ -101,6 +109,11 @@ class CheckpointStore:
         #: naturally starts its chain with a self-contained write
         self._part_cache: dict[Rank, tuple[int, list[bytes]]] = {}
         self._chain_len: dict[Rank, int] = {}
+        #: version of each rank's previous self-contained save_parts —
+        #: the GC cutoff at the next compaction point
+        self._last_compaction: dict[Rank, int] = {}
+        #: versions deleted by the last automatic GC (test/report hook)
+        self.last_gc_deleted: list[int] = []
         #: part-hash invocations (tests assert single-pass hashing when
         #: a migration reuses checkpoint parts)
         self.hash_ops = 0
@@ -173,7 +186,69 @@ class CheckpointStore:
         self._chain_len[rank] = chain + 1 if base_plus1 else 1
         self.last_write_nbytes = len(payload)
         self.last_parts_changed = nchanged
+        if base_plus1 == 0:
+            # Compaction point: the self-contained write above is durable
+            # (fsync-and-rename), so chain files behind the *previous*
+            # compaction point can never be needed again — not by this
+            # version's read chain, not by the walk-back restore scan
+            # (which stops at the retained previous window).
+            prev = self._last_compaction.get(rank)
+            self._last_compaction[rank] = version
+            self.last_gc_deleted = (
+                self._delete_versions_below(rank, prev)
+                if self.delta_gc and prev is not None and prev <= version
+                else [])
         return len(payload)
+
+    def _delete_versions_below(self, rank: Rank,
+                               cutoff: int) -> list[int]:
+        """Delete every stored version of *rank* older than *cutoff*."""
+        deleted = []
+        for version in self.versions(rank):
+            if version >= cutoff:
+                continue
+            if self._dir is None:
+                del self._mem[(rank, version)]
+            else:
+                path = self._dir / f"ckpt-r{rank}-v{version}.bin"
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+            deleted.append(version)
+        return deleted
+
+    def gc_superseded(self, rank: Rank) -> list[int]:
+        """Delete every version unreachable from the newest restorable
+        self-contained checkpoint of *rank*; returns what was deleted.
+
+        Stronger than the automatic compaction-point GC (which retains
+        one full chain window): this keeps only the newest version that
+        both passes its integrity check and depends on no older file —
+        a full-blob/legacy checkpoint, or a delta whose manifest says
+        self-contained. Meant for explicit quiesce points (a supervisor
+        after a verified recovery line, an operator reclaiming space);
+        nothing below the survivor can be referenced by any later delta,
+        because chains only ever grow from their own compaction base.
+        """
+        keep_from = None
+        for version in reversed(self.versions(rank)):
+            try:
+                data = self._read_raw(rank, version)
+                if data.startswith(_DELTA_MAGIC):
+                    payload = self._checked_payload(
+                        data, f"r{rank} v{version}")
+                    base_plus1, _, _ = _D_HEAD.unpack_from(payload)
+                    if base_plus1 != 0:
+                        continue  # delta: needs an older base file
+                self.load_blob(rank, version)
+            except ReproError:
+                continue
+            keep_from = version
+            break
+        if keep_from is None:
+            return []
+        return self._delete_versions_below(rank, keep_from)
 
     def _read_raw(self, rank: Rank, version: int) -> bytes:
         if self._dir is None:

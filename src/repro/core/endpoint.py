@@ -165,7 +165,8 @@ class MigrationEndpoint:
                  drain_timeout: float | None = None,
                  directory_client=None,
                  fastpath: bool = True,
-                 chunk_bytes=DEFAULT_CHUNK_BYTES):
+                 chunk_bytes=DEFAULT_CHUNK_BYTES,
+                 trace_id: str | None = None):
         if transport not in ("direct", "indirect"):
             raise ProtocolError(f"unknown transport {transport!r}")
         if transport == "indirect" and migration_enabled:
@@ -197,6 +198,12 @@ class MigrationEndpoint:
         self.drain_timeout = drain_timeout
         self.fastpath = fastpath
         self.chunk_bytes = chunk_bytes
+        #: causal trace id of the migration this endpoint participates
+        #: in: stamped on span records so source and destination phases
+        #: stitch into one trace tree. The destination receives it at
+        #: spawn (the scheduler minted it); the source learns it from
+        #: the NewProcessReply.
+        self.trace_id = trace_id
         #: destination-side reassembly of an in-flight chunked transfer
         self._chunk_assembler: ChunkAssembler | None = None
         #: jitter stream: per-endpoint sub-stream so concurrent retriers

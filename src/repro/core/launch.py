@@ -194,15 +194,17 @@ class Application:
         if self.restore_version is not None:
             from repro.core.checkpointing import restore_state
             t0 = self.vm.kernel.now
+            rec_tid = f"sim-rec-r{rank}-v{self.restore_version}"
             self.vm.trace_record(ctx.name, "span_start", phase="recover",
-                                 rank=rank)
+                                 rank=rank, trace_id=rec_tid)
             state = restore_state(self.checkpoint_store, rank,
                                   self.restore_version)
             ctx.burn(self.vm.costs.state_fixed)
             self.vm.trace_record(ctx.name, "checkpoint_restored",
                                  version=self.restore_version)
             self.vm.trace_record(ctx.name, "span_end", phase="recover",
-                                 rank=rank, seconds=self.vm.kernel.now - t0)
+                                 rank=rank, seconds=self.vm.kernel.now - t0,
+                                 trace_id=rec_tid)
         else:
             state = {}
         self.program(api, state)
@@ -212,11 +214,20 @@ class Application:
         """Process initialization on the destination (scheduler callback)."""
         inc = self._incarnation.get(rank, 0) + 1
         self._incarnation[rank] = inc
-        ctx = self.vm.spawn(dest_host, self._init_main, rank,
+        # The scheduler appended (and trace-id-stamped) the migration
+        # record before invoking this callback; hand the id to the
+        # initialized process so its restore/commit spans stitch into
+        # the same trace as the source's phases.
+        try:
+            trace_id = self.scheduler_state.current_record(rank).trace_id
+        except LookupError:
+            trace_id = None
+        ctx = self.vm.spawn(dest_host, self._init_main, rank, trace_id,
                             name=f"p{rank}.m{inc}", rank=rank)
         return ctx.vmid
 
-    def _init_main(self, ctx, rank: Rank) -> None:
+    def _init_main(self, ctx, rank: Rank,
+                   trace_id: str | None = None) -> None:
         endpoint = MigrationEndpoint(
             ctx, rank, self._scheduler_ctx.vmid, PLTable(),
             arch=self.arch_for(ctx.host),
@@ -224,7 +235,8 @@ class Application:
             retry_policy=self.retry,
             drain_timeout=self.drain_timeout,
             directory_client=self._directory_client(rank),
-            fastpath=self.fastpath, chunk_bytes=self.chunk_bytes)
+            fastpath=self.fastpath, chunk_bytes=self.chunk_bytes,
+            trace_id=trace_id)
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         state = run_initialization(endpoint)

@@ -203,10 +203,17 @@ class MigrationStart:
 
 @dataclass(frozen=True)
 class NewProcessReply:
-    """Scheduler → migrating process: vmid of the initialized process."""
+    """Scheduler → migrating process: vmid of the initialized process.
+
+    Also carries the migration's causal ``trace_id`` (minted by the
+    scheduler when it created the initialized process), so the source
+    stamps its freeze/reject/drain/transfer spans with the same id the
+    destination already holds.
+    """
 
     rank: Rank
     new_vmid: VmId
+    trace_id: str | None = None
 
 
 @dataclass(frozen=True)

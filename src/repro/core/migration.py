@@ -60,6 +60,25 @@ from repro.vm.messages import ControlEnvelope, Envelope
 
 __all__ = ["run_migration", "run_initialization"]
 
+#: Parent phase of each span in the migration trace tree: freeze is the
+#: root; reject brackets the whole source-side window under it; drain
+#: and transfer run inside reject; the destination's restore hangs off
+#: transfer and commit off restore — same shape the mp runtime stamps.
+_SPAN_PARENT = {"reject": "freeze", "drain": "reject", "transfer": "reject",
+                "restore": "transfer", "commit": "restore"}
+
+
+def _tctx(ep: MigrationEndpoint, phase: str) -> dict:
+    """Trace-context fields for *phase*'s span records (empty when the
+    endpoint has no trace id yet)."""
+    if ep.trace_id is None:
+        return {}
+    fields: dict = {"trace_id": ep.trace_id}
+    parent = _SPAN_PARENT.get(phase)
+    if parent is not None:
+        fields["parent"] = parent
+    return fields
+
 
 def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     """The migrate() algorithm on the migrating process (Fig. 5).
@@ -80,23 +99,29 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     t_start = kernel.now
     vm.trace_record(ctx.name, "migration_start", rank=ep.rank,
                     old_vmid=str(ctx.vmid))
-    vm.trace_record(ctx.name, "span_start", phase="freeze", rank=ep.rank)
 
     # Lines 2-3: inform the scheduler and obtain the initialized process's
-    # vmid (the scheduler created it before signalling us).
+    # vmid (the scheduler created it before signalling us). The reply also
+    # carries the scheduler-minted trace id; the freeze span_start is
+    # recorded retroactively at t_start so it carries the id too.
     reply_env = _scheduler_rpc(
         ep, MigrationStart(rank=ep.rank, old_vmid=ctx.vmid),
         lambda m: isinstance(m, NewProcessReply) and m.rank == ep.rank)
     new_vmid = reply_env.msg.new_vmid
+    if ep.trace_id is None:
+        ep.trace_id = getattr(reply_env.msg, "trace_id", None)
+    vm.trace.record_at(t_start, ctx.name, "span_start", phase="freeze",
+                       rank=ep.rank, **_tctx(ep, "freeze"))
     ep.state = MIGRATING
     vm.trace_record(ctx.name, "span_end", phase="freeze", rank=ep.rank,
-                    seconds=kernel.now - t_start)
+                    seconds=kernel.now - t_start, **_tctx(ep, "freeze"))
 
     # Line 4: the local daemon rejects conn_reqs arriving beyond this
     # point; requests already in our mailbox are rejected as we drain
     # (dispatch nacks them in the MIGRATING state).
     t_reject0 = kernel.now
-    vm.trace_record(ctx.name, "span_start", phase="reject", rank=ep.rank)
+    vm.trace_record(ctx.name, "span_start", phase="reject", rank=ep.rank,
+                    **_tctx(ep, "reject"))
     vm.daemon(ctx.host).reject_future_conn_reqs(ctx.vmid.pid)
 
     # Fast path: the transfer channel opens *now* (the initialized process
@@ -140,7 +165,8 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     # Line 5: coordinate every connected peer — disconnection signal plus
     # peer_migrating as our last message on each channel.
     t_coord0 = kernel.now
-    vm.trace_record(ctx.name, "span_start", phase="drain", rank=ep.rank)
+    vm.trace_record(ctx.name, "span_start", phase="drain", rank=ep.rank,
+                    **_tctx(ep, "drain"))
     waiting: set[Rank] = set()
     ep._drain_waiting = waiting
 
@@ -199,12 +225,13 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
     vm.trace_record(ctx.name, "coordinate_done", seconds=t_coord,
                     captured=ep.stats.captured_in_transit)
     vm.trace_record(ctx.name, "span_end", phase="drain", rank=ep.rank,
-                    seconds=t_coord)
+                    seconds=t_coord, **_tctx(ep, "drain"))
 
     # Line 8: forward the received-message-list to the new process over a
     # direct transfer channel.
     t_xfer0 = kernel.now
-    vm.trace_record(ctx.name, "span_start", phase="transfer", rank=ep.rank)
+    vm.trace_record(ctx.name, "span_start", phase="transfer", rank=ep.rank,
+                    **_tctx(ep, "transfer"))
     if xfer is None:
         xfer = vm.create_channel(ctx.vmid, new_vmid)
     messages = ep.recvlist.take_all()
@@ -241,12 +268,12 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
                         nchunks=source.nchunks, **extra)
 
     vm.trace_record(ctx.name, "span_end", phase="transfer", rank=ep.rank,
-                    seconds=kernel.now - t_xfer0)
+                    seconds=kernel.now - t_xfer0, **_tctx(ep, "transfer"))
 
     # Line 11: the migrating process terminates; the initialized process
     # resumes execution.
     vm.trace_record(ctx.name, "span_end", phase="reject", rank=ep.rank,
-                    seconds=kernel.now - t_reject0)
+                    seconds=kernel.now - t_reject0, **_tctx(ep, "reject"))
     vm.trace_record(ctx.name, "migration_source_done",
                     total_seconds=kernel.now - t_start)
     ctx.terminate()
@@ -285,7 +312,9 @@ def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]",
             vm.trace_record(ctx.name, "span_end", phase=phase,
                             rank=ep.rank,
                             seconds=kernel.now - span_t0[phase],
-                            aborted=True)
+                            aborted=True, **_tctx(ep, phase))
+    # A retried migration gets a fresh record (and id) from the scheduler.
+    ep.trace_id = None
     vm.trace_record(ctx.name, KIND_TIMEOUT, what="migration_drain",
                     waiting=sorted(waiting),
                     pending_grants=ep.pending_grant_count())
@@ -328,7 +357,8 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     vm.trace_record(ctx.name, "init_start", rank=ep.rank,
                     vmid=str(ctx.vmid))
     t_init0 = kernel.now
-    vm.trace_record(ctx.name, "span_start", phase="restore", rank=ep.rank)
+    vm.trace_record(ctx.name, "span_start", phase="restore", rank=ep.rank,
+                    **_tctx(ep, "restore"))
 
     # Line 1 is implicit: the endpoint was constructed in the INITIALIZING
     # state and grants every conn_req from the start; data arriving on
@@ -384,9 +414,10 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
     # The restore span covers the whole receive+decode window (list and
     # state transfer included), matching the mp runtime's restore phase.
     vm.trace_record(ctx.name, "span_end", phase="restore", rank=ep.rank,
-                    seconds=kernel.now - t_init0)
+                    seconds=kernel.now - t_init0, **_tctx(ep, "restore"))
     t_commit0 = kernel.now
-    vm.trace_record(ctx.name, "span_start", phase="commit", rank=ep.rank)
+    vm.trace_record(ctx.name, "span_start", phase="commit", rank=ep.rank,
+                    **_tctx(ep, "commit"))
 
     # The PL snapshot proves the scheduler booked restore_complete, so an
     # abort is no longer possible: grants held back while initializing
@@ -407,7 +438,7 @@ def run_initialization(ep: MigrationEndpoint) -> dict:
             what="migration_commit")
     vm.trace_record(ctx.name, "migration_commit", rank=ep.rank)
     vm.trace_record(ctx.name, "span_end", phase="commit", rank=ep.rank,
-                    seconds=kernel.now - t_commit0)
+                    seconds=kernel.now - t_commit0, **_tctx(ep, "commit"))
 
     # Line 8: restore process state — the caller resumes the program.
     return state
@@ -478,7 +509,8 @@ def _pump_transfer(ep: MigrationEndpoint, payload_type: type,
         for phase, t0 in span_t0.items():
             ep.vm.trace_record(ep.ctx.name, "span_end", phase=phase,
                                rank=ep.rank,
-                               seconds=ep.kernel.now - t0, aborted=True)
+                               seconds=ep.kernel.now - t0, aborted=True,
+                               **_tctx(ep, phase))
 
     while True:
         item = ep.pump_until(pred, timeout=interval)

@@ -77,6 +77,9 @@ class MigrationRecord:
     t_committed: float = 0.0
     #: the rank finished before the migration could start
     aborted: bool = False
+    #: causal trace id stitching every span of this migration (minted
+    #: deterministically by the scheduler: ``sim-r<rank>-<n>``)
+    trace_id: str | None = None
 
     @property
     def completed(self) -> bool:
@@ -182,8 +185,10 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                                 rank=msg.rank,
                                 status=state.status.get(msg.rank))
                 continue
-            rec = MigrationRecord(rank=msg.rank, dest_host=msg.dest_host,
-                                  t_request=ctx.kernel.now)
+            rec = MigrationRecord(
+                rank=msg.rank, dest_host=msg.dest_host,
+                t_request=ctx.kernel.now,
+                trace_id=f"sim-r{msg.rank}-{len(state.migrations)}")
             state.migrations.append(rec)
             # Process initialization: remote invocation of the
             # migration-enabled executable on the destination machine.
@@ -219,7 +224,8 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                 rec.t_start = ctx.kernel.now
             new_vmid = state.init_vmid.get(msg.rank, rec.new_vmid)
             ctx.route_control(item.src_vmid,
-                              NewProcessReply(msg.rank, new_vmid))
+                              NewProcessReply(msg.rank, new_vmid,
+                                              trace_id=rec.trace_id))
             vm.trace_record(ctx.name, "migration_start_acked", rank=msg.rank)
 
         elif isinstance(msg, RestoreComplete):

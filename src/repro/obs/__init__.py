@@ -25,10 +25,17 @@ arrivals — from that artifact; :mod:`repro.analysis.obs` holds the
 loader/aggregator it is built on.
 """
 
+from repro.obs.clock import (
+    ClockSample,
+    OffsetEstimator,
+    align_events,
+    best_offsets,
+)
 from repro.obs.collector import ObsConfig, RegistryCollector, WorkerObs
 from repro.obs.events import (
     EVENT_KINDS,
     PHASES,
+    TRACE_KINDS,
     encode_jsonl_line,
     validate_record,
 )
@@ -43,6 +50,7 @@ from repro.obs.metrics import (
 from repro.obs.recorder import NullRecorder, Recorder, Span, TraceRecorder
 
 __all__ = [
+    "ClockSample",
     "Counter",
     "EVENT_KINDS",
     "Gauge",
@@ -50,14 +58,18 @@ __all__ = [
     "MetricsRegistry",
     "NullRecorder",
     "ObsConfig",
+    "OffsetEstimator",
     "PHASES",
     "POW2_BUCKETS",
     "Recorder",
     "RegistryCollector",
     "Span",
     "TIME_BUCKETS_S",
+    "TRACE_KINDS",
     "TraceRecorder",
     "WorkerObs",
+    "align_events",
+    "best_offsets",
     "encode_jsonl_line",
     "validate_record",
 ]

@@ -1,0 +1,133 @@
+"""Cross-process clock alignment for merged obs artifacts.
+
+The mp workers stamp events with their own ``time.time()``; on one
+machine those clocks agree to microseconds, but across machines (or
+under NTP steps) the merged JSONL is only meaningful after each
+worker's stream is shifted onto a common timeline. We use the classic
+NTP midpoint-of-RTT estimator over the request/reply exchanges the
+runtime already performs (the ctl ``register`` round trip and the
+per-link ``hello``/``hello_ack`` handshake):
+
+* the requester notes ``t_send``, the peer replies with its own clock
+  reading ``t_peer``, the requester notes ``t_recv``;
+* ``offset = t_peer - (t_send + t_recv) / 2`` estimates *peer clock
+  minus local clock*, with uncertainty ``err = (t_recv - t_send) / 2``
+  (the reply could have been stamped anywhere inside the RTT).
+
+Each worker keeps the minimum-uncertainty sample per peer and emits one
+``clock_offset`` event per peer at teardown. The registry is the
+reference clock (peer id ``"registry"``); :func:`align_events` shifts
+every actor's timestamps by its best registry offset, which is a
+*constant per-actor shift* — it can interleave events across actors
+differently, but never reorders two events of the same actor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["ClockSample", "OffsetEstimator", "REGISTRY_PEER",
+           "align_events", "best_offsets"]
+
+#: Peer name under which workers record their offset to the registry
+#: clock (the cluster's reference timeline).
+REGISTRY_PEER = "registry"
+
+
+class ClockSample:
+    """One midpoint-of-RTT measurement of a peer clock."""
+
+    __slots__ = ("peer", "offset", "err")
+
+    def __init__(self, peer: str, offset: float, err: float):
+        self.peer = peer
+        self.offset = offset
+        self.err = err
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ClockSample(peer={self.peer!r}, offset={self.offset:+.6f},"
+                f" err={self.err:.6f})")
+
+
+class OffsetEstimator:
+    """Per-worker accumulator of clock-offset samples.
+
+    Feed it one :meth:`observe` per request/reply exchange; it keeps the
+    minimum-uncertainty sample per peer (narrower RTT ⇒ tighter bound on
+    where inside it the peer stamped its clock).
+    """
+
+    __slots__ = ("_best",)
+
+    def __init__(self) -> None:
+        self._best: dict[str, ClockSample] = {}
+
+    def observe(self, peer: str, t_send: float, t_peer: float,
+                t_recv: float) -> ClockSample:
+        """Fold one exchange; returns the sample it produced."""
+        if t_recv < t_send:
+            t_send, t_recv = t_recv, t_send
+        offset = t_peer - (t_send + t_recv) / 2.0
+        err = (t_recv - t_send) / 2.0
+        sample = ClockSample(peer, offset, err)
+        cur = self._best.get(peer)
+        if cur is None or err < cur.err:
+            self._best[peer] = sample
+        return sample
+
+    def samples(self) -> list[ClockSample]:
+        """Best sample per peer, stable order."""
+        return [self._best[p] for p in sorted(self._best)]
+
+    def offset_to(self, peer: str) -> float | None:
+        s = self._best.get(peer)
+        return None if s is None else s.offset
+
+    def events(self) -> list[tuple[str, dict]]:
+        """``("clock_offset", fields)`` pairs ready for a recorder."""
+        return [("clock_offset",
+                 {"peer": s.peer, "offset": s.offset, "err": s.err})
+                for s in self.samples()]
+
+
+def best_offsets(events: Iterable[dict],
+                 peer: str = REGISTRY_PEER) -> dict[str, float]:
+    """Per-actor offset to *peer*'s clock from ``clock_offset`` records.
+
+    When an actor shipped several samples for the same peer (e.g. one
+    per link re-establishment), the minimum-``err`` one wins.
+    """
+    best: dict[str, tuple[float, float]] = {}
+    for rec in events:
+        if rec.get("kind") != "clock_offset" or rec.get("peer") != peer:
+            continue
+        actor = rec["actor"]
+        err = float(rec.get("err", 0.0))
+        cur = best.get(actor)
+        if cur is None or err < cur[0]:
+            best[actor] = (err, float(rec["offset"]))
+    return {actor: off for actor, (_, off) in best.items()}
+
+
+def align_events(events: Iterable[dict],
+                 peer: str = REGISTRY_PEER) -> list[dict]:
+    """Shift each actor's timestamps onto *peer*'s timeline.
+
+    ``offset`` estimates *peer minus local*, so the registry-time view
+    of a local stamp is ``ts + offset``. Actors without a sample (the
+    registry itself, pre-trace artifacts) pass through unshifted. The
+    shift is constant per actor, so same-actor order is preserved by
+    construction; the result is re-sorted by ``ts`` to restore the
+    merged-stream invariant.
+    """
+    events = list(events)
+    offsets = best_offsets(events, peer=peer)
+    out = []
+    for rec in events:
+        off = offsets.get(rec.get("actor"))
+        if off:
+            rec = dict(rec)
+            rec["ts"] = rec["ts"] + off
+        out.append(rec)
+    out.sort(key=lambda r: r.get("ts", 0.0))
+    return out

@@ -22,11 +22,21 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.obs.clock import OffsetEstimator
 from repro.obs.events import encode_jsonl_line
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.recorder import BufferRecorder, Span
 
 __all__ = ["ObsConfig", "WorkerObs", "RegistryCollector"]
+
+
+def _incarnation(actor: str) -> int:
+    """``p1.m2`` → 2, ``p1`` → 0 — the gauge-merge freshness stamp."""
+    _, _, suffix = actor.partition(".m")
+    try:
+        return int(suffix) if suffix else 0
+    except ValueError:
+        return 0
 
 
 @dataclass(frozen=True)
@@ -39,11 +49,20 @@ class ObsConfig:
     visible through counters alone, which is what keeps the enabled-mode
     overhead inside the fastpath benchmark's 3%% budget; ``N > 0``
     records every Nth message.
+
+    ``flush_every`` is a *count*: ship a batch once that many events
+    buffer up. ``flush_seconds`` is a *period*: when > 0, each worker
+    runs a daemon flusher that every ``flush_seconds`` ships whatever is
+    buffered plus a live metrics snapshot, so ``repro obs watch`` can
+    tail queue depth / outbox length / chunk bytes during a run instead
+    of only after teardown. 0 (default) keeps the teardown-only
+    behaviour.
     """
 
     enabled: bool = True
     sample_every: int = 0
     flush_every: int = 512
+    flush_seconds: float = 0.0
 
     @classmethod
     def coerce(cls, value: "ObsConfig | bool | None") -> "ObsConfig | None":
@@ -71,6 +90,7 @@ class WorkerObs:
         self.recorder = BufferRecorder(
             actor, flush_every=config.flush_every,
             on_full=lambda _rec: self.flush())
+        self.clock = OffsetEstimator()
         self._msg_seq = 0
 
     # -- recording ---------------------------------------------------------
@@ -89,18 +109,26 @@ class WorkerObs:
         return self._msg_seq % n == 0
 
     # -- shipping ----------------------------------------------------------
-    def flush(self, final: bool = False) -> None:
-        """Ship buffered events (and, when *final*, the metrics) upstream.
+    def flush(self, final: bool = False, live: bool = False) -> None:
+        """Ship buffered events (and metrics) upstream.
 
-        Called from the worker's protocol thread only — the ctl socket
-        write must not interleave with RPCs.
+        *final* drains everything, appends the per-peer ``clock_offset``
+        events, and attaches the authoritative metrics snapshot; *live*
+        (the periodic flusher) attaches a snapshot too, but marked
+        non-final so the collector shows it in the live view without
+        folding it into the cluster-wide merge. Callers serialize the
+        ctl write themselves (the mp runtime holds its ctl write lock).
         """
+        if final:
+            for kind, fields in self.clock.events():
+                self.recorder.event(kind, **fields)
         events = self.recorder.drain()
-        snapshot = self.metrics.snapshot() if final else None
+        snapshot = self.metrics.snapshot() if (final or live) else None
         if not events and snapshot is None:
             return
         try:
-            self._send_batch(("obs", self.rank, self.actor, events, snapshot))
+            self._send_batch(("obs", self.rank, self.actor, events, snapshot,
+                              final))
         except OSError:
             return  # registry gone (teardown); diagnostics are best-effort
 
@@ -113,15 +141,35 @@ class RegistryCollector:
         #: (ts, actor, kind, fields), unsorted until read
         self._events: list[tuple[float, str, str, dict]] = []
         self.metrics = MetricsRegistry()
+        #: latest *live* (non-final) snapshot per actor: actor -> (ts, snap)
+        self._live: dict[str, tuple[float, list[dict]]] = {}
 
     def absorb(self, frame: tuple) -> None:
-        """Fold one ``("obs", rank, actor, events, snapshot)`` frame."""
-        _, _rank, actor, events, snapshot = frame
+        """Fold one ``("obs", rank, actor, events, snapshot[, final])``
+        frame.
+
+        Legacy 5-tuples (pre-live-streaming workers) carry a snapshot
+        only at teardown, so a non-``None`` snapshot implies final.
+        Final snapshots merge into the cluster-wide registry stamped
+        with the actor's incarnation (deterministic gauge resolution —
+        see :meth:`MetricsRegistry.merge_snapshot`); live ones only
+        refresh the :meth:`live_view`.
+        """
+        if len(frame) >= 6:
+            _, _rank, actor, events, snapshot, final = frame[:6]
+        else:
+            _, _rank, actor, events, snapshot = frame
+            final = snapshot is not None
         with self._lock:
             for ts, kind, fields in events:
                 self._events.append((ts, actor, kind, fields))
         if snapshot is not None:
-            self.metrics.merge_snapshot(snapshot)
+            if final:
+                self.metrics.merge_snapshot(snapshot,
+                                            stamp=_incarnation(actor))
+            else:
+                with self._lock:
+                    self._live[actor] = (time.time(), snapshot)
 
     def record(self, actor: str, kind: str, **fields: Any) -> None:
         """Registry-originated event (e.g. the observed migration window)."""
@@ -153,6 +201,39 @@ class RegistryCollector:
             out.append({"ts": ts, "actor": actor, "kind": "gauge",
                         "name": rec["name"], "value": rec["value"]})
         return out
+
+    def traces(self) -> dict[str, list[dict]]:
+        """Events grouped by ``trace_id``, time-ordered within each trace.
+
+        One key per migration (or recovery): the source's
+        freeze/reject/drain/transfer spans, the destination's
+        restore/commit spans, the per-chunk progress and the registry's
+        ``migration_window`` all stitch under the id the runtime stamped
+        on the wire.
+        """
+        out: dict[str, list[dict]] = {}
+        for rec in self.events():
+            tid = rec.get("trace_id")
+            if tid is not None:
+                out.setdefault(tid, []).append(rec)
+        return out
+
+    def live_view(self) -> dict[str, dict[str, Any]]:
+        """Latest streamed gauge levels per actor.
+
+        ``{actor: {"ts": <last flush>, "gauges": {name: value}}}`` from
+        the periodic (non-final) snapshots — the data ``repro obs
+        watch`` tails during a run.
+        """
+        with self._lock:
+            live = dict(self._live)
+        view: dict[str, dict[str, Any]] = {}
+        for actor in sorted(live):
+            ts, snapshot = live[actor]
+            gauges = {rec["name"]: rec["value"] for rec in snapshot
+                      if rec["type"] == "gauge"}
+            view[actor] = {"ts": ts, "gauges": gauges}
+        return view
 
     def write_jsonl(self, path: str) -> int:
         """Write the merged artifact; returns the number of records."""

@@ -17,6 +17,16 @@ JSONL artifact schema — one JSON object per line::
 ``ts`` is wall-clock (``time.time()``) in the mp runtime and virtual
 seconds in the simulator; within one artifact all timestamps share a
 clock, so sorting by ``ts`` yields the merged cross-process stream.
+When per-worker clocks disagree, each worker's ``clock_offset`` record
+carries its estimated offset to the registry clock and
+:func:`repro.obs.clock.align_events` shifts the stream onto one
+timeline before rendering.
+
+Span records may additionally carry the causal trace context: a
+``trace_id`` naming the migration (or recovery) the span belongs to and
+a ``parent`` naming the phase it is causally nested under. Both are
+optional — pre-trace artifacts stay valid — but when present they must
+be strings, and the validator enforces that.
 """
 
 from __future__ import annotations
@@ -24,8 +34,8 @@ from __future__ import annotations
 import json
 from typing import Any
 
-__all__ = ["PHASES", "EVENT_KINDS", "SPAN_KINDS", "validate_record",
-           "encode_jsonl_line", "decode_jsonl_line"]
+__all__ = ["PHASES", "EVENT_KINDS", "SPAN_KINDS", "TRACE_KINDS",
+           "validate_record", "encode_jsonl_line", "decode_jsonl_line"]
 
 #: The migration lifecycle phases, in execution order. Source side runs
 #: ``freeze`` (poll-point interception until the scheduler has produced
@@ -52,8 +62,8 @@ SPAN_KINDS: frozenset[str] = frozenset({"span_start", "span_end"})
 #: Every event kind an obs artifact may contain.
 EVENT_KINDS: frozenset[str] = frozenset({
     # migration lifecycle
-    "span_start",        # phase=<PHASES> rank=<int> [span=<int>]
-    "span_end",          # phase=<PHASES> rank=<int> seconds=<float>
+    "span_start",        # phase=<PHASES> rank=<int> [trace_id=<str> parent=<str>]
+    "span_end",          # phase=<PHASES> rank=<int> seconds=<float> [trace_id= parent=]
     "drain_peer",        # peer=<int> last=<eom|peer_migrating> rank=<int>
     "state_chunk",       # seq=<int> nbytes=<int> last=<bool> rank=<int>
     "migration_window",  # rank=<int> seconds=<float>  (registry-observed)
@@ -63,10 +73,20 @@ EVENT_KINDS: frozenset[str] = frozenset({
     "connect",           # dest=<int> attempts=<int> seconds=<float>
     "lookup",            # dest=<int> status=<str>
     "retry",             # what=<str>
+    # cross-process clock alignment (one per measured peer clock)
+    "clock_offset",      # peer=<str> offset=<float> err=<float>
     # terminal gauge values (queue depth, live links, ...)
     "gauge",             # name=<str> value=<number>
     # free-form annotation (tooling, registry milestones)
     "mark",              # text=<str>
+})
+
+#: Kinds that may carry the optional causal trace context
+#: (``trace_id``/``parent``). ``migration_window`` and ``state_chunk``
+#: belong to exactly one migration, so they join the span kinds here.
+TRACE_KINDS: frozenset[str] = frozenset({
+    "span_start", "span_end", "drain_peer", "state_chunk",
+    "migration_window",
 })
 
 _REQUIRED: dict[str, tuple[str, ...]] = {
@@ -80,6 +100,7 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "connect": ("dest",),
     "lookup": ("dest", "status"),
     "retry": ("what",),
+    "clock_offset": ("peer", "offset", "err"),
     "gauge": ("name", "value"),
     "mark": (),
 }
@@ -104,6 +125,13 @@ def validate_record(rec: Any) -> str | None:
             return f"{kind} record missing field {field!r}"
     if kind in SPAN_KINDS and rec["phase"] not in PHASES:
         return f"{kind} names unknown phase {rec['phase']!r}"
+    for field in ("trace_id", "parent"):
+        if field in rec and rec[field] is not None:
+            if kind not in TRACE_KINDS:
+                return f"{kind} record may not carry {field!r}"
+            if not isinstance(rec[field], str):
+                return (f"field {field!r} has type "
+                        f"{type(rec[field]).__name__}, expected str")
     return None
 
 

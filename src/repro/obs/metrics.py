@@ -157,6 +157,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._instruments: dict[tuple, Any] = {}
+        self._gauge_stamps: dict[tuple, int] = {}
 
     def _get(self, cls, name: str, labels: dict[str, Any], **kwargs) -> Any:
         key = _key(name, labels)
@@ -186,18 +187,30 @@ class MetricsRegistry:
             insts = sorted(self._instruments.items(), key=lambda kv: kv[0])
         return [inst.as_dict() for _, inst in insts]
 
-    def merge_snapshot(self, snapshot: list[dict]) -> None:
+    def merge_snapshot(self, snapshot: list[dict], stamp: int = 0) -> None:
         """Fold another registry's snapshot into this one.
 
-        Counters and histogram buckets add; gauges take the incoming
-        value (last writer wins — snapshots arrive in completion order).
+        Counters and histogram buckets add. Gauges are resolved
+        deterministically, independent of the order snapshots arrive in:
+        each merged gauge remembers the ``stamp`` it was last written
+        with, a higher stamp replaces a lower one, and ties keep the
+        larger value (a documented max — so two stamp-0 merges commute).
+        Callers pass a stamp that encodes causal freshness; the mp
+        collector uses the worker's incarnation number, so ``p1.m1``'s
+        final levels beat ``p1``'s no matter which snapshot lands first.
         """
         for rec in snapshot:
             labels = dict(rec["labels"])
             if rec["type"] == "counter":
                 self.counter(rec["name"], **labels).inc(rec["value"])
             elif rec["type"] == "gauge":
-                self.gauge(rec["name"], **labels).set(rec["value"])
+                g = self.gauge(rec["name"], **labels)
+                key = _key(rec["name"], labels)
+                prev = self._gauge_stamps.get(key)
+                if (prev is None or stamp > prev
+                        or (stamp == prev and rec["value"] > g.value)):
+                    g.set(rec["value"])
+                    self._gauge_stamps[key] = stamp
             elif rec["type"] == "histogram":
                 h = self.histogram(rec["name"], bounds=rec["bounds"],
                                    **labels)

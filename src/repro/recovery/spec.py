@@ -53,6 +53,9 @@ class RecoverySpec:
     #: every ``delta_max_chain``-th write is self-contained (compaction)
     delta_checkpoints: bool = False
     delta_max_chain: int = 8
+    #: garbage-collect superseded chain files at compaction points (one
+    #: previous chain window retained; see ``CheckpointStore.delta_gc``)
+    delta_gc: bool = True
 
     @classmethod
     def coerce(cls, value: "RecoverySpec | bool | str | None"
@@ -89,3 +92,4 @@ class WorkerRecoveryConfig:
     heartbeat_every: float = 0.25
     delta_checkpoints: bool = False
     delta_max_chain: int = 8
+    delta_gc: bool = True

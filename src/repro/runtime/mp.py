@@ -52,6 +52,7 @@ import signal as _signal
 import socket
 import threading
 import time
+import uuid
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -220,6 +221,9 @@ class _Registry:
         # migration-window bookkeeping is always on (two clock reads per
         # migration) so the obs-on/obs-off A/B measures identical spans
         self._mig_t0: dict[int, float] = {}
+        #: rank -> trace id of its in-flight migration (stamped onto the
+        #: registry's migration_window record at commit)
+        self._mig_trace: dict[int, str] = {}
         self.migration_windows: list[dict] = []
         self.listener = socket.create_server(("127.0.0.1", 0))
         self.addr = self.listener.getsockname()
@@ -264,13 +268,16 @@ class _Registry:
                         self.status[rank] = "running"
                         self.worker_ctl[rank] = conn
                         self._dir_write(rank)
-                    send_frame(conn, ("registered",))
+                    # the reply carries the registry's clock so the
+                    # worker can estimate its offset to the reference
+                    # timeline (midpoint-of-RTT; see repro.obs.clock)
+                    send_frame(conn, ("registered", time.time()))
                 elif kind == "register_init":
                     _, rank, addr = frame
                     with self._lock:
                         self.init_addr[rank] = tuple(addr)
                         self._dir_write(rank)
-                    send_frame(conn, ("registered",))
+                    send_frame(conn, ("registered", time.time()))
                 elif kind == "lookup":
                     _, target = frame
                     with self._lock:
@@ -306,16 +313,22 @@ class _Registry:
                         self._dir_write(rank)
                         table = dict(self.locations)
                         t0 = self._mig_t0.pop(rank, None)
+                        trace = self._mig_trace.pop(rank, None)
                         if t0 is not None:
                             window = {"rank": rank, "t0": t0,
                                       "seconds": time.time() - t0}
+                            if trace is not None:
+                                window["trace_id"] = trace
                             self.migration_windows.append(window)
                         else:
                             window = None
                     if window is not None and self.collector is not None:
+                        tctx = ({"trace_id": trace} if trace is not None
+                                else {})
                         self.collector.record(
                             "registry", "migration_window",
-                            rank=window["rank"], seconds=window["seconds"])
+                            rank=window["rank"], seconds=window["seconds"],
+                            **tctx)
                     send_frame(conn, ("pl_snapshot", table))
                 elif kind == "dir_membership":
                     # a worker asking for the daemon-shard membership
@@ -362,10 +375,13 @@ class _Registry:
                                      self.locations.get(rank),
                                      self.init_addr.get(rank))
 
-    def signal_migrate(self, rank: int, arch_name: str) -> None:
+    def signal_migrate(self, rank: int, arch_name: str,
+                       trace_id: str | None = None) -> None:
         with self._lock:
             conn = self.worker_ctl[rank]
-        send_frame(conn, ("migrate", arch_name))
+            if trace_id is not None:
+                self._mig_trace[rank] = trace_id
+        send_frame(conn, ("migrate", arch_name, trace_id))
 
     # -- recovery coordination (called from the launcher/supervisor) -------
     def begin_recovery(self, rank: int) -> None:
@@ -559,13 +575,18 @@ class _Worker:
                  fastpath: bool = True, obs: ObsConfig | None = None,
                  dir_cfg: DaemonClientConfig | None = None,
                  rec_cfg: WorkerRecoveryConfig | None = None,
-                 chunk_bytes=DEFAULT_CHUNK_BYTES):
+                 chunk_bytes=DEFAULT_CHUNK_BYTES,
+                 trace_id: str | None = None):
         self.rank = rank
         self.nranks = nranks
         self.program = program
         self.arch = arch
         self.incarnation = incarnation
         self.fastpath = fastpath
+        #: the causal trace this worker's migration spans belong to: an
+        #: initialized process inherits it from the launcher; a source
+        #: learns it from the ("migrate", ...) ctl frame
+        self.trace_id = trace_id
         #: fixed int or AdaptiveChunkPolicy (one controller per migration)
         self.chunk_bytes = chunk_bytes
         self.inbox: queue.Queue = queue.Queue()
@@ -610,7 +631,8 @@ class _Worker:
         self._ctl_closed = threading.Event()
         self._ckpt_store = (
             CheckpointStore(rec_cfg.dir, delta=rec_cfg.delta_checkpoints,
-                            delta_max_chain=rec_cfg.delta_max_chain)
+                            delta_max_chain=rec_cfg.delta_max_chain,
+                            delta_gc=rec_cfg.delta_gc)
             if rec_cfg is not None else None)
 
         self.obs: WorkerObs | None = None
@@ -647,11 +669,19 @@ class _Worker:
         self.ctl.settimeout(None)
         self._ctl_replies: queue.Queue = queue.Queue()
         kind = "register_init" if initializing else "register"
+        t_reg = time.time()
         self._ctl_send((kind, rank, self.addr))
         threading.Thread(target=self._ctl_loop, daemon=True).start()
-        self._await_ctl("registered")
+        reg = self._await_ctl("registered")
+        if self.obs is not None and len(reg) >= 2:
+            # the registry echoed its clock: one midpoint-of-RTT sample
+            # of the reference timeline (see repro.obs.clock)
+            self.obs.clock.observe("registry", t_reg, reg[1], time.time())
         if rec_cfg is not None:
             threading.Thread(target=self._hb_loop, daemon=True).start()
+        if self.obs is not None and obs.flush_seconds > 0:
+            threading.Thread(target=self._obs_flush_loop,
+                             daemon=True).start()
 
         # out-of-process directory: lookups consult the shard daemons
         # (replica walk / entry rotation over real sockets) and fall
@@ -687,6 +717,21 @@ class _Worker:
                 self._ctl_send(("hb", self.rank, time.time()))
             except OSError:
                 return  # registry gone (teardown) or we are migrating out
+
+    def _obs_flush_loop(self) -> None:
+        """Live metric streaming (``ObsConfig.flush_seconds > 0``): every
+        period, ship whatever events buffered plus a *live* (non-final)
+        metrics snapshot. The collector routes live snapshots into its
+        ``live_view`` — ``repro obs watch`` tails them during a run.
+
+        Safe alongside the protocol thread: the event buffer hand-off is
+        a GIL-atomic list swap, metric reads are racy-but-benign levels,
+        and ``_ctl_wlock`` keeps ctl frames from interleaving.
+        """
+        period = self.obs.config.flush_seconds
+        while True:
+            time.sleep(period)
+            self.obs.flush(live=True)
 
     # -- observability -----------------------------------------------------
     def _send_obs_batch(self, batch: tuple) -> None:
@@ -740,14 +785,22 @@ class _Worker:
                     conn.close()  # reject: requester will consult registry
                     continue
                 peer_rank = hello[1]
-                # recovery handshake: a 3-tuple hello carries the peer's
-                # receive cursor for us; the ack answers with ours. The
-                # cursor read races the protocol thread only toward a
-                # *smaller* value — replay past it is dedup'd, never lost.
-                ack = (("hello_ack", self.rank,
-                        self._rx_seq.get(peer_rank, 0))
-                       if self.rec is not None and len(hello) >= 3
-                       else ("hello_ack", self.rank))
+                # recovery handshake: a cursor-bearing hello carries the
+                # peer's receive cursor for us; the ack answers with
+                # ours (None when recovery is off). The cursor read
+                # races the protocol thread only toward a *smaller*
+                # value — replay past it is dedup'd, never lost. With
+                # obs on, the ack also echoes our clock so the dialer
+                # gets a per-peer offset sample (repro.obs.clock).
+                cursor = (self._rx_seq.get(peer_rank, 0)
+                          if self.rec is not None and len(hello) >= 3
+                          else None)
+                if self.obs is not None:
+                    ack = ("hello_ack", self.rank, cursor, time.time())
+                elif cursor is not None:
+                    ack = ("hello_ack", self.rank, cursor)
+                else:
+                    ack = ("hello_ack", self.rank)
                 try:
                     send_frame(conn, ack)
                 except OSError:
@@ -832,6 +885,7 @@ class _Worker:
                     hello = (("hello", self.rank, self._rx_seq.get(dest, 0))
                              if self.rec is not None
                              else ("hello", self.rank))
+                    t_hello = time.time()
                     send_frame(sock, hello)
                     # wait for the application-level acknowledgement: a
                     # migrating process never answers (its listener is
@@ -840,14 +894,18 @@ class _Worker:
                     # half-dead backlog connection
                     sock.settimeout(2.0)
                     ack = recv_frame(sock)
+                    t_ack = time.time()
                     if ack[0] != "hello_ack":
                         raise OSError(f"bad handshake {ack!r}")
                     sock.settimeout(None)
                     link = self._make_link(sock, dest)
                     self.links[dest] = link
-                    if len(ack) >= 3:
+                    if len(ack) >= 3 and ack[2] is not None:
                         link.replay_from = ack[2]
                         self._replay_outbox(dest, link)
+                    if obs is not None and len(ack) >= 4:
+                        obs.clock.observe(f"p{dest}", t_hello, ack[3],
+                                          t_ack)
                     if obs is not None:
                         self._c_connects.inc()
                         self._c_retries.inc(attempts - 1)
@@ -1055,10 +1113,13 @@ class _Worker:
                     drain_waiting.discard(peer)
                     if self.obs is not None:
                         self.obs.event("drain_peer", peer=peer,
-                                       last="closed", rank=self.rank)
+                                       last="closed", rank=self.rank,
+                                       **self._tctx("drain"))
         elif kind == "ctl":
             if payload[0] == "migrate":
                 self.migrate_requested = payload[1]
+                if len(payload) >= 3 and payload[2] is not None:
+                    self.trace_id = payload[2]
         elif kind == "peer":
             fkind = payload[0]
             if fkind == "data":
@@ -1079,7 +1140,8 @@ class _Worker:
                     drain_waiting.discard(peer)
                     if self.obs is not None:
                         self.obs.event("drain_peer", peer=peer,
-                                       last="peer_migrating", rank=self.rank)
+                                       last="peer_migrating", rank=self.rank,
+                                       **self._tctx("drain"))
             elif fkind == "eom":
                 link = self.links.pop(peer, None)
                 if link is not None:
@@ -1088,7 +1150,8 @@ class _Worker:
                     drain_waiting.discard(peer)
                     if self.obs is not None:
                         self.obs.event("drain_peer", peer=peer,
-                                       last="eom", rank=self.rank)
+                                       last="eom", rank=self.rank,
+                                       **self._tctx("drain"))
             elif fkind == "ack":
                 # explicit durable-rx ack (the checkpoint tick): the peer
                 # has durably received our messages through *cursor*, so
@@ -1251,13 +1314,25 @@ class _Worker:
             self._flush_links()
 
     # -- migration (Fig. 5) -------------------------------------------------
-    def _span(self, phase: str):
+    def _span(self, phase: str, **fields):
         """A migration-phase span, or None with observability off."""
-        return self.obs.span(phase) if self.obs is not None else None
+        return (self.obs.span(phase, **fields)
+                if self.obs is not None else None)
+
+    def _tctx(self, parent: str | None = None) -> dict:
+        """Trace-context fields for an event/span of the current
+        migration: ``{}`` until a trace id is known, so pre-trace
+        artifacts keep their exact shape."""
+        tid = self.trace_id
+        if tid is None:
+            return {}
+        return ({"trace_id": tid} if parent is None
+                else {"trace_id": tid, "parent": parent})
 
     def _migrate(self, state: dict) -> None:
         obs = self.obs
-        freeze = self._span("freeze")
+        tid = self.trace_id
+        freeze = self._span("freeze", **self._tctx())
         self.migrating = True  # accept loop stops acking from here on
         log.debug("rank %d: migrate() starting", self.rank)
         _, new_addr = self._rpc(("migration_start", self.rank),
@@ -1267,10 +1342,10 @@ class _Worker:
         # reject further connections: close the listener. The rejection
         # window stays open until this process exits — its span is
         # closed (and the window measured) just before _Migrated.
-        reject = self._span("reject")
+        reject = self._span("reject", **self._tctx("freeze"))
         self.listener.close()
         # coordinate every connected peer
-        drain = self._span("drain")
+        drain = self._span("drain", **self._tctx("reject"))
         waiting: set[int] = set()
         for rank, link in list(self.links.items()):
             if link.open:
@@ -1302,7 +1377,7 @@ class _Worker:
                   self.rank, new_addr)
         # transfer the received-message-list and the machine-independent
         # execution/memory state
-        transfer = self._span("transfer")
+        transfer = self._span("transfer", **self._tctx("reject"))
         ctrl_stats: dict = {}
         parts = None
         list_a = [(m.src, m.tag, m.body) for m in self.recvlist]
@@ -1338,8 +1413,12 @@ class _Worker:
             # are still encoding; small leading frames (handshake,
             # recvlist) coalesce with the first chunk into one sendmsg
             batch = FrameBatcher(xfer)
-            batch.add(("state_transfer", self.rank))
-            batch.add(("recvlist", list_a))
+            # the trace id rides every transfer frame: the destination
+            # stitches its restore/commit spans under the same trace
+            # even when it was spawned without one (recovery tooling,
+            # external inits)
+            batch.add(("state_transfer", self.rank, tid))
+            batch.add(("recvlist", list_a, tid))
             sizer = self.chunk_bytes
             controller = None
             if isinstance(sizer, AdaptiveChunkPolicy):
@@ -1355,7 +1434,7 @@ class _Worker:
                 data = b"".join(c.parts)
                 if controller is None:
                     batch.add(("state_chunk", c.seq, data, c.last,
-                               c.total_nbytes))
+                               c.total_nbytes, tid))
                 else:
                     # adaptive: flush per chunk and feed the wall-clock
                     # hand-off time back — a full kernel buffer (slow
@@ -1363,7 +1442,7 @@ class _Worker:
                     # high latency and shrinks the next chunk
                     t0 = time.perf_counter()
                     batch.add(("state_chunk", c.seq, data, c.last,
-                               c.total_nbytes))
+                               c.total_nbytes, tid))
                     batch.flush()
                     controller.observe(len(data),
                                        time.perf_counter() - t0)
@@ -1372,21 +1451,23 @@ class _Worker:
                 nchunks += 1
                 if obs is not None:
                     obs.event("state_chunk", seq=c.seq, nbytes=len(data),
-                              last=c.last, rank=self.rank)
+                              last=c.last, rank=self.rank,
+                              **self._tctx("transfer"))
             batch.flush()
             if controller is not None:
                 ctrl_stats = controller.stats()
         else:
-            send_frame(xfer, ("state_transfer", self.rank))
+            send_frame(xfer, ("state_transfer", self.rank, tid))
             send_frame(xfer, ("recvlist",
                               [(m.src, m.tag, m.body)
-                               for m in self.recvlist]))
+                               for m in self.recvlist], tid))
             blob = encode(state, self.arch, fastpath=False)
-            send_frame(xfer, ("state", blob))
+            send_frame(xfer, ("state", blob, tid))
             nchunks = 1
             if obs is not None:
                 obs.event("state_chunk", seq=0, nbytes=len(blob),
-                          last=True, rank=self.rank)
+                          last=True, rank=self.rank,
+                          **self._tctx("transfer"))
         xfer.close()
         if transfer is not None:
             transfer.close(chunks=nchunks, **ctrl_stats)
@@ -1428,16 +1509,23 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
                obs: ObsConfig | None = None,
                dir_cfg: DaemonClientConfig | None = None,
                rec_cfg: WorkerRecoveryConfig | None = None,
-               chunk_bytes=DEFAULT_CHUNK_BYTES) -> None:
+               chunk_bytes=DEFAULT_CHUNK_BYTES,
+               trace_id: str | None = None) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=True,
                 arch=arch, incarnation=incarnation, fastpath=fastpath,
                 obs=obs, dir_cfg=dir_cfg, rec_cfg=rec_cfg,
-                chunk_bytes=chunk_bytes)
+                chunk_bytes=chunk_bytes, trace_id=trace_id)
     # Fig. 7: accept connections from the start; wait for the transfer.
     # The state arrives either as one legacy ("state", blob) frame or as
-    # an ordered run of ("state_chunk", seq, data, last, total) frames.
-    restore = w._span("restore")
+    # an ordered run of ("state_chunk", seq, data, last, total) frames;
+    # either may carry a trailing trace id, adopted when the launcher
+    # did not already hand one down.
+    # A recovery trace roots at the registry's ``recover`` span; a
+    # migration's restore hangs under the source's ``transfer``.
+    parent = ("recover" if trace_id and trace_id.startswith("rec-")
+              else "transfer")
+    restore = w._span("restore", **w._tctx(parent))
     recvlist_a = None
     state_blob = None
     chunks: list = []
@@ -1447,12 +1535,17 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
     while state_blob is None:
         item = w.inbox.get(timeout=_CONNECT_TIMEOUT)
         kind, peer, payload = item
+        if kind == "peer" and payload[0] in ("recvlist", "state",
+                                             "state_chunk") \
+                and w.trace_id is None and payload[-1] is not None \
+                and isinstance(payload[-1], str):
+            w.trace_id = payload[-1]
         if kind == "peer" and payload[0] == "recvlist":
             recvlist_a = payload[1]
         elif kind == "peer" and payload[0] == "state":
             state_blob = payload[1]
         elif kind == "peer" and payload[0] == "state_chunk":
-            _, seq, data, last, total = payload
+            seq, data, last, total = payload[1:5]
             if seq != len(chunks):
                 raise ValueError(
                     f"state chunk {seq} out of order (expected "
@@ -1494,10 +1587,12 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
     for item in deferred:
         w._dispatch(item)
     if restore is not None:
-        restore.close(nbytes=len(state_blob), chunks=len(chunks) or 1)
+        restore.close(nbytes=len(state_blob), chunks=len(chunks) or 1,
+                      **(w._tctx(parent) if not restore.fields.get("trace_id")
+                         else {}))
     log.debug("init rank %d: state restored (%d bytes)",
               rank, len(state_blob))
-    commit = w._span("commit")
+    commit = w._span("commit", **w._tctx("restore"))
     frame = w._rpc(("restore_complete", rank, w.addr), "pl_snapshot")
     w.pl = {r: tuple(a) for r, a in frame[1].items()}
     if commit is not None:
@@ -1611,7 +1706,8 @@ class MPCluster:
                 checkpoint_every=self.recovery.checkpoint_every,
                 heartbeat_every=self.recovery.heartbeat_every,
                 delta_checkpoints=self.recovery.delta_checkpoints,
-                delta_max_chain=self.recovery.delta_max_chain)
+                delta_max_chain=self.recovery.delta_max_chain,
+                delta_gc=self.recovery.delta_gc)
             spec = DirectorySpec.coerce(directory)
             if self.recovery.shard_wal and spec.distributed and spec.daemons:
                 dir_wal = os.path.join(self._recovery_root, "dirwal")
@@ -1689,11 +1785,16 @@ class MPCluster:
         inc = self._incarnation.get(rank, 0) + 1
         self._incarnation[rank] = inc
         self._supersede(rank)
+        # cluster-unique causal trace id: every span/frame of this
+        # migration — source freeze..transfer, destination
+        # restore/commit, the registry's window — stitches under it
+        trace_id = f"mig-r{rank}.m{inc}-{uuid.uuid4().hex[:8]}"
         p = self._ctx.Process(
             target=_init_main,
             args=(rank, self.nranks, self.registry.addr, self.program,
                   self.dest_arch, inc, self.fastpath, self.obs,
-                  self._dir_cfg(), self._rec_cfg, self.chunk_bytes),
+                  self._dir_cfg(), self._rec_cfg, self.chunk_bytes,
+                  trace_id),
             daemon=True)
         p.start()
         self._procs.append(p)
@@ -1707,7 +1808,7 @@ class MPCluster:
             time.sleep(0.01)
         else:
             raise RuntimeError("initialized process failed to register")
-        self.registry.signal_migrate(rank, self.dest_arch.name)
+        self.registry.signal_migrate(rank, self.dest_arch.name, trace_id)
 
     # -- crash recovery ------------------------------------------------------
     def members(self) -> list[_Member]:
@@ -1779,10 +1880,16 @@ class MPCluster:
             raise RuntimeError(
                 "recovery is off; construct MPCluster(recovery=True)")
         t0 = time.time()
+        inc = self._incarnation.get(rank, 0) + 1
+        # recovery gets its own causal trace, rooted at this span (the
+        # "rec-" prefix tells the replacement to hang restore under
+        # "recover" instead of a source's "transfer")
+        trace_id = f"rec-r{rank}.m{inc}-{uuid.uuid4().hex[:8]}"
         collector = self.registry.collector
         if collector is not None:
             collector.record("registry", "span_start",
-                             phase="recover", rank=rank)
+                             phase="recover", rank=rank,
+                             trace_id=trace_id)
         store = CheckpointStore(self._rec_cfg.dir)
         version = store.latest_complete_version(rank)
         if version is None:
@@ -1801,13 +1908,13 @@ class MPCluster:
             blob = store.load_blob(rank, version)
         self.registry.begin_recovery(rank)
         self._supersede(rank)
-        inc = self._incarnation.get(rank, 0) + 1
         self._incarnation[rank] = inc
         p = self._ctx.Process(
             target=_init_main,
             args=(rank, self.nranks, self.registry.addr, self.program,
                   self.dest_arch, inc, self.fastpath, self.obs,
-                  self._dir_cfg(), self._rec_cfg, self.chunk_bytes),
+                  self._dir_cfg(), self._rec_cfg, self.chunk_bytes,
+                  trace_id),
             daemon=True)
         p.start()
         self._procs.append(p)
@@ -1828,9 +1935,9 @@ class MPCluster:
         xfer = socket.create_connection(tuple(addr),
                                         timeout=_CONNECT_TIMEOUT)
         try:
-            send_frame(xfer, ("state_transfer", -1))
-            send_frame(xfer, ("recvlist", []))
-            send_frame(xfer, ("state", blob))
+            send_frame(xfer, ("state_transfer", -1, trace_id))
+            send_frame(xfer, ("recvlist", [], trace_id))
+            send_frame(xfer, ("state", blob, trace_id))
         finally:
             xfer.close()
         # wait for restore_complete to flip the record back to running
@@ -1848,11 +1955,13 @@ class MPCluster:
         seconds = time.time() - t0
         if collector is not None:
             collector.record("registry", "span_end", phase="recover",
-                             rank=rank, seconds=seconds)
+                             rank=rank, seconds=seconds,
+                             trace_id=trace_id)
         log.info("rank %d recovered from checkpoint v%s in %.3fs "
                  "(incarnation %d)", rank, version or 0, seconds, inc)
         return {"rank": rank, "version": version or 0, "incarnation": inc,
-                "seconds": seconds, "nbytes": len(blob)}
+                "seconds": seconds, "nbytes": len(blob),
+                "trace_id": trace_id}
 
     def _cleanup_recovery_dir(self) -> None:
         if self._recovery_tmp and self._recovery_root is not None:
@@ -1949,6 +2058,15 @@ class MPCluster:
     def obs_events(self) -> list[dict]:
         """Merged, time-ordered event stream from every process."""
         return self._collector().events()
+
+    def obs_traces(self) -> dict[str, list[dict]]:
+        """Events grouped by migration/recovery ``trace_id``."""
+        return self._collector().traces()
+
+    def obs_live(self) -> dict[str, dict]:
+        """Latest live-streamed gauge levels per actor (requires
+        ``ObsConfig(flush_seconds=...)`` — see ``repro obs watch``)."""
+        return self._collector().live_view()
 
     def metrics_snapshot(self) -> list[dict]:
         """Cluster-wide metrics: every worker's final snapshot plus the

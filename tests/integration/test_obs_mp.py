@@ -133,9 +133,76 @@ def test_mp_obs_report_renders_from_artifact(tmp_path):
         assert phase in report
 
 
+def test_mp_obs_trace_stitching_across_ranks():
+    """Every span of the migration — source phases on p1, destination
+    phases on p1.m1, the registry's observed window — shares the single
+    ``trace_id`` the runtime minted and stamped on the wire."""
+    cluster, results = _run_migrating_cluster(obs=True)
+    assert results[1]["incarnation"] == 1
+
+    traces = cluster.obs_traces()
+    mig = [tid for tid in traces if tid.startswith("mig-r1.")]
+    assert len(mig) == 1
+    tid = mig[0]
+    recs = traces[tid]
+    assert {"p1", "p1.m1", "registry"} <= {r["actor"] for r in recs}
+    started = {(r["actor"], r["phase"]) for r in recs
+               if r["kind"] == "span_start"}
+    assert {("p1", "freeze"), ("p1", "reject"), ("p1", "drain"),
+            ("p1", "transfer"), ("p1.m1", "restore"),
+            ("p1.m1", "commit")} <= started
+    # the registry's end-to-end window joined the trace too
+    assert any(r["kind"] == "migration_window" for r in recs)
+
+    # there was exactly one migration, so NO span anywhere is orphaned
+    events = cluster.obs_events()
+    for rec in events:
+        if rec["kind"] in ("span_start", "span_end"):
+            assert rec.get("trace_id") == tid, rec
+
+    # the parent chain mirrors the protocol's causal nesting
+    parents = {r["phase"]: r.get("parent") for r in recs
+               if r["kind"] == "span_start"}
+    assert parents == {"freeze": None, "reject": "freeze",
+                       "drain": "reject", "transfer": "reject",
+                       "restore": "transfer", "commit": "restore"}
+
+    # clock-alignment material shipped at teardown: every worker
+    # incarnation measured its offset to the registry reference clock
+    measured = {r["actor"] for r in events
+                if r["kind"] == "clock_offset" and r["peer"] == "registry"}
+    assert {"p0", "p1", "p1.m1"} <= measured
+
+
+def test_mp_obs_live_streaming_populates_live_view():
+    """With ``flush_seconds`` set, workers stream periodic metric
+    snapshots that surface in the collector's live view without ever
+    folding into the final cluster-wide merge."""
+    cluster = MPCluster(_pingpong, nranks=2,
+                        obs=ObsConfig(flush_seconds=0.05))
+    try:
+        cluster.start()
+        time.sleep(0.15)
+        cluster.migrate(1)
+        results = cluster.join(timeout=60)
+        assert results[1]["incarnation"] == 1
+        live = cluster.obs_live()
+        assert len(live) >= 2  # both initial ranks streamed at least once
+        for entry in live.values():
+            assert entry["ts"] > 0
+            assert isinstance(entry["gauges"], dict)
+        assert any("mp.queue_depth" in e["gauges"] for e in live.values())
+        # live snapshots never double-count: the merged counters still
+        # reflect exactly one final snapshot per incarnation
+        assert cluster.registry.collector.metrics.sum("mp.msgs_sent") >= 120
+    finally:
+        cluster.terminate()
+
+
 @pytest.mark.skipif(not SMOKE, reason="REPRO_OBS_SMOKE=1 only")
 def test_mp_obs_smoke_sampled_artifact():
-    """The CI smoke: sampled per-message events on, artifact at repo root."""
+    """The CI smoke: sampled per-message events on, artifact at repo
+    root, plus the rendered space-time SVG the workflow uploads."""
     out = os.environ.get("REPRO_OBS_ARTIFACT", "obs_events.jsonl")
     cluster, results = _run_migrating_cluster(
         obs=ObsConfig(sample_every=5))
@@ -145,3 +212,19 @@ def test_mp_obs_smoke_sampled_artifact():
     assert len(events) == n
     assert any(e["kind"] in ("send", "recv") for e in events)
     print(render_obs_report(events))
+
+    # render the space-time view from the same artifact and prove it is
+    # well-formed XML with the structure one migration implies
+    import xml.etree.ElementTree as ET
+
+    from repro.analysis import save_obs_spacetime_svg
+
+    svg_out = os.environ.get("REPRO_OBS_SVG", "obs_spacetime.svg")
+    save_obs_spacetime_svg(events, svg_out,
+                           title=f"obs smoke space-time: {out}")
+    svg = open(svg_out, encoding="utf-8").read()
+    ET.fromstring(svg)
+    assert svg.count('class="migration-window"') == 1
+    assert svg.count('class="lane"') >= 3  # r0, r1, registry
+    assert svg.count('class="phase-bar"') >= 6
+    print(f"wrote space-time SVG to {svg_out}")

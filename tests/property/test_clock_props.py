@@ -1,0 +1,90 @@
+"""Clock-alignment properties.
+
+The correctness claim :func:`repro.obs.clock.align_events` rests on:
+the correction is a *constant shift per actor*, so while it may
+interleave events across actors differently, it can never reorder two
+events of the same actor — causality within one process is preserved
+under any set of measured offsets. Hypothesis drives arbitrary event
+streams and offset tables through the aligner and checks that
+invariant, plus the pass-through guarantees (unsampled actors keep
+their raw timestamps; the output is ts-sorted; inputs are not
+mutated).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.obs.clock import align_events, best_offsets
+
+ACTORS = ("p0", "p1", "p1.m1", "p2", "registry")
+
+actor_st = st.sampled_from(ACTORS)
+ts_st = st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False)
+offset_st = st.floats(min_value=-1e5, max_value=1e5,
+                      allow_nan=False, allow_infinity=False)
+err_st = st.floats(min_value=0.0, max_value=10.0,
+                   allow_nan=False, allow_infinity=False)
+
+events_st = st.lists(st.tuples(actor_st, ts_st), min_size=1, max_size=50)
+offsets_st = st.dictionaries(actor_st, st.tuples(offset_st, err_st),
+                             max_size=len(ACTORS))
+
+
+def _build(raw, offsets):
+    """Materialize a merged stream: ts-sorted marks (tagged with their
+    arrival index) plus one clock_offset record per sampled actor."""
+    events = [
+        {"ts": ts, "actor": actor, "kind": "mark", "text": str(i)}
+        for i, (actor, ts) in enumerate(sorted(raw, key=lambda p: p[1]))
+    ]
+    for actor, (offset, err) in sorted(offsets.items()):
+        events.append({"ts": 1e6, "actor": actor, "kind": "clock_offset",
+                       "peer": "registry", "offset": offset, "err": err})
+    return events
+
+
+@given(events_st, offsets_st)
+def test_align_never_reorders_same_actor_events(raw, offsets):
+    events = _build(raw, offsets)
+    aligned = align_events(events)
+    assert len(aligned) == len(events)
+    for actor in ACTORS:
+        before = [r["text"] for r in events
+                  if r["actor"] == actor and r["kind"] == "mark"]
+        after = [r["text"] for r in aligned
+                 if r["actor"] == actor and r["kind"] == "mark"]
+        assert after == before
+        # ... and the shifted timestamps are still non-decreasing
+        ts = [r["ts"] for r in aligned
+              if r["actor"] == actor and r["kind"] == "mark"]
+        assert all(a <= b or math.isclose(a, b)
+                   for a, b in zip(ts, ts[1:]))
+
+
+@given(events_st, offsets_st)
+def test_align_output_sorted_and_inputs_untouched(raw, offsets):
+    events = _build(raw, offsets)
+    snapshot = [dict(r) for r in events]
+    aligned = align_events(events)
+    assert [r["ts"] for r in aligned] == sorted(r["ts"] for r in aligned)
+    assert events == snapshot  # caller's records never mutated
+
+
+@given(events_st, offsets_st)
+def test_align_shift_is_exactly_the_best_offset(raw, offsets):
+    events = _build(raw, offsets)
+    best = best_offsets(events)
+    by_text_in = {r["text"]: r for r in events if r["kind"] == "mark"}
+    for rec in align_events(events):
+        if rec["kind"] != "mark":
+            continue
+        raw_ts = by_text_in[rec["text"]]["ts"]
+        off = best.get(rec["actor"], 0.0)
+        if off:
+            assert rec["ts"] == raw_ts + off
+        else:
+            assert rec["ts"] == raw_ts

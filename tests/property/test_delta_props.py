@@ -44,7 +44,11 @@ def _apply(parts: list[bytes], edit) -> list[bytes]:
 def test_delta_chain_restores_equal_full(tmp_path_factory, initial,
                                          history, max_chain):
     tmp_path = tmp_path_factory.mktemp("delta")
-    writer = CheckpointStore(tmp_path, delta=True, delta_max_chain=max_chain)
+    # gc off: this property restores EVERY historical version, including
+    # ones the compaction-point GC is designed to delete (retention
+    # behaviour is pinned separately in tests/unit/test_recovery.py)
+    writer = CheckpointStore(tmp_path, delta=True, delta_max_chain=max_chain,
+                             delta_gc=False)
     parts = list(initial)
     expected = {}
     for version, edit in enumerate(history, start=1):
@@ -65,7 +69,9 @@ def test_delta_chain_restores_equal_full(tmp_path_factory, initial,
 def test_torn_tail_walks_back_to_complete_version(tmp_path_factory, initial,
                                                   history, max_chain, cut):
     tmp_path = tmp_path_factory.mktemp("torn")
-    writer = CheckpointStore(tmp_path, delta=True, delta_max_chain=max_chain)
+    # gc off: the walk-back below may land on any historical version
+    writer = CheckpointStore(tmp_path, delta=True, delta_max_chain=max_chain,
+                             delta_gc=False)
     parts = list(initial)
     expected = {}
     for version, edit in enumerate(history, start=1):

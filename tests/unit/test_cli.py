@@ -172,6 +172,58 @@ def test_recover_command_validates_rank(capsys):
     assert "not a relay rank" in capsys.readouterr().out
 
 
+def test_parser_obs_svg_defaults():
+    args = build_parser().parse_args(["obs", "svg", "events.jsonl"])
+    assert args.obs_command == "svg" and args.artifact == "events.jsonl"
+    assert args.out == "obs_spacetime.svg" and args.width == 900
+    assert not args.no_align and not args.from_trace
+
+
+def test_parser_obs_watch_defaults():
+    args = build_parser().parse_args(["obs", "watch"])
+    assert args.obs_command == "watch"
+    assert args.rounds == 400 and args.payload_kib == 256
+    assert args.interval == pytest.approx(0.1) and args.out is None
+
+
+def test_obs_svg_command(tmp_path, capsys):
+    from repro.obs.events import encode_jsonl_line
+    records = [
+        {"ts": 1.0, "actor": "p1", "kind": "span_start", "phase": "drain",
+         "rank": 1, "trace_id": "mig-r1.m1-cafe0001"},
+        {"ts": 1.3, "actor": "p1", "kind": "span_end", "phase": "drain",
+         "rank": 1, "seconds": 0.3, "trace_id": "mig-r1.m1-cafe0001"},
+        {"ts": 1.4, "actor": "registry", "kind": "migration_window",
+         "rank": 1, "seconds": 0.9},
+        {"ts": 1.5, "actor": "p1", "kind": "clock_offset",
+         "peer": "registry", "offset": -0.2, "err": 0.001},
+    ]
+    artifact = tmp_path / "events.jsonl"
+    artifact.write_text("".join(encode_jsonl_line(r) + "\n"
+                                for r in records))
+    out = tmp_path / "spacetime.svg"
+    assert main(["obs", "svg", str(artifact), "--out", str(out)]) == 0
+    assert "wrote space-time diagram" in capsys.readouterr().out
+    import xml.etree.ElementTree as ET
+    svg = out.read_text()
+    ET.fromstring(svg)
+    assert svg.count('class="migration-window"') == 1
+    assert svg.count('class="phase-bar"') == 1
+
+
+def test_obs_svg_from_sim_trace(tmp_path, capsys):
+    trace_file = tmp_path / "run.trace"
+    assert main(["mg", "--n", "16", "--hetero",
+                 "--save-trace", str(trace_file)]) == 0
+    out = tmp_path / "sim.svg"
+    assert main(["obs", "svg", str(trace_file), "--from-trace",
+                 "--out", str(out)]) == 0
+    import xml.etree.ElementTree as ET
+    svg = out.read_text()
+    ET.fromstring(svg)
+    assert svg.count('class="phase-bar"') >= 6  # one full migration
+
+
 def test_obs_report_from_sim_trace(tmp_path, capsys):
     trace_file = tmp_path / "run.trace"
     assert main(["mg", "--n", "16", "--hetero",

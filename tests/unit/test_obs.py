@@ -18,14 +18,18 @@ from repro.obs import (
     MetricsRegistry,
     NullRecorder,
     ObsConfig,
+    OffsetEstimator,
     PHASES,
     RegistryCollector,
     WorkerObs,
+    align_events,
+    best_offsets,
     validate_record,
 )
 from repro.obs.events import (
     PHASE_ORDER,
     SPAN_KINDS,
+    TRACE_KINDS as OBS_TRACE_KINDS,
     decode_jsonl_line,
     encode_jsonl_line,
 )
@@ -50,9 +54,13 @@ def test_event_kinds_are_frozen():
     assert EVENT_KINDS == frozenset({
         "span_start", "span_end", "drain_peer", "state_chunk",
         "migration_window", "send", "recv", "connect", "lookup", "retry",
-        "gauge", "mark"})
+        "gauge", "mark", "clock_offset"})
     assert SPAN_KINDS == frozenset({"span_start", "span_end"})
     assert SPAN_KINDS <= EVENT_KINDS
+    assert OBS_TRACE_KINDS == frozenset({
+        "span_start", "span_end", "drain_peer", "state_chunk",
+        "migration_window"})
+    assert OBS_TRACE_KINDS <= EVENT_KINDS
 
 
 def test_sim_trace_kinds_are_frozen():
@@ -252,9 +260,197 @@ def test_validate_record_accepts_good_records():
       "rank": 0}, "unknown phase"),
     ({"ts": 1.0, "actor": "p0", "kind": "state_chunk", "seq": 0},
      "missing nbytes"),
+    ({"ts": 1.0, "actor": "p0", "kind": "mark", "trace_id": "mig-x"},
+     "trace context on non-trace kind"),
+    ({"ts": 1.0, "actor": "p0", "kind": "send", "dest": 1,
+      "parent": "freeze"}, "parent on non-trace kind"),
+    ({"ts": 1.0, "actor": "p0", "kind": "span_start", "phase": "freeze",
+      "rank": 0, "trace_id": 7}, "non-string trace_id"),
+    ({"ts": 1.0, "actor": "p0", "kind": "span_end", "phase": "drain",
+      "rank": 0, "seconds": 0.1, "parent": ["reject"]},
+     "non-string parent"),
 ])
 def test_validate_record_rejects(rec, why):
     assert validate_record(rec) is not None, why
+
+
+@pytest.mark.parametrize("kind,extra", [
+    ("span_start", {"phase": "freeze", "rank": 1}),
+    ("span_end", {"phase": "commit", "rank": 1, "seconds": 0.1}),
+    ("drain_peer", {"peer": 0, "last": "eom"}),
+    ("state_chunk", {"seq": 0, "nbytes": 4096}),
+    ("migration_window", {"rank": 1, "seconds": 0.2}),
+])
+def test_validate_record_accepts_trace_context_on_trace_kinds(kind, extra):
+    rec = {"ts": 1.0, "actor": "p1", "kind": kind,
+           "trace_id": "mig-r1.m1-deadbeef", "parent": "freeze", **extra}
+    assert validate_record(rec) is None
+    # explicit None is treated as absent everywhere
+    rec2 = {"ts": 1.0, "actor": "p1", "kind": kind, "trace_id": None, **extra}
+    assert validate_record(rec2) is None
+
+
+# -- clock alignment -------------------------------------------------------
+
+def test_offset_estimator_midpoint_math():
+    est = OffsetEstimator()
+    # reply stamped 15.0 on the peer; local send/recv bracket [10.0, 10.5]
+    s = est.observe("registry", t_send=10.0, t_peer=15.0, t_recv=10.5)
+    assert s.offset == pytest.approx(15.0 - 10.25)
+    assert s.err == pytest.approx(0.25)
+    assert est.offset_to("registry") == pytest.approx(4.75)
+    assert est.offset_to("p9") is None
+
+
+def test_offset_estimator_normalizes_swapped_timestamps():
+    a = OffsetEstimator().observe("r", 10.5, 15.0, 10.0)
+    b = OffsetEstimator().observe("r", 10.0, 15.0, 10.5)
+    assert a.offset == b.offset and a.err == b.err
+
+
+def test_offset_estimator_keeps_min_err_sample_per_peer():
+    est = OffsetEstimator()
+    est.observe("registry", 0.0, 100.0, 1.0)    # err 0.50
+    est.observe("registry", 0.0, 200.0, 0.1)    # err 0.05 — tightest, wins
+    est.observe("registry", 0.0, 300.0, 2.0)    # err 1.00 — ignored
+    assert est.offset_to("registry") == pytest.approx(200.0 - 0.05)
+    est.observe("p0", 0.0, 50.0, 0.2)
+    assert [s.peer for s in est.samples()] == ["p0", "registry"]
+    # events() output is schema-legal clock_offset material
+    for kind, fields in est.events():
+        assert kind == "clock_offset"
+        assert validate_record({"ts": 0.0, "actor": "p1", "kind": kind,
+                                **fields}) is None
+
+
+def test_best_offsets_picks_min_err_per_actor():
+    events = [
+        {"ts": 9.0, "actor": "p1", "kind": "clock_offset",
+         "peer": "registry", "offset": -4.0, "err": 0.01},
+        {"ts": 9.0, "actor": "p1", "kind": "clock_offset",
+         "peer": "registry", "offset": -3.0, "err": 0.5},
+        {"ts": 9.0, "actor": "p1", "kind": "clock_offset",
+         "peer": "p0", "offset": 99.0, "err": 0.001},  # wrong peer
+    ]
+    assert best_offsets(events) == {"p1": -4.0}
+    assert best_offsets(events, peer="p0") == {"p1": 99.0}
+
+
+def test_align_events_shifts_onto_registry_clock():
+    events = [
+        {"ts": 0.0, "actor": "registry", "kind": "mark", "text": "t0"},
+        {"ts": 5.0, "actor": "p1", "kind": "span_start", "phase": "freeze",
+         "rank": 1},
+        {"ts": 5.5, "actor": "p1", "kind": "span_end", "phase": "freeze",
+         "rank": 1, "seconds": 0.5},
+        {"ts": 9.0, "actor": "p1", "kind": "clock_offset",
+         "peer": "registry", "offset": -4.0, "err": 0.01},
+    ]
+    aligned = align_events(events)
+    p1_ts = [r["ts"] for r in aligned if r["actor"] == "p1"]
+    assert p1_ts == [pytest.approx(1.0), pytest.approx(1.5),
+                     pytest.approx(5.0)]
+    # registry (no sample) passes through; stream re-sorted by ts
+    assert [r["ts"] for r in aligned] == sorted(r["ts"] for r in aligned)
+    assert events[1]["ts"] == 5.0  # input records untouched
+
+
+# -- deterministic gauge merge ---------------------------------------------
+
+def test_gauge_merge_is_order_independent():
+    base = MetricsRegistry()
+    base.gauge("mp.queue_depth", rank=1).set(7)
+    repl = MetricsRegistry()
+    repl.gauge("mp.queue_depth", rank=1).set(0)
+    stamped = [(base.snapshot(), 0), (repl.snapshot(), 1)]
+    for order in (stamped, stamped[::-1]):
+        merged = MetricsRegistry()
+        for snap, stamp in order:
+            merged.merge_snapshot(snap, stamp=stamp)
+        # the replacement incarnation's terminal value wins both ways
+        assert merged.gauge("mp.queue_depth", rank=1).value == 0
+
+
+def test_gauge_merge_equal_stamps_keep_max():
+    a = MetricsRegistry()
+    a.gauge("dir.live_shards").set(2)
+    b = MetricsRegistry()
+    b.gauge("dir.live_shards").set(5)
+    for order in ((a, b), (b, a)):
+        merged = MetricsRegistry()
+        for reg in order:
+            merged.merge_snapshot(reg.snapshot())
+        assert merged.gauge("dir.live_shards").value == 5
+
+
+# -- live streaming and trace grouping at the collector --------------------
+
+def test_collector_absorbs_legacy_5tuple_as_final():
+    reg = MetricsRegistry()
+    reg.gauge("mp.queue_depth", rank=1).set(3)
+    collector = RegistryCollector()
+    collector.absorb(("obs", 1, "p1",
+                      [(1.0, "mark", {"text": "hi"})], reg.snapshot()))
+    assert collector.metrics.gauge("mp.queue_depth", rank=1).value == 3
+    assert collector.live_view() == {}  # final, not live
+    assert collector.events()[0]["kind"] == "mark"
+
+
+def test_live_snapshot_feeds_live_view_not_metrics():
+    frames = []
+    obs = WorkerObs(ObsConfig(), rank=1, actor="p1",
+                    send_batch=frames.append)
+    obs.metrics.counter("mp.msgs_sent", rank=1).inc(5)
+    obs.metrics.gauge("mp.queue_depth", rank=1).set(2)
+    obs.flush(live=True)
+    obs.metrics.gauge("mp.queue_depth", rank=1).set(0)
+    obs.flush(final=True)
+
+    collector = RegistryCollector()
+    for frame in frames:
+        collector.absorb(frame)
+    view = collector.live_view()
+    assert view["p1"]["gauges"]["mp.queue_depth"] == 2
+    assert view["p1"]["ts"] > 0
+    # the live snapshot was never merged: the counter counts once and the
+    # cluster-wide gauge is the teardown value, not the mid-run one
+    assert collector.metrics.value("mp.msgs_sent", rank=1) == 5
+    assert collector.metrics.gauge("mp.queue_depth", rank=1).value == 0
+
+
+def test_collector_groups_events_by_trace_id():
+    tid = "mig-r1.m1-abcd0123"
+    collector = RegistryCollector()
+    collector.absorb(("obs", 1, "p1", [
+        (1.0, "span_start", {"phase": "freeze", "rank": 1, "trace_id": tid}),
+        (1.2, "span_end", {"phase": "freeze", "rank": 1, "seconds": 0.2,
+                           "trace_id": tid, "parent": None}),
+        (1.3, "mark", {"text": "untraced"}),
+    ], None, False))
+    collector.record("registry", "migration_window", rank=1, seconds=0.4,
+                     trace_id=tid)
+    traces = collector.traces()
+    assert set(traces) == {tid}
+    assert [r["kind"] for r in traces[tid]] == [
+        "span_start", "span_end", "migration_window"]
+    # everything in the group is schema-legal
+    for rec in traces[tid]:
+        assert validate_record(rec) is None
+
+
+def test_worker_final_flush_ships_clock_offsets():
+    frames = []
+    obs = WorkerObs(ObsConfig(), rank=1, actor="p1",
+                    send_batch=frames.append)
+    obs.clock.observe("registry", 10.0, 14.0, 10.2)
+    obs.flush(final=True)
+    (_, _, _, events, snapshot, final), = frames
+    assert final and snapshot is not None
+    kinds = [k for _, k, _ in events]
+    assert kinds == ["clock_offset"]
+    fields = events[0][2]
+    assert fields["peer"] == "registry"
+    assert fields["offset"] == pytest.approx(14.0 - 10.1)
 
 
 def test_jsonl_line_round_trip():

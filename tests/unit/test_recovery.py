@@ -208,7 +208,8 @@ def test_delta_store_writes_only_changed_parts(tmp_path):
 
 
 def test_delta_compaction_at_max_chain(tmp_path):
-    store = CheckpointStore(tmp_path, delta=True, delta_max_chain=3)
+    store = CheckpointStore(tmp_path, delta=True, delta_max_chain=3,
+                            delta_gc=False)
     big = b"B" * 20_000
     sizes = [store.save_parts(0, v, _parts(big, bytes([v])))
              for v in range(1, 8)]
@@ -218,6 +219,77 @@ def test_delta_compaction_at_max_chain(tmp_path):
         assert sizes[i] < 1_000
     for v in range(1, 8):
         assert store.load_blob(0, v) == big + bytes([v])
+
+
+def test_delta_gc_deletes_behind_previous_compaction(tmp_path):
+    """At each compaction the chain window *behind the previous* durable
+    self-contained write is deleted; everything retained still loads."""
+    store = CheckpointStore(tmp_path, delta=True, delta_max_chain=3)
+    big = b"G" * 20_000
+    for v in range(1, 8):
+        store.save_parts(0, v, _parts(big, bytes([v])))
+    # v7 compacted (previous compaction point: v4) -> v1-v3 deleted
+    assert store.last_gc_deleted == [1, 2, 3]
+    assert store.versions(0) == [4, 5, 6, 7]
+    for v in range(4, 8):
+        assert store.load_blob(0, v) == big + bytes([v])
+    assert store.latest_complete_version(0) == 7
+
+
+def test_delta_gc_crash_safe_ordering(tmp_path, monkeypatch):
+    """A compaction write that fails leaves every old file intact — the
+    unlink pass runs only after the new self-contained file is durable."""
+    import repro.core.checkpointing as ckpt
+
+    store = CheckpointStore(tmp_path, delta=True, delta_max_chain=2)
+    big = b"C" * 10_000
+    for v in range(1, 5):                      # v1 full, v2 delta, v3 full,
+        store.save_parts(0, v, _parts(big))    # v4 delta (gc ran at v3)
+    before = store.versions(0)
+
+    def boom(path, data):
+        raise OSError("disk full")             # crash before rename
+
+    monkeypatch.setattr(ckpt, "atomic_write_bytes", boom)
+    with pytest.raises(OSError):
+        store.save_parts(0, 5, _parts(b"D" * 10_000))  # would compact
+    monkeypatch.undo()
+    # nothing was unlinked, and the pre-crash versions all still load
+    assert store.versions(0) == before
+    reader = CheckpointStore(tmp_path)
+    assert reader.latest_complete_version(0) == 4
+    assert reader.load_blob(0, 4) == big
+
+
+def test_gc_superseded_keeps_only_newest_self_contained(tmp_path):
+    store = CheckpointStore(tmp_path, delta=True, delta_max_chain=3,
+                            delta_gc=False)
+    big = b"S" * 15_000
+    for v in range(1, 6):   # v1 full, v2-v3 deltas, v4 compacts, v5 delta
+        store.save_parts(0, v, _parts(big, bytes([v])))
+    deleted = store.gc_superseded(0)
+    assert deleted == [1, 2, 3]
+    assert store.versions(0) == [4, 5]
+    for v in (4, 5):
+        assert store.load_blob(0, v) == big + bytes([v])
+
+
+def test_gc_superseded_skips_corrupt_candidate(tmp_path):
+    """A damaged newest self-contained file is not trusted as the GC
+    survivor: the scan walks back to an older restorable one."""
+    store = CheckpointStore(tmp_path, delta=True, delta_max_chain=2,
+                            delta_gc=False)
+    big = b"K" * 8_000
+    for v in range(1, 4):   # v1 full, v2 delta, v3 compacts
+        store.save_parts(0, v, _parts(big))
+    path = tmp_path / "ckpt-r0-v3.bin"
+    raw = bytearray(path.read_bytes())
+    raw[-1] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    deleted = CheckpointStore(tmp_path).gc_superseded(0)
+    assert deleted == []    # v1 is the survivor; nothing is older
+    reader = CheckpointStore(tmp_path)
+    assert reader.latest_complete_version(0) == 2
 
 
 def test_delta_reader_needs_no_part_cache(tmp_path):

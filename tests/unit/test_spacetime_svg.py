@@ -1,0 +1,154 @@
+"""Structural tests for the obs space-time SVG renderer.
+
+Pixel-golden SVGs rot; these tests pin the *structure* instead — the
+element classes the renderer tags (``lane``, ``phase-bar``,
+``migration-window``, ``flight``) must appear in the counts the event
+stream implies, and the document must stay well-formed XML.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.analysis import (
+    lane_of,
+    obs_flights,
+    phase_bars,
+    render_obs_spacetime_svg,
+)
+from repro.analysis.spacetime_svg import PHASE_COLORS
+from repro.obs import PHASES
+
+
+def _one_migration_events():
+    """A two-rank artifact with one full rank-1 migration: source spans
+    on p1, destination spans on p1.m1, registry window, a sampled
+    matched message pair and a clock sample for p1."""
+    tid = "mig-r1.m1-0badc0de"
+    ev = [
+        {"ts": 0.10, "actor": "p0", "kind": "send", "dest": 1, "tag": 7},
+        {"ts": 0.12, "actor": "p1", "kind": "recv", "src": 0, "tag": 7},
+        {"ts": 1.00, "actor": "p1", "kind": "span_start", "phase": "freeze",
+         "rank": 1, "trace_id": tid},
+        {"ts": 1.20, "actor": "p1", "kind": "span_start", "phase": "reject",
+         "rank": 1, "trace_id": tid, "parent": "freeze"},
+        {"ts": 1.25, "actor": "p1", "kind": "span_start", "phase": "drain",
+         "rank": 1, "trace_id": tid, "parent": "reject"},
+        {"ts": 1.40, "actor": "p1", "kind": "span_end", "phase": "drain",
+         "rank": 1, "seconds": 0.15, "trace_id": tid, "parent": "reject"},
+        {"ts": 1.42, "actor": "p1", "kind": "span_start", "phase": "transfer",
+         "rank": 1, "trace_id": tid, "parent": "reject"},
+        {"ts": 1.60, "actor": "p1", "kind": "span_end", "phase": "transfer",
+         "rank": 1, "seconds": 0.18, "trace_id": tid, "parent": "reject"},
+        {"ts": 1.61, "actor": "p1", "kind": "span_end", "phase": "reject",
+         "rank": 1, "seconds": 0.41, "trace_id": tid, "parent": "freeze"},
+        {"ts": 1.62, "actor": "p1", "kind": "span_end", "phase": "freeze",
+         "rank": 1, "seconds": 0.62, "trace_id": tid},
+        {"ts": 1.45, "actor": "p1.m1", "kind": "span_start",
+         "phase": "restore", "rank": 1, "trace_id": tid,
+         "parent": "transfer"},
+        {"ts": 1.58, "actor": "p1.m1", "kind": "span_end",
+         "phase": "restore", "rank": 1, "seconds": 0.13, "trace_id": tid,
+         "parent": "transfer"},
+        {"ts": 1.59, "actor": "p1.m1", "kind": "span_start",
+         "phase": "commit", "rank": 1, "trace_id": tid, "parent": "restore"},
+        {"ts": 1.63, "actor": "p1.m1", "kind": "span_end", "phase": "commit",
+         "rank": 1, "seconds": 0.04, "trace_id": tid, "parent": "restore"},
+        {"ts": 1.70, "actor": "registry", "kind": "migration_window",
+         "rank": 1, "seconds": 0.70, "trace_id": tid},
+        {"ts": 1.90, "actor": "p1", "kind": "clock_offset",
+         "peer": "registry", "offset": 0.25, "err": 0.002},
+        {"ts": 1.95, "actor": "p1", "kind": "gauge",
+         "name": "mp.queue_depth", "value": 0},
+    ]
+    return ev
+
+
+def test_lane_of_collapses_incarnations():
+    assert lane_of("p3") == "r3"
+    assert lane_of("p3.m1") == "r3"
+    assert lane_of("p12.m4") == "r12"
+    assert lane_of("registry") == "registry"
+    assert lane_of("shard0") == "shard0"
+
+
+def test_phase_bars_pairing_and_reconstruction():
+    bars = phase_bars(_one_migration_events())
+    assert len(bars) == 6
+    assert {b["phase"] for b in bars} == {
+        "freeze", "reject", "drain", "transfer", "restore", "commit"}
+    assert all(b["trace_id"] == "mig-r1.m1-0badc0de" for b in bars)
+    assert all(b["t0"] <= b["t1"] for b in bars)
+    assert all(b["phase"] in PHASES for b in bars)
+    # an unmatched span_end reconstructs its start from `seconds`
+    tail = phase_bars([{"ts": 5.0, "actor": "p1", "kind": "span_end",
+                        "phase": "drain", "rank": 1, "seconds": 2.0}])
+    assert tail[0]["t0"] == 3.0 and tail[0]["t1"] == 5.0
+    # an unmatched span_start (still open) is dropped
+    assert phase_bars([{"ts": 1.0, "actor": "p1", "kind": "span_start",
+                        "phase": "freeze", "rank": 1}]) == []
+
+
+def test_obs_flights_fifo_matching():
+    flights = obs_flights(_one_migration_events())
+    assert len(flights) == 1
+    f = flights[0]
+    assert (f["src"], f["dst"], f["tag"]) == ("r0", "r1", 7)
+    assert f["t_send"] == 0.10 and f["t_recv"] == 0.12
+    # a recv with no earlier send on the lane pair stays unmatched
+    assert obs_flights([{"ts": 1.0, "actor": "p1", "kind": "recv",
+                         "src": 0, "tag": 7}]) == []
+
+
+def test_spacetime_svg_structure():
+    svg = render_obs_spacetime_svg(_one_migration_events(), align=False)
+    root = ET.fromstring(svg)
+    assert root.tag.endswith("svg")
+    # lanes: r0, r1 (both incarnations share it) and the registry
+    assert svg.count('class="lane"') == 3
+    assert '>r0<' in svg and '>r1<' in svg and '>registry<' in svg
+    # exactly one shaded window for the one migration
+    assert svg.count('class="migration-window"') == 1
+    # one bar per span pair, one flight for the matched message
+    assert svg.count('class="phase-bar"') == 6
+    assert svg.count('class="flight"') == 1
+    # gauges and clock samples are metadata, not drawables
+    assert "mp.queue_depth" not in svg
+    # every rendered phase keeps its frozen palette color
+    for phase in ("freeze", "drain", "transfer", "restore", "commit"):
+        assert PHASE_COLORS[phase] in svg
+    # the trace id survives into the hover titles
+    assert "mig-r1.m1-0badc0de" in svg
+
+
+def test_spacetime_svg_alignment_shifts_sampled_actor():
+    events = _one_migration_events()
+    raw = render_obs_spacetime_svg(events, align=False)
+    aligned = render_obs_spacetime_svg(events, align=True)
+    ET.fromstring(aligned)
+    # same structure either way; only geometry moves
+    for cls in ("lane", "phase-bar", "migration-window", "flight"):
+        assert raw.count(f'class="{cls}"') == aligned.count(f'class="{cls}"')
+    assert raw != aligned  # p1 carries a 0.25s offset sample
+
+
+def test_spacetime_svg_marks_aborted_bars():
+    events = [
+        {"ts": 1.0, "actor": "p1", "kind": "span_start", "phase": "drain",
+         "rank": 1},
+        {"ts": 1.5, "actor": "p1", "kind": "span_end", "phase": "drain",
+         "rank": 1, "seconds": 0.5, "aborted": True},
+    ]
+    svg = render_obs_spacetime_svg(events, align=False)
+    assert "stroke-dasharray" in svg and "aborted" in svg
+    ET.fromstring(svg)
+
+
+def test_spacetime_svg_empty_stream():
+    svg = render_obs_spacetime_svg([])
+    assert "(no events)" in svg
+    ET.fromstring(svg)
+    # a stream of pure metadata draws nothing either
+    svg = render_obs_spacetime_svg([
+        {"ts": 1.0, "actor": "p1", "kind": "gauge", "name": "g", "value": 1}])
+    assert "(no events)" in svg
