@@ -1,7 +1,7 @@
 # Developer entry points. Everything runs against the in-tree sources.
 export PYTHONPATH := src
 
-.PHONY: test fast stress bench bench-directory bench-fastpath bench-recovery obs-smoke obs-svg shard-smoke recovery-smoke
+.PHONY: test fast stress bench bench-directory bench-fastpath bench-recovery bench-gang obs-smoke obs-svg shard-smoke recovery-smoke gang-smoke
 
 test:   ## tier-1 verify: the full suite (virtual time keeps it quick)
 	python -m pytest -x -q
@@ -24,6 +24,9 @@ bench-fastpath: ## migration fast path A/B ablation; writes BENCH_fastpath.json
 bench-recovery: ## time-to-recover vs checkpoint interval; writes BENCH_recovery.json
 	python -m pytest benchmarks/test_ablation_recovery.py --benchmark-only -q -s
 
+bench-gang: ## concurrent gang-migration geometry; the gang section of BENCH_fastpath.json
+	python -m pytest benchmarks/test_ablation_fastpath.py -k gang_migration --benchmark-only -q -s
+
 obs-smoke: ## real mp migration with event collection on; validates the JSONL artifact and its space-time SVG
 	REPRO_OBS_SMOKE=1 python -m pytest tests/integration/test_obs_mp.py -q
 
@@ -37,3 +40,6 @@ shard-smoke: ## SIGKILL a live shard daemon during an mp migration workload
 
 recovery-smoke: ## SIGKILL a rank and a shard mid-run; digest-identical completion
 	REPRO_RECOVERY_SMOKE=1 python -m pytest tests/stress/test_crash_recovery_mp.py -q -s
+
+gang-smoke: ## two overlapping mp migrations under a shared bandwidth budget; digest-identical completion
+	REPRO_GANG_SMOKE=1 python -m pytest tests/stress/test_gang_crash_mp.py -q -s

@@ -38,6 +38,14 @@ SCALES = (4, 8, 12)
 LOCALITY_NRANKS = 12
 LOCALITY_WINDOWS = (1, 3, 11)
 
+#: migration-density sweep: ranks relocated per concurrent batch (the
+#: gang engine's balancer-batch case), at a fixed scale
+DENSITY_NRANKS = 12
+DENSITIES = (1, 4, 12)
+#: density runs last long enough to outlive the density=1 arm's fully
+#: serialized batch schedule (12 batches, 30 ms apart)
+DENSITY_SWEEPS = 8
+
 
 def _sweeps(nranks: int) -> int:
     """Enough full sweeps that the run comfortably outlives the staggered
@@ -88,8 +96,23 @@ def _spec(backend: str, nranks: int) -> "DirectorySpec | None":
                          replication=2)
 
 
-def _run(backend: str, nranks: int, window: int | None = None) -> dict:
-    key = f"{backend}:{nranks}:{window or 'full'}"
+def _overlapping_windows(vm) -> int:
+    """Pairs of adjacent (by start) migration windows that overlap."""
+    wins: dict = {}
+    for ev in vm.trace.events:
+        r = ev.detail.get("rank")
+        if ev.kind == "migration_start" and r not in wins:
+            wins[r] = [ev.time, None]
+        elif ev.kind == "migration_commit" and r in wins \
+                and wins[r][1] is None:
+            wins[r][1] = ev.time
+    spans = sorted((t0, t1) for t0, t1 in wins.values() if t1 is not None)
+    return sum(1 for a, b in zip(spans, spans[1:]) if b[0] < a[1])
+
+
+def _run(backend: str, nranks: int, window: int | None = None,
+         density: int | None = None) -> dict:
+    key = f"{backend}:{nranks}:{window or 'full'}:{density or 'stagger'}"
     if key in _cache:
         return _cache[key]
     from repro.obs import MetricsRegistry
@@ -101,18 +124,29 @@ def _run(backend: str, nranks: int, window: int | None = None) -> dict:
         vm.add_host(f"s{k}")  # migration destinations
     vm.add_host("sched")
     results: dict = {}
-    prog = make_rotating_program(_sweeps(nranks), results, window=window)
+    sweeps = DENSITY_SWEEPS if density is not None else _sweeps(nranks)
+    prog = make_rotating_program(sweeps, results, window=window)
     app = Application(vm, prog, placement=[f"h{i}" for i in range(nranks)],
                       scheduler_host="sched",
                       directory=_spec(backend, nranks))
     app.start()
-    # Staggered but early, so most first-contact connects happen after
-    # their destination has already moved.
-    for k, rank in enumerate(migrators):
-        app.migrate_at(0.003 + 0.003 * k, rank, f"s{k}")
+    if density is None:
+        # Staggered but early, so most first-contact connects happen
+        # after their destination has already moved.
+        for k, rank in enumerate(migrators):
+            app.migrate_at(0.003 + 0.003 * k, rank, f"s{k}")
+    else:
+        # Batched relocation (the balancer's gang case): `density` ranks
+        # per migrate_many call, batches spaced wider than one window so
+        # only windows *within* a batch overlap.
+        for b, start in enumerate(range(0, len(migrators), density)):
+            app.migrate_many(0.003 + 0.03 * b,
+                             [(rank, f"s{rank}")
+                              for rank in
+                              migrators[start:start + density]])
     app.run()
     W = window if window is not None else nranks - 1
-    rounds = _sweeps(nranks) * (nranks - 1)
+    rounds = sweeps * (nranks - 1)
     for me in range(nranks):
         assert results[me] == sum((me - 1 - r % W) % nranks
                                   for r in range(rounds))
@@ -140,6 +174,8 @@ def _run(backend: str, nranks: int, window: int | None = None) -> dict:
         "mean_hops": report.mean_hops,
         "mean_latency_us": report.mean_latency * 1e6,
         "cache": report.cache,
+        "density": density,
+        "overlapping_windows": _overlapping_windows(vm),
     }
     vm.shutdown()
     _cache[key] = out
@@ -147,9 +183,16 @@ def _run(backend: str, nranks: int, window: int | None = None) -> dict:
 
 
 def _persist() -> None:
-    full = [_cache[k] for k in sorted(_cache) if k.endswith(":full")]
-    loc = sorted((_cache[k] for k in _cache if not k.endswith(":full")),
+    full = [_cache[k] for k in sorted(_cache)
+            if k.endswith(":full:stagger")]
+    loc = sorted((v for k, v in _cache.items()
+                  if k.endswith(":stagger")
+                  and not k.endswith(":full:stagger")),
                  key=lambda r: r["window"])
+    dens = sorted((v for k, v in _cache.items()
+                   if v["density"] is not None
+                   and v["backend"] == "sharded"),
+                  key=lambda r: r["density"])
     _BENCH_PATH.write_text(json.dumps(
         {"ablation": "directory-backends",
          "workload": "rotating-neighbor sweep, every rank migrates",
@@ -160,6 +203,14 @@ def _persist() -> None:
                          "peers over the same number of rounds",
              "nranks": LOCALITY_NRANKS,
              "results": loc,
+         },
+         "migration_density": {
+             "workload": "same sweep with every rank relocated in "
+                         "concurrent batches of `density` (gang "
+                         "admission opens the windows together, the "
+                         "balancer-batch case)",
+             "nranks": DENSITY_NRANKS,
+             "results": dens,
          }}, indent=2) + "\n")
 
 
@@ -255,16 +306,51 @@ def test_abl5_cache_locality(benchmark):
     assert runs[-1]["consults"] > runs[0]["consults"]
 
 
+def test_abl5_migration_density(benchmark):
+    """Concurrent-relocation batches: lookup hot-spot relief.
+
+    Every rank relocates; the knob is how many relocate *per concurrent
+    batch* (the gang the balancer's ``batch`` setting issues). Denser
+    batches overlap their migration windows, concentrating the lookup
+    burst — the sharded directory absorbs it with a per-node load that
+    stays far below the centralized hot spot.
+    """
+    runs = benchmark.pedantic(
+        lambda: [_run("sharded", DENSITY_NRANKS, density=d)
+                 for d in DENSITIES],
+        rounds=1, iterations=1)
+    central = _run("centralized", DENSITY_NRANKS, density=DENSITIES[-1])
+    print("\nABL-5  migration density (sharded, "
+          f"{DENSITY_NRANKS} ranks, all relocate):")
+    print(format_table(
+        ("density", "overlapping windows", "consults", "max node load",
+         "makespan(s)"),
+        [(r["density"], r["overlapping_windows"], r["consults"],
+          r["max_node_load"], f"{r['makespan']:.3f}") for r in runs]))
+    # every batch size completes the full relocation set (digests are
+    # asserted inside _run) and denser batches genuinely overlap
+    assert all(r["migrations"] == DENSITY_NRANKS for r in runs)
+    ows = [r["overlapping_windows"] for r in runs]
+    assert ows[0] == 0, "density=1 batches must stay serialized"
+    assert ows == sorted(ows) and ows[-1] > ows[0]
+    # hot-spot relief: even with all ranks relocating at once, no shard
+    # approaches the centralized scheduler's lookup load
+    assert runs[-1]["max_node_load"] < central["scheduler_lookups"] / 2
+
+
 def test_abl5_persist_bench_json(benchmark):
     """Write BENCH_directory.json from the full backend x scale sweep."""
     benchmark.pedantic(
         lambda: ([_run(b, n) for b in ("centralized", "sharded", "chord")
                   for n in SCALES]
                  + [_run("sharded", LOCALITY_NRANKS, window=w)
-                    for w in LOCALITY_WINDOWS]),
+                    for w in LOCALITY_WINDOWS]
+                 + [_run("sharded", DENSITY_NRANKS, density=d)
+                    for d in DENSITIES]),
         rounds=1, iterations=1)
     _persist()
     data = json.loads(_BENCH_PATH.read_text())
     assert len(data["results"]) == 3 * len(SCALES)
     assert len(data["locality"]["results"]) == len(LOCALITY_WINDOWS)
+    assert len(data["migration_density"]["results"]) == len(DENSITIES)
     print(f"\nABL-5  wrote {_BENCH_PATH}")

@@ -41,6 +41,7 @@ from pathlib import Path
 from repro.analysis.fastpath import (
     codec_throughput,
     frame_roundtrip,
+    measure_gang_migration,
     measure_migration,
 )
 from repro.codec import NATIVE, SPARC32
@@ -73,9 +74,18 @@ ADAPTIVE_ARMS = ((("fast-link", 1 << 20, None),) if SMOKE else
                  (("fast-link", 64 << 20, None),
                   ("slow-link", 160 << 10, ETHERNET_10M)))
 
+#: gang arms: k concurrent migrations of GANG_NBYTES carriers each.
+#: Acceptance (full run): the k=4 overlapped gang finishes within 2x a
+#: single window's latency, and concurrency=1 reproduces the serialized
+#: pre-gang behavior (zero overlapping windows, FIFO queue drain).
+GANG_NBYTES = (1 << 20) if SMOKE else (8 << 20)
+GANG_K = 4
+GANG_ROUNDS = 600 if SMOKE else 1200
+
 _results: dict[str, list] = {"migration": [], "codec": [],
                              "codec_hetero": [], "framing": [],
-                             "obs_overhead": [], "adaptive": []}
+                             "obs_overhead": [], "adaptive": [],
+                             "gang": []}
 
 
 def _migration_rows() -> list[dict]:
@@ -111,6 +121,28 @@ def _adaptive_rows() -> list[dict]:
                 "controller": adaptive.get("controller") or {},
             })
     return _results["adaptive"]
+
+
+def _gang_rows() -> list[dict]:
+    """Gang-migration geometry: solo baseline, overlapped k=4, the
+    serialized concurrency=1 control, and the shared-link budget arm."""
+    if not _results["gang"]:
+        arms = (
+            ("solo", dict(k=1)),
+            ("overlap", dict(k=GANG_K)),
+            ("serialized", dict(k=GANG_K, concurrency=1,
+                                rounds=GANG_ROUNDS * 2)),
+            ("shared-link", dict(k=GANG_K, chunk_bytes="adaptive",
+                                 shared_link=True,
+                                 rounds=GANG_ROUNDS * 2)),
+        )
+        for label, kw in arms:
+            kw.setdefault("rounds", GANG_ROUNDS)
+            row = measure_gang_migration(GANG_NBYTES, **kw)
+            row["arm"] = label
+            row["max_latency"] = max(row["latencies"].values())
+            _results["gang"].append(row)
+    return _results["gang"]
 
 
 def _codec_ab(nbytes: int, arch) -> dict:
@@ -261,10 +293,11 @@ def _obs_overhead_rows() -> list[dict]:
 
 
 def _persist() -> None:
-    mig, codec, hetero, framing, obs, adaptive = (
+    mig, codec, hetero, framing, obs, adaptive, gang = (
         _results["migration"], _results["codec"],
         _results["codec_hetero"], _results["framing"],
-        _results["obs_overhead"], _results["adaptive"])
+        _results["obs_overhead"], _results["adaptive"],
+        _results["gang"])
     top = max(mig, key=lambda r: r["nbytes"])
     summary = {
         "migration_reduction_at_largest": top["reduction"],
@@ -280,6 +313,12 @@ def _persist() -> None:
     if obs:
         summary["obs_overhead_at_largest"] = obs[0]["overhead"]
         summary["obs_window_nbytes"] = obs[0]["nbytes"]
+    if gang:
+        by_arm = {r["arm"]: r for r in gang}
+        summary["gang_span_over_solo_window"] = (
+            by_arm["overlap"]["gang_span"] / by_arm["solo"]["max_latency"])
+        summary["gang_digests_match"] = \
+            len({r["digest"] for r in gang}) == 1
     _BENCH_PATH.write_text(json.dumps(
         {"ablation": "migration-fastpath", "smoke": SMOKE,
          "workload": "2-rank ping-pong, rank 1 carries mixed-dtype "
@@ -289,7 +328,7 @@ def _persist() -> None:
                      "A/B on the real mp migration window",
          "summary": summary, "migration": mig, "codec": codec,
          "codec_heterogeneous": hetero, "framing": framing,
-         "obs_overhead": obs, "adaptive": adaptive},
+         "obs_overhead": obs, "adaptive": adaptive, "gang": gang},
         indent=2) + "\n")
 
 
@@ -388,6 +427,40 @@ def test_abl6_adaptive_chunks(benchmark):
         assert slow["improvement"] >= 0.15, slow
 
 
+def test_abl6_gang_migration(benchmark):
+    """k concurrent windows overlap under gang admission; the
+    serialized concurrency=1 control reproduces pre-gang behavior."""
+    rows = benchmark.pedantic(_gang_rows, rounds=1, iterations=1)
+    print("\nABL-6  gang migration geometry (virtual time):")
+    print(format_table(
+        ("arm", "k", "conc", "span(s)", "max win(s)", "overlaps",
+         "queued", "peak slots"),
+        [(r["arm"], r["k"], r["concurrency"] or "-",
+          f"{r['gang_span']:.4f}", f"{r['max_latency']:.4f}",
+          r["overlapping_pairs"], r["queued"],
+          max((b["peak_active"] for b in r["budgets"].values()),
+              default="-"))
+         for r in rows]))
+    by_arm = {r["arm"]: r for r in rows}
+    solo, overlap = by_arm["solo"], by_arm["overlap"]
+    serialized, shared = by_arm["serialized"], by_arm["shared-link"]
+    # every arm restored the identical payload, byte for byte
+    assert len({r["digest"] for r in rows}) == 1
+    # the overlapped gang really overlapped, and the whole k-migration
+    # span fits inside 2x one window (serialized would be ~k x)
+    assert overlap["overlapping_pairs"] >= 1
+    assert overlap["gang_span"] <= 2 * solo["max_latency"], \
+        (overlap["gang_span"], solo["max_latency"])
+    # concurrency=1 is the pre-gang engine: disjoint windows, FIFO drain
+    assert serialized["overlapping_pairs"] == 0
+    assert serialized["queued"] == GANG_K - 1
+    assert serialized["dequeued"] == GANG_K - 1
+    # the shared-link arm drove every transfer through one host budget
+    assert shared["budgets"], shared
+    peak = max(b["peak_active"] for b in shared["budgets"].values())
+    assert peak >= 2, shared["budgets"]
+
+
 def test_abl6_obs_overhead(benchmark):
     """Event collection costs <= 3% of the real mp migration window."""
     rows = benchmark.pedantic(_obs_overhead_rows, rounds=1, iterations=1)
@@ -406,7 +479,8 @@ def test_abl6_persist_bench_json(benchmark):
     """Write BENCH_fastpath.json from the full A/B sweep."""
     benchmark.pedantic(
         lambda: (_migration_rows(), _codec_rows(), _codec_hetero_rows(),
-                 _framing_rows(), _obs_overhead_rows(), _adaptive_rows()),
+                 _framing_rows(), _obs_overhead_rows(), _adaptive_rows(),
+                 _gang_rows()),
         rounds=1, iterations=1)
     _persist()
     data = json.loads(_BENCH_PATH.read_text())

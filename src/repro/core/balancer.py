@@ -23,6 +23,13 @@ migration *mechanism*; any policy can sit on top):
 Common policy rules: the straggler must fall below ``threshold`` × the
 median; the destination is the fastest *idle* host (one hosting no
 application rank); moves are rate-limited by a cool-down and a total cap.
+
+With ``batch > 1`` one evaluation may relocate several stragglers at
+once: every rank below the cutoff is paired with its own idle host
+(fastest hosts to the slowest ranks) and the whole batch of
+``MigrateRequest``\\ s lands at the scheduler together, where gang
+admission (:mod:`repro.core.gang`) opens the windows concurrently — the
+MOSIX-style batched-relocation case the gang engine exists for.
 """
 
 from __future__ import annotations
@@ -66,6 +73,9 @@ class LoadBalancer:
         Straggler cutoff as a fraction of the median rate.
     cooldown:
         Minimum virtual time between automatic migrations.
+    batch:
+        Maximum stragglers relocated per evaluation (each to its own
+        idle host, as one concurrent gang).
     """
 
     app: Application
@@ -75,6 +85,7 @@ class LoadBalancer:
     threshold: float = 0.5
     cooldown: float = 1.0
     max_migrations: int = 4
+    batch: int = 1
     decisions: list[BalancerDecision] = field(default_factory=list)
     _last_move: float = field(default=-1e9)
     _scan_pos: int = 0
@@ -143,23 +154,32 @@ class LoadBalancer:
             return
         if len(self.decisions) >= self.max_migrations:
             return
-        straggler = min(rates, key=rates.get)  # type: ignore[arg-type]
-        if rates[straggler] >= self.threshold * median:
+        cutoff = self.threshold * median
+        stragglers = sorted((r for r in rates if rates[r] < cutoff),
+                            key=rates.get)  # type: ignore[arg-type]
+        if not stragglers:
             return
-        dest = self._pick_idle_host()
-        if dest is None:
+        room = self.max_migrations - len(self.decisions)
+        idle = self._idle_hosts()
+        # slowest stragglers get the fastest idle machines; the batch is
+        # bounded by the policy knob, the remaining move budget and the
+        # number of distinct destinations available
+        moves = list(zip(stragglers, idle))[:max(1, self.batch)][:room]
+        if not moves:
             return
         self._last_move = now
-        self.decisions.append(BalancerDecision(
-            time=now, rank=straggler, dest_host=dest,
-            rate=rates[straggler], median_rate=median))
-        self.app.vm.trace_record("balancer", "auto_migrate",
-                                 rank=straggler, dest=dest,
-                                 rate=round(rates[straggler], 3),
-                                 median=round(median, 3))
-        self.app._scheduler_ctx.mailbox.put(ControlEnvelope(
-            src_vmid=VmId("balancer", 0),
-            msg=MigrateRequest(rank=straggler, dest_host=dest)))
+        for straggler, dest in moves:
+            self.decisions.append(BalancerDecision(
+                time=now, rank=straggler, dest_host=dest,
+                rate=rates[straggler], median_rate=median))
+            self.app.vm.trace_record("balancer", "auto_migrate",
+                                     rank=straggler, dest=dest,
+                                     rate=round(rates[straggler], 3),
+                                     median=round(median, 3),
+                                     batch=len(moves))
+            self.app._scheduler_ctx.mailbox.put(ControlEnvelope(
+                src_vmid=VmId("balancer", 0),
+                msg=MigrateRequest(rank=straggler, dest_host=dest)))
 
     def _wait_shares(self, window: float) -> dict[Rank, float]:
         """Fraction of the window each rank spent inside blocking
@@ -178,16 +198,20 @@ class LoadBalancer:
             shares[rank] = (cur - prev) / window
         return shares
 
-    def _pick_idle_host(self) -> str | None:
-        """A host with no application rank on it (and not the scheduler's)."""
+    def _idle_hosts(self) -> list[str]:
+        """Hosts with no application rank (and not the scheduler's),
+        fastest machines first."""
         occupied = set()
         for ep in self.app.endpoints.values():
             if ep.ctx.alive:
                 occupied.add(ep.ctx.host)
         occupied.add(self.app.scheduler_host)
         candidates = [h for h in self.app.vm.hosts if h not in occupied]
-        if not candidates:
-            return None
-        # prefer the fastest idle machine
         net = self.app.vm.network
-        return max(candidates, key=lambda h: net.host(h).cpu_speed)
+        return sorted(candidates, key=lambda h: net.host(h).cpu_speed,
+                      reverse=True)
+
+    def _pick_idle_host(self) -> str | None:
+        """The single fastest idle host (legacy single-move helper)."""
+        idle = self._idle_hosts()
+        return idle[0] if idle else None

@@ -153,6 +153,11 @@ class MigrationEndpoint:
         ``state_chunk`` payload size for the fast path: a fixed int, or
         an :class:`~repro.core.adaptive.AdaptiveChunkPolicy` to size
         chunks AIMD-style from observed per-chunk ship latency.
+    bandwidth_budget:
+        Optional :class:`~repro.core.adaptive.BandwidthBudget` shared by
+        every transfer leaving this endpoint's host; an adaptive
+        migration's :class:`~repro.core.adaptive.ChunkController`
+        attaches to it so concurrent windows split the uplink fairly.
     """
 
     def __init__(self, ctx: ProcessContext, rank: Rank,
@@ -166,6 +171,7 @@ class MigrationEndpoint:
                  directory_client=None,
                  fastpath: bool = True,
                  chunk_bytes=DEFAULT_CHUNK_BYTES,
+                 bandwidth_budget=None,
                  trace_id: str | None = None):
         if transport not in ("direct", "indirect"):
             raise ProtocolError(f"unknown transport {transport!r}")
@@ -198,6 +204,8 @@ class MigrationEndpoint:
         self.drain_timeout = drain_timeout
         self.fastpath = fastpath
         self.chunk_bytes = chunk_bytes
+        #: shared per-host fair-share ledger for concurrent transfers
+        self.bandwidth_budget = bandwidth_budget
         #: causal trace id of the migration this endpoint participates
         #: in: stamped on span records so source and destination phases
         #: stitch into one trace tree. The destination receives it at

@@ -1,0 +1,129 @@
+"""Admission control for concurrent migration windows (the gang engine).
+
+The paper's protocol (Figs. 5/7) describes one migration at a time, and
+until PR 10 both runtimes inherited that: one global window, serialized
+end-to-end. But the protocol itself only *requires* serialization per
+migrating rank — two windows whose migrating ranks differ never touch
+the same freeze/drain/transfer state and may overlap freely. (A peer
+that talks to *both* migrating ranks simply holds two independent
+``peer_migrating`` drains, one per channel, which the per-channel
+communication-state transfer already handles.)
+
+:class:`GangAdmission` is that rule as a pure, deterministic state
+machine, shared verbatim by the simulator's scheduler and the mp
+registry/launcher so the two runtimes cannot drift:
+
+* a request for a rank with no open window is **admitted** immediately,
+  capacity permitting;
+* a request for a rank whose window is open is **queued** (FIFO) — the
+  queued-conflict case, dispatched when the open window closes;
+* a request for a rank that is already queued **coalesces** into the
+  existing entry (latest destination wins — the newest placement
+  intent supersedes the stale one);
+* an optional ``concurrency`` cap bounds the number of simultaneously
+  open windows; ``concurrency=1`` reproduces the pre-gang serialized
+  behavior exactly.
+
+Closing a window (commit, abort, or the rank terminating) re-scans the
+queue in FIFO order and reports every request that became admissible;
+the caller opens those windows. The machine never performs I/O and
+never reads a clock, so Hypothesis can drive it through arbitrary
+request/complete interleavings and check the invariants directly
+(``tests/property/test_gang_admission.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GangAdmission", "ADMIT", "QUEUED", "COALESCED"]
+
+ADMIT = "admit"
+QUEUED = "queued"
+COALESCED = "coalesced"
+
+
+@dataclass
+class GangAdmission:
+    """Pure admission state machine for overlapping migration windows."""
+
+    #: maximum simultaneously open windows; ``None`` is unbounded
+    concurrency: int | None = None
+    #: rank -> destination of the open window
+    inflight: dict = field(default_factory=dict)
+    #: FIFO of (rank, dest) requests waiting for admission
+    pending: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.concurrency is not None and self.concurrency < 1:
+            raise ValueError(
+                f"migration concurrency must be >= 1: {self.concurrency}")
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def active(self) -> int:
+        return len(self.inflight)
+
+    @property
+    def depth(self) -> int:
+        return len(self.pending)
+
+    def admissible(self, rank) -> bool:
+        """Could a window for ``rank`` open right now?"""
+        if rank in self.inflight:
+            return False
+        return self.concurrency is None or self.active < self.concurrency
+
+    # -- transitions -----------------------------------------------------
+
+    def request(self, rank, dest) -> str:
+        """One migration request arrives. Returns the verdict.
+
+        ``ADMIT`` — the caller must open the window now (the rank has
+        been moved into ``inflight``). ``QUEUED`` — parked FIFO behind
+        the conflict (same rank already migrating) or the concurrency
+        cap. ``COALESCED`` — the rank already had a queued request; its
+        destination was updated in place, queue position kept.
+        """
+        for i, (r, _) in enumerate(self.pending):
+            if r == rank:
+                self.pending[i] = (rank, dest)
+                return COALESCED
+        if not self.admissible(rank):
+            self.pending.append((rank, dest))
+            return QUEUED
+        self.inflight[rank] = dest
+        return ADMIT
+
+    def complete(self, rank) -> list:
+        """The open window for ``rank`` closed (commit or abort).
+
+        Returns the queued ``(rank, dest)`` requests that became
+        admissible, in FIFO order, already moved into ``inflight`` —
+        the caller opens each window. Unknown ranks are tolerated (a
+        duplicate close dispatches whatever is admissible and nothing
+        else).
+        """
+        self.inflight.pop(rank, None)
+        return self._dispatch()
+
+    def cancel(self, rank) -> list:
+        """``rank`` terminated: drop its queued request and open window.
+
+        Returns newly admissible queued requests, as :meth:`complete`.
+        """
+        self.pending = [(r, d) for r, d in self.pending if r != rank]
+        return self.complete(rank)
+
+    def _dispatch(self) -> list:
+        admitted = []
+        still = []
+        for rank, dest in self.pending:
+            if self.admissible(rank):
+                self.inflight[rank] = dest
+                admitted.append((rank, dest))
+            else:
+                still.append((rank, dest))
+        self.pending = still
+        return admitted

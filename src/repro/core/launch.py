@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.codec import NATIVE, Architecture
-from repro.core.adaptive import coerce_chunk_bytes
+from repro.core.adaptive import BandwidthBudget, coerce_chunk_bytes
+from repro.core.gang import GangAdmission
 from repro.core.api import Program, SnowAPI
 from repro.core.endpoint import MigrationEndpoint
 from repro.core.messages import MigrateRequest
@@ -79,6 +80,12 @@ class Application:
         the size, ``"adaptive"`` (or an :class:`~repro.core.adaptive.
         AdaptiveChunkPolicy`) sizes chunks AIMD-style from observed
         per-chunk ship latency on the transfer link.
+    migration_concurrency:
+        Cap on simultaneously open migration windows. ``None``
+        (default) lets windows for distinct ranks overlap freely —
+        same-rank requests always queue behind the open window — while
+        ``1`` reproduces the pre-gang fully serialized behavior. See
+        :mod:`repro.core.gang` and docs/protocol.md.
     """
 
     def __init__(self, vm: VirtualMachine, program: Program,
@@ -92,7 +99,8 @@ class Application:
                  migration_retry_limit: int = 2,
                  directory: "DirectorySpec | str | None" = None,
                  fastpath: bool = True,
-                 chunk_bytes=None):
+                 chunk_bytes=None,
+                 migration_concurrency: int | None = None):
         self.vm = vm
         self.program = program
         #: "direct" (connection-oriented) or "indirect" (daemon-routed)
@@ -112,6 +120,9 @@ class Application:
         self.drain_timeout = drain_timeout
         self.fastpath = fastpath
         self.chunk_bytes = coerce_chunk_bytes(chunk_bytes)
+        self.migration_concurrency = migration_concurrency
+        #: per-source-host fair-share ledgers for concurrent transfers
+        self._bandwidth_budgets: dict[str, BandwidthBudget] = {}
         self.migration_retry_limit = migration_retry_limit
         self.directory_spec = DirectorySpec.coerce(directory)
         #: spawned by start() when the backend is distributed
@@ -136,6 +147,19 @@ class Application:
     def arch_for(self, host: str) -> Architecture:
         return self.architectures.get(host, NATIVE)
 
+    def bandwidth_budget_for(self, host: str) -> BandwidthBudget:
+        """The fair-share transfer ledger of one source host.
+
+        Every migration leaving ``host`` draws from the same budget, so
+        concurrent transfers split the uplink instead of reading each
+        other's queue wait as congestion (see
+        :class:`repro.core.adaptive.BandwidthBudget`).
+        """
+        budget = self._bandwidth_budgets.get(host)
+        if budget is None:
+            budget = self._bandwidth_budgets[host] = BandwidthBudget(host)
+        return budget
+
     def start(self) -> "Application":
         """Spawn the scheduler and all rank processes (at virtual t=0)."""
         if self._started:
@@ -146,7 +170,8 @@ class Application:
         master_pl = PLTable()
         self.scheduler_state = SchedulerState(
             pl=master_pl, spawn_initialized=self._spawn_initialized,
-            migration_retry_limit=self.migration_retry_limit)
+            migration_retry_limit=self.migration_retry_limit,
+            admission=GangAdmission(concurrency=self.migration_concurrency))
         self._scheduler_ctx = vm.spawn(
             self.scheduler_host, scheduler_main, self.scheduler_state,
             name="scheduler", daemon=True)
@@ -186,7 +211,8 @@ class Application:
             retry_policy=self.retry,
             drain_timeout=self.drain_timeout,
             directory_client=self._directory_client(rank),
-            fastpath=self.fastpath, chunk_bytes=self.chunk_bytes)
+            fastpath=self.fastpath, chunk_bytes=self.chunk_bytes,
+            bandwidth_budget=self.bandwidth_budget_for(ctx.host))
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
         api = SnowAPI(endpoint, self.nranks,
@@ -236,6 +262,7 @@ class Application:
             drain_timeout=self.drain_timeout,
             directory_client=self._directory_client(rank),
             fastpath=self.fastpath, chunk_bytes=self.chunk_bytes,
+            bandwidth_budget=self.bandwidth_budget_for(ctx.host),
             trace_id=trace_id)
         self.endpoints[rank] = endpoint
         self.all_endpoints.append(endpoint)
@@ -262,6 +289,30 @@ class Application:
 
         if not self._started:
             raise ProtocolError("start() the application first")
+        self.vm.kernel.call_at(when, inject)
+
+    def migrate_many(self, when: float,
+                     moves: "list[tuple[Rank, str]]") -> None:
+        """Request a gang of migrations at virtual time *when*.
+
+        All requests land at the scheduler together; admission opens a
+        window per distinct rank immediately (up to
+        ``migration_concurrency``) and queues the rest, so independent
+        relocations overlap instead of paying one full window each.
+        """
+        if not self.migratable:
+            raise ProtocolError(
+                "cannot migrate an application launched with migratable=False")
+        if not self._started:
+            raise ProtocolError("start() the application first")
+        moves = list(moves)
+
+        def inject() -> None:
+            for rank, dest_host in moves:
+                self._scheduler_ctx.mailbox.put(ControlEnvelope(
+                    src_vmid=VmId("user", 0),
+                    msg=MigrateRequest(rank=rank, dest_host=dest_host)))
+
         self.vm.kernel.call_at(when, inject)
 
     def migrate_after_event(self, kind: str, rank: Rank, dest_host: str,

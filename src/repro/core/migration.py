@@ -140,8 +140,11 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         sizer = ep.chunk_bytes
         if isinstance(sizer, AdaptiveChunkPolicy):
             # a fresh controller per migration attempt: a retry after an
-            # abort starts from the policy's initial size again
-            controller = ChunkController(sizer)
+            # abort starts from the policy's initial size again. The
+            # controller holds a slot in the host's shared bandwidth
+            # budget for the life of the transfer, so concurrent windows
+            # leaving this host split the uplink fairly.
+            controller = ChunkController(sizer, budget=ep.bandwidth_budget)
             sizer = controller
         source = ChunkSource(state, ep.arch, sizer)
 
@@ -198,7 +201,8 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
             if remaining <= 0:
                 _abort_migration(ep, waiting, xfer,
                                  span_t0={"reject": t_reject0,
-                                          "drain": t_coord0})
+                                          "drain": t_coord0},
+                                 controller=controller)
                 return
         if source is not None and not source.exhausted \
                 and not len(ctx.mailbox):
@@ -212,7 +216,8 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         if item is TIMEOUT:
             _abort_migration(ep, waiting, xfer,
                              span_t0={"reject": t_reject0,
-                                      "drain": t_coord0})
+                                      "drain": t_coord0},
+                             controller=controller)
             return
         ep.dispatch(item)
     ep._drain_waiting = None
@@ -259,7 +264,10 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
         # delivered by now, which is where the latency win comes from.
         while not source.exhausted:
             send_next_chunk()
-        extra = controller.stats() if controller is not None else {}
+        extra = {}
+        if controller is not None:
+            extra = controller.stats()
+            controller.close()
         vm.trace_record(ctx.name, "collect_done",
                         nbytes=source.total_nbytes,
                         seconds=collect_seconds, nchunks=source.nchunks,
@@ -281,7 +289,8 @@ def run_migration(ep: MigrationEndpoint, state: dict) -> None:
 
 def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]",
                      xfer: Channel | None = None,
-                     span_t0: "dict[str, float] | None" = None) -> None:
+                     span_t0: "dict[str, float] | None" = None,
+                     controller: ChunkController | None = None) -> None:
     """Drain timeout expired: revert to normal execution (hardened mode).
 
     Undoes Fig. 5 lines 4-5: the endpoint returns to NORMAL, the local
@@ -304,6 +313,10 @@ def _abort_migration(ep: MigrationEndpoint, waiting: "set[Rank]",
     ctx = ep.ctx
     vm = ep.vm
     kernel = ep.kernel
+    if controller is not None:
+        # give the bandwidth-budget slot back: a dead transfer must not
+        # keep diluting the fair shares of still-live windows
+        controller.close()
     if xfer is not None:
         xfer.close_end(ctx.vmid)
     # close open phase spans innermost-first (drain opened after reject)

@@ -40,6 +40,7 @@ from repro.core.messages import (
     SIG_MIGRATE,
     TerminateNotice,
 )
+from repro.core.gang import ADMIT, GangAdmission
 from repro.core.pltable import PLTable
 from repro.directory.base import CentralizedDirectory, LocationRecord
 from repro.directory.messages import DirRetransmitTick, DirUpdateAck
@@ -119,6 +120,9 @@ class SchedulerState:
     migration_retry_limit: int = 2
     #: aborted-and-retried counts, per rank
     abort_retries: dict[Rank, int] = field(default_factory=dict)
+    #: overlapping-window admission: same-rank requests queue, others
+    #: overlap up to the configured concurrency (1 = serialized)
+    admission: GangAdmission = field(default_factory=GangAdmission)
 
     def __post_init__(self) -> None:
         if self.directory is None:
@@ -146,6 +150,53 @@ def _publish(ctx: ProcessContext, state: SchedulerState,
     """Push a freshly written record to the directory daemons, if any."""
     if state.publisher is not None:
         state.publisher.publish(ctx, record)
+
+
+def _open_window(ctx: ProcessContext, state: SchedulerState,
+                 rank: Rank, dest_host: str) -> None:
+    """Open one migration window: spawn the initialized process on the
+    destination and signal the migrating process. The caller has already
+    passed the request through admission."""
+    vm = ctx.vm
+    rec = MigrationRecord(
+        rank=rank, dest_host=dest_host,
+        t_request=ctx.kernel.now,
+        trace_id=f"sim-r{rank}-{len(state.migrations)}")
+    state.migrations.append(rec)
+    # Process initialization: remote invocation of the
+    # migration-enabled executable on the destination machine.
+    ctx.burn(PROCESS_INIT_COST)
+    new_vmid = state.spawn_initialized(rank, dest_host)
+    _publish(ctx, state,
+             state.directory.designate_init(rank, new_vmid))
+    rec.new_vmid = new_vmid
+    vm.trace_record(ctx.name, "initialized_process_spawned",
+                    rank=rank, vmid=str(new_vmid), host=dest_host)
+    # Now instruct the migrating process.
+    target = state.pl.lookup(rank)
+    ctx.send_signal(target, SIG_MIGRATE)
+    rec.t_signalled = ctx.kernel.now
+    vm.trace_record(ctx.name, "migration_signalled", rank=rank,
+                    target=str(target))
+
+
+def _dispatch_admitted(ctx: ProcessContext, state: SchedulerState,
+                       admitted: list) -> None:
+    """Open windows for queued requests that admission just released.
+
+    A rank that stopped running while it sat in the queue is dropped —
+    and dropping it closes its just-granted window, which may in turn
+    release further queued requests.
+    """
+    for rank, dest_host in admitted:
+        if state.status.get(rank) != STATUS_RUNNING:
+            ctx.vm.trace_record(ctx.name, "migrate_request_ignored",
+                                rank=rank, status=state.status.get(rank))
+            _dispatch_admitted(ctx, state, state.admission.complete(rank))
+            continue
+        ctx.vm.trace_record(ctx.name, "migration_dequeued", rank=rank,
+                            dest=dest_host)
+        _open_window(ctx, state, rank, dest_host)
 
 
 def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
@@ -179,33 +230,22 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
             ctx.route_control(msg.reply_to, reply)
 
         elif isinstance(msg, MigrateRequest):
-            if state.status.get(msg.rank) != STATUS_RUNNING \
-                    or msg.rank in state.init_vmid:
+            status = state.status.get(msg.rank)
+            if status not in (STATUS_RUNNING, STATUS_MIGRATING):
                 vm.trace_record(ctx.name, "migrate_request_ignored",
-                                rank=msg.rank,
-                                status=state.status.get(msg.rank))
+                                rank=msg.rank, status=status)
                 continue
-            rec = MigrationRecord(
-                rank=msg.rank, dest_host=msg.dest_host,
-                t_request=ctx.kernel.now,
-                trace_id=f"sim-r{msg.rank}-{len(state.migrations)}")
-            state.migrations.append(rec)
-            # Process initialization: remote invocation of the
-            # migration-enabled executable on the destination machine.
-            ctx.burn(PROCESS_INIT_COST)
-            new_vmid = state.spawn_initialized(msg.rank, msg.dest_host)
-            _publish(ctx, state,
-                     state.directory.designate_init(msg.rank, new_vmid))
-            rec.new_vmid = new_vmid
-            vm.trace_record(ctx.name, "initialized_process_spawned",
-                            rank=msg.rank, vmid=str(new_vmid),
-                            host=msg.dest_host)
-            # Now instruct the migrating process.
-            target = state.pl.lookup(msg.rank)
-            ctx.send_signal(target, SIG_MIGRATE)
-            rec.t_signalled = ctx.kernel.now
-            vm.trace_record(ctx.name, "migration_signalled", rank=msg.rank,
-                            target=str(target))
+            verdict = state.admission.request(msg.rank, msg.dest_host)
+            if verdict != ADMIT:
+                # Same-rank conflict or the concurrency cap: parked
+                # until an open window closes (the queued-conflict case
+                # in docs/protocol.md).
+                vm.trace_record(ctx.name, "migration_queued",
+                                rank=msg.rank, dest=msg.dest_host,
+                                verdict=verdict,
+                                depth=state.admission.depth)
+                continue
+            _open_window(ctx, state, msg.rank, msg.dest_host)
 
         elif isinstance(msg, MigrationStart):
             # Idempotent: a retransmit (its reply was lost) is answered
@@ -259,6 +299,8 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                 rec.t_committed = ctx.kernel.now
                 vm.trace_record(ctx.name, "migration_committed",
                                 rank=msg.rank)
+                _dispatch_admitted(ctx, state,
+                                   state.admission.complete(msg.rank))
             except LookupError:
                 vm.trace_record(ctx.name, "scheduler_dup_reack",
                                 msg="MigrationCommit", rank=msg.rank)
@@ -299,6 +341,8 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                                            dest_host=dest_host)))
                     vm.trace_record(ctx.name, "migration_retry_queued",
                                     rank=msg.rank, attempt=retries + 1)
+                _dispatch_admitted(ctx, state,
+                                   state.admission.complete(msg.rank))
             else:
                 vm.trace_record(ctx.name, "scheduler_dup_reack",
                                 msg="MigrationAbort", rank=msg.rank)
@@ -320,6 +364,8 @@ def scheduler_main(ctx: ProcessContext, state: SchedulerState) -> None:
                 ctx.route_control(pending, InitAbort(rank=msg.rank))
                 vm.trace_record(ctx.name, "migration_aborted",
                                 rank=msg.rank, init=str(pending))
+            _dispatch_admitted(ctx, state,
+                               state.admission.cancel(msg.rank))
             if msg.ack:
                 ctx.route_control(item.src_vmid,
                                   SchedulerAck("terminate", msg.rank))

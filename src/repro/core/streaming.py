@@ -100,6 +100,24 @@ class ChunkSource:
         return self._seq
 
     @property
+    def sent_nbytes(self) -> int:
+        """Bytes emitted so far, for live transfer-progress surfaces.
+
+        With concurrent migration windows sharing one link, per-window
+        progress is how an operator tells a transfer that is pacing
+        itself under a contended bandwidth budget from one that is
+        stuck — the mp worker exports it as the ``mp.transfer_nbytes``
+        gauge."""
+        return self._sent
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the encoded state emitted (1.0 once exhausted)."""
+        if self.total_nbytes == 0:
+            return 1.0 if self._done else 0.0
+        return self._sent / self.total_nbytes
+
+    @property
     def exhausted(self) -> bool:
         return self._done
 

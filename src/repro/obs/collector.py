@@ -218,6 +218,27 @@ class RegistryCollector:
                 out.setdefault(tid, []).append(rec)
         return out
 
+    def trace_links(self) -> dict[str, list[str]]:
+        """Cross-trace causality edges: ``{trace_id: [linked ids...]}``.
+
+        Built from the ``links`` field of collected records (today: a
+        recovery's ``recover`` root span linking the migration window it
+        interrupted). Only traces that carry at least one link appear;
+        linked ids are de-duplicated in first-seen order so stitching
+        tools can walk migration → recovery chains deterministically.
+        """
+        out: dict[str, list[str]] = {}
+        for rec in self.events():
+            tid = rec.get("trace_id")
+            links = rec.get("links")
+            if tid is None or not links:
+                continue
+            seen = out.setdefault(tid, [])
+            for link in links:
+                if link not in seen:
+                    seen.append(link)
+        return out
+
     def live_view(self) -> dict[str, dict[str, Any]]:
         """Latest streamed gauge levels per actor.
 

@@ -27,6 +27,13 @@ Span records may additionally carry the causal trace context: a
 a ``parent`` naming the phase it is causally nested under. Both are
 optional — pre-trace artifacts stay valid — but when present they must
 be strings, and the validator enforces that.
+
+A record may also carry ``links``: a list of *other* traces' ids this
+record is causally connected to without being nested under them. The
+one producer today is cross-migration causality — a recovery triggered
+by a crash inside a migration window links the interrupted migration's
+trace on its ``recover`` root span, so trace stitching can walk from
+the migration into the recovery it caused.
 """
 
 from __future__ import annotations
@@ -132,6 +139,12 @@ def validate_record(rec: Any) -> str | None:
             if not isinstance(rec[field], str):
                 return (f"field {field!r} has type "
                         f"{type(rec[field]).__name__}, expected str")
+    if "links" in rec and rec["links"] is not None:
+        if kind not in TRACE_KINDS:
+            return f"{kind} record may not carry 'links'"
+        if not isinstance(rec["links"], list) \
+                or not all(isinstance(x, str) for x in rec["links"]):
+            return "field 'links' must be a list of trace-id strings"
     return None
 
 

@@ -63,6 +63,7 @@ from repro.core.adaptive import (
     coerce_chunk_bytes,
 )
 from repro.core.checkpointing import CheckpointStore
+from repro.core.gang import ADMIT, GangAdmission
 from repro.core.streaming import DEFAULT_CHUNK_BYTES, ChunkSource
 from repro.directory.chordring import ChordRing
 from repro.directory.hashring import HashRing
@@ -124,6 +125,70 @@ def _configure_logging() -> None:
             "[mp %(process)d %(created).3f] %(levelname)s %(message)s"))
         log.addHandler(handler)
         log.propagate = False
+
+
+class _SharedBandwidthBudget:
+    """Cross-process :class:`~repro.core.adaptive.BandwidthBudget`.
+
+    Concurrent migrations are separate forked OS processes, so the
+    fair-share ledger their :class:`ChunkController`\\ s consult must
+    live in ``multiprocessing`` shared memory: slot counts and the
+    pooled RTT floor are ``Value`` cells inherited across fork, guarded
+    by one shared lock. The duck-typed surface (``acquire`` / ``release``
+    / ``share`` / ``observe_latency`` / ``rtt_floor``) matches the
+    in-process ledger exactly, so the controller code is byte-identical
+    in both runtimes.
+    """
+
+    def __init__(self, ctx) -> None:
+        self._lock = ctx.Lock()
+        self._active = ctx.Value("i", 0, lock=False)
+        self._peak = ctx.Value("i", 0, lock=False)
+        self._acquires = ctx.Value("i", 0, lock=False)
+        #: 0.0 encodes "no observation yet" (a real ship latency is > 0,
+        #: and observe_latency ignores non-positive samples anyway)
+        self._floor = ctx.Value("d", 0.0, lock=False)
+
+    def acquire(self) -> None:
+        with self._lock:
+            self._active.value += 1
+            self._acquires.value += 1
+            if self._active.value > self._peak.value:
+                self._peak.value = self._active.value
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active.value > 0:
+                self._active.value -= 1
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active.value
+
+    @property
+    def share(self) -> int:
+        return max(1, self.active)
+
+    def observe_latency(self, latency: float) -> None:
+        if latency <= 0.0:
+            return
+        with self._lock:
+            if self._floor.value == 0.0 or latency < self._floor.value:
+                self._floor.value = latency
+
+    @property
+    def rtt_floor(self) -> float | None:
+        with self._lock:
+            return self._floor.value or None
+
+    def stats(self) -> dict:
+        """Ledger counters for tests and bench artifacts."""
+        with self._lock:
+            return {"active": self._active.value,
+                    "peak_active": self._peak.value,
+                    "acquires": self._acquires.value,
+                    "rtt_floor": self._floor.value or None}
 
 
 # ---------------------------------------------------------------------------
@@ -225,6 +290,12 @@ class _Registry:
         #: registry's migration_window record at commit)
         self._mig_trace: dict[int, str] = {}
         self.migration_windows: list[dict] = []
+        #: gang-admission hooks the cluster installs: fired *outside*
+        #: the registry lock when a migration window closes
+        #: (restore_complete) or a rank terminates, so queued windows
+        #: can dispatch without lock-order entanglement
+        self.on_window_closed: Callable[[int], None] | None = None
+        self.on_rank_terminated: Callable[[int], None] | None = None
         self.listener = socket.create_server(("127.0.0.1", 0))
         self.addr = self.listener.getsockname()
         self._lock = threading.Lock()
@@ -330,6 +401,9 @@ class _Registry:
                             rank=window["rank"], seconds=window["seconds"],
                             **tctx)
                     send_frame(conn, ("pl_snapshot", table))
+                    cb = self.on_window_closed
+                    if cb is not None:
+                        cb(rank)
                 elif kind == "dir_membership":
                     # a worker asking for the daemon-shard membership
                     # view (after a scheduler fallback, to catch churn)
@@ -355,6 +429,9 @@ class _Registry:
                     with self._lock:
                         self.status[rank] = "terminated"
                         self._dir_write(rank)
+                    cb = self.on_rank_terminated
+                    if cb is not None:
+                        cb(rank)
                 else:  # pragma: no cover - protocol error guard
                     raise ValueError(f"bad registry frame {frame!r}")
         except (FrameClosed, OSError):
@@ -382,6 +459,18 @@ class _Registry:
             if trace_id is not None:
                 self._mig_trace[rank] = trace_id
         send_frame(conn, ("migrate", arch_name, trace_id))
+
+    def interrupted_migration(self, rank: int) -> str | None:
+        """Pop the trace id of the migration *rank* died inside.
+
+        Returns ``None`` when the crash hit steady state. Clearing the
+        window bookkeeping here keeps the recovery's eventual
+        ``restore_complete`` from being measured against the dead
+        migration's start time (and a later successful migration from
+        absorbing it)."""
+        with self._lock:
+            self._mig_t0.pop(rank, None)
+            return self._mig_trace.pop(rank, None)
 
     # -- recovery coordination (called from the launcher/supervisor) -------
     def begin_recovery(self, rank: int) -> None:
@@ -576,7 +665,8 @@ class _Worker:
                  dir_cfg: DaemonClientConfig | None = None,
                  rec_cfg: WorkerRecoveryConfig | None = None,
                  chunk_bytes=DEFAULT_CHUNK_BYTES,
-                 trace_id: str | None = None):
+                 trace_id: str | None = None,
+                 budget: "_SharedBandwidthBudget | None" = None):
         self.rank = rank
         self.nranks = nranks
         self.program = program
@@ -589,6 +679,9 @@ class _Worker:
         self.trace_id = trace_id
         #: fixed int or AdaptiveChunkPolicy (one controller per migration)
         self.chunk_bytes = chunk_bytes
+        #: host-wide fair-share ledger for concurrent adaptive transfers
+        #: (fork-shared; None for fixed chunk sizes or solo migrations)
+        self.budget = budget
         self.inbox: queue.Queue = queue.Queue()
         self.links: dict[int, _PeerLink] = {}
         #: every FrameStats handed to a link, including replaced links —
@@ -652,6 +745,7 @@ class _Worker:
             self._g_links = m.gauge("mp.live_links", rank=rank)
             self._g_outbox = m.gauge("mp.outbox_len", rank=rank)
             self._g_chunk = m.gauge("mp.chunk_bytes", rank=rank)
+            self._g_xfer = m.gauge("mp.transfer_nbytes", rank=rank)
             self._c_ckpts = m.counter("recovery.checkpoints", rank=rank)
             self._c_dups = m.counter("recovery.dups_dropped", rank=rank)
             self._c_replayed = m.counter("recovery.replayed_msgs",
@@ -1422,7 +1516,7 @@ class _Worker:
             sizer = self.chunk_bytes
             controller = None
             if isinstance(sizer, AdaptiveChunkPolicy):
-                controller = ChunkController(sizer)
+                controller = ChunkController(sizer, budget=self.budget)
                 sizer = controller
             if parts is None:
                 source = ChunkSource(state, self.arch, sizer)
@@ -1450,12 +1544,19 @@ class _Worker:
                         self._g_chunk.set(controller.size)
                 nchunks += 1
                 if obs is not None:
+                    # live per-window progress: with overlapping gangs
+                    # this is how a paced-but-contended transfer is told
+                    # apart from a stuck one in the live view
+                    self._g_xfer.set(source.sent_nbytes)
                     obs.event("state_chunk", seq=c.seq, nbytes=len(data),
                               last=c.last, rank=self.rank,
                               **self._tctx("transfer"))
             batch.flush()
             if controller is not None:
                 ctrl_stats = controller.stats()
+                # give the gang its slot back the moment the last chunk
+                # is on the wire — the restore side no longer contends
+                controller.close()
         else:
             send_frame(xfer, ("state_transfer", self.rank, tid))
             send_frame(xfer, ("recvlist",
@@ -1494,11 +1595,13 @@ def _worker_main(rank: int, nranks: int, registry_addr: tuple,
                  state: dict | None = None,
                  dir_cfg: DaemonClientConfig | None = None,
                  rec_cfg: WorkerRecoveryConfig | None = None,
-                 chunk_bytes=DEFAULT_CHUNK_BYTES) -> None:
+                 chunk_bytes=DEFAULT_CHUNK_BYTES,
+                 budget: "_SharedBandwidthBudget | None" = None) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=False,
                 arch=arch, incarnation=0, fastpath=fastpath, obs=obs,
-                dir_cfg=dir_cfg, rec_cfg=rec_cfg, chunk_bytes=chunk_bytes)
+                dir_cfg=dir_cfg, rec_cfg=rec_cfg, chunk_bytes=chunk_bytes,
+                budget=budget)
     w.pl = dict(pl)
     _run_program(w, dict(state) if state else {})
 
@@ -1510,12 +1613,13 @@ def _init_main(rank: int, nranks: int, registry_addr: tuple,
                dir_cfg: DaemonClientConfig | None = None,
                rec_cfg: WorkerRecoveryConfig | None = None,
                chunk_bytes=DEFAULT_CHUNK_BYTES,
-               trace_id: str | None = None) -> None:
+               trace_id: str | None = None,
+               budget: "_SharedBandwidthBudget | None" = None) -> None:
     _configure_logging()
     w = _Worker(rank, nranks, registry_addr, program, initializing=True,
                 arch=arch, incarnation=incarnation, fastpath=fastpath,
                 obs=obs, dir_cfg=dir_cfg, rec_cfg=rec_cfg,
-                chunk_bytes=chunk_bytes, trace_id=trace_id)
+                chunk_bytes=chunk_bytes, trace_id=trace_id, budget=budget)
     # Fig. 7: accept connections from the start; wait for the transfer.
     # The state arrives either as one legacy ("state", blob) frame or as
     # an ordered run of ("state_chunk", seq, data, last, total) frames;
@@ -1676,7 +1780,8 @@ class MPCluster:
                  obs: "ObsConfig | bool | None" = None,
                  init_states: "list[dict] | None" = None,
                  recovery: "RecoverySpec | bool | str | None" = None,
-                 chunk_bytes=None):
+                 chunk_bytes=None,
+                 migration_concurrency: int | None = None):
         _configure_logging()
         self.program = program
         self.nranks = nranks
@@ -1720,6 +1825,20 @@ class MPCluster:
         self._members: list[_Member] = []
         self._mlock = threading.Lock()
         self.supervisor: Supervisor | None = None
+        #: gang admission: how many migration windows may overlap
+        #: (``None`` = unbounded, ``1`` reproduces the pre-gang
+        #: serialized behavior exactly)
+        self.migration_concurrency = migration_concurrency
+        self.admission = GangAdmission(concurrency=migration_concurrency)
+        self._adm_lock = threading.Lock()
+        #: fork-shared fair-share ledger for concurrent adaptive
+        #: transfers; fixed chunk sizes need no ledger (no AIMD signal
+        #: to protect from sibling queue wait)
+        self.budget = (_SharedBandwidthBudget(self._ctx)
+                       if isinstance(self.chunk_bytes, AdaptiveChunkPolicy)
+                       else None)
+        self.registry.on_window_closed = self._commit_window
+        self.registry.on_rank_terminated = self._cancel_window
 
     def _dir_cfg(self) -> DaemonClientConfig | None:
         """Shard-daemon membership to hand a process being spawned."""
@@ -1744,7 +1863,8 @@ class MPCluster:
                 target=_worker_main,
                 args=(rank, self.nranks, self.registry.addr, self.program,
                       {}, self.arch, self.fastpath, self.obs, state,
-                      dir_cfg, self._rec_cfg, self.chunk_bytes),
+                      dir_cfg, self._rec_cfg, self.chunk_bytes,
+                      self.budget),
                 daemon=True)
             p.start()
             self._procs.append(p)
@@ -1768,10 +1888,127 @@ class MPCluster:
     def migrate(self, rank: int) -> None:
         """Move *rank* into a brand-new OS process.
 
-        Waits for any in-flight migration of the same rank to commit
-        first (the registry must hold a live control connection to the
-        current incarnation before it can signal it).
+        Blocks until the request is admitted: any in-flight migration
+        of the same rank must commit first (the registry must hold a
+        live control connection to the current incarnation before it
+        can signal it), and a ``migration_concurrency`` cap must have a
+        free window. Use :meth:`migrate_many` to open overlapping
+        windows without blocking on admission.
         """
+        deadline = time.time() + _CONNECT_TIMEOUT
+        while time.time() < deadline:
+            with self.registry._lock:
+                ready = (self.registry.status.get(rank) == "running"
+                         and rank not in self.registry.init_addr)
+            if ready:
+                with self._adm_lock:
+                    if self.admission.admissible(rank):
+                        self.admission.request(rank, None)
+                        break
+            time.sleep(0.01)
+        else:
+            raise RuntimeError(f"rank {rank} is not in a migratable state")
+        try:
+            self._launch_migration(rank)
+        except BaseException:
+            self._close_window(rank)
+            raise
+
+    def migrate_many(self, ranks: "list[int]") -> dict[int, str]:
+        """Request a gang of concurrent migrations; rank → verdict.
+
+        Every request enters the shared :class:`GangAdmission` machine:
+        ``admit`` windows are launched concurrently (this call returns
+        once each admitted migration has been signalled — its window is
+        open and overlapping with its siblings), ``queued`` requests
+        dispatch automatically as windows close, ``coalesced`` means an
+        earlier queued request for the same rank absorbed this one.
+        Use :meth:`wait_migrations` to wait for the whole gang —
+        including queued members — to commit.
+        """
+        with self._adm_lock:
+            verdicts = {rank: self.admission.request(rank, None)
+                        for rank in ranks}
+        admitted = [r for r, v in verdicts.items() if v == ADMIT]
+        threads = [threading.Thread(target=self._launch_admitted,
+                                    args=(r,), daemon=True)
+                   for r in admitted]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(_CONNECT_TIMEOUT)
+        return verdicts
+
+    def wait_migrations(self, timeout: float = 60.0) -> None:
+        """Block until every requested migration window has closed.
+
+        Settled means: no in-flight admission windows, an empty queue,
+        no initialized process awaiting its transfer, and every rank
+        either ``running`` or already ``terminated``.
+        """
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            with self._adm_lock:
+                quiet = (not self.admission.inflight
+                         and not self.admission.pending)
+            if quiet:
+                with self.registry._lock:
+                    settled = (not self.registry.init_addr
+                               and all(st in ("running", "terminated")
+                                       for st in
+                                       self.registry.status.values()))
+                if settled:
+                    return
+            time.sleep(0.01)
+        raise TimeoutError("gang migrations did not settle in time")
+
+    def _launch_admitted(self, rank: int) -> None:
+        """Open an admitted window; on launch failure close it so the
+        queue keeps draining instead of deadlocking behind a ghost."""
+        try:
+            self._launch_migration(rank)
+        except Exception:
+            log.exception("rank %d: admitted migration failed to launch",
+                          rank)
+            self._close_window(rank)
+
+    def _commit_window(self, rank: int) -> None:
+        """``restore_complete`` observed: the destination is now the
+        rank's running incarnation. Retire every older member (the
+        migrated-out source exits 0 on its own; superseding it keeps
+        the supervisor from ever resurrecting it), then free the
+        admission slot."""
+        with self._mlock:
+            mine = [m for m in self._members if m.rank == rank]
+            for m in mine[:-1]:
+                m.superseded = True
+        self._close_window(rank)
+
+    def _close_window(self, rank: int) -> None:
+        """A migration window closed (commit observed via
+        ``restore_complete``, a failed launch, or a recovery that
+        superseded it): free the admission slot and launch every queued
+        request that became admissible, each on its own thread."""
+        with self._adm_lock:
+            admitted = self.admission.complete(rank)
+        for r, _dest in admitted:
+            threading.Thread(target=self._launch_admitted, args=(r,),
+                             daemon=True).start()
+
+    def _cancel_window(self, rank: int) -> None:
+        """*rank* terminated: drop its queued request, close its window
+        and dispatch whatever that unblocks."""
+        with self._adm_lock:
+            admitted = self.admission.cancel(rank)
+        for r, _dest in admitted:
+            threading.Thread(target=self._launch_admitted, args=(r,),
+                             daemon=True).start()
+
+    def _launch_migration(self, rank: int) -> None:
+        """Open the (already admitted) migration window for *rank*:
+        spawn the initialized process, wait for it to register, signal
+        the source. The window stays open until the registry observes
+        ``restore_complete`` and fires :meth:`_close_window`."""
         deadline = time.time() + _CONNECT_TIMEOUT
         while time.time() < deadline:
             with self.registry._lock:
@@ -1784,7 +2021,12 @@ class MPCluster:
             raise RuntimeError(f"rank {rank} is not in a migratable state")
         inc = self._incarnation.get(rank, 0) + 1
         self._incarnation[rank] = inc
-        self._supersede(rank)
+        # The source is NOT superseded yet: it keeps executing (and
+        # stays crash-detectable by the supervisor) until the window
+        # commits — _commit_window retires it at restore_complete. A
+        # source that dies mid-window is therefore a plain rank crash,
+        # recovered from its checkpoint with the interrupted window's
+        # trace linked.
         # cluster-unique causal trace id: every span/frame of this
         # migration — source freeze..transfer, destination
         # restore/commit, the registry's window — stitches under it
@@ -1794,7 +2036,7 @@ class MPCluster:
             args=(rank, self.nranks, self.registry.addr, self.program,
                   self.dest_arch, inc, self.fastpath, self.obs,
                   self._dir_cfg(), self._rec_cfg, self.chunk_bytes,
-                  trace_id),
+                  trace_id, self.budget),
             daemon=True)
         p.start()
         self._procs.append(p)
@@ -1817,12 +2059,24 @@ class MPCluster:
             return list(self._members)
 
     def live_member(self, rank: int) -> _Member | None:
-        """The newest non-superseded member for *rank*, if any."""
+        """The member currently *executing* rank's program.
+
+        While a migration window is open two members are live — the
+        still-running source and the initialized destination waiting
+        for the state transfer. Until ``restore_complete`` promotes
+        it, the pending destination is skipped: crash injection
+        (:meth:`kill_rank`) and the heartbeat scan both mean the
+        incarnation that owns the program state."""
+        with self.registry._lock:
+            pending = rank in self.registry.init_addr
         with self._mlock:
-            for m in reversed(self._members):
-                if m.rank == rank and not m.superseded:
-                    return m
-        return None
+            live = [m for m in self._members
+                    if m.rank == rank and not m.superseded]
+        if not live:
+            return None
+        if pending and len(live) >= 2:
+            return live[-2]
+        return live[-1]
 
     def rank_status(self, rank: int) -> str:
         with self.registry._lock:
@@ -1885,11 +2139,25 @@ class MPCluster:
         # "rec-" prefix tells the replacement to hang restore under
         # "recover" instead of a source's "transfer")
         trace_id = f"rec-r{rank}.m{inc}-{uuid.uuid4().hex[:8]}"
+        # A crash *inside* a migration window interrupts that migration:
+        # pop its bookkeeping (so the recovery's restore_complete isn't
+        # measured against the dead window's start) and link its trace
+        # on the recover root span — the cross-migration causality edge
+        # obs_trace_links() exposes.
+        interrupted = self.registry.interrupted_migration(rank)
+        if interrupted is not None and self.budget is not None:
+            # the dead source may have died holding a bandwidth-budget
+            # slot (acquired when its transfer controller was built);
+            # release is clamped at zero, so freeing one here at worst
+            # under-counts a source that crashed before its transfer
+            # phase ever opened
+            self.budget.release()
         collector = self.registry.collector
         if collector is not None:
+            extra = {"links": [interrupted]} if interrupted else {}
             collector.record("registry", "span_start",
                              phase="recover", rank=rank,
-                             trace_id=trace_id)
+                             trace_id=trace_id, **extra)
         store = CheckpointStore(self._rec_cfg.dir)
         version = store.latest_complete_version(rank)
         if version is None:
@@ -1914,7 +2182,7 @@ class MPCluster:
             args=(rank, self.nranks, self.registry.addr, self.program,
                   self.dest_arch, inc, self.fastpath, self.obs,
                   self._dir_cfg(), self._rec_cfg, self.chunk_bytes,
-                  trace_id),
+                  trace_id, self.budget),
             daemon=True)
         p.start()
         self._procs.append(p)
@@ -1961,7 +2229,7 @@ class MPCluster:
                  "(incarnation %d)", rank, version or 0, seconds, inc)
         return {"rank": rank, "version": version or 0, "incarnation": inc,
                 "seconds": seconds, "nbytes": len(blob),
-                "trace_id": trace_id}
+                "trace_id": trace_id, "interrupted": interrupted}
 
     def _cleanup_recovery_dir(self) -> None:
         if self._recovery_tmp and self._recovery_root is not None:
@@ -2062,6 +2330,18 @@ class MPCluster:
     def obs_traces(self) -> dict[str, list[dict]]:
         """Events grouped by migration/recovery ``trace_id``."""
         return self._collector().traces()
+
+    def obs_trace_links(self) -> dict[str, list[str]]:
+        """Cross-trace causality edges (``{trace_id: [linked ids]}``):
+        a recovery triggered inside a migration window links the
+        interrupted migration's trace on its ``recover`` root span."""
+        return self._collector().trace_links()
+
+    def budget_stats(self) -> dict | None:
+        """Shared bandwidth-ledger counters (``None`` unless the run
+        uses adaptive chunking): active/peak slots, total acquires and
+        the pooled RTT floor the gang's ``auto`` budgets derive from."""
+        return self.budget.stats() if self.budget is not None else None
 
     def obs_live(self) -> dict[str, dict]:
         """Latest live-streamed gauge levels per actor (requires

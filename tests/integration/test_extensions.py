@@ -227,3 +227,51 @@ def test_balancer_respects_max_migrations(kernel):
     # u3 is occupied by a non-app process; the balancer only counts app
     # ranks, so it may still choose u3 — accept either, but enforce cap
     assert len(balancer.decisions) <= balancer.max_migrations
+
+
+def test_balancer_batches_concurrent_relocations(kernel):
+    """batch=2: one evaluation relocates both stragglers as a gang,
+    and the two migration windows actually overlap."""
+    vm = VirtualMachine(kernel)
+    vm.add_host("slow0", cpu_speed=0.1)
+    vm.add_host("slow1", cpu_speed=0.1)
+    for i in range(3):
+        vm.add_host(f"u{i}")
+    vm.add_host("idle-a", cpu_speed=2.0)
+    vm.add_host("idle-b", cpu_speed=2.0)
+
+    def prog(api, state):
+        i = state.get("i", 0)
+        while i < 40:
+            api.compute(0.02)
+            i += 1
+            state["i"] = i
+            api.log("unit_done", i=i)
+            api.poll_migration(state)
+
+    app = Application(vm, prog, placement=["slow0", "slow1", "u0", "u1"],
+                      scheduler_host="u2")
+    app.start()
+    balancer = LoadBalancer(app, signal="progress",
+                            progress_kind="app_unit_done",
+                            interval=0.3, cooldown=0.5, batch=2).attach()
+    app.run()
+    assert len(balancer.decisions) >= 2
+    first, second = balancer.decisions[:2]
+    # both slow ranks chosen in the same evaluation, distinct idle hosts
+    assert {first.rank, second.rank} == {0, 1}
+    assert first.time == second.time
+    assert {first.dest_host, second.dest_host} == {"idle-a", "idle-b"}
+    done = {m.rank for m in app.migrations if m.completed}
+    assert done >= {0, 1}
+    # gang admission opened the two windows concurrently
+    wins: dict = {}
+    for ev in vm.trace.events:
+        r = ev.detail.get("rank")
+        if ev.kind == "migration_start" and r not in wins:
+            wins[r] = [ev.time, None]
+        elif ev.kind == "migration_commit" and r in wins \
+                and wins[r][1] is None:
+            wins[r][1] = ev.time
+    (s0, c0), (s1, c1) = sorted(wins[r] for r in (0, 1))
+    assert s1 < c0, "batched windows should overlap"

@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.adaptive import (
     AdaptiveChunkPolicy,
+    BandwidthBudget,
     ChunkController,
     coerce_chunk_bytes,
 )
@@ -90,7 +91,8 @@ def test_stats_keys_and_counters():
     c.observe(c.next_size(), SLOW)   # backoff
     s = c.stats()
     assert set(s) == {"chunk_bytes_last", "chunk_bytes_min",
-                      "chunk_bytes_max", "chunk_growths", "chunk_backoffs"}
+                      "chunk_bytes_max", "chunk_growths", "chunk_backoffs",
+                      "latency_budget_s", "rtt_floor_s"}
     assert s["chunk_growths"] == 1 and s["chunk_backoffs"] == 1
     assert s["chunk_bytes_min"] == 1024 and s["chunk_bytes_max"] == 2048
     assert s["chunk_bytes_last"] == c.size
@@ -130,6 +132,143 @@ def test_coerce_chunk_bytes_variants():
             coerce_chunk_bytes(bad)
 
 
+# -- latency_budget="auto": RTT-floor autotune ---------------------------
+
+
+def test_auto_budget_first_observation_always_in_budget():
+    """The first chunk seeds the RTT floor, so it can never back off."""
+    c = ChunkController(AdaptiveChunkPolicy(floor=1024,
+                                            latency_budget="auto"))
+    import math
+    assert c.latency_budget() == math.inf       # no floor yet
+    c.observe(c.next_size(), 5.0)               # terrible, but the first
+    assert c.backoffs == 0 and c.growths == 1
+    assert c.latency_budget() == pytest.approx(5.0 * c.policy.auto_headroom)
+
+
+def test_auto_budget_tracks_the_observed_floor():
+    p = AdaptiveChunkPolicy(floor=1024, latency_budget="auto",
+                            auto_headroom=4.0)
+    c = ChunkController(p)
+    c.observe(c.next_size(), 1e-3)              # floor := 1ms, budget 4ms
+    c.observe(c.next_size(), 3e-3)              # in budget -> grow
+    assert c.backoffs == 0
+    c.observe(c.next_size(), 5e-3)              # over 4ms -> back off
+    assert c.backoffs == 1
+    c.observe(c.next_size(), 1e-4)              # new floor: budget 400us
+    assert c.latency_budget() == pytest.approx(4e-4)
+    c.observe(c.next_size(), 5e-4)
+    assert c.backoffs == 2
+    assert c.stats()["rtt_floor_s"] == pytest.approx(1e-4)
+
+
+def test_auto_budget_is_deterministic():
+    lat = [2e-3, 1e-3, 4e-3, 9e-3, 5e-4, 2e-3, 8e-3, 1e-3]
+
+    def run():
+        c = ChunkController(AdaptiveChunkPolicy(floor=4096,
+                                                latency_budget="auto"))
+        sizes = []
+        for x in lat:
+            sizes.append(c.next_size())
+            c.observe(sizes[-1], x)
+        return sizes, c.stats()
+
+    assert run() == run()
+
+
+def test_auto_budget_ignores_zero_latency():
+    """A 0s ship (sim loopback) must not poison the floor to zero."""
+    c = ChunkController(AdaptiveChunkPolicy(floor=1024,
+                                            latency_budget="auto"))
+    c.observe(c.next_size(), 0.0)
+    assert c.stats()["rtt_floor_s"] is None
+    for _ in range(5):                          # all-zero latency: grow
+        c.observe(c.next_size(), 0.0)
+    assert c.backoffs == 0 and c.growths >= 5
+
+
+def test_auto_policy_validation():
+    with pytest.raises(MigrationError):
+        AdaptiveChunkPolicy(latency_budget="fast")
+    with pytest.raises(MigrationError):
+        AdaptiveChunkPolicy(latency_budget="auto", auto_headroom=1.0)
+    # "auto" round-trips coercion untouched
+    p = AdaptiveChunkPolicy(latency_budget="auto")
+    assert coerce_chunk_bytes(p) is p
+
+
+# -- BandwidthBudget: fair-share across concurrent transfers -------------
+
+
+def test_budget_slot_accounting():
+    b = BandwidthBudget("h0")
+    assert b.active == 0 and b.share == 1
+    c1 = ChunkController(AdaptiveChunkPolicy(), budget=b)
+    c2 = ChunkController(AdaptiveChunkPolicy(), budget=b)
+    assert b.active == 2 and b.peak_active == 2
+    c1.close()
+    assert b.active == 1
+    c1.close()                                  # idempotent
+    assert b.active == 1
+    c2.close()
+    assert b.active == 0 and b.share == 1
+
+
+def test_budget_scales_latency_budget_by_share():
+    """Two transfers each tolerate 2x the solo budget: queue wait behind
+    a sibling is contention, not congestion."""
+    b = BandwidthBudget()
+    p = AdaptiveChunkPolicy(floor=1024, latency_budget=1e-3)
+    c1 = ChunkController(p, budget=b)
+    assert c1.latency_budget() == pytest.approx(1e-3)
+    c2 = ChunkController(p, budget=b)
+    assert c1.latency_budget() == pytest.approx(2e-3)
+    # 1.5ms would back off solo, but is in budget with a sibling active
+    c1.observe(c1.next_size(), 1.5e-3)
+    assert c1.backoffs == 0
+    c2.close()
+    c1.observe(c1.next_size(), 1.5e-3)          # solo again: over budget
+    assert c1.backoffs == 1
+    c1.close()
+
+
+def test_budget_caps_size_at_equal_split_of_ceiling():
+    b = BandwidthBudget()
+    p = AdaptiveChunkPolicy(floor=1024, ceiling=64 * 1024, initial=64 * 1024)
+    c1 = ChunkController(p, budget=b)
+    assert c1.next_size() == 64 * 1024
+    others = [ChunkController(p, budget=b) for _ in range(3)]
+    assert c1.next_size() == 16 * 1024          # ceiling // 4
+    for o in others:
+        o.close()
+    assert c1.next_size() == 64 * 1024
+    c1.close()
+    # the cap never undercuts the floor
+    c = ChunkController(p, budget=b)
+    for _ in range(200):
+        BandwidthBudget.acquire(b)
+    assert c.next_size() >= p.floor
+
+
+def test_budget_pools_rtt_floor_across_transfers():
+    """A transfer joining mid-gang inherits the link's floor instead of
+    mistaking its own congested first chunk for the best case."""
+    b = BandwidthBudget()
+    p = AdaptiveChunkPolicy(floor=1024, initial=4096,
+                            latency_budget="auto", auto_headroom=4.0)
+    c1 = ChunkController(p, budget=b)
+    c1.observe(c1.next_size(), 1e-3)            # link floor := 1ms
+    c2 = ChunkController(p, budget=b)           # joins the gang
+    # share==2, pooled floor 1ms -> budget 8ms; a congested 20ms first
+    # chunk backs off instead of seeding a 20ms floor
+    assert c2.latency_budget() == pytest.approx(8e-3)
+    c2.observe(c2.next_size(), 20e-3)
+    assert c2.backoffs == 1
+    c1.close()
+    c2.close()
+
+
 def test_chunk_source_accepts_controller():
     """ChunkSource duck-types the controller as a size provider."""
     c = ChunkController(AdaptiveChunkPolicy(floor=1024, ceiling=4096))
@@ -142,3 +281,17 @@ def test_chunk_source_accepts_controller():
     # growth between chunks means the source asked the controller anew
     assert sizes[0] <= 1024 and len(sizes) >= 3
     assert any(b > a for a, b in zip(sizes, sizes[1:]))
+
+
+def test_chunk_source_reports_progress():
+    """sent_nbytes/progress track the cut stream monotonically to 1.0
+    (the live per-window surface for overlapping transfers)."""
+    src = ChunkSource({"x": bytes(10_000)}, NATIVE, chunk_bytes=4096)
+    assert src.sent_nbytes == 0 and src.progress == 0.0
+    seen = [0]
+    while not src.exhausted:
+        src.next_chunk()
+        assert src.sent_nbytes > seen[-1]
+        seen.append(src.sent_nbytes)
+        assert src.progress == src.sent_nbytes / src.total_nbytes
+    assert src.progress == 1.0 and src.sent_nbytes == src.total_nbytes

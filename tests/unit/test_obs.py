@@ -290,6 +290,43 @@ def test_validate_record_accepts_trace_context_on_trace_kinds(kind, extra):
     assert validate_record(rec2) is None
 
 
+def test_validate_record_accepts_links_on_trace_kinds():
+    rec = {"ts": 1.0, "actor": "p1", "kind": "span_start",
+           "phase": "recover", "rank": 1, "trace_id": "rec-r1-1",
+           "links": ["mig-r1.m1-deadbeef"]}
+    assert validate_record(rec) is None
+    rec["links"] = None  # explicit None treated as absent
+    assert validate_record(rec) is None
+
+
+@pytest.mark.parametrize("rec,why", [
+    ({"ts": 1.0, "actor": "p0", "kind": "mark",
+      "links": ["mig-x"]}, "links on non-trace kind"),
+    ({"ts": 1.0, "actor": "p0", "kind": "span_start", "phase": "freeze",
+      "rank": 0, "links": "mig-x"}, "links must be a list"),
+    ({"ts": 1.0, "actor": "p0", "kind": "span_start", "phase": "freeze",
+      "rank": 0, "links": [7]}, "link entries must be strings"),
+])
+def test_validate_record_rejects_bad_links(rec, why):
+    assert validate_record(rec) is not None, why
+
+
+def test_collector_trace_links_index():
+    """trace_links() inverts the per-record links into a per-trace map,
+    deduplicating repeats and skipping unlinked records."""
+    collector = RegistryCollector()
+    collector.record("p1", "span_start", phase="recover", rank=1,
+                     trace_id="rec-r1-1",
+                     links=["mig-r1.m1-aaaa", "mig-r1.m0-bbbb"])
+    collector.record("p1", "span_start", phase="freeze", rank=1,
+                     trace_id="mig-r1.m2-cccc")          # no links
+    collector.record("p1", "drain_peer", peer=0, last="eom",
+                     trace_id="rec-r1-1", links=["mig-r1.m1-aaaa"])
+    links = collector.trace_links()
+    assert links == {"rec-r1-1": ["mig-r1.m1-aaaa", "mig-r1.m0-bbbb"]}
+    assert all(validate_record(e) is None for e in collector.events())
+
+
 # -- clock alignment -------------------------------------------------------
 
 def test_offset_estimator_midpoint_math():

@@ -10,6 +10,8 @@ from repro.core.messages import (
     MigrateRequest,
     TerminateNotice,
 )
+from repro.core.gang import GangAdmission
+from repro.core.messages import MigrationCommit
 from repro.core.pltable import PLTable
 from repro.core.scheduler import (
     STATUS_RUNNING,
@@ -125,6 +127,105 @@ def test_duplicate_migrate_request_ignored(env):
     vm.run()
     assert len(spawned) == 1
     assert len(state.migrations) == 1
+
+
+# -- gang admission: concurrent windows ----------------------------------
+
+def _running_rank(pl, state, rank, duration=0.1):
+    """A target process that registers itself as a running rank."""
+
+    def run(ctx):
+        pl.update(rank, ctx.vmid)
+        state.status[rank] = STATUS_RUNNING
+        ctx.compute(duration)
+
+    return run
+
+
+def test_distinct_rank_windows_overlap(env):
+    """Unbounded admission: two requests for different ranks both open
+    immediately — neither waits for the other's commit."""
+    vm, pl, state, sched, spawned = env
+
+    def probe(ctx):
+        ctx.compute(0.01)  # let both targets register
+        for rank in (0, 1):
+            sched.mailbox.put(ControlEnvelope(
+                VmId("user", 0), MigrateRequest(rank=rank, dest_host="h1")))
+        ctx.compute(0.05)
+
+    vm.spawn("h0", _running_rank(pl, state, 0), name="t0", rank=0)
+    vm.spawn("h1", _running_rank(pl, state, 1), name="t1", rank=1)
+    vm.spawn("h1", probe, name="probe")
+    vm.run()
+    assert sorted(r for r, _, _ in spawned) == [0, 1]
+    assert len(state.migrations) == 2
+    # both windows are simultaneously open: no commit ever arrived
+    assert sorted(state.admission.inflight) == [0, 1]
+    assert not any(e.kind == "migration_queued" for e in vm.trace.events)
+
+
+def test_concurrency_cap_queues_then_dispatches_on_commit(env):
+    """concurrency=1: the second rank's request parks in the admission
+    queue and opens only when the first window commits."""
+    vm, pl, state, sched, spawned = env
+    state.admission = GangAdmission(concurrency=1)
+
+    def probe(ctx):
+        ctx.compute(0.01)
+        for rank in (0, 1):
+            sched.mailbox.put(ControlEnvelope(
+                VmId("user", 0), MigrateRequest(rank=rank, dest_host="h1")))
+        ctx.compute(0.02)
+        assert [r for r, _, _ in spawned] == [0]  # cap held rank 1 back
+        sched.mailbox.put(ControlEnvelope(
+            VmId("user", 0), MigrationCommit(rank=0)))
+        ctx.compute(0.02)
+
+    vm.spawn("h0", _running_rank(pl, state, 0), name="t0", rank=0)
+    vm.spawn("h1", _running_rank(pl, state, 1), name="t1", rank=1)
+    vm.spawn("h1", probe, name="probe")
+    vm.run()
+    assert [r for r, _, _ in spawned] == [0, 1]
+    queued = [e for e in vm.trace.events if e.kind == "migration_queued"]
+    assert len(queued) == 1
+    assert queued[0].detail["rank"] == 1
+    assert queued[0].detail["verdict"] == "queued"
+    dequeued = [e for e in vm.trace.events
+                if e.kind == "migration_dequeued"]
+    assert len(dequeued) == 1 and dequeued[0].detail["rank"] == 1
+    # FIFO: the queue only opened after rank 0's commit
+    commit = next(e for e in vm.trace.events
+                  if e.kind == "migration_committed")
+    assert dequeued[0].time >= commit.time
+
+
+def test_queued_request_dropped_when_rank_stops_running(env):
+    """A rank that stops running while parked in the admission queue is
+    dropped at dispatch instead of opening a dead window."""
+    vm, pl, state, sched, spawned = env
+    state.admission = GangAdmission(concurrency=1)
+
+    def probe(ctx):
+        ctx.compute(0.01)
+        for rank in (0, 1):
+            sched.mailbox.put(ControlEnvelope(
+                VmId("user", 0), MigrateRequest(rank=rank, dest_host="h1")))
+        ctx.compute(0.02)
+        state.status[1] = STATUS_TERMINATED  # dies while queued
+        sched.mailbox.put(ControlEnvelope(
+            VmId("user", 0), MigrationCommit(rank=0)))
+        ctx.compute(0.02)
+
+    vm.spawn("h0", _running_rank(pl, state, 0), name="t0", rank=0)
+    vm.spawn("h1", _running_rank(pl, state, 1), name="t1", rank=1)
+    vm.spawn("h1", probe, name="probe")
+    vm.run()
+    assert [r for r, _, _ in spawned] == [0]
+    ignored = [e for e in vm.trace.events
+               if e.kind == "migrate_request_ignored"]
+    assert any(e.detail["rank"] == 1 for e in ignored)
+    assert not state.admission.inflight and not state.admission.pending
 
 
 def test_terminate_notice_marks_rank(env):
